@@ -1,0 +1,87 @@
+use comdml_core::RoundEngine;
+use comdml_simnet::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BaselineConfig;
+
+/// BrainTorrent \[10\]: a peer-to-peer framework where agents take turns
+/// acting as the aggregation server.
+///
+/// Per round a randomly selected participant pulls every other participant's
+/// model over its own link (`(P−1)·b` bytes in, then `(P−1)·b` bytes out) —
+/// cheaper than a real server but still serialized through one peer's
+/// connection, unlike AllReduce's balanced schedule.
+#[derive(Debug)]
+pub struct BrainTorrent {
+    cfg: BaselineConfig,
+    rng: StdRng,
+}
+
+impl BrainTorrent {
+    /// Creates the engine; the rotating aggregator is drawn from `seed`.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        Self { cfg, rng: StdRng::seed_from_u64(0xb7a1_0) }
+    }
+
+    /// Overrides the aggregator-selection seed (for reproducible runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+}
+
+impl RoundEngine for BrainTorrent {
+    fn name(&self) -> &'static str {
+        "BrainTorrent"
+    }
+
+    fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
+        let participants = self.cfg.participants(world, round);
+        let compute = self.cfg.straggler_compute_s(world, &participants);
+        if participants.len() < 2 {
+            return compute;
+        }
+        let aggregator = participants[self.rng.gen_range(0..participants.len())];
+        let agg_link = world.agent(aggregator).profile.link_mbps;
+        let b = self.cfg.model.model_bytes() as u64;
+        let bytes = 2 * (participants.len() as u64 - 1) * b;
+        compute + self.cfg.calibration.transfer_time_s(bytes, agg_link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comdml_simnet::WorldConfig;
+
+    #[test]
+    fn aggregation_scales_with_participants() {
+        let world_small = WorldConfig::heterogeneous(4, 1).build();
+        let world_big = WorldConfig::heterogeneous(32, 1).build();
+        let mk = || {
+            BrainTorrent::new(BaselineConfig { churn: None, ..Default::default() }).with_seed(1)
+        };
+        // Compare aggregation-only by subtracting the straggler compute.
+        let mut small_engine = mk();
+        let mut w = world_small.clone();
+        let ids: Vec<_> = w.agents().iter().map(|a| a.id).collect();
+        let agg_small =
+            small_engine.round_time_s(&mut w, 0) - small_engine.cfg.straggler_compute_s(&w, &ids);
+        let mut big_engine = mk();
+        let mut w = world_big.clone();
+        let ids: Vec<_> = w.agents().iter().map(|a| a.id).collect();
+        let agg_big =
+            big_engine.round_time_s(&mut w, 0) - big_engine.cfg.straggler_compute_s(&w, &ids);
+        assert!(agg_big > agg_small, "{agg_big} vs {agg_small}");
+    }
+
+    #[test]
+    fn single_agent_has_no_aggregation() {
+        let mut engine = BrainTorrent::new(BaselineConfig { churn: None, ..Default::default() });
+        let mut world = WorldConfig::heterogeneous(1, 1).build();
+        let t = engine.round_time_s(&mut world, 0);
+        let solo = engine.cfg.solo_time_s(&world.agents()[0]);
+        assert!((t - solo).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+use comdml_core::RoundEngine;
+use comdml_simnet::World;
+
+use crate::BaselineConfig;
+
+/// FedAvg \[1\]: server-coordinated federated averaging.
+///
+/// Per round: every participant downloads the global model, trains one full
+/// local epoch, and uploads its update. The round is gated by the slowest
+/// participant's compute, the slowest participant's link (2·b bytes each
+/// way), and the server's aggregate bandwidth (2·P·b bytes through one
+/// pipe) — the central-server bottleneck §I and §V-B.2 describe.
+#[derive(Debug, Clone)]
+pub struct FedAvg {
+    cfg: BaselineConfig,
+}
+
+impl FedAvg {
+    /// Creates the engine.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl RoundEngine for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
+        let participants = self.cfg.participants(world, round);
+        let compute = self.cfg.straggler_compute_s(world, &participants);
+        let b = self.cfg.model.model_bytes() as u64;
+        // Slowest client link carries the model down and back up.
+        let min_link = self.cfg.min_link_mbps(world, &participants);
+        let client_comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
+        // The server moves 2·P·b bytes through its own pipe.
+        let server_bytes = 2 * participants.len() as u64 * b;
+        let server_comm = self.cfg.calibration.transfer_time_s(server_bytes, self.cfg.server_mbps);
+        compute + client_comm.max(server_comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comdml_simnet::WorldConfig;
+
+    #[test]
+    fn round_time_exceeds_straggler_compute() {
+        let mut engine = FedAvg::new(BaselineConfig { churn: None, ..Default::default() });
+        let mut world = WorldConfig::heterogeneous(10, 1).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let compute = engine.cfg.straggler_compute_s(&world, &ids);
+        let t = engine.round_time_s(&mut world, 0);
+        assert!(t > compute);
+    }
+
+    #[test]
+    fn slower_server_increases_round_time() {
+        let mut fast_server = FedAvg::new(BaselineConfig {
+            churn: None,
+            server_mbps: 10_000.0,
+            ..Default::default()
+        });
+        let mut slow_server = FedAvg::new(BaselineConfig {
+            churn: None,
+            server_mbps: 10.0,
+            ..Default::default()
+        });
+        let world = WorldConfig::heterogeneous(10, 2).build();
+        let t_fast = fast_server.round_time_s(&mut world.clone(), 0);
+        let t_slow = slow_server.round_time_s(&mut world.clone(), 0);
+        assert!(t_slow > t_fast, "{t_slow} vs {t_fast}");
+    }
+}

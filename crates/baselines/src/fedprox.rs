@@ -1,0 +1,99 @@
+use comdml_core::RoundEngine;
+use comdml_simnet::World;
+
+use crate::BaselineConfig;
+
+/// FedProx (\[27\] Li et al., discussed in §II-B): heterogeneity-aware FedAvg
+/// that lets slow agents do *less local work* per round (fewer local
+/// iterations), with a proximal term keeping partial updates stable.
+///
+/// We model the system-level effect: each agent trains a fraction of its
+/// local epoch proportional to its speed (floored so everyone contributes),
+/// which caps the straggler's round time, at the cost of extra rounds
+/// (partial local work converges slower).
+#[derive(Debug, Clone)]
+pub struct FedProx {
+    cfg: BaselineConfig,
+    min_work: f64,
+}
+
+impl FedProx {
+    /// Creates the engine; `min_work` is the floor on the fraction of a
+    /// local epoch a straggler performs (FedProx's γ-inexactness knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_work` is not in `(0, 1]`.
+    pub fn new(cfg: BaselineConfig, min_work: f64) -> Self {
+        assert!(min_work > 0.0 && min_work <= 1.0, "min work must be in (0, 1], got {min_work}");
+        Self { cfg, min_work }
+    }
+}
+
+impl RoundEngine for FedProx {
+    fn name(&self) -> &'static str {
+        "FedProx"
+    }
+
+    fn rounds_factor(&self) -> f64 {
+        // Partial local work converges slower: the more a straggler's
+        // epoch is truncated (small `min_work`), the more rounds the global
+        // model needs. Linear interpolation to 1.0 at full work.
+        0.6 + 0.4 * self.min_work
+    }
+
+    fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
+        let participants = self.cfg.participants(world, round);
+        // Reference pace: the median agent trains a full epoch; faster
+        // agents too; slower agents scale their work down to match, floored.
+        let mut solos: Vec<f64> =
+            participants.iter().map(|&id| self.cfg.solo_time_s(world.agent(id))).collect();
+        solos.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let reference = solos[solos.len() / 2];
+        let compute = participants
+            .iter()
+            .map(|&id| {
+                let solo = self.cfg.solo_time_s(world.agent(id));
+                let work = (reference / solo).clamp(self.min_work, 1.0);
+                solo * work
+            })
+            .fold(0.0, f64::max);
+        let b = self.cfg.model.model_bytes() as u64;
+        let min_link = self.cfg.min_link_mbps(world, &participants);
+        compute + 2.0 * self.cfg.calibration.transfer_time_s(b, min_link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FedAvg;
+    use comdml_simnet::WorldConfig;
+
+    #[test]
+    fn caps_straggler_rounds_below_fedavg() {
+        let base = BaselineConfig { churn: None, ..BaselineConfig::default() };
+        let world = WorldConfig::heterogeneous(10, 1).build();
+        let mut fedavg = FedAvg::new(base.clone());
+        let mut fedprox = FedProx::new(base, 0.5);
+        let t_avg = fedavg.round_time_s(&mut world.clone(), 0);
+        let t_prox = fedprox.round_time_s(&mut world.clone(), 0);
+        assert!(t_prox < t_avg, "{t_prox} vs {t_avg}");
+    }
+
+    #[test]
+    fn min_work_one_degenerates_to_fedavg_compute() {
+        let base = BaselineConfig { churn: None, ..BaselineConfig::default() };
+        let world = WorldConfig::heterogeneous(10, 2).build();
+        let mut full = FedProx::new(base.clone(), 1.0);
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let straggler = base.straggler_compute_s(&world, &ids);
+        let t = full.round_time_s(&mut world.clone(), 0);
+        assert!(t >= straggler, "min_work = 1 keeps full epochs: {t} vs {straggler}");
+    }
+
+    #[test]
+    fn pays_in_rounds() {
+        assert!(FedProx::new(BaselineConfig::default(), 0.2).rounds_factor() < 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Baseline methods the paper compares ComDML against (§V-A "Baselines").
+//!
+//! * [`FedAvg`] — classic server-coordinated federated averaging \[1\]. Every
+//!   agent trains the full model locally; the central server collects and
+//!   redistributes models, so the round is gated by the slowest agent *and*
+//!   the server's aggregate bandwidth.
+//! * [`AllReduceDml`] — server-less: independent local training followed by
+//!   decentralized AllReduce aggregation \[34\].
+//! * [`BrainTorrent`] — peer-to-peer with a rotating aggregator \[10\]: one
+//!   agent per round gathers all models over its own link and sends back the
+//!   average.
+//! * [`GossipLearning`] — each agent exchanges models with a single random
+//!   neighbour per round \[11\]; no global barrier, but mixing is partial so
+//!   more rounds are needed for the same accuracy.
+//!
+//! None of these balance workload: a 0.2-CPU straggler trains the entire
+//! model every round, which is precisely the bottleneck ComDML removes.
+//! All engines implement [`comdml_core::RoundEngine`], so the experiment
+//! harness drives them interchangeably.
+//!
+//! # Example
+//!
+//! ```
+//! use comdml_baselines::{AllReduceDml, BaselineConfig, FedAvg};
+//! use comdml_core::{time_to_accuracy, LearningCurve};
+//! use comdml_simnet::WorldConfig;
+//!
+//! let world = WorldConfig::heterogeneous(10, 1).build();
+//! let curve = LearningCurve::cifar10(true);
+//! let mut fedavg = FedAvg::new(BaselineConfig::default());
+//! let t = time_to_accuracy(&mut fedavg, &world, &curve, 0.80);
+//! assert!(t.total_time_s > 0.0);
+//! ```
+
+mod allreduce_dml;
+mod braintorrent;
+mod common;
+mod drop_stragglers;
+mod fedavg;
+mod fedprox;
+mod gossip;
+mod split_learning;
+mod tier;
+
+pub use allreduce_dml::AllReduceDml;
+pub use braintorrent::BrainTorrent;
+pub use common::BaselineConfig;
+pub use drop_stragglers::DropStragglers;
+pub use fedavg::FedAvg;
+pub use fedprox::FedProx;
+pub use gossip::GossipLearning;
+pub use split_learning::ClassicSplitLearning;
+pub use tier::TierBased;

@@ -1,0 +1,110 @@
+use comdml_core::RoundEngine;
+use comdml_simnet::{AgentId, World};
+
+use crate::BaselineConfig;
+
+/// TiFL-style tier-based training (\[5\] Chai et al., discussed in §I/§II):
+/// agents are segmented into tiers by training speed and each round selects
+/// participants from a *single* tier, so fast tiers never wait for slow
+/// ones.
+///
+/// The price: every round sees only one tier's data, so more rounds are
+/// needed (the rounds factor scales like participation sampling), and the
+/// whole model still trains on every agent — unlike ComDML, no workload
+/// moves anywhere.
+#[derive(Debug, Clone)]
+pub struct TierBased {
+    cfg: BaselineConfig,
+    num_tiers: usize,
+}
+
+impl TierBased {
+    /// Creates the engine with the given tier count (TiFL uses ~5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tiers` is zero.
+    pub fn new(cfg: BaselineConfig, num_tiers: usize) -> Self {
+        assert!(num_tiers > 0, "need at least one tier");
+        Self { cfg, num_tiers }
+    }
+
+    /// Splits participants into speed tiers (tier 0 = fastest).
+    fn tiers(&self, world: &World, participants: &[AgentId]) -> Vec<Vec<AgentId>> {
+        let mut by_speed: Vec<AgentId> = participants.to_vec();
+        by_speed.sort_by(|&a, &b| {
+            let ta = self.cfg.solo_time_s(world.agent(a));
+            let tb = self.cfg.solo_time_s(world.agent(b));
+            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let t = self.num_tiers.min(by_speed.len().max(1));
+        let mut tiers = vec![Vec::new(); t];
+        let per = by_speed.len().div_ceil(t);
+        for (i, id) in by_speed.into_iter().enumerate() {
+            tiers[(i / per).min(t - 1)].push(id);
+        }
+        tiers
+    }
+}
+
+impl RoundEngine for TierBased {
+    fn name(&self) -> &'static str {
+        "TiFL (tiers)"
+    }
+
+    fn rounds_factor(&self) -> f64 {
+        // One tier of data per round: same sub-linear penalty as
+        // participation sampling at rate 1/T.
+        (1.0 / self.num_tiers as f64).powf(0.35)
+    }
+
+    fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
+        let participants = self.cfg.participants(world, round);
+        let tiers = self.tiers(world, &participants);
+        let tier = &tiers[round % tiers.len()];
+        if tier.is_empty() {
+            return 0.0;
+        }
+        let compute = self.cfg.straggler_compute_s(world, tier);
+        // Server exchange for the tier, as in FedAvg.
+        let b = self.cfg.model.model_bytes() as u64;
+        let min_link = self.cfg.min_link_mbps(world, tier);
+        compute + 2.0 * self.cfg.calibration.transfer_time_s(b, min_link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comdml_simnet::WorldConfig;
+
+    #[test]
+    fn fast_tier_rounds_are_much_shorter() {
+        let mut engine = TierBased::new(BaselineConfig { churn: None, ..Default::default() }, 5);
+        let world = WorldConfig::heterogeneous(20, 1).build();
+        // Tier index = round % 5; tier 0 is fastest.
+        let mut w = world.clone();
+        let fast = engine.round_time_s(&mut w, 0);
+        let slow = engine.round_time_s(&mut w, 4);
+        assert!(slow > 4.0 * fast, "fast tier {fast:.1}s vs slow tier {slow:.1}s");
+    }
+
+    #[test]
+    fn mean_round_beats_global_straggler() {
+        let mut engine = TierBased::new(BaselineConfig { churn: None, ..Default::default() }, 5);
+        let world = WorldConfig::heterogeneous(20, 2).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let straggler = engine.cfg.straggler_compute_s(&world, &ids);
+        let mut w = world.clone();
+        let mean: f64 = (0..10).map(|r| engine.round_time_s(&mut w, r)).sum::<f64>() / 10.0;
+        assert!(mean < straggler, "tiering should cut the mean round: {mean} vs {straggler}");
+    }
+
+    #[test]
+    fn rounds_factor_penalizes_tier_count() {
+        let one = TierBased::new(BaselineConfig::default(), 1).rounds_factor();
+        let five = TierBased::new(BaselineConfig::default(), 5).rounds_factor();
+        assert!((one - 1.0).abs() < 1e-12);
+        assert!(five < one);
+    }
+}

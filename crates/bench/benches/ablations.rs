@@ -1,0 +1,64 @@
+//! Wall-clock cost of the design alternatives the ablation study compares
+//! (run `cargo run -p comdml-bench --bin ablation_study` for the
+//! simulated-time ablations themselves).
+
+use comdml_collective::Int8Quantizer;
+use comdml_core::{PairingOrder, PairingScheduler, TrainingTimeEstimator};
+use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
+use comdml_simnet::{AgentId, WorldConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_orders(c: &mut Criterion) {
+    let spec = ModelSpec::resnet56();
+    let profile = SplitProfile::new(&spec, 100);
+    let cal = CostCalibration::default();
+    let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+    let scheduler = PairingScheduler::new();
+    let world = WorldConfig::heterogeneous(50, 42).total_samples(250_000).build();
+    let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+
+    let mut group = c.benchmark_group("pairing_order_k50");
+    for (name, order) in [
+        ("slowest_first", PairingOrder::SlowestFirst),
+        ("by_agent_id", PairingOrder::ByAgentId),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, &order| {
+            b.iter(|| black_box(scheduler.pair_with_order(&world, &ids, &est, order)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_restriction(c: &mut Criterion) {
+    // Cost of estimating with all 56 splits vs the paper-style handful.
+    let spec = ModelSpec::resnet56();
+    let full = SplitProfile::new(&spec, 100);
+    let restricted = full.restrict_to(&[10, 19, 28, 37, 46, 55]);
+    let cal = CostCalibration::default();
+    let world = WorldConfig::heterogeneous(20, 7).total_samples(100_000).build();
+    let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+    let scheduler = PairingScheduler::new();
+
+    let mut group = c.benchmark_group("candidate_splits_k20");
+    for (name, profile) in [("all_56", &full), ("six_candidates", &restricted)] {
+        let est = TrainingTimeEstimator::new(&spec, profile, &cal);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| black_box(scheduler.pair(&world, &ids, &est)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let values: Vec<f32> = (0..850_000).map(|i| ((i % 97) as f32 - 48.0) / 17.0).collect();
+    c.bench_function("int8_quantize_model_payload", |b| {
+        b.iter(|| {
+            let q = Int8Quantizer::fit(&values);
+            black_box(q.dequantize(&q.quantize(&values)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_orders, bench_candidate_restriction, bench_quantizer);
+criterion_main!(benches);

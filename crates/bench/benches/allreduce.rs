@@ -1,0 +1,54 @@
+//! Collective throughput: ring vs recursive halving/doubling AllReduce over
+//! in-memory buffers at model-payload sizes (§IV-B compares the two).
+
+use comdml_collective::{halving_doubling_allreduce, naive_allreduce, ring_allreduce};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn make_bufs(k: usize, n: usize) -> Vec<Vec<f32>> {
+    (0..k)
+        .map(|r| (0..n).map(|i| ((r * 31 + i) % 97) as f32).collect())
+        .collect()
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let k = 8;
+    let mut group = c.benchmark_group("allreduce_8_agents");
+    for n in [10_000usize, 100_000, 850_000] {
+        group.throughput(Throughput::Bytes((k * n * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
+            b.iter_batched(
+                || make_bufs(k, n),
+                |mut bufs| {
+                    ring_allreduce(&mut bufs).unwrap();
+                    black_box(bufs)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("halving_doubling", n), &n, |b, &n| {
+            b.iter_batched(
+                || make_bufs(k, n),
+                |mut bufs| {
+                    halving_doubling_allreduce(&mut bufs).unwrap();
+                    black_box(bufs)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter_batched(
+                || make_bufs(k, n),
+                |mut bufs| {
+                    naive_allreduce(&mut bufs).unwrap();
+                    black_box(bufs)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

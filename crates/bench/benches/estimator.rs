@@ -1,0 +1,38 @@
+//! `AgentTrainingTime` cost: one estimate evaluates every candidate split
+//! (56 for ResNet-56, 110 for ResNet-110). Run per neighbour per round on
+//! every slow agent, this must stay in the microsecond range.
+
+use comdml_core::TrainingTimeEstimator;
+use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
+use comdml_simnet::{AgentId, AgentProfile, AgentState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_estimator(c: &mut Criterion) {
+    let cal = CostCalibration::default();
+    let mut group = c.benchmark_group("agent_training_time");
+    for spec in [ModelSpec::resnet56(), ModelSpec::resnet110()] {
+        let profile = SplitProfile::new(&spec, 100);
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let slow = AgentState::new(AgentId(0), AgentProfile::new(0.2, 50.0), 5000, 100);
+        let fast = AgentState::new(AgentId(1), AgentProfile::new(4.0, 100.0), 5000, 100);
+        let fast_solo = est.solo_time_s(&fast);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name().to_string()),
+            &spec,
+            |b, _| b.iter(|| black_box(est.estimate(&slow, &fast, fast_solo, 50.0))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    // Split-model profiling happens once before training (Algorithm 1).
+    let spec = ModelSpec::resnet110();
+    c.bench_function("split_profile_resnet110", |b| {
+        b.iter(|| black_box(SplitProfile::new(&spec, 100)))
+    });
+}
+
+criterion_group!(benches, bench_estimator, bench_profiling);
+criterion_main!(benches);

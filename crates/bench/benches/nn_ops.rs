@@ -1,0 +1,50 @@
+//! Training-engine kernels: convolution forward/backward, dense layers and
+//! one full local-loss split step.
+
+use comdml_nn::{models, Conv2d, Layer, LocalLossSplit, SgdPair};
+use comdml_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut conv = Conv2d::new(8, 8, 3, 1, 1, &mut rng);
+    let x = Tensor::randn(&[8, 8, 8, 8], 1.0, &mut rng);
+    c.bench_function("conv2d_forward_8x8x8", |b| {
+        b.iter(|| black_box(conv.forward(&x).unwrap()))
+    });
+    let y = conv.forward(&x).unwrap();
+    let g = Tensor::ones(y.shape());
+    c.bench_function("conv2d_fwd_bwd_8x8x8", |b| {
+        b.iter(|| {
+            conv.forward(&x).unwrap();
+            black_box(conv.backward(&g).unwrap())
+        })
+    });
+}
+
+fn bench_split_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = models::tiny_cnn(1, 4, &mut rng);
+    let mut split = LocalLossSplit::from_sequential(model, 3, 4, &mut rng).unwrap();
+    let mut opts = SgdPair::new(0.01, 0.9);
+    let x = Tensor::randn(&[16, 1, 8, 8], 1.0, &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+    c.bench_function("local_loss_split_step_b16", |b| {
+        b.iter(|| black_box(split.train_step(&x, &labels, &mut opts).unwrap()))
+    });
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = models::mlp(&[256, 256, 64], &mut rng);
+    let x = Tensor::randn(&[32, 256], 1.0, &mut rng);
+    c.bench_function("mlp_forward_256x256_b32", |b| {
+        b.iter(|| black_box(model.forward(&x).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_conv, bench_split_step, bench_dense);
+criterion_main!(benches);

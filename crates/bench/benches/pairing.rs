@@ -1,0 +1,30 @@
+//! Scheduler throughput: one full pairing round at fleet sizes 10–100.
+//! The paper's scheduler must run every round on every agent, so its cost
+//! has to stay negligible next to training time.
+
+use comdml_core::{PairingScheduler, TrainingTimeEstimator};
+use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
+use comdml_simnet::{AgentId, WorldConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_pairing(c: &mut Criterion) {
+    let spec = ModelSpec::resnet56();
+    let profile = SplitProfile::new(&spec, 100);
+    let cal = CostCalibration::default();
+    let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+    let scheduler = PairingScheduler::new();
+
+    let mut group = c.benchmark_group("pairing_round");
+    for k in [10usize, 50, 100] {
+        let world = WorldConfig::heterogeneous(k, 42).total_samples(5_000 * k).build();
+        let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(scheduler.pair(&world, &ids, &est)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairing);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Empirical companion to **Theorem 1**: both the slow agent-side and fast
+//! agent-side models converge under local-loss split training, on real
+//! gradients (miniature synthetic task), for IID and non-IID data.
+
+use comdml_core::{RealFleetConfig, RealSplitFleet};
+
+fn run(label: &str, config: RealFleetConfig) {
+    let rounds = 12;
+    let mut fleet = RealSplitFleet::new(config);
+    let report = fleet.run(rounds);
+    println!("{label}");
+    println!("{:>6} {:>12} {:>12} {:>10}", "round", "slow loss", "fast loss", "accuracy");
+    for r in 0..rounds {
+        println!(
+            "{:>6} {:>12.4} {:>12.4} {:>9.1}%",
+            r + 1,
+            report.slow_losses[r],
+            report.fast_losses[r],
+            report.round_accuracies[r] * 100.0
+        );
+    }
+    let improved = report.slow_losses[rounds - 1] < report.slow_losses[0]
+        && report.fast_losses[rounds - 1] < report.fast_losses[0];
+    println!(
+        "  -> slow and fast sides {} (final accuracy {:.1}%)\n",
+        if improved { "both converge" } else { "did NOT both improve" },
+        report.final_accuracy() * 100.0
+    );
+}
+
+fn main() {
+    println!("Theorem 1 (empirical) — local-loss split training convergence\n");
+    run(
+        "IID split, offload 3 layers:",
+        RealFleetConfig { iid: true, ..RealFleetConfig::default() },
+    );
+    run(
+        "non-IID split (Dirichlet 0.5), offload 3 layers:",
+        RealFleetConfig { iid: false, ..RealFleetConfig::default() },
+    );
+    run(
+        "IID split, deeper offload (5 layers):",
+        RealFleetConfig { offload: 5, ..RealFleetConfig::default() },
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table III**: training time to 80% accuracy on I.I.D.
+//! CIFAR-10 with 20 / 50 / 100 agents (20% participation sampling) for
+//! ResNet-56 and ResNet-110.
+//!
+//! Per-agent workload is held constant (5 000 samples each, matching the
+//! 10-agent CIFAR-10 split) so scaling stresses scheduling and aggregation
+//! rather than shrinking local epochs — see EXPERIMENTS.md.
+
+use comdml_baselines::BaselineConfig;
+use comdml_bench::{all_methods, fmt_s, rounds_with_sampling, row, run_rounds};
+use comdml_core::{ComDmlConfig, LearningCurve};
+use comdml_cost::ModelSpec;
+use comdml_simnet::WorldConfig;
+
+fn main() {
+    let sampling = 0.2;
+    let target = 0.80;
+    let widths = [12usize, 8, 12, 12, 14, 12, 12];
+    println!("Table III — training time (s) to 80% on IID CIFAR-10, 20% sampling\n");
+    println!(
+        "{}",
+        row(
+            &["Model", "Agents", "ComDML", "Gossip L.", "BrainTorrent", "AllReduce", "FedAvg"]
+                .map(String::from),
+            &widths
+        )
+    );
+
+    for (model, curve) in [
+        (ModelSpec::resnet56(), LearningCurve::cifar10(true)),
+        (ModelSpec::resnet110(), LearningCurve::cifar10(true).deeper()),
+    ] {
+        for k in [20usize, 50, 100] {
+            let world = WorldConfig::heterogeneous(k, 42)
+                .total_samples(5_000 * k)
+                .batch_size(100)
+                .build();
+            let engines = all_methods(
+                BaselineConfig {
+                    model: model.clone(),
+                    sampling_rate: sampling,
+                    ..BaselineConfig::default()
+                },
+                ComDmlConfig {
+                    model: model.clone(),
+                    sampling_rate: sampling,
+                    curve,
+                    ..ComDmlConfig::default()
+                },
+            );
+            let mut cells = vec![model.name().to_string(), k.to_string()];
+            for mut engine in engines {
+                let rounds =
+                    rounds_with_sampling(&curve, target, engine.rounds_factor(), sampling);
+                let total = run_rounds(engine.as_mut(), &world, rounds);
+                cells.push(fmt_s(total));
+            }
+            println!("{}", row(&cells, &widths));
+        }
+    }
+}

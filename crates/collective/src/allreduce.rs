@@ -1,0 +1,269 @@
+use crate::CollectiveError;
+
+fn validate(bufs: &[Vec<f32>]) -> Result<usize, CollectiveError> {
+    let Some(first) = bufs.first() else {
+        return Err(CollectiveError::Empty);
+    };
+    let n = first.len();
+    for (rank, b) in bufs.iter().enumerate() {
+        if b.len() != n {
+            return Err(CollectiveError::LengthMismatch { expected: n, rank, actual: b.len() });
+        }
+    }
+    Ok(n)
+}
+
+fn divide_all(bufs: &mut [Vec<f32>]) {
+    let inv = 1.0 / bufs.len() as f32;
+    for b in bufs.iter_mut() {
+        for v in b.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Reference AllReduce: computes the element-wise mean directly and writes it
+/// to every participant. Used as the ground truth in tests and by simulations
+/// that only need the result, not the communication schedule.
+///
+/// # Errors
+///
+/// Returns [`CollectiveError::Empty`] with no participants, or
+/// [`CollectiveError::LengthMismatch`] if buffers disagree in length.
+pub fn naive_allreduce(bufs: &mut [Vec<f32>]) -> Result<(), CollectiveError> {
+    let n = validate(bufs)?;
+    let mut sum = vec![0.0f32; n];
+    for b in bufs.iter() {
+        for (s, &v) in sum.iter_mut().zip(b.iter()) {
+            *s += v;
+        }
+    }
+    let inv = 1.0 / bufs.len() as f32;
+    for b in bufs.iter_mut() {
+        for (dst, &s) in b.iter_mut().zip(sum.iter()) {
+            *dst = s * inv;
+        }
+    }
+    Ok(())
+}
+
+/// The ring AllReduce (Goyal et al. \[34\]): a reduce-scatter over `K−1` steps
+/// followed by an all-gather over `K−1` steps, each agent exchanging
+/// `2·(K−1)/K·b` bytes in total. Buffers end up holding the element-wise
+/// *mean* of the inputs.
+///
+/// The buffer is partitioned into `K` chunks; in reduce-scatter step `s`,
+/// rank `r` sends chunk `(r − s) mod K` to rank `r + 1` and accumulates the
+/// chunk arriving from `r − 1`.
+///
+/// # Errors
+///
+/// Returns [`CollectiveError::Empty`] with no participants, or
+/// [`CollectiveError::LengthMismatch`] if buffers disagree in length.
+pub fn ring_allreduce(bufs: &mut [Vec<f32>]) -> Result<(), CollectiveError> {
+    let n = validate(bufs)?;
+    let k = bufs.len();
+    if k == 1 {
+        return Ok(());
+    }
+    // Chunk c covers [bounds[c], bounds[c+1]).
+    let bounds: Vec<usize> = (0..=k).map(|c| c * n / k).collect();
+    let chunk = |c: usize| bounds[c % k]..bounds[c % k + 1];
+
+    // Reduce-scatter: after K-1 steps, rank r holds the full sum of chunk
+    // (r + 1) mod K.
+    for s in 0..k - 1 {
+        // Compute all sends of this step before applying them: real ranks
+        // exchange simultaneously.
+        let sends: Vec<(usize, usize, Vec<f32>)> = (0..k)
+            .map(|r| {
+                let c = (r + k - s) % k;
+                (r, c, bufs[r][chunk(c)].to_vec())
+            })
+            .collect();
+        for (r, c, data) in sends {
+            let dst = (r + 1) % k;
+            let range = chunk(c);
+            for (acc, v) in bufs[dst][range].iter_mut().zip(data) {
+                *acc += v;
+            }
+        }
+    }
+
+    // All-gather: rank r broadcasts its fully reduced chunk (r + 1) mod K
+    // around the ring over K-1 steps.
+    for s in 0..k - 1 {
+        let sends: Vec<(usize, usize, Vec<f32>)> = (0..k)
+            .map(|r| {
+                let c = (r + 1 + k - s) % k;
+                (r, c, bufs[r][chunk(c)].to_vec())
+            })
+            .collect();
+        for (r, c, data) in sends {
+            let dst = (r + 1) % k;
+            let range = chunk(c);
+            bufs[dst][range].copy_from_slice(&data);
+        }
+    }
+
+    divide_all(bufs);
+    Ok(())
+}
+
+/// The recursive halving/doubling AllReduce (Thakur et al. \[35\]): a
+/// recursive-halving reduce-scatter followed by a recursive-doubling
+/// all-gather, `2·⌈log2 K⌉` communication steps in total. This is the
+/// algorithm ComDML selects for large `K` (§IV-B). Buffers end up holding
+/// the element-wise *mean*.
+///
+/// Non-power-of-two participant counts use the standard fold: the first
+/// `K − 2^⌊log2 K⌋` "extra" ranks donate their vectors to a partner before
+/// the exchange and receive the final result afterwards.
+///
+/// # Errors
+///
+/// Returns [`CollectiveError::Empty`] with no participants, or
+/// [`CollectiveError::LengthMismatch`] if buffers disagree in length.
+pub fn halving_doubling_allreduce(bufs: &mut [Vec<f32>]) -> Result<(), CollectiveError> {
+    validate(bufs)?;
+    let k = bufs.len();
+    if k == 1 {
+        return Ok(());
+    }
+    let p2 = 1usize << (usize::BITS - 1 - k.leading_zeros()); // largest power of two <= k
+    let extra = k - p2;
+
+    // Fold: extra rank e (0..extra) sends its buffer to rank extra + e.
+    for e in 0..extra {
+        let (left, right) = bufs.split_at_mut(extra);
+        for (acc, &v) in right[e].iter_mut().zip(left[e].iter()) {
+            *acc += v;
+        }
+    }
+
+    // Active ranks are extra..k, re-indexed 0..p2.
+    let base = extra;
+    let mut dist = 1;
+    while dist < p2 {
+        // Pairwise exchange at distance `dist`: both partners end with the sum.
+        let snapshot: Vec<Vec<f32>> = bufs[base..].to_vec();
+        for r in 0..p2 {
+            let partner = r ^ dist;
+            for (acc, &v) in bufs[base + r].iter_mut().zip(snapshot[partner].iter()) {
+                *acc += v;
+            }
+        }
+        dist <<= 1;
+    }
+    // (The halving/doubling data-volume optimization exchanges half-vectors;
+    // functionally the recursive-doubling sum above yields the same result,
+    // and the byte/step accounting lives in `CollectiveCost`.)
+
+    // Unfold: partners return the final sum to the extra ranks.
+    for e in 0..extra {
+        let src = bufs[base + e].clone();
+        bufs[e].copy_from_slice(&src);
+    }
+
+    divide_all(bufs);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(bufs: &[Vec<f32>]) -> Vec<f32> {
+        let n = bufs[0].len();
+        let mut m = vec![0.0f32; n];
+        for b in bufs {
+            for (acc, &v) in m.iter_mut().zip(b.iter()) {
+                *acc += v;
+            }
+        }
+        for v in &mut m {
+            *v /= bufs.len() as f32;
+        }
+        m
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    fn sample_bufs(k: usize, n: usize) -> Vec<Vec<f32>> {
+        (0..k)
+            .map(|r| (0..n).map(|i| ((r * 31 + i * 7) % 17) as f32 - 8.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn naive_matches_mean() {
+        let mut bufs = sample_bufs(5, 13);
+        let expect = mean_of(&bufs);
+        naive_allreduce(&mut bufs).unwrap();
+        for b in &bufs {
+            assert_close(b, &expect);
+        }
+    }
+
+    #[test]
+    fn ring_matches_mean_for_many_sizes() {
+        for k in 1..=9 {
+            for n in [1usize, 2, 7, 16, 33] {
+                let mut bufs = sample_bufs(k, n);
+                let expect = mean_of(&bufs);
+                ring_allreduce(&mut bufs).unwrap();
+                for (r, b) in bufs.iter().enumerate() {
+                    assert_close(b, &expect);
+                    let _ = r;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halving_doubling_matches_mean_for_many_counts() {
+        for k in 1..=17 {
+            let mut bufs = sample_bufs(k, 24);
+            let expect = mean_of(&bufs);
+            halving_doubling_allreduce(&mut bufs).unwrap();
+            for b in &bufs {
+                assert_close(b, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn single_agent_is_identity() {
+        let mut bufs = vec![vec![1.0, 2.0, 3.0]];
+        ring_allreduce(&mut bufs).unwrap();
+        assert_eq!(bufs[0], vec![1.0, 2.0, 3.0]);
+        halving_doubling_allreduce(&mut bufs).unwrap();
+        assert_eq!(bufs[0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn chunk_count_smaller_than_buffer_is_fine() {
+        // n < k exercises empty chunks in the ring partition.
+        let mut bufs = sample_bufs(8, 3);
+        let expect = mean_of(&bufs);
+        ring_allreduce(&mut bufs).unwrap();
+        for b in &bufs {
+            assert_close(b, &expect);
+        }
+    }
+
+    #[test]
+    fn errors_on_empty_and_mismatch() {
+        let mut empty: Vec<Vec<f32>> = vec![];
+        assert_eq!(ring_allreduce(&mut empty), Err(CollectiveError::Empty));
+        let mut bad = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            halving_doubling_allreduce(&mut bad),
+            Err(CollectiveError::LengthMismatch { rank: 1, .. })
+        ));
+    }
+}

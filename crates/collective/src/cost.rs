@@ -1,0 +1,121 @@
+/// Which AllReduce schedule to account for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllReduceAlgorithm {
+    /// Ring: `2(K−1)` steps.
+    Ring,
+    /// Recursive halving/doubling: `2⌈log2 K⌉` steps (the paper's choice for
+    /// large `K`).
+    HalvingDoubling,
+}
+
+/// Communication cost of one AllReduce over `K` agents and a `b`-byte model.
+///
+/// Both algorithms move `2·(K−1)/K·b` bytes per agent (§IV-B); they differ
+/// in the number of latency-bound steps. [`CollectiveCost::time_s`] converts
+/// the cost into seconds given effective bandwidth and per-step latency.
+///
+/// # Example
+///
+/// ```
+/// use comdml_collective::{AllReduceAlgorithm, CollectiveCost};
+///
+/// let ring = CollectiveCost::new(AllReduceAlgorithm::Ring, 100, 3_400_000);
+/// let hd = CollectiveCost::new(AllReduceAlgorithm::HalvingDoubling, 100, 3_400_000);
+/// assert!(hd.steps < ring.steps);
+/// assert!((hd.bytes_per_agent - ring.bytes_per_agent).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveCost {
+    /// Number of sequential communication steps.
+    pub steps: usize,
+    /// Bytes sent (and received) by each agent.
+    pub bytes_per_agent: f64,
+}
+
+impl CollectiveCost {
+    /// Computes the cost for `k` agents exchanging a `model_bytes` model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(algorithm: AllReduceAlgorithm, k: usize, model_bytes: u64) -> Self {
+        assert!(k > 0, "allreduce needs at least one agent");
+        let bytes_per_agent = 2.0 * (k as f64 - 1.0) / k as f64 * model_bytes as f64;
+        let steps = match algorithm {
+            AllReduceAlgorithm::Ring => 2 * (k - 1),
+            AllReduceAlgorithm::HalvingDoubling => {
+                if k == 1 {
+                    0
+                } else {
+                    2 * (k as f64).log2().ceil() as usize
+                }
+            }
+        };
+        Self { steps, bytes_per_agent }
+    }
+
+    /// Wall-clock seconds given the slowest participant's effective
+    /// bandwidth (bytes/s) and the per-step latency (seconds).
+    ///
+    /// Returns infinity if any participant is disconnected
+    /// (`bytes_per_s <= 0`), matching the semantics of a 0 Mbps link.
+    pub fn time_s(&self, bytes_per_s: f64, step_latency_s: f64) -> f64 {
+        if self.bytes_per_agent == 0.0 {
+            return 0.0;
+        }
+        if bytes_per_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.steps as f64 * step_latency_s + self.bytes_per_agent / bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_counts_match_paper() {
+        // "The halving/doubling algorithm consists of 2 log2(K) communication
+        // steps, while the ring algorithm involves 2(K − 1) steps."
+        let ring = CollectiveCost::new(AllReduceAlgorithm::Ring, 8, 1000);
+        assert_eq!(ring.steps, 14);
+        let hd = CollectiveCost::new(AllReduceAlgorithm::HalvingDoubling, 8, 1000);
+        assert_eq!(hd.steps, 6);
+    }
+
+    #[test]
+    fn bytes_match_paper_formula() {
+        // "each agent sends and receives 2 (K−1)/K b bytes of data".
+        let c = CollectiveCost::new(AllReduceAlgorithm::Ring, 10, 1_000_000);
+        assert!((c.bytes_per_agent - 1.8e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_agent_costs_nothing() {
+        let c = CollectiveCost::new(AllReduceAlgorithm::HalvingDoubling, 1, 1_000_000);
+        assert_eq!(c.bytes_per_agent, 0.0);
+        assert_eq!(c.time_s(1e6, 0.01), 0.0);
+    }
+
+    #[test]
+    fn disconnected_time_is_infinite() {
+        let c = CollectiveCost::new(AllReduceAlgorithm::Ring, 4, 1000);
+        assert!(c.time_s(0.0, 0.01).is_infinite());
+    }
+
+    #[test]
+    fn hd_beats_ring_on_latency_dominated_links() {
+        let k = 64;
+        let ring = CollectiveCost::new(AllReduceAlgorithm::Ring, k, 1000);
+        let hd = CollectiveCost::new(AllReduceAlgorithm::HalvingDoubling, k, 1000);
+        // High latency, tiny payload: step count dominates.
+        assert!(hd.time_s(1e9, 0.05) < ring.time_s(1e9, 0.05));
+    }
+
+    #[test]
+    fn non_power_of_two_rounds_steps_up() {
+        let hd = CollectiveCost::new(AllReduceAlgorithm::HalvingDoubling, 10, 1000);
+        assert_eq!(hd.steps, 8); // 2 * ceil(log2 10) = 2 * 4
+    }
+}

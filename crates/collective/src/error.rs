@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// No participants were supplied.
+    Empty,
+    /// Participants disagree on buffer length.
+    LengthMismatch {
+        /// Length of the first buffer.
+        expected: usize,
+        /// Index of the offending participant.
+        rank: usize,
+        /// Its buffer length.
+        actual: usize,
+    },
+    /// A pair index was out of range or degenerate.
+    InvalidPair {
+        /// First rank.
+        a: usize,
+        /// Second rank.
+        b: usize,
+        /// Number of participants.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::Empty => write!(f, "collective requires at least one participant"),
+            CollectiveError::LengthMismatch { expected, rank, actual } => write!(
+                f,
+                "rank {rank} has buffer length {actual} but rank 0 has {expected}"
+            ),
+            CollectiveError::InvalidPair { a, b, len } => {
+                write!(f, "invalid gossip pair ({a}, {b}) among {len} participants")
+            }
+        }
+    }
+}
+
+impl Error for CollectiveError {}

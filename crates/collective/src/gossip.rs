@@ -1,0 +1,138 @@
+use rand::Rng;
+
+use crate::CollectiveError;
+
+/// Averages the buffers of one pair of ranks in place — the primitive step
+/// of gossip learning (\[11\] Hegedűs et al.): both partners end up with the
+/// element-wise mean of their two models.
+///
+/// # Errors
+///
+/// Returns [`CollectiveError::InvalidPair`] if `a == b` or either index is
+/// out of range, and [`CollectiveError::LengthMismatch`] if the two buffers
+/// disagree in length.
+pub fn gossip_pair_average(bufs: &mut [Vec<f32>], a: usize, b: usize) -> Result<(), CollectiveError> {
+    let len = bufs.len();
+    if a == b || a >= len || b >= len {
+        return Err(CollectiveError::InvalidPair { a, b, len });
+    }
+    if bufs[a].len() != bufs[b].len() {
+        return Err(CollectiveError::LengthMismatch {
+            expected: bufs[a].len(),
+            rank: b,
+            actual: bufs[b].len(),
+        });
+    }
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let (left, right) = bufs.split_at_mut(hi);
+    let x = &mut left[lo];
+    let y = &mut right[0];
+    for (xv, yv) in x.iter_mut().zip(y.iter_mut()) {
+        let m = 0.5 * (*xv + *yv);
+        *xv = m;
+        *yv = m;
+    }
+    Ok(())
+}
+
+/// One gossip round: every rank picks a random neighbour (per the adjacency
+/// closure) and the pair averages. Ranks without neighbours keep their model
+/// — gossip degrades gracefully on sparse topologies.
+///
+/// `neighbors(r)` must return the ranks `r` may talk to. Each rank initiates
+/// at most one exchange per round, mirroring GossipFL-style protocols that
+/// "reduce agent communication to a single peer".
+///
+/// # Errors
+///
+/// Propagates [`CollectiveError::LengthMismatch`] from the pair averaging.
+pub fn gossip_round<R, F>(
+    bufs: &mut [Vec<f32>],
+    neighbors: F,
+    rng: &mut R,
+) -> Result<usize, CollectiveError>
+where
+    R: Rng,
+    F: Fn(usize) -> Vec<usize>,
+{
+    let k = bufs.len();
+    let mut exchanges = 0;
+    for r in 0..k {
+        let nbrs = neighbors(r);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let partner = nbrs[rng.gen_range(0..nbrs.len())];
+        if partner == r || partner >= k {
+            continue;
+        }
+        gossip_pair_average(bufs, r, partner)?;
+        exchanges += 1;
+    }
+    Ok(exchanges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_average_is_midpoint() {
+        let mut bufs = vec![vec![0.0, 4.0], vec![2.0, 0.0], vec![9.0, 9.0]];
+        gossip_pair_average(&mut bufs, 0, 1).unwrap();
+        assert_eq!(bufs[0], vec![1.0, 2.0]);
+        assert_eq!(bufs[1], vec![1.0, 2.0]);
+        assert_eq!(bufs[2], vec![9.0, 9.0], "third rank untouched");
+    }
+
+    #[test]
+    fn pair_average_validates_indices() {
+        let mut bufs = vec![vec![0.0], vec![1.0]];
+        assert!(gossip_pair_average(&mut bufs, 0, 0).is_err());
+        assert!(gossip_pair_average(&mut bufs, 0, 5).is_err());
+    }
+
+    #[test]
+    fn gossip_preserves_global_mean() {
+        let mut bufs: Vec<Vec<f32>> =
+            (0..6).map(|r| vec![r as f32, 10.0 - r as f32]).collect();
+        let mean_before: f32 = bufs.iter().map(|b| b[0]).sum::<f32>() / 6.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        let all = |r: usize| (0..6).filter(|&j| j != r).collect::<Vec<_>>();
+        for _ in 0..10 {
+            gossip_round(&mut bufs, all, &mut rng).unwrap();
+        }
+        let mean_after: f32 = bufs.iter().map(|b| b[0]).sum::<f32>() / 6.0;
+        assert!((mean_before - mean_after).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gossip_converges_toward_consensus() {
+        let mut bufs: Vec<Vec<f32>> = (0..8).map(|r| vec![r as f32 * 8.0]).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let all = |r: usize| (0..8).filter(|&j| j != r).collect::<Vec<_>>();
+        let spread = |bufs: &[Vec<f32>]| {
+            let vals: Vec<f32> = bufs.iter().map(|b| b[0]).collect();
+            let max = vals.iter().cloned().fold(f32::MIN, f32::max);
+            let min = vals.iter().cloned().fold(f32::MAX, f32::min);
+            max - min
+        };
+        let before = spread(&bufs);
+        for _ in 0..30 {
+            gossip_round(&mut bufs, all, &mut rng).unwrap();
+        }
+        assert!(spread(&bufs) < 0.2 * before, "gossip should shrink disagreement");
+    }
+
+    #[test]
+    fn isolated_ranks_are_skipped() {
+        let mut bufs = vec![vec![1.0], vec![5.0]];
+        let mut rng = StdRng::seed_from_u64(0);
+        let none = |_: usize| Vec::new();
+        let n = gossip_round(&mut bufs, none, &mut rng).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(bufs[0], vec![1.0]);
+    }
+}

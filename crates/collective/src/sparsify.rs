@@ -1,0 +1,167 @@
+/// Top-k gradient sparsification — the mechanism GossipFL (\[12\], §II-B)
+/// uses to "reduce agent communication to a single peer with a compressed
+/// model".
+///
+/// Keeps the `k` largest-magnitude entries of a dense vector as
+/// (index, value) pairs; everything else is treated as zero by the
+/// receiver. [`SparseVector::densify`] restores a dense vector.
+///
+/// # Example
+///
+/// ```
+/// use comdml_collective::TopKSparsifier;
+///
+/// let sparse = TopKSparsifier::new(2).sparsify(&[0.1, -5.0, 0.3, 4.0]);
+/// assert_eq!(sparse.nnz(), 2);
+/// let dense = sparse.densify();
+/// assert_eq!(dense, vec![0.0, -5.0, 0.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKSparsifier {
+    k: usize,
+}
+
+/// A sparsified vector: the surviving (index, value) pairs plus the
+/// original length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector {
+    len: usize,
+    entries: Vec<(u32, f32)>,
+}
+
+impl TopKSparsifier {
+    /// Creates a sparsifier keeping the `k` largest-magnitude entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k needs k >= 1");
+        Self { k }
+    }
+
+    /// A sparsifier keeping the given fraction of entries (GossipFL-style
+    /// compression ratios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn with_fraction(fraction: f64, len: usize) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1], got {fraction}");
+        Self::new(((len as f64 * fraction).ceil() as usize).max(1))
+    }
+
+    /// Sparsifies `values`, keeping ties deterministically (lowest index).
+    pub fn sparsify(&self, values: &[f32]) -> SparseVector {
+        let mut order: Vec<usize> = (0..values.len()).collect();
+        order.sort_by(|&a, &b| {
+            values[b]
+                .abs()
+                .partial_cmp(&values[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut entries: Vec<(u32, f32)> = order
+            .into_iter()
+            .take(self.k.min(values.len()))
+            .map(|i| (i as u32, values[i]))
+            .collect();
+        entries.sort_by_key(|&(i, _)| i);
+        SparseVector { len: values.len(), entries }
+    }
+}
+
+impl SparseVector {
+    /// Number of retained entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Original dense length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the original vector had zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Wire size in bytes (4-byte index + 4-byte value per entry).
+    pub fn byte_size(&self) -> usize {
+        self.entries.len() * 8
+    }
+
+    /// Restores a dense vector with zeros in the dropped positions.
+    pub fn densify(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        for &(i, v) in &self.entries {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Accumulates this sparse delta onto a dense buffer (the receiver-side
+    /// application in gossip exchange).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length differs from the original length.
+    pub fn add_into(&self, dense: &mut [f32]) {
+        assert_eq!(dense.len(), self.len, "length mismatch");
+        for &(i, v) in &self.entries {
+            dense[i as usize] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let s = TopKSparsifier::new(3).sparsify(&[1.0, -10.0, 0.5, 7.0, -2.0]);
+        assert_eq!(s.densify(), vec![0.0, -10.0, 0.0, 7.0, -2.0]);
+    }
+
+    #[test]
+    fn fraction_constructor_rounds_up() {
+        let sp = TopKSparsifier::with_fraction(0.01, 850_000);
+        let s = sp.sparsify(&vec![1.0; 850_000]);
+        assert_eq!(s.nnz(), 8_500);
+        // ~50x compression: 8 bytes/entry * 8500 vs 4 bytes * 850k.
+        assert!(s.byte_size() * 40 < 850_000 * 4);
+    }
+
+    #[test]
+    fn k_larger_than_input_keeps_everything() {
+        let values = vec![3.0, -1.0];
+        let s = TopKSparsifier::new(10).sparsify(&values);
+        assert_eq!(s.densify(), values);
+    }
+
+    #[test]
+    fn add_into_accumulates() {
+        let s = TopKSparsifier::new(1).sparsify(&[0.0, 5.0, 0.0]);
+        let mut acc = vec![1.0f32; 3];
+        s.add_into(&mut acc);
+        assert_eq!(acc, vec![1.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn sparsification_error_is_bounded_by_dropped_mass() {
+        let values: Vec<f32> = (0..100).map(|i| (i as f32) / 100.0).collect();
+        let s = TopKSparsifier::new(50).sparsify(&values);
+        let dense = s.densify();
+        let err: f32 = values
+            .iter()
+            .zip(dense.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt();
+        // Dropped entries are exactly the 50 smallest (0.00..0.49).
+        let dropped: f32 = (0..50).map(|i| (i as f32 / 100.0).powi(2)).sum::<f32>().sqrt();
+        assert!((err - dropped).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,327 @@
+use comdml_collective::AllReduceAlgorithm;
+use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
+use comdml_simnet::{AgentId, World};
+use serde::{Deserialize, Serialize};
+
+use crate::{simulate_round, LearningCurve, PairingScheduler, RoundOutcome, TrainingTimeEstimator};
+
+/// Dynamic-environment policy: re-roll a fraction of agent profiles every
+/// `interval` rounds ("we randomly changed the profile of 20% of the agents
+/// after 100 rounds", §V-B.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPolicy {
+    /// Rounds between churn events.
+    pub interval: usize,
+    /// Fraction of agents re-rolled per event.
+    pub fraction: f64,
+}
+
+impl Default for ChurnPolicy {
+    fn default() -> Self {
+        Self { interval: 100, fraction: 0.2 }
+    }
+}
+
+/// Configuration of a ComDML run.
+#[derive(Debug, Clone)]
+pub struct ComDmlConfig {
+    /// The model being trained (cost model).
+    pub model: ModelSpec,
+    /// Resource-to-seconds calibration.
+    pub calibration: CostCalibration,
+    /// AllReduce algorithm for aggregation (§IV-B picks halving/doubling).
+    pub algorithm: AllReduceAlgorithm,
+    /// Fraction of agents participating each round (Table III uses 0.2).
+    pub sampling_rate: f64,
+    /// Profile churn policy (`None` = static environment).
+    pub churn: Option<ChurnPolicy>,
+    /// Candidate offloads to profile (`None` = every layer boundary).
+    pub candidate_offloads: Option<Vec<usize>>,
+    /// Learning curve for rounds-to-accuracy conversion.
+    pub curve: LearningCurve,
+    /// Mini-batch size used for profiling (the paper uses 100).
+    pub batch_size: usize,
+}
+
+impl Default for ComDmlConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelSpec::resnet56(),
+            calibration: CostCalibration::default(),
+            algorithm: AllReduceAlgorithm::HalvingDoubling,
+            sampling_rate: 1.0,
+            churn: Some(ChurnPolicy::default()),
+            candidate_offloads: None,
+            curve: LearningCurve::cifar10(true),
+            batch_size: 100,
+        }
+    }
+}
+
+/// A method that can simulate the wall-clock cost of one training round —
+/// the interface shared by ComDML and all baselines so the experiment
+/// harness treats them uniformly.
+pub trait RoundEngine {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Rounds-to-accuracy efficiency relative to full synchronous averaging
+    /// (1.0 for FedAvg-style methods; below 1 for partial-mixing gossip).
+    fn rounds_factor(&self) -> f64 {
+        1.0
+    }
+
+    /// Simulated seconds consumed by round `round` (mutating `world` for
+    /// churn/sampling effects).
+    fn round_time_s(&mut self, world: &mut World, round: usize) -> f64;
+}
+
+/// Result of driving a [`RoundEngine`] to a target accuracy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeToAccuracy {
+    /// Method name.
+    pub method: String,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total simulated seconds.
+    pub total_time_s: f64,
+    /// Mean seconds per round.
+    pub mean_round_s: f64,
+}
+
+/// Drives `engine` on a clone of `world` until `curve` says `target`
+/// accuracy is reached, accumulating simulated time.
+///
+/// # Panics
+///
+/// Panics if `target` exceeds the curve's asymptote.
+pub fn time_to_accuracy(
+    engine: &mut dyn RoundEngine,
+    world: &World,
+    curve: &LearningCurve,
+    target: f64,
+) -> TimeToAccuracy {
+    let rounds = curve.rounds_to(target, engine.rounds_factor());
+    let mut world = world.clone();
+    let mut total = 0.0;
+    for r in 0..rounds {
+        total += engine.round_time_s(&mut world, r);
+    }
+    TimeToAccuracy {
+        method: engine.name().to_string(),
+        rounds,
+        total_time_s: total,
+        mean_round_s: total / rounds as f64,
+    }
+}
+
+/// Report of one end-to-end ComDML run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComDmlReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total simulated seconds.
+    pub total_time_s: f64,
+    /// Mean seconds per round.
+    pub mean_round_s: f64,
+    /// Mean offloading pairs per round.
+    pub mean_offloads: f64,
+    /// Combined idle seconds over the whole run.
+    pub total_idle_s: f64,
+    /// Combined critical-path communication seconds over the whole run.
+    pub total_comm_s: f64,
+}
+
+/// The ComDML method: decentralized pairing + local-loss split training +
+/// AllReduce aggregation, simulated round by round.
+#[derive(Debug, Clone)]
+pub struct ComDml {
+    config: ComDmlConfig,
+    profile: SplitProfile,
+    scheduler: PairingScheduler,
+    last_outcome: Option<RoundOutcome>,
+}
+
+impl ComDml {
+    /// Builds the method, profiling all candidate splits up front (the
+    /// paper's "prior to the training process" profiling step).
+    pub fn new(config: ComDmlConfig) -> Self {
+        let full = SplitProfile::new(&config.model, config.batch_size);
+        let profile = match &config.candidate_offloads {
+            Some(c) => full.restrict_to(c),
+            None => full,
+        };
+        Self { config, profile, scheduler: PairingScheduler::new(), last_outcome: None }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ComDmlConfig {
+        &self.config
+    }
+
+    /// The split profile in use.
+    pub fn profile(&self) -> &SplitProfile {
+        &self.profile
+    }
+
+    /// The outcome of the most recent simulated round, if any.
+    pub fn last_outcome(&self) -> Option<&RoundOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Simulates one round on `world` (applying churn and sampling) and
+    /// returns its outcome.
+    pub fn run_round(&mut self, world: &mut World, round: usize) -> RoundOutcome {
+        if let Some(churn) = self.config.churn {
+            if churn.interval > 0 && round > 0 && round % churn.interval == 0 {
+                world.churn_profiles(churn.fraction);
+            }
+        }
+        let participants: Vec<AgentId> = if self.config.sampling_rate < 1.0 {
+            world.sample_participants(self.config.sampling_rate)
+        } else {
+            world.agents().iter().map(|a| a.id).collect()
+        };
+        let estimator =
+            TrainingTimeEstimator::new(&self.config.model, &self.profile, &self.config.calibration);
+        let pairings = self.scheduler.pair(world, &participants, &estimator);
+        let outcome = simulate_round(
+            world,
+            &pairings,
+            &estimator,
+            &self.config.calibration,
+            self.config.algorithm,
+        );
+        self.last_outcome = Some(outcome.clone());
+        outcome
+    }
+
+    /// Runs to `target` accuracy on a clone of `world` and reports totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` exceeds the configured curve's asymptote.
+    pub fn run(&mut self, world: &World, target: f64) -> ComDmlReport {
+        let rounds = self.config.curve.rounds_to(target, self.rounds_factor());
+        let mut world = world.clone();
+        let mut total = 0.0;
+        let mut idle = 0.0;
+        let mut comm = 0.0;
+        let mut offloads = 0usize;
+        for r in 0..rounds {
+            let outcome = self.run_round(&mut world, r);
+            total += outcome.round_s();
+            idle += outcome.total_idle_s();
+            comm += outcome.total_comm_s();
+            offloads += outcome.num_offloads;
+        }
+        ComDmlReport {
+            rounds,
+            total_time_s: total,
+            mean_round_s: total / rounds as f64,
+            mean_offloads: offloads as f64 / rounds as f64,
+            total_idle_s: idle,
+            total_comm_s: comm,
+        }
+    }
+}
+
+impl RoundEngine for ComDml {
+    fn name(&self) -> &'static str {
+        "ComDML"
+    }
+
+    fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
+        self.run_round(world, round).round_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comdml_simnet::WorldConfig;
+
+    #[test]
+    fn run_produces_positive_times() {
+        let world = WorldConfig::heterogeneous(10, 1).build();
+        let report = ComDml::new(ComDmlConfig::default()).run(&world, 0.80);
+        assert!(report.total_time_s > 0.0);
+        assert!(report.rounds > 0);
+        assert!(report.mean_offloads > 0.0, "heterogeneous world should offload");
+    }
+
+    #[test]
+    fn comdml_beats_no_balancing_on_heterogeneous_world() {
+        let world = WorldConfig::heterogeneous(10, 2).build();
+        let mut comdml = ComDml::new(ComDmlConfig { churn: None, ..ComDmlConfig::default() });
+        let report = comdml.run(&world, 0.80);
+
+        // "No balancing": every agent trains alone; round time is the
+        // straggler's solo time.
+        let cfg = ComDmlConfig::default();
+        let profile = SplitProfile::new(&cfg.model, cfg.batch_size);
+        let est = TrainingTimeEstimator::new(&cfg.model, &profile, &cfg.calibration);
+        let straggler = world
+            .agents()
+            .iter()
+            .map(|a| est.solo_time_s(a))
+            .fold(0.0, f64::max);
+        assert!(
+            report.mean_round_s < straggler * 0.8,
+            "balanced round {} vs straggler {straggler}",
+            report.mean_round_s
+        );
+    }
+
+    #[test]
+    fn sampling_reduces_participants() {
+        let world = WorldConfig::heterogeneous(50, 3).build();
+        let mut comdml = ComDml::new(ComDmlConfig {
+            sampling_rate: 0.2,
+            churn: None,
+            ..ComDmlConfig::default()
+        });
+        let mut w = world.clone();
+        let outcome = comdml.run_round(&mut w, 0);
+        assert_eq!(outcome.agent_stats.len(), 10);
+    }
+
+    #[test]
+    fn churn_triggers_on_interval() {
+        let world = WorldConfig::heterogeneous(20, 4).build();
+        let mut comdml = ComDml::new(ComDmlConfig {
+            churn: Some(ChurnPolicy { interval: 5, fraction: 0.5 }),
+            ..ComDmlConfig::default()
+        });
+        let mut w = world.clone();
+        let before: Vec<_> = w.agents().iter().map(|a| a.profile).collect();
+        for r in 0..6 {
+            comdml.run_round(&mut w, r);
+        }
+        let after: Vec<_> = w.agents().iter().map(|a| a.profile).collect();
+        assert_ne!(before, after, "churn at round 5 should change profiles");
+    }
+
+    #[test]
+    fn time_to_accuracy_harness_runs_engines() {
+        let world = WorldConfig::heterogeneous(10, 5).build();
+        let mut engine = ComDml::new(ComDmlConfig { churn: None, ..ComDmlConfig::default() });
+        let t = time_to_accuracy(&mut engine, &world, &LearningCurve::cifar10(true), 0.80);
+        assert_eq!(t.method, "ComDML");
+        assert!(t.total_time_s > 0.0);
+        assert!((t.mean_round_s * t.rounds as f64 - t.total_time_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn restricted_candidates_are_respected() {
+        let world = WorldConfig::heterogeneous(10, 6).build();
+        let mut comdml = ComDml::new(ComDmlConfig {
+            candidate_offloads: Some(vec![10, 28, 46]),
+            churn: None,
+            ..ComDmlConfig::default()
+        });
+        let mut w = world.clone();
+        comdml.run_round(&mut w, 0);
+        assert_eq!(comdml.profile().len(), 4); // 0 plus the three candidates
+    }
+}

@@ -1,0 +1,227 @@
+use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
+use comdml_simnet::AgentState;
+
+/// The outcome of evaluating all candidate splits for one (slow, fast) pair:
+/// the best estimated round time and the split that achieves it.
+///
+/// `offload == 0` means pairing does not help — the slow agent should train
+/// alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitDecision {
+    /// Estimated training time of the pair under the best split (seconds).
+    pub est_time_s: f64,
+    /// Number of layers to offload (`m*`).
+    pub offload: usize,
+}
+
+/// Algorithm 1's `AgentTrainingTime` function.
+///
+/// For every candidate split `m` the estimator converts full-model
+/// processing speeds into split speeds via the profile's relative times
+/// (`pᵐ = p / Tᵐ`, lines 16–17) and evaluates
+///
+/// ```text
+/// τ̂ᵢⱼᵐ = max( Ñᵢ / pᵢᵐ ,  τ̂ⱼ + Ñᵢ·νₘ / cᵢⱼ + Ñᵢ / pⱼᵐ )   (line 18)
+/// ```
+///
+/// — the slow side computes its prefix in parallel (left arm) while the
+/// fast side first finishes its own task `τ̂ⱼ`, receives `Ñᵢ` activations of
+/// `νₘ` bytes over the `cᵢⱼ` link, and trains the offloaded suffix (right
+/// arm). The returned decision minimizes over `m` (lines 20–21).
+///
+/// # Example
+///
+/// ```
+/// use comdml_core::TrainingTimeEstimator;
+/// use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
+/// use comdml_simnet::{AgentId, AgentProfile, AgentState};
+///
+/// let spec = ModelSpec::resnet56();
+/// let profile = SplitProfile::new(&spec, 100);
+/// let cal = CostCalibration::default();
+/// let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+///
+/// let slow = AgentState::new(AgentId(0), AgentProfile::new(0.25, 50.0), 5000, 100);
+/// let fast = AgentState::new(AgentId(1), AgentProfile::new(2.0, 50.0), 5000, 100);
+/// let solo = est.solo_time_s(&slow);
+/// let d = est.estimate(&slow, &fast, est.solo_time_s(&fast), 50.0);
+/// assert!(d.est_time_s < solo); // offloading helps a 8x-slower agent
+/// assert!(d.offload > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingTimeEstimator<'a> {
+    spec: &'a ModelSpec,
+    profile: &'a SplitProfile,
+    cal: &'a CostCalibration,
+}
+
+impl<'a> TrainingTimeEstimator<'a> {
+    /// Creates an estimator over a model spec, its split profile and a cost
+    /// calibration.
+    pub fn new(spec: &'a ModelSpec, profile: &'a SplitProfile, cal: &'a CostCalibration) -> Self {
+        Self { spec, profile, cal }
+    }
+
+    /// The model spec being scheduled.
+    pub fn spec(&self) -> &ModelSpec {
+        self.spec
+    }
+
+    /// The split profile in use.
+    pub fn profile(&self) -> &SplitProfile {
+        self.profile
+    }
+
+    /// Full-model processing speed of an agent in batches per second
+    /// (the paper's `p`).
+    pub fn batches_per_s(&self, agent: &AgentState) -> f64 {
+        self.cal.batches_per_s(
+            self.spec.train_flops_per_sample(),
+            agent.batch_size,
+            agent.profile.cpus,
+        )
+    }
+
+    /// Solo training time `τ̂ = Ñ / p`: one local epoch without offloading.
+    pub fn solo_time_s(&self, agent: &AgentState) -> f64 {
+        agent.num_batches() as f64 / self.batches_per_s(agent)
+    }
+
+    /// Evaluates all splits for slow agent `i` offloading to fast agent `j`
+    /// whose own task takes `fast_solo_s`, over a `link_mbps` link.
+    ///
+    /// Returns the best decision; with a dead link (0 Mbps) or when no split
+    /// beats training alone, the decision has `offload == 0` and the solo
+    /// time.
+    pub fn estimate(
+        &self,
+        slow: &AgentState,
+        fast: &AgentState,
+        fast_solo_s: f64,
+        link_mbps: f64,
+    ) -> SplitDecision {
+        let n_i = slow.num_batches() as f64;
+        let p_i = self.batches_per_s(slow);
+        let p_j = self.batches_per_s(fast);
+        let link_bytes_s = self.cal.bytes_per_s(link_mbps);
+        let solo = n_i / p_i;
+
+        let mut best = SplitDecision { est_time_s: solo, offload: 0 };
+        if link_bytes_s <= 0.0 {
+            return best;
+        }
+        for e in self.profile.iter() {
+            if e.offload == 0 {
+                continue;
+            }
+            // Lines 16-17: convert full-model speeds into split-side speeds.
+            let slow_arm = if e.t_slow_rel > 0.0 { n_i * e.t_slow_rel / p_i } else { 0.0 };
+            let comm = n_i * e.nu_bytes_per_batch as f64 / link_bytes_s;
+            let fast_arm = fast_solo_s + comm + n_i * e.t_fast_rel / p_j;
+            // Line 18: parallel arms.
+            let t = slow_arm.max(fast_arm);
+            if t < best.est_time_s {
+                best = SplitDecision { est_time_s: t, offload: e.offload };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comdml_simnet::{AgentId, AgentProfile};
+
+    fn fixtures() -> (ModelSpec, SplitProfile, CostCalibration) {
+        let spec = ModelSpec::resnet56();
+        let profile = SplitProfile::new(&spec, 100);
+        (spec, profile, CostCalibration::default())
+    }
+
+    fn agent(id: usize, cpus: f64, link: f64, samples: usize) -> AgentState {
+        AgentState::new(AgentId(id), AgentProfile::new(cpus, link), samples, 100)
+    }
+
+    #[test]
+    fn solo_time_scales_with_batches_and_speed() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let a = agent(0, 1.0, 50.0, 5000);
+        let b = agent(1, 2.0, 50.0, 5000);
+        assert!((est.solo_time_s(&a) / est.solo_time_s(&b) - 2.0).abs() < 1e-9);
+        let c = agent(2, 1.0, 50.0, 10_000);
+        assert!((est.solo_time_s(&c) / est.solo_time_s(&a) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_agent_offloads_to_fast_idle_agent() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let slow = agent(0, 0.2, 100.0, 5000);
+        let fast = agent(1, 4.0, 100.0, 5000);
+        let d = est.estimate(&slow, &fast, est.solo_time_s(&fast), 100.0);
+        assert!(d.offload > 0, "should offload, got {d:?}");
+        assert!(d.est_time_s < est.solo_time_s(&slow) * 0.5, "should cut time at least in half");
+    }
+
+    #[test]
+    fn equal_agents_gain_little() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let a = agent(0, 1.0, 50.0, 5000);
+        let b = agent(1, 1.0, 50.0, 5000);
+        let d = est.estimate(&a, &b, est.solo_time_s(&b), 50.0);
+        // The partner is equally busy: any offload mostly queues behind the
+        // partner's own task.
+        assert!(d.est_time_s >= est.solo_time_s(&a) * 0.8);
+    }
+
+    #[test]
+    fn dead_link_forces_solo_training() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let slow = agent(0, 0.2, 0.0, 5000);
+        let fast = agent(1, 4.0, 100.0, 5000);
+        let d = est.estimate(&slow, &fast, est.solo_time_s(&fast), 0.0);
+        assert_eq!(d.offload, 0);
+        assert!((d.est_time_s - est.solo_time_s(&slow)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_link_never_hurts() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let slow = agent(0, 0.5, 100.0, 5000);
+        let fast = agent(1, 4.0, 100.0, 5000);
+        let solo_fast = est.solo_time_s(&fast);
+        let mut prev = f64::INFINITY;
+        for mbps in [10.0, 20.0, 50.0, 100.0] {
+            let d = est.estimate(&slow, &fast, solo_fast, mbps);
+            assert!(d.est_time_s <= prev + 1e-9, "time should not increase with bandwidth");
+            prev = d.est_time_s;
+        }
+    }
+
+    #[test]
+    fn busier_partner_reduces_offload_benefit() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let slow = agent(0, 0.2, 100.0, 5000);
+        let fast = agent(1, 4.0, 100.0, 5000);
+        let d_idle = est.estimate(&slow, &fast, 0.0, 100.0);
+        let d_busy = est.estimate(&slow, &fast, 10_000.0, 100.0);
+        assert!(d_idle.est_time_s < d_busy.est_time_s);
+    }
+
+    #[test]
+    fn restricting_splits_still_finds_a_decision() {
+        let (spec, profile, cal) = fixtures();
+        let restricted = profile.restrict_to(&[10, 28, 46]);
+        let est = TrainingTimeEstimator::new(&spec, &restricted, &cal);
+        let slow = agent(0, 0.2, 100.0, 5000);
+        let fast = agent(1, 4.0, 100.0, 5000);
+        let d = est.estimate(&slow, &fast, est.solo_time_s(&fast), 100.0);
+        assert!([0, 10, 28, 46].contains(&d.offload));
+    }
+}

@@ -1,0 +1,57 @@
+//! ComDML — the paper's primary contribution.
+//!
+//! This crate implements Algorithm 1 of *"Communication-Efficient Training
+//! Workload Balancing for Decentralized Multi-Agent Learning"* (ICDCS 2024):
+//!
+//! 1. **Split-model profiling** — each agent knows, for every candidate
+//!    split `m`, the relative slow/fast-side training times and the
+//!    intermediate data size (delegated to `comdml-cost`).
+//! 2. **Training-time estimation** ([`TrainingTimeEstimator`]) — the
+//!    `AgentTrainingTime` function: `τ̂ᵢⱼᵐ = max(Ñᵢ/pᵢᵐ, τ̂ⱼ + Ñᵢνₘ/cᵢⱼ +
+//!    Ñᵢ/pⱼᵐ)`, minimized over `m`.
+//! 3. **Decentralized pairing** ([`PairingScheduler`]) — agents pair
+//!    greedily in descending order of solo training time, each slow agent
+//!    choosing the partner and split that minimize its estimated time.
+//! 4. **Round execution** ([`simulate_round`]) — a per-batch pipeline
+//!    simulation of paired local-loss split training, plus AllReduce
+//!    aggregation cost.
+//! 5. **End-to-end runs** ([`ComDml`]) — time-to-target-accuracy under the
+//!    paper's learning-curve and churn regime, shared with the baselines
+//!    through the [`RoundEngine`] trait.
+//!
+//! The crate also hosts [`RealSplitFleet`], which runs the same protocol
+//! with *real* gradient descent (miniature models from `comdml-nn`) to
+//! demonstrate the convergence claims of Theorem 1.
+//!
+//! # Example
+//!
+//! ```
+//! use comdml_core::{ComDml, ComDmlConfig};
+//! use comdml_simnet::WorldConfig;
+//!
+//! let world = WorldConfig::heterogeneous(10, 42).build();
+//! let report = ComDml::new(ComDmlConfig::default()).run(&world, 0.80);
+//! assert!(report.total_time_s > 0.0);
+//! assert!(report.rounds > 0);
+//! ```
+
+mod comdml;
+mod estimator;
+mod learning_curve;
+mod multi;
+mod real_fleet;
+mod round;
+mod scheduler;
+mod theory;
+
+pub use comdml::{
+    time_to_accuracy, ChurnPolicy, ComDml, ComDmlConfig, ComDmlReport, RoundEngine,
+    TimeToAccuracy,
+};
+pub use estimator::{SplitDecision, TrainingTimeEstimator};
+pub use learning_curve::LearningCurve;
+pub use multi::{helper_completion_s, pair_with_capacity, MultiPairing};
+pub use real_fleet::{InputHook, ParamHook, RealFleetConfig, RealFleetReport, RealSplitFleet};
+pub use round::{simulate_round, AgentRoundStats, PairRoundSim, RoundOutcome};
+pub use scheduler::{Pairing, PairingOrder, PairingScheduler};
+pub use theory::ConvergenceConstants;

@@ -1,0 +1,231 @@
+//! Multi-guest offloading — an extension the paper's formulation permits.
+//!
+//! Equation (4) sums helper-side costs over *all* slow agents `j` with
+//! `γ_ji = 1`, i.e. a fast agent may host several guests, but Algorithm 1's
+//! greedy pairing assigns at most one. This module generalizes the scheduler
+//! and round simulation to helpers with a configurable guest capacity; the
+//! ablation study quantifies when the extra capacity pays off (many slow
+//! agents per fast agent) and when it backfires (the helper serializes its
+//! guests).
+
+use comdml_simnet::{AgentId, World};
+
+use crate::{PairRoundSim, Pairing, TrainingTimeEstimator};
+
+/// A helper assignment produced by [`pair_with_capacity`]: one slow agent,
+/// its helper, and the split — identical to [`Pairing`] but helpers may
+/// repeat across entries.
+pub type MultiPairing = Pairing;
+
+/// Greedy multi-guest pairing: like Algorithm 1 but a fast agent stays in
+/// the candidate pool until it hosts `capacity` guests. Each additional
+/// guest sees the helper's *loaded* completion time (its own task plus all
+/// previously accepted guest work), so late guests naturally prefer other
+/// helpers.
+///
+/// `capacity = 1` reproduces [`crate::PairingScheduler::pair`]'s matching
+/// semantics.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn pair_with_capacity(
+    world: &World,
+    participants: &[AgentId],
+    estimator: &TrainingTimeEstimator<'_>,
+    capacity: usize,
+) -> Vec<MultiPairing> {
+    assert!(capacity > 0, "helper capacity must be positive");
+    let mut order: Vec<(AgentId, f64)> = participants
+        .iter()
+        .map(|&id| (id, estimator.solo_time_s(world.agent(id))))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Helpers accumulate load; slow agents are consumed.
+    let mut consumed: Vec<AgentId> = Vec::new();
+    let mut guest_count: Vec<(AgentId, usize)> = Vec::new();
+    let mut helper_load: Vec<(AgentId, f64)> = Vec::new();
+    let mut out = Vec::new();
+
+    let load_of = |helper_load: &[(AgentId, f64)], id: AgentId, base: f64| {
+        helper_load.iter().find(|(h, _)| *h == id).map_or(base, |&(_, l)| l)
+    };
+
+    for &(i, solo_i) in &order {
+        if consumed.contains(&i) {
+            continue;
+        }
+        let slow_state = world.agent(i);
+        let mut best: Option<(AgentId, crate::SplitDecision)> = None;
+        for &(j, solo_j) in &order {
+            if j == i || consumed.contains(&j) {
+                continue;
+            }
+            let guests = guest_count.iter().find(|(h, _)| *h == j).map_or(0, |&(_, c)| c);
+            if guests >= capacity {
+                continue;
+            }
+            let link = world.link_mbps(i, j);
+            if link <= 0.0 {
+                continue;
+            }
+            let loaded_solo = load_of(&helper_load, j, solo_j);
+            let d = estimator.estimate(slow_state, world.agent(j), loaded_solo, link);
+            if d.offload == 0 {
+                continue;
+            }
+            if best.map_or(true, |(_, cur)| d.est_time_s < cur.est_time_s) {
+                best = Some((j, d));
+            }
+        }
+        match best {
+            Some((j, d)) if d.est_time_s < solo_i => {
+                consumed.push(i);
+                match guest_count.iter_mut().find(|(h, _)| *h == j) {
+                    Some((_, c)) => *c += 1,
+                    None => guest_count.push((j, 1)),
+                }
+                // A helper that accepted a guest is "busy until" the pair's
+                // estimated completion; later guests queue behind it.
+                match helper_load.iter_mut().find(|(h, _)| *h == j) {
+                    Some((_, l)) => *l = d.est_time_s,
+                    None => helper_load.push((j, d.est_time_s)),
+                }
+                // Once a helper reaches capacity it can no longer train solo
+                // entries of its own — mark consumed at capacity.
+                if guest_count.iter().any(|&(h, c)| h == j && c >= capacity) {
+                    consumed.push(j);
+                }
+                out.push(Pairing { slow: i, fast: Some(j), offload: d.offload, est_time_s: d.est_time_s });
+            }
+            _ => {
+                consumed.push(i);
+                out.push(Pairing { slow: i, fast: None, offload: 0, est_time_s: solo_i });
+            }
+        }
+    }
+    out
+}
+
+/// Completion time of one helper and all its guests, processed in
+/// assignment order: the helper finishes its own task first, then serves
+/// each guest's pipeline back to back.
+pub fn helper_completion_s(
+    world: &World,
+    helper: AgentId,
+    guests: &[(AgentId, usize)],
+    estimator: &TrainingTimeEstimator<'_>,
+    cal: &comdml_cost::CostCalibration,
+) -> f64 {
+    let fast = world.agent(helper);
+    let p_j = estimator.batches_per_s(fast);
+    let mut available = fast.num_batches() as f64 / p_j;
+    for &(slow_id, offload) in guests {
+        let slow = world.agent(slow_id);
+        let entry = estimator.profile().entry(offload).expect("profiled offload");
+        let p_i = estimator.batches_per_s(slow);
+        let link = world.link_mbps(slow_id, helper);
+        let sim = PairRoundSim {
+            n_slow_batches: slow.num_batches(),
+            // Model the helper's prior commitments as "own work".
+            n_fast_batches: 0,
+            slow_batch_s: entry.t_slow_rel / p_i,
+            fast_own_batch_s: 0.0,
+            fast_guest_batch_s: entry.t_fast_rel / p_j,
+            transfer_s: cal.transfer_time_s(entry.nu_bytes_per_batch, link),
+            suffix_return_s: cal.transfer_time_s(entry.suffix_param_bytes, link),
+        };
+        // Guests pipeline against the helper's availability: start no
+        // earlier than `available`.
+        let t = sim.run();
+        available = available.max(t.pair_done_s).max(available + t.fast_busy_s);
+    }
+    available
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
+    use comdml_simnet::{Adjacency, AgentProfile, AgentState, WorldConfig};
+
+    fn fixtures() -> (ModelSpec, SplitProfile, CostCalibration) {
+        let spec = ModelSpec::resnet56();
+        let profile = SplitProfile::new(&spec, 100);
+        (spec, profile, CostCalibration::default())
+    }
+
+    #[test]
+    fn capacity_one_is_a_matching() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let world = WorldConfig::heterogeneous(10, 3).build();
+        let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+        let pairings = pair_with_capacity(&world, &ids, &est, 1);
+        let mut helpers: Vec<AgentId> = pairings.iter().filter_map(|p| p.fast).collect();
+        let before = helpers.len();
+        helpers.dedup();
+        helpers.sort();
+        helpers.dedup();
+        assert_eq!(before, helpers.len(), "no helper repeats at capacity 1");
+    }
+
+    #[test]
+    fn one_strong_helper_hosts_two_stragglers() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        // Two 0.2-CPU stragglers, one idle 4-CPU helper with a tiny own task.
+        let agents = vec![
+            AgentState::new(AgentId(0), AgentProfile::new(0.2, 100.0), 5000, 100),
+            AgentState::new(AgentId(1), AgentProfile::new(0.2, 100.0), 5000, 100),
+            AgentState::new(AgentId(2), AgentProfile::new(4.0, 100.0), 500, 100),
+        ];
+        let adj = Adjacency::from_matrix(vec![
+            vec![false, true, true],
+            vec![true, false, true],
+            vec![true, true, false],
+        ]);
+        let world = World::from_parts(agents, adj, 0);
+        let ids = [AgentId(0), AgentId(1), AgentId(2)];
+        let single = pair_with_capacity(&world, &ids, &est, 1);
+        let multi = pair_with_capacity(&world, &ids, &est, 2);
+        let offloads = |ps: &[Pairing]| ps.iter().filter(|p| p.fast.is_some()).count();
+        assert_eq!(offloads(&single), 1, "capacity 1: only one straggler helped");
+        assert_eq!(offloads(&multi), 2, "capacity 2: both stragglers helped");
+        // The second straggler's makespan improves.
+        let makespan = |ps: &[Pairing]| ps.iter().map(|p| p.est_time_s).fold(0.0, f64::max);
+        assert!(makespan(&multi) < makespan(&single));
+    }
+
+    #[test]
+    fn later_guests_see_loaded_helpers() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let world = WorldConfig::heterogeneous(15, 9).build();
+        let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+        let pairings = pair_with_capacity(&world, &ids, &est, 3);
+        // Entries that share a helper must have non-decreasing estimates in
+        // assignment order (each guest queues behind the previous).
+        for (a_idx, a) in pairings.iter().enumerate() {
+            for b in pairings.iter().skip(a_idx + 1) {
+                if a.fast.is_some() && a.fast == b.fast {
+                    assert!(b.est_time_s >= a.est_time_s - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn helper_completion_grows_with_guests() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let world = WorldConfig::heterogeneous(6, 2).build();
+        let helper = world.agents()[0].id;
+        let g1 = vec![(world.agents()[1].id, 28usize)];
+        let g2 = vec![(world.agents()[1].id, 28usize), (world.agents()[2].id, 28usize)];
+        let t1 = helper_completion_s(&world, helper, &g1, &est, &cal);
+        let t2 = helper_completion_s(&world, helper, &g2, &est, &cal);
+        assert!(t2 > t1, "more guests take longer: {t2} vs {t1}");
+    }
+}

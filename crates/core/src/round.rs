@@ -1,0 +1,413 @@
+use comdml_collective::{AllReduceAlgorithm, CollectiveCost};
+use comdml_cost::CostCalibration;
+use comdml_simnet::{AgentId, World};
+
+use crate::{Pairing, TrainingTimeEstimator};
+
+/// Per-batch pipeline simulation of one paired round (Fig. 1's anatomy).
+///
+/// The slow side produces activation batches at its split-side rate; the
+/// link serializes transfers; the fast agent first finishes its own local
+/// task and then consumes guest batches as they arrive. This reproduces the
+/// overlap structure that makes the communication column of Table I
+/// non-monotone in the split point: transfers hidden behind compute cost
+/// nothing on the critical path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairRoundSim {
+    /// Number of guest (slow-agent) batches.
+    pub n_slow_batches: usize,
+    /// Number of the fast agent's own batches.
+    pub n_fast_batches: usize,
+    /// Seconds per slow-side batch on the slow agent (`T_s^m / p_i`).
+    pub slow_batch_s: f64,
+    /// Seconds per own full-model batch on the fast agent (`1 / p_j`).
+    pub fast_own_batch_s: f64,
+    /// Seconds per guest fast-side batch on the fast agent (`T_f^m / p_j`).
+    pub fast_guest_batch_s: f64,
+    /// Seconds to push one activation batch over the link (`ν_m / c_ij`).
+    pub transfer_s: f64,
+    /// Seconds to ship the trained suffix parameters back at round end.
+    pub suffix_return_s: f64,
+}
+
+/// Timing breakdown of one simulated pair round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairTimes {
+    /// When the joint task completes (both sides synchronized), seconds.
+    pub pair_done_s: f64,
+    /// Slow agent compute-busy seconds.
+    pub slow_busy_s: f64,
+    /// Fast agent compute-busy seconds (own task + guest suffix).
+    pub fast_busy_s: f64,
+    /// Communication seconds visible on the critical path (stalls + model
+    /// return), not transfers hidden behind compute.
+    pub comm_s: f64,
+}
+
+impl PairRoundSim {
+    /// Completion time of the compute/transfer pipeline for a given
+    /// per-batch transfer time (excluding the suffix-parameter return).
+    fn completion(&self, transfer_s: f64) -> f64 {
+        let n = self.n_slow_batches;
+        let own_done = self.n_fast_batches as f64 * self.fast_own_batch_s;
+        if n == 0 {
+            return own_done;
+        }
+        let mut send_done = 0.0f64;
+        let mut guest_done = own_done;
+        for b in 0..n {
+            let produced = (b + 1) as f64 * self.slow_batch_s;
+            let send_start = produced.max(send_done);
+            send_done = send_start + transfer_s;
+            guest_done = send_done.max(guest_done) + self.fast_guest_batch_s;
+        }
+        guest_done
+    }
+
+    /// Runs the pipeline and returns the timing breakdown.
+    ///
+    /// The communication column is *counterfactual*: the extra critical-path
+    /// seconds the real link costs compared to an infinitely fast link (plus
+    /// the suffix-parameter return). Transfers fully hidden behind compute
+    /// therefore cost zero, which is what makes Table I's communication
+    /// column non-monotone in the split point.
+    pub fn run(&self) -> PairTimes {
+        let n = self.n_slow_batches;
+        let slow_busy = n as f64 * self.slow_batch_s;
+        let own_done = self.n_fast_batches as f64 * self.fast_own_batch_s;
+        let guest_total = n as f64 * self.fast_guest_batch_s;
+        let done_real = self.completion(self.transfer_s);
+        let done_ideal = self.completion(0.0);
+        let comm = (done_real - done_ideal).max(0.0) + self.suffix_return_s;
+        PairTimes {
+            pair_done_s: done_real + self.suffix_return_s,
+            slow_busy_s: slow_busy,
+            fast_busy_s: own_done + guest_total,
+            comm_s: comm,
+        }
+    }
+}
+
+/// Per-agent timing within one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentRoundStats {
+    /// The agent.
+    pub id: AgentId,
+    /// Compute-busy seconds.
+    pub train_s: f64,
+    /// Critical-path communication seconds attributed to this agent.
+    pub comm_s: f64,
+    /// Idle seconds (waiting within the pair plus waiting for the round's
+    /// straggler before aggregation).
+    pub idle_s: f64,
+    /// When this agent's task finished (seconds from round start).
+    pub finish_s: f64,
+}
+
+/// Outcome of one simulated training round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Per-agent breakdowns, in pairing order (slow agents before helpers).
+    pub agent_stats: Vec<AgentRoundStats>,
+    /// Compute/communication phase length (the slowest pairing), seconds.
+    pub compute_s: f64,
+    /// AllReduce aggregation seconds.
+    pub allreduce_s: f64,
+    /// Number of pairings that actually offloaded work.
+    pub num_offloads: usize,
+}
+
+impl RoundOutcome {
+    /// Total round time: compute phase plus aggregation.
+    pub fn round_s(&self) -> f64 {
+        self.compute_s + self.allreduce_s
+    }
+
+    /// Combined idle seconds across agents.
+    pub fn total_idle_s(&self) -> f64 {
+        self.agent_stats.iter().map(|a| a.idle_s).sum()
+    }
+
+    /// Combined communication seconds across agents.
+    pub fn total_comm_s(&self) -> f64 {
+        self.agent_stats.iter().map(|a| a.comm_s).sum()
+    }
+
+    /// Renders an ASCII timeline of the round (Fig. 1 style): one bar per
+    /// agent, `#` for compute, `~` for critical-path communication, `.` for
+    /// idle, scaled to `width` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn render_timeline(&self, width: usize) -> String {
+        assert!(width > 0, "timeline needs a positive width");
+        let total = self.round_s().max(1e-9);
+        let mut out = String::new();
+        for s in &self.agent_stats {
+            let cells = |v: f64| ((v / total) * width as f64).round() as usize;
+            let train = cells(s.train_s);
+            let comm = cells(s.comm_s);
+            let idle = width.saturating_sub(train + comm);
+            out.push_str(&format!(
+                "{:>9} |{}{}{}|\n",
+                s.id.to_string(),
+                "#".repeat(train),
+                "~".repeat(comm),
+                ".".repeat(idle)
+            ));
+        }
+        out.push_str(&format!(
+            "{:>9}  (#{} compute  ~ comm  . idle; round {:.1}s = compute {:.1}s + allreduce {:.1}s)\n",
+            "", "", self.round_s(), self.compute_s, self.allreduce_s
+        ));
+        out
+    }
+}
+
+/// Simulates one full round: every pairing's pipeline, synchronization on
+/// the slowest, and the AllReduce aggregation (§IV-B).
+///
+/// Agents with a dead link are excluded from aggregation (they "train
+/// independently", §V-B.5) but still contribute compute time.
+pub fn simulate_round(
+    world: &World,
+    pairings: &[Pairing],
+    estimator: &TrainingTimeEstimator<'_>,
+    cal: &CostCalibration,
+    algorithm: AllReduceAlgorithm,
+) -> RoundOutcome {
+    let mut stats = Vec::new();
+    let mut compute_s = 0.0f64;
+    let mut num_offloads = 0;
+
+    for p in pairings {
+        let slow = world.agent(p.slow);
+        match p.fast {
+            Some(fast_id) if p.offload > 0 => {
+                num_offloads += 1;
+                let fast = world.agent(fast_id);
+                let entry = estimator
+                    .profile()
+                    .entry(p.offload)
+                    .expect("scheduler only emits profiled offloads");
+                let p_i = estimator.batches_per_s(slow);
+                let p_j = estimator.batches_per_s(fast);
+                let link = world.link_mbps(p.slow, fast_id);
+                let sim = PairRoundSim {
+                    n_slow_batches: slow.num_batches(),
+                    n_fast_batches: fast.num_batches(),
+                    slow_batch_s: entry.t_slow_rel / p_i,
+                    fast_own_batch_s: 1.0 / p_j,
+                    fast_guest_batch_s: entry.t_fast_rel / p_j,
+                    transfer_s: cal.transfer_time_s(entry.nu_bytes_per_batch, link),
+                    suffix_return_s: cal.transfer_time_s(entry.suffix_param_bytes, link),
+                };
+                let t = sim.run();
+                compute_s = compute_s.max(t.pair_done_s);
+                stats.push(AgentRoundStats {
+                    id: p.slow,
+                    train_s: t.slow_busy_s,
+                    comm_s: 0.0,
+                    idle_s: (t.pair_done_s - t.slow_busy_s).max(0.0),
+                    finish_s: t.pair_done_s,
+                });
+                stats.push(AgentRoundStats {
+                    id: fast_id,
+                    train_s: t.fast_busy_s,
+                    comm_s: t.comm_s,
+                    idle_s: (t.pair_done_s - t.fast_busy_s - t.comm_s).max(0.0),
+                    finish_s: t.pair_done_s,
+                });
+            }
+            _ => {
+                let solo = estimator.solo_time_s(slow);
+                compute_s = compute_s.max(solo);
+                stats.push(AgentRoundStats {
+                    id: p.slow,
+                    train_s: solo,
+                    comm_s: 0.0,
+                    idle_s: 0.0,
+                    finish_s: solo,
+                });
+            }
+        }
+    }
+
+    // Everyone waits for the round straggler before aggregation.
+    for s in &mut stats {
+        s.idle_s += (compute_s - s.finish_s).max(0.0);
+    }
+
+    // AllReduce over the connected participants; bandwidth limited by the
+    // slowest connected participant.
+    let connected: Vec<&AgentRoundStats> = stats
+        .iter()
+        .filter(|s| world.agent(s.id).profile.is_connected())
+        .collect();
+    let allreduce_s = if connected.len() > 1 {
+        let min_link = connected
+            .iter()
+            .map(|s| world.agent(s.id).profile.link_mbps)
+            .fold(f64::INFINITY, f64::min);
+        let cost = CollectiveCost::new(
+            algorithm,
+            connected.len(),
+            estimator.profile().model_bytes(),
+        );
+        cost.time_s(cal.bytes_per_s(min_link), cal.link_latency_s)
+    } else {
+        0.0
+    };
+
+    RoundOutcome { agent_stats: stats, compute_s, allreduce_s, num_offloads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PairingScheduler;
+    use comdml_cost::{ModelSpec, SplitProfile};
+    use comdml_simnet::{Adjacency, AgentProfile, AgentState, WorldConfig};
+
+    fn fixtures() -> (ModelSpec, SplitProfile, CostCalibration) {
+        let spec = ModelSpec::resnet56();
+        let profile = SplitProfile::new(&spec, 100);
+        (spec, profile, CostCalibration::default())
+    }
+
+    #[test]
+    fn pipeline_with_instant_link_is_compute_bound() {
+        let sim = PairRoundSim {
+            n_slow_batches: 10,
+            n_fast_batches: 0,
+            slow_batch_s: 1.0,
+            fast_own_batch_s: 1.0,
+            fast_guest_batch_s: 0.5,
+            transfer_s: 0.0,
+            suffix_return_s: 0.0,
+        };
+        let t = sim.run();
+        // Guest batches arrive as produced (1s apart) but take only 0.5s:
+        // the fast agent is arrival-bound, finishing 0.5s after the last
+        // batch is produced at t=10.
+        assert!((t.pair_done_s - 10.5).abs() < 1e-9);
+        assert!((t.slow_busy_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_link_shifts_time_to_comm() {
+        let base = PairRoundSim {
+            n_slow_batches: 10,
+            n_fast_batches: 0,
+            slow_batch_s: 0.1,
+            fast_own_batch_s: 1.0,
+            fast_guest_batch_s: 0.1,
+            transfer_s: 0.0,
+            suffix_return_s: 0.0,
+        };
+        let fast_link = base.run();
+        let slow_link = PairRoundSim { transfer_s: 2.0, ..base }.run();
+        assert!(slow_link.pair_done_s > fast_link.pair_done_s);
+        assert!(slow_link.comm_s > fast_link.comm_s);
+    }
+
+    #[test]
+    fn busy_fast_agent_hides_transfers() {
+        // The fast agent's own task takes 100s; transfers (10 * 1s) finish
+        // long before, so comm stall is zero.
+        let sim = PairRoundSim {
+            n_slow_batches: 10,
+            n_fast_batches: 100,
+            slow_batch_s: 0.5,
+            fast_own_batch_s: 1.0,
+            fast_guest_batch_s: 0.2,
+            transfer_s: 1.0,
+            suffix_return_s: 0.0,
+        };
+        let t = sim.run();
+        assert!(t.comm_s < 1e-9, "transfers fully hidden, got {}", t.comm_s);
+        assert!((t.pair_done_s - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_guest_batches_is_own_work_only() {
+        let sim = PairRoundSim {
+            n_slow_batches: 0,
+            n_fast_batches: 5,
+            slow_batch_s: 1.0,
+            fast_own_batch_s: 2.0,
+            fast_guest_batch_s: 1.0,
+            transfer_s: 1.0,
+            suffix_return_s: 0.0,
+        };
+        let t = sim.run();
+        assert_eq!(t.pair_done_s, 10.0);
+        assert_eq!(t.slow_busy_s, 0.0);
+    }
+
+    #[test]
+    fn round_with_hetero_pair_beats_unbalanced() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let agents = vec![
+            AgentState::new(AgentId(0), AgentProfile::new(0.25, 50.0), 5000, 100),
+            AgentState::new(AgentId(1), AgentProfile::new(2.0, 50.0), 5000, 100),
+        ];
+        let adj = Adjacency::from_matrix(vec![vec![false, true], vec![true, false]]);
+        let world = World::from_parts(agents, adj, 0);
+        let pairings =
+            PairingScheduler::new().pair(&world, &[AgentId(0), AgentId(1)], &est);
+        let outcome = simulate_round(&world, &pairings, &est, &cal, AllReduceAlgorithm::HalvingDoubling);
+        // Without balancing, the 0.25-CPU agent would run the full epoch.
+        let solo_straggler = est.solo_time_s(world.agent(AgentId(0)));
+        assert!(outcome.compute_s < solo_straggler * 0.7, "{} vs {solo_straggler}", outcome.compute_s);
+        assert_eq!(outcome.num_offloads, 1);
+        assert!(outcome.allreduce_s > 0.0);
+    }
+
+    #[test]
+    fn round_accounts_every_agent() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let world = WorldConfig::heterogeneous(10, 5).build();
+        let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+        let pairings = PairingScheduler::new().pair(&world, &ids, &est);
+        let outcome = simulate_round(&world, &pairings, &est, &cal, AllReduceAlgorithm::HalvingDoubling);
+        assert_eq!(outcome.agent_stats.len(), 10);
+        for s in &outcome.agent_stats {
+            assert!(s.finish_s <= outcome.compute_s + 1e-9);
+            assert!(s.train_s >= 0.0 && s.idle_s >= 0.0 && s.comm_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn timeline_renders_one_bar_per_agent() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let world = WorldConfig::heterogeneous(6, 1).build();
+        let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+        let pairings = PairingScheduler::new().pair(&world, &ids, &est);
+        let outcome =
+            simulate_round(&world, &pairings, &est, &cal, AllReduceAlgorithm::HalvingDoubling);
+        let text = outcome.render_timeline(40);
+        assert_eq!(text.lines().count(), 7, "6 bars + legend:\n{text}");
+        assert!(text.contains('#'), "some compute must appear");
+    }
+
+    #[test]
+    fn solo_agents_have_no_comm() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let agents = vec![
+            AgentState::new(AgentId(0), AgentProfile::new(1.0, 50.0), 1000, 100),
+            AgentState::new(AgentId(1), AgentProfile::new(1.0, 50.0), 1000, 100),
+        ];
+        let adj = Adjacency::from_matrix(vec![vec![false, true], vec![true, false]]);
+        let world = World::from_parts(agents, adj, 0);
+        let pairings = PairingScheduler::new().pair(&world, &[AgentId(0), AgentId(1)], &est);
+        let outcome = simulate_round(&world, &pairings, &est, &cal, AllReduceAlgorithm::Ring);
+        assert_eq!(outcome.num_offloads, 0);
+        assert!(outcome.agent_stats.iter().all(|s| s.comm_s == 0.0));
+    }
+}

@@ -1,0 +1,225 @@
+//! Theorem 1's convergence-rate bounds, computable.
+//!
+//! The paper proves that under Assumptions 1–6 both the slow agent-side and
+//! fast agent-side models converge, with explicit rates whose constants
+//! (`H₁`, `H₂`, `D`, `C₁`, `C₂`, `A_m`) are defined in the Appendix. This
+//! module implements those formulas so the bounds can be *evaluated* — the
+//! convergence experiments plot measured loss decay against the predicted
+//! envelope, and the tests check the bounds' qualitative structure
+//! (monotone in rounds, improved by more agents per split, fast side no
+//! tighter than slow side).
+
+use serde::{Deserialize, Serialize};
+
+/// Problem constants of Assumptions 1–6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceConstants {
+    /// Smoothness constant `L` (Assumption 1).
+    pub l_smooth: f64,
+    /// Strong-convexity modulus `μ` (Assumption 2; 0 for non-convex).
+    pub mu: f64,
+    /// Gradient-norm bound `G₁` (Assumption 3).
+    pub g1: f64,
+    /// Dissimilarity bound `G₂` (Assumption 5).
+    pub g2: f64,
+    /// Dissimilarity slope `B ≥ 1` (Assumption 5).
+    pub b: f64,
+    /// Stochastic-gradient variance `σ²` (Assumption 4).
+    pub sigma_sq: f64,
+    /// Total number of agents `K`.
+    pub k: usize,
+    /// Minimum number of agents sharing split `m` per round (`A_m`).
+    pub a_m: usize,
+    /// Initial suboptimality `F⁰ = f(w⁰) − f⋆`.
+    pub f0: f64,
+    /// Initial distance `D = ‖w⁰ − w⋆‖`.
+    pub d0: f64,
+    /// Total drift of the slow-side output distribution `Σ_r c^{a_m,r}`
+    /// (finite by Assumption 6).
+    pub total_drift: f64,
+}
+
+impl ConvergenceConstants {
+    /// Plausible defaults for a well-conditioned experiment (used by the
+    /// convergence demos; override per study).
+    pub fn defaults(k: usize, a_m: usize) -> Self {
+        Self {
+            l_smooth: 10.0,
+            mu: 0.1,
+            g1: 5.0,
+            g2: 2.0,
+            b: 1.5,
+            sigma_sq: 1.0,
+            k,
+            a_m: a_m.max(1),
+            f0: 2.0,
+            d0: 3.0,
+            total_drift: 5.0,
+        }
+    }
+
+    /// The largest step size Theorem 1 admits: `η ≤ 1 / (8L(1 + B²))`.
+    pub fn max_step_size(&self) -> f64 {
+        1.0 / (8.0 * self.l_smooth * (1.0 + self.b * self.b))
+    }
+
+    /// `H₁² = σ² + (1 − A_m/K)·G₂²` — the slow-side noise constant.
+    pub fn h1_sq(&self) -> f64 {
+        self.sigma_sq + (1.0 - self.a_m as f64 / self.k as f64) * self.g2 * self.g2
+    }
+
+    /// `H₂² = L³(B² + 1)·F⁰ + (1 − A_m/K)·L²·G₂²` — the fast-side constant.
+    pub fn h2_sq(&self) -> f64 {
+        let b2p1 = self.b * self.b + 1.0;
+        self.l_smooth.powi(3) * b2p1 * self.f0
+            + (1.0 - self.a_m as f64 / self.k as f64) * self.l_smooth.powi(2) * self.g2 * self.g2
+    }
+
+    /// `C₁ = G₁·√(G₂² + 2LB²F⁰)·Σ_r c^r` — the convex fast-side drift term.
+    pub fn c1(&self) -> f64 {
+        self.g1
+            * (self.g2 * self.g2 + 2.0 * self.l_smooth * self.b * self.b * self.f0).sqrt()
+            * self.total_drift
+    }
+
+    /// `C₂ = G₁·√(G₂² + B²G₁²)·Σ_r c^r` — the non-convex fast-side drift term.
+    pub fn c2(&self) -> f64 {
+        self.g1
+            * (self.g2 * self.g2 + self.b * self.b * self.g1 * self.g1).sqrt()
+            * self.total_drift
+    }
+
+    /// Convex slow-side bound after `r` rounds:
+    /// `O(ηH₁²/(μ·R·A_m) + μD²·exp(−μR / (L(1+B²))))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero or the instance is not strongly convex.
+    pub fn convex_slow_bound(&self, r: usize) -> f64 {
+        assert!(r > 0, "need at least one round");
+        assert!(self.mu > 0.0, "convex bound needs mu > 0");
+        let eta = self.max_step_size();
+        let ram = (r * self.a_m) as f64;
+        eta * self.h1_sq() / (self.mu * ram)
+            + self.mu
+                * self.d0
+                * self.d0
+                * (-self.mu * r as f64 / (self.l_smooth * (1.0 + self.b * self.b))).exp()
+    }
+
+    /// Non-convex slow-side bound (squared-gradient-norm scale):
+    /// `O(L·H₁·√F⁰/√(R·A_m) + B²·L·F⁰/R)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn nonconvex_slow_bound(&self, r: usize) -> f64 {
+        assert!(r > 0, "need at least one round");
+        let ram = (r * self.a_m) as f64;
+        self.l_smooth * self.h1_sq().sqrt() * self.f0.sqrt() / ram.sqrt()
+            + self.b * self.b * self.l_smooth * self.f0 / r as f64
+    }
+
+    /// Convex fast-side bound:
+    /// `O(H₂√F⁰/√(R·A_m) + (C₁ + F⁰)/R)` — the extra `C₁/R` term carries the
+    /// dependence on the slow side's convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn convex_fast_bound(&self, r: usize) -> f64 {
+        assert!(r > 0, "need at least one round");
+        let ram = (r * self.a_m) as f64;
+        self.h2_sq().sqrt() * self.f0.sqrt() / ram.sqrt() + (self.c1() + self.f0) / r as f64
+    }
+
+    /// Non-convex fast-side bound:
+    /// `O(H₂√F⁰/√(R·A_m) + (C₂ + F⁰)/R)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn nonconvex_fast_bound(&self, r: usize) -> f64 {
+        assert!(r > 0, "need at least one round");
+        let ram = (r * self.a_m) as f64;
+        self.h2_sq().sqrt() * self.f0.sqrt() / ram.sqrt() + (self.c2() + self.f0) / r as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c() -> ConvergenceConstants {
+        ConvergenceConstants::defaults(10, 2)
+    }
+
+    #[test]
+    fn all_bounds_decrease_with_rounds() {
+        let c = c();
+        for bound in [
+            ConvergenceConstants::convex_slow_bound as fn(&ConvergenceConstants, usize) -> f64,
+            ConvergenceConstants::nonconvex_slow_bound,
+            ConvergenceConstants::convex_fast_bound,
+            ConvergenceConstants::nonconvex_fast_bound,
+        ] {
+            let mut prev = f64::INFINITY;
+            for r in [1usize, 10, 100, 1000, 10_000] {
+                let v = bound(&c, r);
+                assert!(v < prev, "bound must shrink: {v} !< {prev} at r = {r}");
+                assert!(v.is_finite() && v > 0.0);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_vanish_asymptotically() {
+        let c = c();
+        assert!(c.nonconvex_slow_bound(100_000_000) < 1e-2);
+        assert!(c.convex_fast_bound(100_000_000) < 1e-2);
+    }
+
+    #[test]
+    fn more_agents_per_split_tightens_the_bound() {
+        let few = ConvergenceConstants::defaults(10, 1);
+        let many = ConvergenceConstants::defaults(10, 8);
+        assert!(many.nonconvex_slow_bound(100) < few.nonconvex_slow_bound(100));
+        // More agents per split also shrinks the sampling-noise constant.
+        assert!(many.h1_sq() < few.h1_sq());
+    }
+
+    #[test]
+    fn fast_side_is_looser_than_slow_side() {
+        // "The fast agent-side bound has an extra term due to its dependence
+        // on the slow agent-side model convergence, leading to a looser
+        // bound."
+        let c = c();
+        for r in [10usize, 100, 1000] {
+            assert!(c.nonconvex_fast_bound(r) > c.nonconvex_slow_bound(r));
+        }
+    }
+
+    #[test]
+    fn drift_only_affects_fast_side() {
+        let calm = ConvergenceConstants { total_drift: 0.0, ..c() };
+        let wild = ConvergenceConstants { total_drift: 50.0, ..c() };
+        assert_eq!(calm.nonconvex_slow_bound(100), wild.nonconvex_slow_bound(100));
+        assert!(wild.nonconvex_fast_bound(100) > calm.nonconvex_fast_bound(100));
+    }
+
+    #[test]
+    fn step_size_condition_matches_theorem() {
+        let c = c();
+        let eta = c.max_step_size();
+        assert!((eta * 8.0 * c.l_smooth * (1.0 + c.b * c.b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu > 0")]
+    fn convex_bound_requires_strong_convexity() {
+        let mut cc = c();
+        cc.mu = 0.0;
+        let _ = cc.convex_slow_bound(10);
+    }
+}

@@ -1,0 +1,36 @@
+//! Analytic cost models of the paper's CNNs and split-model profiling.
+//!
+//! ComDML's scheduler never inspects weights — its inputs are *costs*: how
+//! many FLOPs each prefix/suffix of the model needs, how many bytes the
+//! activation at a cut point occupies, and how many bytes the model itself
+//! occupies for AllReduce. This crate computes those quantities analytically
+//! from the layer topology of the CIFAR-style ResNets the paper evaluates
+//! (ResNet-56 and ResNet-110, §V-A "Model Architecture").
+//!
+//! The central product is a [`SplitProfile`]: for every possible number of
+//! offloaded layers `m` it records the *relative* slow-side and fast-side
+//! training times `T_s^m`, `T_f^m` and the intermediate data size `ν_m`
+//! exactly as Algorithm 1's split-model profiling step requires.
+//!
+//! # Example
+//!
+//! ```
+//! use comdml_cost::{ModelSpec, SplitProfile};
+//!
+//! let spec = ModelSpec::resnet56();
+//! assert_eq!(spec.num_weighted_layers(), 56);
+//! let profile = SplitProfile::new(&spec, 100);
+//! // Offloading everything but the stem leaves almost no slow-side work.
+//! let last = profile.entry(55).unwrap();
+//! assert!(last.t_slow_rel < 0.1);
+//! ```
+
+mod calibration;
+mod layer;
+mod model;
+mod split;
+
+pub use calibration::CostCalibration;
+pub use layer::{LayerKind, LayerSpec};
+pub use model::ModelSpec;
+pub use split::{SplitEntry, SplitProfile};

@@ -1,0 +1,72 @@
+//! Property tests for the analytic cost models.
+
+use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
+use proptest::prelude::*;
+
+proptest! {
+    /// For any CIFAR ResNet depth, prefix + suffix FLOPs always cover the
+    /// whole model at every cut.
+    #[test]
+    fn prefix_suffix_complementarity(n in 1usize..20, cut_frac in 0.0f64..=1.0) {
+        let spec = ModelSpec::resnet_cifar(n, "t");
+        let l = spec.num_weighted_layers();
+        let cut = ((l as f64) * cut_frac) as usize;
+        let total = spec.prefix_train_flops(cut) + spec.suffix_train_flops(l - cut);
+        prop_assert!((total - spec.train_flops_per_sample()).abs() < 1.0);
+    }
+
+    /// Split profiles are internally consistent for any depth/batch size.
+    #[test]
+    fn split_profile_invariants(n in 1usize..12, batch in 1usize..256) {
+        let spec = ModelSpec::resnet_cifar(n, "t");
+        let profile = SplitProfile::new(&spec, batch);
+        prop_assert_eq!(profile.len(), spec.num_weighted_layers());
+        let mut prev_slow = f64::INFINITY;
+        let mut prev_fast = -1.0;
+        for e in profile.iter() {
+            prop_assert!(e.t_slow_rel >= 0.0 && e.t_fast_rel >= 0.0);
+            prop_assert!(e.t_slow_rel <= prev_slow + 1e-9, "slow share monotone");
+            prop_assert!(e.t_fast_rel >= prev_fast - 1e-9, "fast share monotone");
+            prev_slow = e.t_slow_rel;
+            prev_fast = e.t_fast_rel;
+            // Activation payload scales exactly with batch size.
+            if e.offload > 0 {
+                prop_assert_eq!(
+                    e.nu_bytes_per_batch,
+                    (spec.cut_activation_bytes(e.offload) * batch) as u64
+                );
+            }
+        }
+    }
+
+    /// Suffix parameter bytes grow monotonically with the offload.
+    #[test]
+    fn suffix_params_monotone(n in 1usize..12) {
+        let spec = ModelSpec::resnet_cifar(n, "t");
+        let mut prev = 0;
+        for m in 0..spec.num_weighted_layers() {
+            let bytes = spec.suffix_param_bytes(m);
+            prop_assert!(bytes >= prev);
+            prev = bytes;
+        }
+    }
+
+    /// Calibration arithmetic: doubling CPUs exactly halves batch time, and
+    /// transfer time is inversely proportional to bandwidth.
+    #[test]
+    fn calibration_scaling(
+        flops in 1e6f64..1e12,
+        batch in 1usize..512,
+        cpus in 0.05f64..8.0,
+        mbps in 0.5f64..1000.0,
+        bytes in 1u64..100_000_000,
+    ) {
+        let cal = CostCalibration { link_latency_s: 0.0, ..CostCalibration::default() };
+        let t1 = cal.batch_time_s(flops, batch, cpus);
+        let t2 = cal.batch_time_s(flops, batch, cpus * 2.0);
+        prop_assert!((t1 / t2 - 2.0).abs() < 1e-9);
+        let x1 = cal.transfer_time_s(bytes, mbps);
+        let x2 = cal.transfer_time_s(bytes, mbps * 2.0);
+        prop_assert!((x1 / x2 - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,89 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits an agent's sample indices into shuffled mini-batches — one local
+/// epoch's worth of batches per call (the paper trains one local epoch per
+/// round with batch size 100).
+///
+/// # Example
+///
+/// ```
+/// use comdml_data::Batcher;
+///
+/// let mut b = Batcher::new((0..250).collect(), 100, 7);
+/// let batches = b.epoch();
+/// assert_eq!(batches.len(), 3);
+/// assert_eq!(batches[0].len(), 100);
+/// assert_eq!(batches[2].len(), 50); // remainder batch
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    indices: Vec<usize>,
+    batch_size: usize,
+    rng: StdRng,
+}
+
+impl Batcher {
+    /// Creates a batcher over the agent's sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(indices: Vec<usize>, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { indices, batch_size, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.indices.len().div_ceil(self.batch_size)
+    }
+
+    /// Number of samples owned by this batcher.
+    pub fn num_samples(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Produces one epoch of shuffled batches. Each call reshuffles.
+    pub fn epoch(&mut self) -> Vec<Vec<usize>> {
+        self.indices.shuffle(&mut self.rng);
+        self.indices.chunks(self.batch_size).map(<[usize]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_covers_all_samples() {
+        let mut b = Batcher::new((0..57).collect(), 10, 1);
+        let batches = b.epoch();
+        assert_eq!(batches.len(), 6);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let mut b = Batcher::new((0..100).collect(), 100, 2);
+        let e1 = b.epoch();
+        let e2 = b.epoch();
+        assert_ne!(e1, e2, "two epochs should shuffle differently");
+    }
+
+    #[test]
+    fn empty_batcher_yields_no_batches() {
+        let mut b = Batcher::new(Vec::new(), 10, 3);
+        assert!(b.epoch().is_empty());
+        assert_eq!(b.batches_per_epoch(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = Batcher::new(vec![1], 0, 0);
+    }
+}

@@ -1,0 +1,237 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_distr::{Dirichlet, Distribution};
+
+/// Splits sample indices evenly and randomly across `k` agents — the
+/// I.I.D. setting.
+///
+/// Every sample is assigned to exactly one agent; shares differ by at most
+/// one sample.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+///
+/// # Example
+///
+/// ```
+/// let labels = vec![0usize; 10];
+/// let parts = comdml_data::iid_partition(labels.len(), 3, 7);
+/// let total: usize = parts.iter().map(Vec::len).sum();
+/// assert_eq!(total, 10);
+/// ```
+pub fn iid_partition(num_samples: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0, "need at least one agent");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..num_samples).collect();
+    indices.shuffle(&mut rng);
+    let mut parts = vec![Vec::with_capacity(num_samples / k + 1); k];
+    for (i, idx) in indices.into_iter().enumerate() {
+        parts[i % k].push(idx);
+    }
+    parts
+}
+
+/// Label-distribution-skew partitioner using a Dirichlet prior — the paper's
+/// non-I.I.D. generator ("a fixed Dirichlet distribution (concentration
+/// parameter = 0.5)", §V-A).
+///
+/// For each class, a Dirichlet(α) draw over the `k` agents decides what
+/// fraction of that class's samples each agent receives.
+#[derive(Debug, Clone, Copy)]
+pub struct DirichletPartitioner {
+    alpha: f64,
+    seed: u64,
+}
+
+impl DirichletPartitioner {
+    /// Creates a partitioner with concentration `alpha` (0.5 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive.
+    pub fn new(alpha: f64, seed: u64) -> Self {
+        assert!(alpha > 0.0, "Dirichlet concentration must be positive, got {alpha}");
+        Self { alpha, seed }
+    }
+
+    /// The concentration parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Partitions `labels` (one per sample) across `k` agents.
+    ///
+    /// Every sample lands on exactly one agent. Agents may receive zero
+    /// samples of some classes — that is the point of label skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn partition(&self, labels: &[usize], k: usize) -> Vec<Vec<usize>> {
+        assert!(k > 0, "need at least one agent");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut parts = vec![Vec::new(); k];
+        if k == 1 {
+            parts[0] = (0..labels.len()).collect();
+            return parts;
+        }
+        for class in 0..num_classes {
+            let mut class_indices: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &y)| if y == class { Some(i) } else { None })
+                .collect();
+            class_indices.shuffle(&mut rng);
+            let dir = Dirichlet::new_with_size(self.alpha, k).expect("valid alpha and k >= 2");
+            let weights = dir.sample(&mut rng);
+            // Convert weights into contiguous index ranges over the class.
+            let n = class_indices.len();
+            let mut cuts = Vec::with_capacity(k + 1);
+            cuts.push(0usize);
+            let mut acc = 0.0;
+            for w in weights.iter().take(k - 1) {
+                acc += w;
+                cuts.push(((acc * n as f64).round() as usize).min(n));
+            }
+            cuts.push(n);
+            for a in 0..k {
+                let (lo, hi) = (cuts[a], cuts[a + 1].max(cuts[a]));
+                parts[a].extend_from_slice(&class_indices[lo..hi]);
+            }
+        }
+        parts
+    }
+}
+
+/// Summary statistics of a partition, used to verify non-I.I.D.-ness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionStats {
+    /// Samples per agent.
+    pub sizes: Vec<usize>,
+    /// Per-agent label entropy in nats (low entropy = strong skew).
+    pub label_entropies: Vec<f64>,
+}
+
+impl PartitionStats {
+    /// Computes statistics of `parts` over `labels`.
+    pub fn compute(parts: &[Vec<usize>], labels: &[usize]) -> Self {
+        let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let sizes = parts.iter().map(Vec::len).collect();
+        let label_entropies = parts
+            .iter()
+            .map(|p| {
+                if p.is_empty() {
+                    return 0.0;
+                }
+                let mut counts = vec![0usize; num_classes];
+                for &i in p {
+                    counts[labels[i]] += 1;
+                }
+                let n = p.len() as f64;
+                counts
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .map(|&c| {
+                        let p = c as f64 / n;
+                        -p * p.ln()
+                    })
+                    .sum()
+            })
+            .collect();
+        Self { sizes, label_entropies }
+    }
+
+    /// Mean per-agent label entropy.
+    pub fn mean_entropy(&self) -> f64 {
+        if self.label_entropies.is_empty() {
+            0.0
+        } else {
+            self.label_entropies.iter().sum::<f64>() / self.label_entropies.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize, classes: usize) -> Vec<usize> {
+        (0..n).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn iid_covers_every_sample_once() {
+        let parts = iid_partition(103, 4, 1);
+        let mut seen = vec![false; 103];
+        for p in &parts {
+            for &i in p {
+                assert!(!seen[i], "sample {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn dirichlet_covers_every_sample_once() {
+        let y = labels(1000, 10);
+        let parts = DirichletPartitioner::new(0.5, 3).partition(&y, 7);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 1000);
+        let mut seen = vec![false; 1000];
+        for p in &parts {
+            for &i in p {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_deterministic() {
+        let y = labels(500, 10);
+        let a = DirichletPartitioner::new(0.5, 9).partition(&y, 5);
+        let b = DirichletPartitioner::new(0.5, 9).partition(&y, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn low_alpha_skews_more_than_iid() {
+        let y = labels(5000, 10);
+        let noniid = DirichletPartitioner::new(0.5, 11).partition(&y, 10);
+        let iid = iid_partition(5000, 10, 11);
+        let s_noniid = PartitionStats::compute(&noniid, &y).mean_entropy();
+        let s_iid = PartitionStats::compute(&iid, &y).mean_entropy();
+        assert!(
+            s_noniid < s_iid - 0.05,
+            "Dirichlet(0.5) entropy {s_noniid} should be below IID entropy {s_iid}"
+        );
+    }
+
+    #[test]
+    fn very_low_alpha_is_extremely_skewed() {
+        let y = labels(5000, 10);
+        let parts = DirichletPartitioner::new(0.05, 13).partition(&y, 10);
+        let stats = PartitionStats::compute(&parts, &y);
+        // With alpha = 0.05 most agents see only a couple of classes.
+        assert!(stats.mean_entropy() < 1.2, "entropy {}", stats.mean_entropy());
+    }
+
+    #[test]
+    fn single_agent_gets_everything() {
+        let y = labels(100, 10);
+        let parts = DirichletPartitioner::new(0.5, 1).partition(&y, 1);
+        assert_eq!(parts[0].len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "concentration")]
+    fn rejects_nonpositive_alpha() {
+        let _ = DirichletPartitioner::new(0.0, 1);
+    }
+}

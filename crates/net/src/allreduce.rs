@@ -1,0 +1,88 @@
+use crate::{FramedStream, Message, NetError};
+
+/// Ring AllReduce executed over real TCP connections.
+///
+/// Every rank holds a stream to its successor (`next`) and from its
+/// predecessor (`prev`) in the ring. The schedule matches
+/// `comdml_collective::ring_allreduce`: `K−1` reduce-scatter steps followed
+/// by `K−1` all-gather steps, with each step's send and receive performed
+/// concurrently so the ring never deadlocks. The result is the element-wise
+/// *mean* across ranks, exactly as the aggregation step of §IV-B requires.
+///
+/// # Errors
+///
+/// Returns a [`NetError`] on socket failure or protocol violation (a peer
+/// sending a chunk for the wrong step).
+pub async fn ring_allreduce_tcp(
+    rank: usize,
+    k: usize,
+    mut values: Vec<f32>,
+    next: &mut FramedStream,
+    prev: &mut FramedStream,
+) -> Result<Vec<f32>, NetError> {
+    if k <= 1 {
+        return Ok(values);
+    }
+    let n = values.len();
+    let bounds: Vec<usize> = (0..=k).map(|c| c * n / k).collect();
+    let chunk_range = |c: usize| bounds[c % k]..bounds[c % k + 1];
+
+    // Reduce-scatter: after K-1 steps, this rank holds the full sum of
+    // chunk (rank + 1) mod K.
+    for s in 0..k - 1 {
+        let send_c = (rank + k - s) % k;
+        let recv_c = (rank + k - s - 1) % k;
+        let payload = values[chunk_range(send_c)].to_vec();
+        let outgoing = Message::ModelChunk { step: s as u32, data: payload };
+        let send_fut = next.send(&outgoing);
+        let recv_fut = prev.expect("ModelChunk");
+        let (sent, received) = tokio::join!(send_fut, recv_fut);
+        sent?;
+        let Message::ModelChunk { step, data } = received? else { unreachable!("expect checked") };
+        if step != s as u32 {
+            return Err(NetError::Unexpected {
+                expected: "chunk for current step",
+                got: format!("step {step} during step {s}"),
+            });
+        }
+        let range = chunk_range(recv_c);
+        if data.len() != range.len() {
+            return Err(NetError::BadFrame(format!(
+                "chunk {recv_c} should have {} floats, got {}",
+                range.len(),
+                data.len()
+            )));
+        }
+        for (acc, v) in values[range].iter_mut().zip(data) {
+            *acc += v;
+        }
+    }
+
+    // All-gather: circulate the fully reduced chunks.
+    for s in 0..k - 1 {
+        let send_c = (rank + 1 + k - s) % k;
+        let recv_c = (rank + k - s) % k;
+        let payload = values[chunk_range(send_c)].to_vec();
+        let outgoing = Message::ModelChunk { step: (k - 1 + s) as u32, data: payload };
+        let send_fut = next.send(&outgoing);
+        let recv_fut = prev.expect("ModelChunk");
+        let (sent, received) = tokio::join!(send_fut, recv_fut);
+        sent?;
+        let Message::ModelChunk { data, .. } = received? else { unreachable!("expect checked") };
+        let range = chunk_range(recv_c);
+        if data.len() != range.len() {
+            return Err(NetError::BadFrame(format!(
+                "gather chunk {recv_c} should have {} floats, got {}",
+                range.len(),
+                data.len()
+            )));
+        }
+        values[range].copy_from_slice(&data);
+    }
+
+    let inv = 1.0 / k as f32;
+    for v in &mut values {
+        *v *= inv;
+    }
+    Ok(values)
+}

@@ -1,0 +1,399 @@
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+/// Errors produced by the wire protocol.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket failure.
+    Io(std::io::Error),
+    /// The peer sent a frame that does not decode.
+    BadFrame(String),
+    /// A frame exceeded the sanity limit (corrupted length prefix).
+    FrameTooLarge(usize),
+    /// The protocol state machine received an unexpected message.
+    Unexpected {
+        /// What the caller was waiting for.
+        expected: &'static str,
+        /// What actually arrived.
+        got: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::BadFrame(why) => write!(f, "undecodable frame: {why}"),
+            NetError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            NetError::Unexpected { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Maximum accepted frame size (a full ResNet-110 model is ~7 MB; leave
+/// generous headroom).
+const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Protocol messages exchanged between ComDML peers.
+///
+/// The encoding is a 1-byte tag followed by little-endian fields; float
+/// vectors are length-prefixed. Everything round-trips through
+/// [`Message::encode`] / [`Message::decode`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Initial identification after connecting.
+    Hello {
+        /// Sender's agent id.
+        agent_id: u32,
+    },
+    /// Capability broadcast (Algorithm 1 line 2).
+    Profile {
+        /// Sender's agent id.
+        agent_id: u32,
+        /// Full-model processing speed in batches per second.
+        batches_per_s: f64,
+        /// Estimated solo training time in seconds.
+        solo_time_s: f64,
+    },
+    /// Slow agent asks a fast agent to host `offload` layers.
+    PairRequest {
+        /// Requesting (slow) agent.
+        slow_id: u32,
+        /// Number of layers to offload.
+        offload: u32,
+    },
+    /// Fast agent accepts the pairing.
+    PairAccept {
+        /// Accepting (fast) agent.
+        fast_id: u32,
+    },
+    /// Fast agent declines (already paired).
+    PairReject {
+        /// Declining agent.
+        fast_id: u32,
+    },
+    /// One batch of intermediate activations (slow → fast, §III-B), with
+    /// the batch's labels so the fast side can evaluate its local loss
+    /// (eq. 3 trains on `(z_n, y_n)` pairs).
+    Activations {
+        /// Batch index within the round.
+        batch_idx: u32,
+        /// Flattened activation values.
+        data: Vec<f32>,
+        /// Class labels of the batch (may be empty for inference traffic).
+        labels: Vec<u32>,
+    },
+    /// Trained suffix parameters returned at the end of a round.
+    SuffixParams {
+        /// Flattened parameter values.
+        data: Vec<f32>,
+    },
+    /// A model (or model chunk) exchanged during aggregation.
+    ModelChunk {
+        /// AllReduce step this chunk belongs to.
+        step: u32,
+        /// Chunk values.
+        data: Vec<f32>,
+    },
+    /// End-of-round marker.
+    Done,
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Profile { .. } => 1,
+            Message::PairRequest { .. } => 2,
+            Message::PairAccept { .. } => 3,
+            Message::PairReject { .. } => 4,
+            Message::Activations { .. } => 5,
+            Message::SuffixParams { .. } => 6,
+            Message::ModelChunk { .. } => 7,
+            Message::Done => 8,
+        }
+    }
+
+    /// A short human-readable name (for error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "Hello",
+            Message::Profile { .. } => "Profile",
+            Message::PairRequest { .. } => "PairRequest",
+            Message::PairAccept { .. } => "PairAccept",
+            Message::PairReject { .. } => "PairReject",
+            Message::Activations { .. } => "Activations",
+            Message::SuffixParams { .. } => "SuffixParams",
+            Message::ModelChunk { .. } => "ModelChunk",
+            Message::Done => "Done",
+        }
+    }
+
+    /// Serializes the message body (without the length prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(self.tag());
+        match self {
+            Message::Hello { agent_id } => buf.put_u32_le(*agent_id),
+            Message::Profile { agent_id, batches_per_s, solo_time_s } => {
+                buf.put_u32_le(*agent_id);
+                buf.put_f64_le(*batches_per_s);
+                buf.put_f64_le(*solo_time_s);
+            }
+            Message::PairRequest { slow_id, offload } => {
+                buf.put_u32_le(*slow_id);
+                buf.put_u32_le(*offload);
+            }
+            Message::PairAccept { fast_id } | Message::PairReject { fast_id } => {
+                buf.put_u32_le(*fast_id)
+            }
+            Message::Activations { batch_idx, data, labels } => {
+                buf.put_u32_le(*batch_idx);
+                put_f32s(&mut buf, data);
+                buf.put_u32_le(labels.len() as u32);
+                for &y in labels {
+                    buf.put_u32_le(y);
+                }
+            }
+            Message::SuffixParams { data } => put_f32s(&mut buf, data),
+            Message::ModelChunk { step, data } => {
+                buf.put_u32_le(*step);
+                put_f32s(&mut buf, data);
+            }
+            Message::Done => {}
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message body produced by [`Message::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadFrame`] on any structural problem.
+    pub fn decode(mut buf: Bytes) -> Result<Self, NetError> {
+        if buf.is_empty() {
+            return Err(NetError::BadFrame("empty frame".into()));
+        }
+        let tag = buf.get_u8();
+        let need = |buf: &Bytes, n: usize, what: &str| -> Result<(), NetError> {
+            if buf.remaining() < n {
+                Err(NetError::BadFrame(format!("truncated {what}")))
+            } else {
+                Ok(())
+            }
+        };
+        let msg = match tag {
+            0 => {
+                need(&buf, 4, "Hello")?;
+                Message::Hello { agent_id: buf.get_u32_le() }
+            }
+            1 => {
+                need(&buf, 20, "Profile")?;
+                Message::Profile {
+                    agent_id: buf.get_u32_le(),
+                    batches_per_s: buf.get_f64_le(),
+                    solo_time_s: buf.get_f64_le(),
+                }
+            }
+            2 => {
+                need(&buf, 8, "PairRequest")?;
+                Message::PairRequest { slow_id: buf.get_u32_le(), offload: buf.get_u32_le() }
+            }
+            3 => {
+                need(&buf, 4, "PairAccept")?;
+                Message::PairAccept { fast_id: buf.get_u32_le() }
+            }
+            4 => {
+                need(&buf, 4, "PairReject")?;
+                Message::PairReject { fast_id: buf.get_u32_le() }
+            }
+            5 => {
+                need(&buf, 4, "Activations")?;
+                let batch_idx = buf.get_u32_le();
+                let data = get_f32s(&mut buf)?;
+                need(&buf, 4, "Activations labels")?;
+                let n = buf.get_u32_le() as usize;
+                need(&buf, n * 4, "Activations labels")?;
+                let labels = (0..n).map(|_| buf.get_u32_le()).collect();
+                Message::Activations { batch_idx, data, labels }
+            }
+            6 => Message::SuffixParams { data: get_f32s(&mut buf)? },
+            7 => {
+                need(&buf, 4, "ModelChunk")?;
+                let step = buf.get_u32_le();
+                Message::ModelChunk { step, data: get_f32s(&mut buf)? }
+            }
+            8 => Message::Done,
+            other => return Err(NetError::BadFrame(format!("unknown tag {other}"))),
+        };
+        Ok(msg)
+    }
+}
+
+fn put_f32s(buf: &mut BytesMut, data: &[f32]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.reserve(data.len() * 4);
+    for &v in data {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, NetError> {
+    if buf.remaining() < 4 {
+        return Err(NetError::BadFrame("truncated vector length".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 4 {
+        return Err(NetError::BadFrame(format!(
+            "vector claims {n} floats but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+/// A TCP stream with length-prefixed [`Message`] framing.
+#[derive(Debug)]
+pub struct FramedStream {
+    stream: TcpStream,
+}
+
+impl FramedStream {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Self { stream }
+    }
+
+    /// Sends one message (u32-LE length prefix + encoded body).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] on socket failure.
+    pub async fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        let body = msg.encode();
+        self.stream.write_u32_le(body.len() as u32).await?;
+        self.stream.write_all(&body).await?;
+        self.stream.flush().await?;
+        Ok(())
+    }
+
+    /// Receives one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] on socket failure,
+    /// [`NetError::FrameTooLarge`] on a corrupt length prefix, or
+    /// [`NetError::BadFrame`] if the body does not decode.
+    pub async fn recv(&mut self) -> Result<Message, NetError> {
+        let len = self.stream.read_u32_le().await? as usize;
+        if len > MAX_FRAME {
+            return Err(NetError::FrameTooLarge(len));
+        }
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body).await?;
+        Message::decode(Bytes::from(body))
+    }
+
+    /// Receives a message, erroring unless it matches `expected_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Unexpected`] on a protocol violation, or any
+    /// receive error.
+    pub async fn expect(&mut self, expected_name: &'static str) -> Result<Message, NetError> {
+        let msg = self.recv().await?;
+        if msg.name() != expected_name {
+            return Err(NetError::Unexpected { expected: expected_name, got: msg.name().into() });
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let decoded = Message::decode(msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Message::Hello { agent_id: 7 });
+        round_trip(Message::Profile { agent_id: 1, batches_per_s: 0.25, solo_time_s: 812.5 });
+        round_trip(Message::PairRequest { slow_id: 3, offload: 37 });
+        round_trip(Message::PairAccept { fast_id: 4 });
+        round_trip(Message::PairReject { fast_id: 4 });
+        round_trip(Message::Activations { batch_idx: 12, data: vec![1.5, -2.0, 0.0], labels: vec![0, 2, 1] });
+        round_trip(Message::SuffixParams { data: vec![0.125; 33] });
+        round_trip(Message::ModelChunk { step: 2, data: vec![] });
+        round_trip(Message::Done);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let full = Message::Profile { agent_id: 1, batches_per_s: 1.0, solo_time_s: 2.0 }.encode();
+        for cut in 1..full.len() {
+            let sliced = full.slice(0..cut);
+            assert!(Message::decode(sliced).is_err() || cut == full.len());
+        }
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let buf = Bytes::from_static(&[99u8, 0, 0, 0]);
+        assert!(matches!(Message::decode(buf), Err(NetError::BadFrame(_))));
+    }
+
+    #[test]
+    fn lying_vector_length_errors() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(6); // SuffixParams
+        raw.put_u32_le(1000); // claims 1000 floats
+        raw.put_f32_le(1.0); // provides one
+        assert!(Message::decode(raw.freeze()).is_err());
+    }
+
+    #[tokio::test]
+    async fn framed_stream_round_trips_over_tcp() {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = tokio::spawn(async move {
+            let mut s = FramedStream::new(TcpStream::connect(addr).await.unwrap());
+            s.send(&Message::Hello { agent_id: 42 }).await.unwrap();
+            s.send(&Message::Activations { batch_idx: 0, data: vec![1.0; 1024], labels: vec![7; 16] }).await.unwrap();
+            s.expect("Done").await.unwrap();
+        });
+        let (sock, _) = listener.accept().await.unwrap();
+        let mut s = FramedStream::new(sock);
+        assert_eq!(s.recv().await.unwrap(), Message::Hello { agent_id: 42 });
+        match s.recv().await.unwrap() {
+            Message::Activations { data, .. } => assert_eq!(data.len(), 1024),
+            other => panic!("unexpected {other:?}"),
+        }
+        s.send(&Message::Done).await.unwrap();
+        client.await.unwrap();
+    }
+}

@@ -1,0 +1,331 @@
+//! Reusable protocol sessions for local-loss split training over sockets.
+//!
+//! [`SlowSideSession`] and [`FastSideSession`] implement the two halves of
+//! §III-B's data path as library objects: the slow side trains its prefix
+//! against the auxiliary loss while streaming detached activations; the
+//! fast side trains the offloaded suffix on the incoming stream and ships
+//! the parameters back at round end. `tests/net_full_round.rs` and the
+//! examples drive complete multi-round runs through these sessions.
+
+use comdml_nn::{AuxHead, CrossEntropyLoss, NnError, Sequential};
+use comdml_tensor::{ParamVec, SgdMomentum, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{FramedStream, Message, NetError};
+
+/// Errors from protocol sessions: either the wire or the math failed.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Transport failure.
+    Net(NetError),
+    /// Training-engine failure.
+    Nn(NnError),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Net(e) => write!(f, "transport: {e}"),
+            ProtocolError::Nn(e) => write!(f, "training: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<NetError> for ProtocolError {
+    fn from(e: NetError) -> Self {
+        ProtocolError::Net(e)
+    }
+}
+
+impl From<NnError> for ProtocolError {
+    fn from(e: NnError) -> Self {
+        ProtocolError::Nn(e)
+    }
+}
+
+impl From<comdml_tensor::TensorError> for ProtocolError {
+    fn from(e: comdml_tensor::TensorError) -> Self {
+        ProtocolError::Nn(NnError::from(e))
+    }
+}
+
+/// The slow agent's half of a split-training connection: owns the model
+/// prefix and auxiliary head, trains them locally, and streams detached
+/// activations to the paired fast agent.
+#[derive(Debug)]
+pub struct SlowSideSession {
+    prefix: Sequential,
+    aux: Option<AuxHead>,
+    opt: SgdMomentum,
+    num_classes: usize,
+    rng: StdRng,
+    suffix_shapes: Vec<Vec<usize>>,
+}
+
+impl SlowSideSession {
+    /// Creates the session from the local prefix and the *shapes* of the
+    /// offloaded suffix (needed to reassemble returned parameters).
+    pub fn new(
+        prefix: Sequential,
+        suffix_shapes: Vec<Vec<usize>>,
+        num_classes: usize,
+        lr: f32,
+        momentum: f32,
+        seed: u64,
+    ) -> Self {
+        Self {
+            prefix,
+            aux: None,
+            opt: SgdMomentum::new(lr, momentum),
+            num_classes,
+            rng: StdRng::seed_from_u64(seed),
+            suffix_shapes,
+        }
+    }
+
+    /// The local prefix model.
+    pub fn prefix(&self) -> &Sequential {
+        &self.prefix
+    }
+
+    /// Mutable access to the prefix (e.g. to install aggregated weights).
+    pub fn prefix_mut(&mut self) -> &mut Sequential {
+        &mut self.prefix
+    }
+
+    /// Trains one round over `batches`, streaming each batch's activation
+    /// (with labels) to the fast side, then awaits the trained suffix.
+    ///
+    /// Returns `(mean auxiliary loss, suffix parameters)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and training errors.
+    pub async fn train_round(
+        &mut self,
+        stream: &mut FramedStream,
+        batches: &[(Tensor, Vec<usize>)],
+    ) -> Result<(f32, Vec<Tensor>), ProtocolError> {
+        let mut total = 0.0f32;
+        for (b, (x, y)) in batches.iter().enumerate() {
+            let z = self.prefix.forward(x)?;
+            if self.aux.is_none() {
+                self.aux = Some(AuxHead::for_activation(z.shape(), self.num_classes, &mut self.rng)?);
+            }
+            let aux = self.aux.as_mut().expect("initialized above");
+            let logits = aux.forward(&z)?;
+            let (loss, grad) = CrossEntropyLoss::evaluate(&logits, y)?;
+            total += loss;
+            let gz = aux.backward(&grad)?;
+            self.prefix.backward(&gz)?;
+
+            let mut params = self.prefix.parameters();
+            params.extend(aux.parameters());
+            let mut grads = self.prefix.gradients();
+            grads.extend(aux.gradients());
+            self.opt.step(&mut params, &grads)?;
+            let n = self.prefix.num_param_tensors();
+            self.prefix.set_parameters(&params[..n])?;
+            aux.set_parameters(&params[n..])?;
+
+            stream
+                .send(&Message::Activations {
+                    batch_idx: b as u32,
+                    data: z.data().to_vec(),
+                    labels: y.iter().map(|&v| v as u32).collect(),
+                })
+                .await?;
+        }
+        stream.send(&Message::Done).await?;
+
+        let Message::SuffixParams { data } = stream.expect("SuffixParams").await? else {
+            unreachable!("expect checked the variant")
+        };
+        let suffix = ParamVec::from_parts(data, self.suffix_shapes.clone())
+            .map_err(NnError::from)?
+            .unflatten()
+            .map_err(NnError::from)?;
+        let mean = if batches.is_empty() { 0.0 } else { total / batches.len() as f32 };
+        Ok((mean, suffix))
+    }
+}
+
+/// The fast agent's half: owns the offloaded suffix and trains it on the
+/// incoming activation stream.
+#[derive(Debug)]
+pub struct FastSideSession {
+    suffix: Sequential,
+    opt: SgdMomentum,
+    activation_shape: Vec<usize>,
+}
+
+impl FastSideSession {
+    /// Creates the session from the guest suffix and the per-sample
+    /// activation shape at the cut (without the batch dimension), e.g.
+    /// `[16, 4, 4]` for a conv cut or `[64]` for a dense cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activation_shape` is empty.
+    pub fn new(suffix: Sequential, activation_shape: Vec<usize>, lr: f32, momentum: f32) -> Self {
+        assert!(!activation_shape.is_empty(), "activation shape must be known");
+        Self { suffix, opt: SgdMomentum::new(lr, momentum), activation_shape }
+    }
+
+    /// The guest suffix model.
+    pub fn suffix(&self) -> &Sequential {
+        &self.suffix
+    }
+
+    /// Mutable access to the suffix (e.g. to sync aggregated weights).
+    pub fn suffix_mut(&mut self) -> &mut Sequential {
+        &mut self.suffix
+    }
+
+    /// Serves one round: trains on every incoming activation batch until
+    /// `Done`, then returns the trained suffix parameters to the peer.
+    ///
+    /// `on_batch` runs after each guest batch — the hook where the fast
+    /// agent interleaves its *own* local training (§III-B trains both in
+    /// parallel). Returns `(batches served, mean fast-side loss)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and training errors; protocol violations (an
+    /// unexpected message mid-stream) surface as [`NetError::Unexpected`].
+    pub async fn serve_round<F>(
+        &mut self,
+        stream: &mut FramedStream,
+        mut on_batch: F,
+    ) -> Result<(usize, f32), ProtocolError>
+    where
+        F: FnMut(usize),
+    {
+        let mut served = 0usize;
+        let mut total = 0.0f32;
+        loop {
+            match stream.recv().await? {
+                Message::Activations { data, labels, .. } => {
+                    let batch = labels.len().max(1);
+                    let mut shape = vec![batch];
+                    shape.extend_from_slice(&self.activation_shape);
+                    let z = Tensor::from_vec(data, &shape).map_err(NnError::from)?;
+                    let y: Vec<usize> = labels.iter().map(|&v| v as usize).collect();
+                    let out = self.suffix.forward(&z)?;
+                    let (loss, grad) = CrossEntropyLoss::evaluate(&out, &y)?;
+                    total += loss;
+                    self.suffix.backward(&grad)?;
+                    let mut params = self.suffix.parameters();
+                    let grads = self.suffix.gradients();
+                    self.opt.step(&mut params, &grads)?;
+                    self.suffix.set_parameters(&params)?;
+                    on_batch(served);
+                    served += 1;
+                }
+                Message::Done => break,
+                other => {
+                    return Err(NetError::Unexpected {
+                        expected: "Activations or Done",
+                        got: other.name().into(),
+                    }
+                    .into())
+                }
+            }
+        }
+        let flat = ParamVec::flatten(&self.suffix.parameters()).values().to_vec();
+        stream.send(&Message::SuffixParams { data: flat }).await?;
+        Ok((served, if served == 0 { 0.0 } else { total / served as f32 }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comdml_nn::models;
+    use tokio::net::{TcpListener, TcpStream};
+
+    fn split_model(seed: u64, offload: usize) -> (Sequential, Sequential) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = models::mlp(&[8, 16, 16, 4], &mut rng);
+        let n = model.len();
+        model.split_at(n - offload).unwrap()
+    }
+
+    fn toy_batches(n: usize, seed: u64) -> Vec<(Tensor, Vec<usize>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = Tensor::randn(&[12, 8], 1.0, &mut rng);
+                // Learnable rule: label from the sign of the first feature.
+                let y = (0..12)
+                    .map(|i| if x.data()[i * 8] > 0.0 { 1usize } else { 0 })
+                    .collect();
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[tokio::test]
+    async fn sessions_train_both_sides_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let offload = 2;
+
+        let fast = tokio::spawn(async move {
+            let (sock, _) = listener.accept().await.unwrap();
+            let mut stream = FramedStream::new(sock);
+            let (_, suffix) = split_model(5, offload);
+            // MLP cut before the last dense+relu: activation is [16].
+            let mut session = FastSideSession::new(suffix, vec![16], 0.05, 0.9);
+            let mut own_batches = 0usize;
+            let mut losses = Vec::new();
+            for _ in 0..6 {
+                let (served, loss) =
+                    session.serve_round(&mut stream, |_| own_batches += 1).await.unwrap();
+                assert_eq!(served, 4);
+                losses.push(loss);
+            }
+            (losses, own_batches)
+        });
+
+        let mut stream = FramedStream::new(TcpStream::connect(addr).await.unwrap());
+        let (prefix, suffix) = split_model(5, offload);
+        let shapes = suffix.parameters().iter().map(|p| p.shape().to_vec()).collect();
+        let mut session = SlowSideSession::new(prefix, shapes, 4, 0.05, 0.9, 1);
+        let batches = toy_batches(4, 9);
+        let mut slow_losses = Vec::new();
+        for _ in 0..6 {
+            let (loss, suffix_params) = session.train_round(&mut stream, &batches).await.unwrap();
+            slow_losses.push(loss);
+            assert!(!suffix_params.is_empty());
+        }
+
+        let (fast_losses, own_batches) = fast.await.unwrap();
+        assert!(slow_losses.last().unwrap() < &slow_losses[0], "{slow_losses:?}");
+        assert!(fast_losses.last().unwrap() < &fast_losses[0], "{fast_losses:?}");
+        assert_eq!(own_batches, 24, "the hook interleaves the fast agent's own work");
+    }
+
+    #[tokio::test]
+    async fn fast_session_rejects_protocol_violation() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let fast = tokio::spawn(async move {
+            let (sock, _) = listener.accept().await.unwrap();
+            let mut stream = FramedStream::new(sock);
+            let (_, suffix) = split_model(5, 2);
+            let mut session = FastSideSession::new(suffix, vec![16], 0.05, 0.9);
+            session.serve_round(&mut stream, |_| {}).await
+        });
+
+        let mut stream = FramedStream::new(TcpStream::connect(addr).await.unwrap());
+        // A pairing request mid-stream is a violation.
+        stream.send(&Message::PairRequest { slow_id: 0, offload: 1 }).await.unwrap();
+        let err = fast.await.unwrap().unwrap_err();
+        assert!(matches!(err, ProtocolError::Net(NetError::Unexpected { .. })), "{err}");
+    }
+}

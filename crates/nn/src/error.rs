@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+use comdml_tensor::TensorError;
+
+/// Errors produced by the training engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An input did not match the layer's expected shape.
+    BadInput {
+        /// The layer reporting the problem.
+        layer: &'static str,
+        /// Description of the expectation.
+        expected: String,
+        /// The offending shape.
+        got: Vec<usize>,
+    },
+    /// `backward` was called before `forward` cached its context.
+    NoForwardContext {
+        /// The layer reporting the problem.
+        layer: &'static str,
+    },
+    /// Labels were inconsistent with the logits batch.
+    BadLabels {
+        /// Number of rows in the logits.
+        batch: usize,
+        /// Number of labels supplied.
+        labels: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// A split point was out of range for the model.
+    BadSplit {
+        /// Requested cut index.
+        cut: usize,
+        /// Number of layers in the model.
+        layers: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { layer, expected, got } => {
+                write!(f, "{layer}: expected {expected}, got shape {got:?}")
+            }
+            NnError::NoForwardContext { layer } => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            NnError::BadLabels { batch, labels, classes } => write!(
+                f,
+                "labels mismatch: {labels} labels for batch of {batch} with {classes} classes"
+            ),
+            NnError::BadSplit { cut, layers } => {
+                write!(f, "split point {cut} invalid for a model with {layers} layers")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}

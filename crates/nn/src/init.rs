@@ -1,0 +1,27 @@
+/// He (Kaiming) initialization standard deviation for a layer with the given
+/// fan-in, the standard choice for ReLU networks like the paper's ResNets.
+///
+/// # Example
+///
+/// ```
+/// let std = comdml_nn::he_std(128);
+/// assert!((std - (2.0f32 / 128.0).sqrt()).abs() < 1e-7);
+/// ```
+pub fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in.max(1) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::he_std;
+
+    #[test]
+    fn matches_formula() {
+        assert!((he_std(50) - 0.2f32).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_fan_in_is_safe() {
+        assert!(he_std(0).is_finite());
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+use comdml_tensor::Tensor;
+
+use crate::NnError;
+
+/// A differentiable layer.
+///
+/// Layers cache whatever context they need during [`Layer::forward`] and
+/// consume it in [`Layer::backward`], which receives the gradient of the
+/// loss with respect to the layer output and must return the gradient with
+/// respect to the layer input, accumulating parameter gradients internally.
+///
+/// The trait is object-safe: models store `Box<dyn Layer>` so split models
+/// can cut layer lists at arbitrary boundaries at runtime. It requires
+/// `Send` so models can move across threads/tasks (agents run concurrently
+/// in the tokio runtime and in multi-threaded fleets).
+pub trait Layer: fmt::Debug + Send {
+    /// Human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output for `input`, caching backward context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] if the input shape is unsupported.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Propagates `grad_out` (gradient w.r.t. the forward output) backward,
+    /// returning the gradient w.r.t. the forward input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardContext`] if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Clones of the layer's parameter tensors (empty for stateless layers).
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    /// Clones of the parameter gradients accumulated by the last `backward`,
+    /// in the same order as [`Layer::parameters`].
+    fn gradients(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    /// Overwrites the layer's parameters (same order/shapes as
+    /// [`Layer::parameters`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if shapes mismatch.
+    fn set_parameters(&mut self, _params: &[Tensor]) -> Result<(), NnError> {
+        Ok(())
+    }
+
+    /// Number of parameter tensors this layer owns.
+    fn num_param_tensors(&self) -> usize {
+        0
+    }
+}

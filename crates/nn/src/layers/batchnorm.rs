@@ -1,0 +1,301 @@
+use comdml_tensor::Tensor;
+
+use crate::{Layer, NnError};
+
+/// Batch normalization over the channel dimension of `[batch, C, H, W]`
+/// inputs — the normalization the paper's ResNet-56/110 use between
+/// convolutions.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// estimates (momentum 0.9); [`BatchNorm2d::eval_mode`] switches to the
+/// running statistics for inference. Scale (`γ`) and shift (`β`) are
+/// trainable.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    training: bool,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Vec<f32>,
+    inv_std: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "batch norm needs at least one channel");
+        Self {
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.9,
+            eps: 1e-5,
+            training: true,
+            cache: None,
+        }
+    }
+
+    /// Switches to inference statistics.
+    pub fn eval_mode(&mut self) {
+        self.training = false;
+    }
+
+    /// Switches back to batch statistics.
+    pub fn train_mode(&mut self) {
+        self.training = true;
+    }
+
+    fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batch_norm2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4 || input.shape()[1] != self.channels() {
+            return Err(NnError::BadInput {
+                layer: "batch_norm2d",
+                expected: format!("[batch, {}, h, w]", self.channels()),
+                got: input.shape().to_vec(),
+            });
+        }
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let n_per_c = (b * h * w) as f32;
+        let x = input.data();
+        let mut out = vec![0.0f32; x.len()];
+        let mut x_hat = vec![0.0f32; x.len()];
+        let mut inv_stds = vec![0.0f32; c];
+
+        for ci in 0..c {
+            let (mean, var) = if self.training {
+                let mut mean = 0.0f32;
+                for bi in 0..b {
+                    let base = (bi * c + ci) * h * w;
+                    mean += x[base..base + h * w].iter().sum::<f32>();
+                }
+                mean /= n_per_c;
+                let mut var = 0.0f32;
+                for bi in 0..b {
+                    let base = (bi * c + ci) * h * w;
+                    var += x[base..base + h * w].iter().map(|&v| (v - mean).powi(2)).sum::<f32>();
+                }
+                var /= n_per_c;
+                self.running_mean[ci] =
+                    self.momentum * self.running_mean[ci] + (1.0 - self.momentum) * mean;
+                self.running_var[ci] =
+                    self.momentum * self.running_var[ci] + (1.0 - self.momentum) * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ci] = inv_std;
+            let g = self.gamma.data()[ci];
+            let be = self.beta.data()[ci];
+            for bi in 0..b {
+                let base = (bi * c + ci) * h * w;
+                for i in base..base + h * w {
+                    let xh = (x[i] - mean) * inv_std;
+                    x_hat[i] = xh;
+                    out[i] = g * xh + be;
+                }
+            }
+        }
+        self.cache = Some(BnCache { x_hat, inv_std: inv_stds, shape: input.shape().to_vec() });
+        Ok(Tensor::from_vec(out, input.shape())?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "batch_norm2d" })?;
+        let (b, c, h, w) = (cache.shape[0], cache.shape[1], cache.shape[2], cache.shape[3]);
+        let n_per_c = (b * h * w) as f32;
+        let gy = grad_out.data();
+        let mut gx = vec![0.0f32; gy.len()];
+        let mut g_gamma = vec![0.0f32; c];
+        let mut g_beta = vec![0.0f32; c];
+
+        for ci in 0..c {
+            // Accumulate per-channel sums for the BN backward formula.
+            let mut sum_gy = 0.0f32;
+            let mut sum_gy_xhat = 0.0f32;
+            for bi in 0..b {
+                let base = (bi * c + ci) * h * w;
+                for i in base..base + h * w {
+                    sum_gy += gy[i];
+                    sum_gy_xhat += gy[i] * cache.x_hat[i];
+                }
+            }
+            g_beta[ci] = sum_gy;
+            g_gamma[ci] = sum_gy_xhat;
+            let g = self.gamma.data()[ci];
+            let inv_std = cache.inv_std[ci];
+            for bi in 0..b {
+                let base = (bi * c + ci) * h * w;
+                for i in base..base + h * w {
+                    // dx = γ/σ · (dy − mean(dy) − x̂·mean(dy·x̂))
+                    gx[i] = g * inv_std
+                        * (gy[i] - sum_gy / n_per_c - cache.x_hat[i] * sum_gy_xhat / n_per_c);
+                }
+            }
+        }
+        self.grad_gamma = Tensor::from_vec(g_gamma, &[c])?;
+        self.grad_beta = Tensor::from_vec(g_beta, &[c])?;
+        Ok(Tensor::from_vec(gx, &cache.shape)?)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    fn gradients(&self) -> Vec<Tensor> {
+        vec![self.grad_gamma.clone(), self.grad_beta.clone()]
+    }
+
+    fn set_parameters(&mut self, params: &[Tensor]) -> Result<(), NnError> {
+        if params.len() != 2
+            || params[0].shape() != self.gamma.shape()
+            || params[1].shape() != self.beta.shape()
+        {
+            return Err(NnError::BadInput {
+                layer: "batch_norm2d",
+                expected: format!("two tensors shaped {:?}", self.gamma.shape()),
+                got: params.first().map(|p| p.shape().to_vec()).unwrap_or_default(),
+            });
+        }
+        self.gamma = params[0].clone();
+        self.beta = params[1].clone();
+        Ok(())
+    }
+
+    fn num_param_tensors(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_normalized_in_training() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(&[8, 3, 4, 4], 3.0, &mut rng).map(|v| v + 5.0);
+        let y = bn.forward(&x).unwrap();
+        // Per channel: mean ~0, var ~1.
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for bi in 0..8 {
+                let base = (bi * 3 + ci) * 16;
+                vals.extend_from_slice(&y.data()[base..base + 16]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new(2);
+        // Warm up running stats with consistent batches.
+        for _ in 0..200 {
+            let x = Tensor::randn(&[16, 2, 2, 2], 2.0, &mut rng).map(|v| v + 3.0);
+            bn.forward(&x).unwrap();
+        }
+        bn.eval_mode();
+        // A wildly different input must be normalized with the *running*
+        // stats (mean ~3, var ~4), not its own.
+        let x = Tensor::full(&[4, 2, 2, 2], 3.0);
+        let y = bn.forward(&x).unwrap();
+        for v in y.data() {
+            assert!(v.abs() < 0.3, "value {v} should be near (3-3)/2 = 0");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::randn(&[2, 1, 2, 2], 1.0, &mut rng);
+        let y = bn.forward(&x).unwrap();
+        // Loss = weighted sum with varied weights (sum alone has zero grad
+        // through normalization).
+        let weights: Vec<f32> = (0..8).map(|i| (i as f32 - 3.5) / 3.0).collect();
+        let gy = Tensor::from_vec(weights.clone(), y.shape()).unwrap();
+        let gx = bn.backward(&gy).unwrap();
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 3, 6] {
+            let loss = |x: &Tensor| {
+                let mut bn2 = BatchNorm2d::new(1);
+                let y = bn2.forward(x).unwrap();
+                y.data().iter().zip(weights.iter()).map(|(a, b)| a * b).sum::<f32>()
+            };
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (gx.data()[idx] - num).abs() < 2e-2,
+                "idx {idx}: {} vs {num}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_are_trainable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[4, 2, 2, 2], 1.0, &mut rng);
+        let y = bn.forward(&x).unwrap();
+        bn.backward(&Tensor::ones(y.shape())).unwrap();
+        let grads = bn.gradients();
+        assert_eq!(grads.len(), 2);
+        // dβ = sum(dy) = 16 per channel.
+        assert!((grads[1].data()[0] - 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(4);
+        assert!(bn.forward(&Tensor::zeros(&[1, 3, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+use comdml_tensor::Tensor;
+use rand::Rng;
+
+use crate::{he_std, Layer, NnError};
+
+/// A 2-D convolution over `[batch, C_in, H, W]` inputs with square kernels,
+/// configurable stride and symmetric zero padding.
+///
+/// The implementation is a straightforward direct convolution — clarity over
+/// throughput — but forward and backward are exact, which the numerical
+/// gradient tests verify.
+///
+/// # Example
+///
+/// ```
+/// use comdml_nn::{Conv2d, Layer};
+/// use comdml_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng); // 3x3, stride 1, pad 1
+/// let y = conv.forward(&Tensor::zeros(&[2, 3, 8, 8]))?;
+/// assert_eq!(y.shape(), &[2, 8, 8, 8]);
+/// # Ok::<(), comdml_nn::NnError>(())
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Tensor, // [c_out, c_in, k, k]
+    bias: Tensor,   // [c_out]
+    grad_w: Tensor,
+    grad_b: Tensor,
+    stride: usize,
+    padding: usize,
+    input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new<R: Rng>(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        let fan_in = c_in * kernel * kernel;
+        Self {
+            weight: Tensor::randn(&[c_out, c_in, kernel, kernel], he_std(fan_in), rng),
+            bias: Tensor::zeros(&[c_out]),
+            grad_w: Tensor::zeros(&[c_out, c_in, kernel, kernel]),
+            grad_b: Tensor::zeros(&[c_out]),
+            stride,
+            padding,
+            input: None,
+        }
+    }
+
+    /// Output spatial size for an input of `h` pixels.
+    pub fn out_dim(&self, h: usize) -> usize {
+        let k = self.weight.shape()[2];
+        (h + 2 * self.padding - k) / self.stride + 1
+    }
+
+    fn c_in(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    fn c_out(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    fn kernel(&self) -> usize {
+        self.weight.shape()[2]
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4 || input.shape()[1] != self.c_in() {
+            return Err(NnError::BadInput {
+                layer: "conv2d",
+                expected: format!("[batch, {}, h, w]", self.c_in()),
+                got: input.shape().to_vec(),
+            });
+        }
+        let (batch, c_in, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (c_out, k, s, p) = (self.c_out(), self.kernel(), self.stride, self.padding);
+        let (ho, wo) = (self.out_dim(h), self.out_dim(w));
+        let x = input.data();
+        let wgt = self.weight.data();
+        let bias = self.bias.data();
+        let mut out = vec![0.0f32; batch * c_out * ho * wo];
+
+        for b in 0..batch {
+            for co in 0..c_out {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = bias[co];
+                        for ci in 0..c_in {
+                            for ky in 0..k {
+                                let iy = oy * s + ky;
+                                if iy < p || iy - p >= h {
+                                    continue;
+                                }
+                                let iy = iy - p;
+                                for kx in 0..k {
+                                    let ix = ox * s + kx;
+                                    if ix < p || ix - p >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - p;
+                                    let xv = x[((b * c_in + ci) * h + iy) * w + ix];
+                                    let wv = wgt[((co * c_in + ci) * k + ky) * k + kx];
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                        out[((b * c_out + co) * ho + oy) * wo + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.input = Some(input.clone());
+        Ok(Tensor::from_vec(out, &[batch, c_out, ho, wo])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .input
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "conv2d" })?;
+        let (batch, c_in, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (c_out, k, s, p) = (self.c_out(), self.kernel(), self.stride, self.padding);
+        let (ho, wo) = (self.out_dim(h), self.out_dim(w));
+        if grad_out.shape() != [batch, c_out, ho, wo] {
+            return Err(NnError::BadInput {
+                layer: "conv2d",
+                expected: format!("[{batch}, {c_out}, {ho}, {wo}]"),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        let x = input.data();
+        let wgt = self.weight.data();
+        let gy = grad_out.data();
+        let mut gx = vec![0.0f32; batch * c_in * h * w];
+        let mut gw = vec![0.0f32; c_out * c_in * k * k];
+        let mut gb = vec![0.0f32; c_out];
+
+        for b in 0..batch {
+            for co in 0..c_out {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let g = gy[((b * c_out + co) * ho + oy) * wo + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[co] += g;
+                        for ci in 0..c_in {
+                            for ky in 0..k {
+                                let iy = oy * s + ky;
+                                if iy < p || iy - p >= h {
+                                    continue;
+                                }
+                                let iy = iy - p;
+                                for kx in 0..k {
+                                    let ix = ox * s + kx;
+                                    if ix < p || ix - p >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - p;
+                                    let xi = ((b * c_in + ci) * h + iy) * w + ix;
+                                    let wi = ((co * c_in + ci) * k + ky) * k + kx;
+                                    gw[wi] += g * x[xi];
+                                    gx[xi] += g * wgt[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.grad_w = Tensor::from_vec(gw, self.weight.shape())?;
+        self.grad_b = Tensor::from_vec(gb, &[c_out])?;
+        Ok(Tensor::from_vec(gx, &[batch, c_in, h, w])?)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    fn gradients(&self) -> Vec<Tensor> {
+        vec![self.grad_w.clone(), self.grad_b.clone()]
+    }
+
+    fn set_parameters(&mut self, params: &[Tensor]) -> Result<(), NnError> {
+        if params.len() != 2
+            || params[0].shape() != self.weight.shape()
+            || params[1].shape() != self.bias.shape()
+        {
+            return Err(NnError::BadInput {
+                layer: "conv2d",
+                expected: format!("params shaped {:?} and {:?}", self.weight.shape(), self.bias.shape()),
+                got: params.first().map(|t| t.shape().to_vec()).unwrap_or_default(),
+            });
+        }
+        self.weight = params[0].clone();
+        self.bias = params[1].clone();
+        Ok(())
+    }
+
+    fn num_param_tensors(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.set_parameters(&[Tensor::ones(&[1, 1, 1, 1]), Tensor::zeros(&[1])]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        assert_eq!(conv.forward(&x).unwrap().data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng);
+        // Sum kernel: output = sum of the 3x3 window.
+        conv.set_parameters(&[Tensor::ones(&[1, 1, 3, 3]), Tensor::zeros(&[1])]).unwrap();
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 45.0);
+    }
+
+    #[test]
+    fn padding_preserves_spatial_dims() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let y = conv.forward(&Tensor::zeros(&[1, 2, 6, 6])).unwrap();
+        assert_eq!(y.shape(), &[1, 4, 6, 6]);
+    }
+
+    #[test]
+    fn stride_two_halves_dims() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 2, 1, &mut rng);
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 8, 8])).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn input_gradient_matches_numerical() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let make = |rng: &mut StdRng| Conv2d::new(2, 2, 3, 1, 1, rng);
+        let mut conv = make(&mut rng);
+        let params = conv.parameters();
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x).unwrap();
+        let gx = conv.backward(&Tensor::ones(y.shape())).unwrap();
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 20, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let mut c2 = make(&mut rng);
+            c2.set_parameters(&params).unwrap();
+            let lp = c2.forward(&xp).unwrap().sum();
+            let lm = c2.forward(&xm).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (gx.data()[idx] - num).abs() < 2e-2,
+                "idx {idx}: {} vs {num}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_numerical() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let make = |rng: &mut StdRng| Conv2d::new(1, 2, 3, 1, 1, rng);
+        let mut conv = make(&mut rng);
+        let params = conv.parameters();
+        let x = Tensor::randn(&[2, 1, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x).unwrap();
+        conv.backward(&Tensor::ones(y.shape())).unwrap();
+        let gw = conv.gradients()[0].clone();
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 4, 9, 17] {
+            let mut wp = params[0].clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = params[0].clone();
+            wm.data_mut()[idx] -= eps;
+            let mut cp = make(&mut rng);
+            cp.set_parameters(&[wp, params[1].clone()]).unwrap();
+            let mut cm = make(&mut rng);
+            cm.set_parameters(&[wm, params[1].clone()]).unwrap();
+            let lp = cp.forward(&x).unwrap().sum();
+            let lm = cm.forward(&x).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (gw.data()[idx] - num).abs() < 5e-2,
+                "idx {idx}: {} vs {num}",
+                gw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        assert!(conv.forward(&Tensor::zeros(&[1, 2, 8, 8])).is_err());
+    }
+}

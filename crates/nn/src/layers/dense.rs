@@ -1,0 +1,216 @@
+use comdml_tensor::Tensor;
+use rand::Rng;
+
+use crate::{he_std, Layer, NnError};
+
+/// A fully connected layer: `y = x·W + b` over `[batch, in]` inputs.
+///
+/// # Example
+///
+/// ```
+/// use comdml_nn::{Dense, Layer};
+/// use comdml_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut fc = Dense::new(4, 2, &mut rng);
+/// let y = fc.forward(&Tensor::zeros(&[3, 4]))?;
+/// assert_eq!(y.shape(), &[3, 2]);
+/// # Ok::<(), comdml_nn::NnError>(())
+/// ```
+#[derive(Debug)]
+pub struct Dense {
+    weight: Tensor, // [in, out]
+    bias: Tensor,   // [out]
+    grad_w: Tensor,
+    grad_b: Tensor,
+    input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialized weights and zero bias.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Self {
+            weight: Tensor::randn(&[in_features, out_features], he_std(in_features), rng),
+            bias: Tensor::zeros(&[out_features]),
+            grad_w: Tensor::zeros(&[in_features, out_features]),
+            grad_b: Tensor::zeros(&[out_features]),
+            input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.shape()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 2 || input.shape()[1] != self.in_features() {
+            return Err(NnError::BadInput {
+                layer: "dense",
+                expected: format!("[batch, {}]", self.in_features()),
+                got: input.shape().to_vec(),
+            });
+        }
+        let mut out = input.matmul(&self.weight)?;
+        let (batch, n_out) = (out.shape()[0], out.shape()[1]);
+        let bias = self.bias.data().to_vec();
+        let data = out.data_mut();
+        for b in 0..batch {
+            for (j, &bv) in bias.iter().enumerate() {
+                data[b * n_out + j] += bv;
+            }
+        }
+        self.input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .input
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "dense" })?;
+        // dW = x^T · dy ; db = column sums of dy ; dx = dy · W^T
+        self.grad_w = input.transpose()?.matmul(grad_out)?;
+        let (batch, n_out) = (grad_out.shape()[0], grad_out.shape()[1]);
+        let mut gb = vec![0.0f32; n_out];
+        for b in 0..batch {
+            for (j, g) in gb.iter_mut().enumerate() {
+                *g += grad_out.data()[b * n_out + j];
+            }
+        }
+        self.grad_b = Tensor::from_vec(gb, &[n_out])?;
+        Ok(grad_out.matmul(&self.weight.transpose()?)?)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    fn gradients(&self) -> Vec<Tensor> {
+        vec![self.grad_w.clone(), self.grad_b.clone()]
+    }
+
+    fn set_parameters(&mut self, params: &[Tensor]) -> Result<(), NnError> {
+        if params.len() != 2
+            || params[0].shape() != self.weight.shape()
+            || params[1].shape() != self.bias.shape()
+        {
+            return Err(NnError::BadInput {
+                layer: "dense",
+                expected: format!("params shaped {:?} and {:?}", self.weight.shape(), self.bias.shape()),
+                got: params.first().map(|p| p.shape().to_vec()).unwrap_or_default(),
+            });
+        }
+        self.weight = params[0].clone();
+        self.bias = params[1].clone();
+        Ok(())
+    }
+
+    fn num_param_tensors(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> Dense {
+        let mut rng = StdRng::seed_from_u64(1);
+        Dense::new(3, 2, &mut rng)
+    }
+
+    #[test]
+    fn forward_applies_weight_and_bias() {
+        let mut fc = layer();
+        fc.set_parameters(&[
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0], &[3, 2]).unwrap(),
+            Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap(),
+        ])
+        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let y = fc.forward(&x).unwrap();
+        // y0 = 1*1 + 2*0 + 3*0 + 0.5 ; y1 = 1*0 + 2*1 + 3*0 - 0.5
+        assert_eq!(y.data(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut fc = layer();
+        let x = Tensor::from_vec(vec![0.3, -0.6, 0.9, 0.1, 0.5, -0.2], &[2, 3]).unwrap();
+        let y = fc.forward(&x).unwrap();
+        // Loss = sum(y); dL/dy = ones.
+        let gy = Tensor::ones(y.shape());
+        let gx = fc.backward(&gy).unwrap();
+
+        // Numerical check of dL/dx[0][1].
+        let eps = 1e-3f32;
+        let mut xp = x.clone();
+        xp.data_mut()[1] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[1] -= eps;
+        let mut fc2 = layer();
+        let lp = fc2.forward(&xp).unwrap().sum();
+        let lm = fc2.forward(&xm).unwrap().sum();
+        let num = (lp - lm) / (2.0 * eps);
+        assert!((gx.data()[1] - num).abs() < 1e-2, "{} vs {num}", gx.data()[1]);
+    }
+
+    #[test]
+    fn weight_gradient_matches_numerical() {
+        let mut fc = layer();
+        let x = Tensor::from_vec(vec![0.3, -0.6, 0.9], &[1, 3]).unwrap();
+        let y = fc.forward(&x).unwrap();
+        fc.backward(&Tensor::ones(y.shape())).unwrap();
+        let gw = fc.gradients()[0].clone();
+
+        let eps = 1e-3f32;
+        let params = fc.parameters();
+        for idx in [0usize, 3] {
+            let mut wp = params[0].clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = params[0].clone();
+            wm.data_mut()[idx] -= eps;
+            let mut f_p = layer();
+            f_p.set_parameters(&[wp, params[1].clone()]).unwrap();
+            let mut f_m = layer();
+            f_m.set_parameters(&[wm, params[1].clone()]).unwrap();
+            let lp = f_p.forward(&x).unwrap().sum();
+            let lm = f_m.forward(&x).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((gw.data()[idx] - num).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_input_width() {
+        let mut fc = layer();
+        assert!(matches!(
+            fc.forward(&Tensor::zeros(&[2, 5])),
+            Err(NnError::BadInput { layer: "dense", .. })
+        ));
+    }
+
+    #[test]
+    fn backward_without_forward_fails() {
+        let mut fc = layer();
+        assert!(matches!(
+            fc.backward(&Tensor::zeros(&[1, 2])),
+            Err(NnError::NoForwardContext { .. })
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+use comdml_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Layer, NnError};
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `p` and scales survivors by `1/(1−p)` so the expected
+/// activation is unchanged; [`Dropout::eval_mode`] turns it into a no-op for
+/// inference.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1), got {p}");
+        Self { p, training: true, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+
+    /// Switches to inference behaviour (identity).
+    pub fn eval_mode(&mut self) {
+        self.training = false;
+    }
+
+    /// Switches back to training behaviour.
+    pub fn train_mode(&mut self) {
+        self.training = true;
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if !self.training || self.p == 0.0 {
+            self.mask = Some(vec![1.0; input.len()]);
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data = input.data().iter().zip(mask.iter()).map(|(&v, &m)| v * m).collect();
+        self.mask = Some(mask);
+        Ok(Tensor::from_vec(data, input.shape())?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "dropout" })?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::BadInput {
+                layer: "dropout",
+                expected: format!("{} elements", mask.len()),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        let data = grad_out.data().iter().zip(mask.iter()).map(|(&g, &m)| g * m).collect();
+        Ok(Tensor::from_vec(data, grad_out.shape())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.eval_mode();
+        let x = Tensor::ones(&[8]);
+        assert_eq!(d.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn training_drops_roughly_p_fraction() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x).unwrap();
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((4_000..6_000).contains(&zeros), "dropped {zeros}");
+        // Survivors are scaled by 2.
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn expected_value_is_preserved() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor::ones(&[50_000]);
+        let y = d.forward(&x).unwrap();
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x).unwrap();
+        let g = d.backward(&Tensor::ones(&[64])).unwrap();
+        // Gradient must be zero exactly where the forward output was zero.
+        for (a, b) in y.data().iter().zip(g.data().iter()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

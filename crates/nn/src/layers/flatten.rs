@@ -1,0 +1,65 @@
+use comdml_tensor::Tensor;
+
+use crate::{Layer, NnError};
+
+/// Flattens `[batch, ...]` inputs into `[batch, features]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self { input_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() < 2 {
+            return Err(NnError::BadInput {
+                layer: "flatten",
+                expected: "rank >= 2".to_string(),
+                got: input.shape().to_vec(),
+            });
+        }
+        let batch = input.shape()[0];
+        let features = input.len() / batch;
+        self.input_shape = Some(input.shape().to_vec());
+        Ok(input.reshape(&[batch, features])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self
+            .input_shape
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "flatten" })?;
+        Ok(grad_out.reshape(&shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 48]);
+        let g = f.backward(&Tensor::zeros(&[2, 48])).unwrap();
+        assert_eq!(g.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_rank_one() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros(&[4])).is_err());
+    }
+}

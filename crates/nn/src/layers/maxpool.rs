@@ -1,0 +1,127 @@
+use comdml_tensor::Tensor;
+
+use crate::{Layer, NnError};
+
+/// Non-overlapping max pooling with a square window over
+/// `[batch, C, H, W]` inputs.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    argmax: Option<(Vec<usize>, Vec<usize>)>, // (input shape ref via indices, chosen indices)
+    input_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max pool with the given window (and equal stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        Self { window, argmax: None, input_shape: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4
+            || input.shape()[2] % self.window != 0
+            || input.shape()[3] % self.window != 0
+        {
+            return Err(NnError::BadInput {
+                layer: "max_pool2d",
+                expected: format!("[batch, c, h, w] with h, w divisible by {}", self.window),
+                got: input.shape().to_vec(),
+            });
+        }
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.window;
+        let (ho, wo) = (h / k, w / k);
+        let x = input.data();
+        let mut out = vec![0.0f32; b * c * ho * wo];
+        let mut winners = vec![0usize; b * c * ho * wo];
+        for bi in 0..b {
+            for ci in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let idx = ((bi * c + ci) * h + oy * k + ky) * w + ox * k + kx;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ((bi * c + ci) * ho + oy) * wo + ox;
+                        out[o] = best;
+                        winners[o] = best_idx;
+                    }
+                }
+            }
+        }
+        self.input_shape = Some(input.shape().to_vec());
+        self.argmax = Some((vec![b * c * h * w], winners));
+        Ok(Tensor::from_vec(out, &[b, c, ho, wo])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self
+            .input_shape
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "max_pool2d" })?;
+        let (total, winners) = self
+            .argmax
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "max_pool2d" })?;
+        let mut gx = vec![0.0f32; total[0]];
+        for (o, &src) in winners.iter().enumerate() {
+            gx[src] += grad_out.data()[o];
+        }
+        Ok(Tensor::from_vec(gx, &shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_window_maxima() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0, 1.0, 9.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.data(), &[8.0, 6.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_winner() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        p.forward(&x).unwrap();
+        let g = p.backward(&Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[0.0, 10.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_indivisible_dims() {
+        let mut p = MaxPool2d::new(2);
+        assert!(p.forward(&Tensor::zeros(&[1, 1, 5, 4])).is_err());
+    }
+}

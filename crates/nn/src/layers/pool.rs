@@ -1,0 +1,216 @@
+use comdml_tensor::Tensor;
+
+use crate::{Layer, NnError};
+
+/// Non-overlapping average pooling with a square window over
+/// `[batch, C, H, W]` inputs.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    window: usize,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average pool with the given window (and equal stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        Self { window, input_shape: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &'static str {
+        "avg_pool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4 || input.shape()[2] % self.window != 0 || input.shape()[3] % self.window != 0 {
+            return Err(NnError::BadInput {
+                layer: "avg_pool2d",
+                expected: format!("[batch, c, h, w] with h, w divisible by {}", self.window),
+                got: input.shape().to_vec(),
+            });
+        }
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.window;
+        let (ho, wo) = (h / k, w / k);
+        let x = input.data();
+        let norm = 1.0 / (k * k) as f32;
+        let mut out = vec![0.0f32; b * c * ho * wo];
+        for bi in 0..b {
+            for ci in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = 0.0;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                acc += x[((bi * c + ci) * h + oy * k + ky) * w + ox * k + kx];
+                            }
+                        }
+                        out[((bi * c + ci) * ho + oy) * wo + ox] = acc * norm;
+                    }
+                }
+            }
+        }
+        self.input_shape = Some(input.shape().to_vec());
+        Ok(Tensor::from_vec(out, &[b, c, ho, wo])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self
+            .input_shape
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "avg_pool2d" })?;
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let k = self.window;
+        let (ho, wo) = (h / k, w / k);
+        let gy = grad_out.data();
+        let norm = 1.0 / (k * k) as f32;
+        let mut gx = vec![0.0f32; b * c * h * w];
+        for bi in 0..b {
+            for ci in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let g = gy[((bi * c + ci) * ho + oy) * wo + ox] * norm;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                gx[((bi * c + ci) * h + oy * k + ky) * w + ox * k + kx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(gx, &shape)?)
+    }
+}
+
+/// Global average pooling: `[batch, C, H, W] → [batch, C]`.
+///
+/// This is the first half of the paper's auxiliary network ("a fully
+/// connected layer and an average pooling layer", §V-A).
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        Self { input_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "global_avg_pool",
+                expected: "[batch, c, h, w]".to_string(),
+                got: input.shape().to_vec(),
+            });
+        }
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let x = input.data();
+        let norm = 1.0 / (h * w) as f32;
+        let mut out = vec![0.0f32; b * c];
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                out[bi * c + ci] = x[base..base + h * w].iter().sum::<f32>() * norm;
+            }
+        }
+        self.input_shape = Some(input.shape().to_vec());
+        Ok(Tensor::from_vec(out, &[b, c])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self
+            .input_shape
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "global_avg_pool" })?;
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let gy = grad_out.data();
+        let norm = 1.0 / (h * w) as f32;
+        let mut gx = vec![0.0f32; b * c * h * w];
+        for bi in 0..b {
+            for ci in 0..c {
+                let g = gy[bi * c + ci] * norm;
+                let base = (bi * c + ci) * h * w;
+                for v in &mut gx[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(gx, &shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_gradient() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        p.forward(&x).unwrap();
+        let g = p.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avg_pool_rejects_indivisible_dims() {
+        let mut p = AvgPool2d::new(2);
+        assert!(p.forward(&Tensor::zeros(&[1, 1, 3, 4])).is_err());
+    }
+
+    #[test]
+    fn global_pool_means_each_channel() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
+            .unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[4.0, 25.0]);
+    }
+
+    #[test]
+    fn global_pool_backward_is_uniform() {
+        let mut p = GlobalAvgPool::new();
+        p.forward(&Tensor::zeros(&[1, 1, 2, 2])).unwrap();
+        let g = p.backward(&Tensor::from_vec(vec![8.0], &[1, 1]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+}

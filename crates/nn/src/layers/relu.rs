@@ -1,0 +1,75 @@
+use comdml_tensor::Tensor;
+
+use crate::{Layer, NnError};
+
+/// Rectified linear unit, `y = max(0, x)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or(NnError::NoForwardContext { layer: "relu" })?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::BadInput {
+                layer: "relu",
+                expected: format!("{} elements", mask.len()),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, grad_out.shape())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(r.forward(&x).unwrap().data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[2]).unwrap();
+        r.forward(&x).unwrap();
+        let g = r.backward(&Tensor::from_vec(vec![5.0, 7.0], &[2]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_fails() {
+        let mut r = Relu::new();
+        assert!(r.backward(&Tensor::zeros(&[1])).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+use comdml_tensor::Tensor;
+
+use crate::NnError;
+
+/// Numerically stable softmax cross-entropy loss.
+///
+/// Computes the mean negative log-likelihood over the batch and the gradient
+/// with respect to the logits (`softmax(z) − onehot(y)` scaled by `1/batch`).
+///
+/// # Example
+///
+/// ```
+/// use comdml_nn::CrossEntropyLoss;
+/// use comdml_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[2, 2])?;
+/// let (loss, _grad) = CrossEntropyLoss::evaluate(&logits, &[0, 1])?;
+/// assert!(loss < 0.2); // confident and correct
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Computes `(mean_loss, grad_logits)` for `[batch, classes]` logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadLabels`] if the label count differs from the
+    /// batch size or any label is out of range, and [`NnError::BadInput`]
+    /// for non-matrix logits.
+    pub fn evaluate(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
+        if logits.rank() != 2 {
+            return Err(NnError::BadInput {
+                layer: "cross_entropy",
+                expected: "[batch, classes]".to_string(),
+                got: logits.shape().to_vec(),
+            });
+        }
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        if labels.len() != batch || labels.iter().any(|&y| y >= classes) {
+            return Err(NnError::BadLabels { batch, labels: labels.len(), classes });
+        }
+        let z = logits.data();
+        let mut grad = vec![0.0f32; batch * classes];
+        let mut loss = 0.0f64;
+        let inv_batch = 1.0 / batch as f32;
+        for b in 0..batch {
+            let row = &z[b * classes..(b + 1) * classes];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            let y = labels[b];
+            loss += -((exps[y] / sum).max(1e-12).ln()) as f64;
+            for (c, &e) in exps.iter().enumerate() {
+                let p = e / sum;
+                grad[b * classes + c] = (p - if c == y { 1.0 } else { 0.0 }) * inv_batch;
+            }
+        }
+        Ok(((loss / batch as f64) as f32, Tensor::from_vec(grad, &[batch, classes])?))
+    }
+
+    /// Softmax probabilities for `[batch, classes]` logits (used by privacy
+    /// and evaluation utilities).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for non-matrix logits.
+    pub fn softmax(logits: &Tensor) -> Result<Tensor, NnError> {
+        if logits.rank() != 2 {
+            return Err(NnError::BadInput {
+                layer: "softmax",
+                expected: "[batch, classes]".to_string(),
+                got: logits.shape().to_vec(),
+            });
+        }
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        let z = logits.data();
+        let mut out = vec![0.0f32; batch * classes];
+        for b in 0..batch {
+            let row = &z[b * classes..(b + 1) * classes];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for (c, &e) in exps.iter().enumerate() {
+                out[b * classes + c] = e / sum;
+            }
+        }
+        Ok(Tensor::from_vec(out, &[batch, classes])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(&[3, 4]);
+        let (loss, _) = CrossEntropyLoss::evaluate(&logits, &[0, 1, 2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0], &[2, 3]).unwrap();
+        let (_, grad) = CrossEntropyLoss::evaluate(&logits, &[2, 0]).unwrap();
+        for b in 0..2 {
+            let s: f32 = grad.data()[b * 3..(b + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.1], &[1, 3]).unwrap();
+        let (_, grad) = CrossEntropyLoss::evaluate(&logits, &[1]).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (fp, _) = CrossEntropyLoss::evaluate(&lp, &[1]).unwrap();
+            let (fm, _) = CrossEntropyLoss::evaluate(&lm, &[1]).unwrap();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((grad.data()[idx] - num).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn extreme_logits_are_stable() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]).unwrap();
+        let (loss, grad) = CrossEntropyLoss::evaluate(&logits, &[0]).unwrap();
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bad_labels_rejected() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(CrossEntropyLoss::evaluate(&logits, &[0]).is_err());
+        assert!(CrossEntropyLoss::evaluate(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = CrossEntropyLoss::softmax(&logits).unwrap();
+        for b in 0..2 {
+            let s: f32 = p.data()[b * 3..(b + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Learning-rate scheduling utilities.
+
+/// Reduce-on-plateau learning-rate schedule — the paper's §V-A policy:
+/// "Upon the accuracy reached a plateau, the learning rate was reduced by a
+/// factor of 0.2 when there were 10 agents" (0.5 at larger scales).
+///
+/// Feed it the monitored metric (accuracy) each round; when the metric has
+/// not improved by at least `min_delta` for `patience` rounds it reports a
+/// decay, which the caller applies to its optimizer(s).
+///
+/// # Example
+///
+/// ```
+/// use comdml_nn::ReduceOnPlateau;
+///
+/// let mut sched = ReduceOnPlateau::new(0.2, 2, 0.001);
+/// assert_eq!(sched.observe(0.50), None);
+/// assert_eq!(sched.observe(0.60), None);   // improving
+/// assert_eq!(sched.observe(0.60), None);   // stalled (1)
+/// assert_eq!(sched.observe(0.60), Some(0.2)); // stalled (2) -> decay
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceOnPlateau {
+    factor: f32,
+    patience: usize,
+    min_delta: f32,
+    best: f32,
+    stalled: usize,
+}
+
+impl ReduceOnPlateau {
+    /// Creates a schedule decaying by `factor` after `patience` rounds
+    /// without a `min_delta` improvement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1)` or `patience` is zero.
+    pub fn new(factor: f32, patience: usize, min_delta: f32) -> Self {
+        assert!(factor > 0.0 && factor < 1.0, "decay factor must be in (0, 1), got {factor}");
+        assert!(patience > 0, "patience must be positive");
+        Self { factor, patience, min_delta, best: f32::NEG_INFINITY, stalled: 0 }
+    }
+
+    /// The paper's 10-agent configuration (factor 0.2).
+    pub fn paper_small_fleet() -> Self {
+        Self::new(0.2, 3, 1e-3)
+    }
+
+    /// The paper's 20/50/100-agent configuration (factor 0.5).
+    pub fn paper_large_fleet() -> Self {
+        Self::new(0.5, 3, 1e-3)
+    }
+
+    /// Records the latest metric; returns `Some(factor)` when the caller
+    /// should decay its learning rate.
+    pub fn observe(&mut self, metric: f32) -> Option<f32> {
+        if metric > self.best + self.min_delta {
+            self.best = metric;
+            self.stalled = 0;
+            return None;
+        }
+        self.stalled += 1;
+        if self.stalled >= self.patience {
+            self.stalled = 0;
+            Some(self.factor)
+        } else {
+            None
+        }
+    }
+
+    /// The best metric observed so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut s = ReduceOnPlateau::new(0.5, 2, 0.0);
+        assert_eq!(s.observe(0.1), None);
+        assert_eq!(s.observe(0.1), None); // stalled 1
+        assert_eq!(s.observe(0.2), None); // improved, reset
+        assert_eq!(s.observe(0.2), None); // stalled 1
+        assert_eq!(s.observe(0.2), Some(0.5)); // stalled 2
+    }
+
+    #[test]
+    fn decay_fires_repeatedly_on_long_plateaus() {
+        let mut s = ReduceOnPlateau::new(0.2, 2, 0.0);
+        s.observe(0.5);
+        let decays: Vec<Option<f32>> = (0..8).map(|_| s.observe(0.5)).collect();
+        let fired = decays.iter().filter(|d| d.is_some()).count();
+        assert_eq!(fired, 4, "every `patience` rounds: {decays:?}");
+    }
+
+    #[test]
+    fn min_delta_ignores_noise() {
+        let mut s = ReduceOnPlateau::new(0.2, 2, 0.05);
+        s.observe(0.50);
+        assert_eq!(s.observe(0.52), None); // below min_delta: stalled 1
+        assert_eq!(s.observe(0.53), Some(0.2)); // stalled 2 -> decay
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn rejects_factor_of_one() {
+        let _ = ReduceOnPlateau::new(1.0, 2, 0.0);
+    }
+
+    #[test]
+    fn integrates_with_optimizer() {
+        use comdml_tensor::SgdMomentum;
+        let mut opt = SgdMomentum::new(0.1, 0.9);
+        let mut sched = ReduceOnPlateau::paper_small_fleet();
+        for _ in 0..4 {
+            if let Some(f) = sched.observe(0.7) {
+                opt.decay(f);
+            }
+        }
+        assert!((opt.learning_rate() - 0.02).abs() < 1e-7);
+    }
+}

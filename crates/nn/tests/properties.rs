@@ -1,0 +1,83 @@
+//! Property tests for the training engine: gradient correctness and split
+//! consistency on randomly generated models and inputs.
+
+use comdml_nn::{models, CrossEntropyLoss, LocalLossSplit, Sequential};
+use comdml_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Splitting a model at any cut and chaining the halves must equal the
+    /// unsplit forward pass.
+    #[test]
+    fn split_forward_equals_full_forward(
+        seed in 0u64..u64::MAX,
+        hidden in 2usize..12,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = models::mlp(&[4, hidden, hidden, 3], &mut rng);
+        let x = Tensor::randn(&[5, 4], 1.0, &mut rng);
+        let y_full = model.forward(&x).unwrap();
+
+        let n = model.len();
+        let cut = ((n as f64) * cut_frac) as usize;
+        let (mut pre, mut suf) = model.split_at(cut).unwrap();
+        let mid = if pre.is_empty() { x.clone() } else { pre.forward(&x).unwrap() };
+        let y_split = if suf.is_empty() { mid } else { suf.forward(&mid).unwrap() };
+        for (a, b) in y_full.data().iter().zip(y_split.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Cross-entropy gradients always sum to ~0 per row and the loss is
+    /// non-negative.
+    #[test]
+    fn cross_entropy_invariants(
+        seed in 0u64..u64::MAX,
+        batch in 1usize..8,
+        classes in 2usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = Tensor::randn(&[batch, classes], 2.0, &mut rng);
+        let labels: Vec<usize> = (0..batch).map(|b| b % classes).collect();
+        let (loss, grad) = CrossEntropyLoss::evaluate(&logits, &labels).unwrap();
+        prop_assert!(loss >= 0.0);
+        for b in 0..batch {
+            let s: f32 = grad.data()[b * classes..(b + 1) * classes].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    /// A LocalLossSplit's predict equals the original model's forward before
+    /// any training has modified the weights.
+    #[test]
+    fn split_predict_matches_original(seed in 0u64..u64::MAX, offload in 0usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut original = models::mlp(&[3, 10, 10, 2], &mut rng);
+        let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        let expect = original.forward(&x).unwrap();
+
+        // Rebuild an identical model from the same seed and split it.
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let clone = models::mlp(&[3, 10, 10, 2], &mut rng2);
+        let mut split = LocalLossSplit::from_sequential(clone, offload, 2, &mut rng2).unwrap();
+        let got = split.predict(&x).unwrap();
+        for (a, b) in expect.data().iter().zip(got.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// set_parameters(parameters()) is the identity for any model.
+    #[test]
+    fn parameter_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model: Sequential = models::tiny_cnn(2, 4, &mut rng);
+        let params = model.parameters();
+        model.set_parameters(&params).unwrap();
+        prop_assert_eq!(model.parameters(), params);
+    }
+}

@@ -1,0 +1,37 @@
+//! Heterogeneous-agent world simulation for the ComDML reproduction.
+//!
+//! The paper evaluates ComDML in a simulated heterogeneous environment
+//! (§V-A "Implementation"): each agent owns a CPU profile from
+//! {4, 2, 1, 0.5, 0.2} CPUs and a link profile from {0, 10, 20, 50, 100}
+//! Mbps, profiles drift over time (20% of agents re-rolled after round 100),
+//! and agents are connected by a topology that ranges from a full mesh to a
+//! random graph with 20% of the links (Fig. 3).
+//!
+//! This crate reproduces that substrate: [`AgentProfile`]s and the paper's
+//! profile grids, [`Topology`] generation, the [`World`] container tying
+//! agents + links + data sizes together, profile churn, participant sampling,
+//! and a small deterministic [`EventQueue`] used by the round engine for
+//! per-batch pipeline simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use comdml_simnet::{Topology, WorldConfig};
+//!
+//! let world = WorldConfig::heterogeneous(10, 42)
+//!     .topology(Topology::random(0.2))
+//!     .build();
+//! assert_eq!(world.num_agents(), 10);
+//! ```
+
+mod agent;
+mod events;
+mod profile;
+mod topology;
+mod world;
+
+pub use agent::{AgentId, AgentState};
+pub use events::EventQueue;
+pub use profile::{AgentProfile, CPU_PROFILES, LINK_PROFILES_MBPS};
+pub use topology::{Adjacency, Topology};
+pub use world::{World, WorldConfig};

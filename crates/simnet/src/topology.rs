@@ -1,0 +1,241 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Network topology shapes evaluated in the paper (§V-B.5): full mesh, ring,
+/// and random graphs keeping a fraction `p` of all possible links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every pair of agents is connected.
+    Full,
+    /// Agents form a cycle; each talks to two neighbours.
+    Ring,
+    /// Erdős–Rényi-style graph: each possible edge exists with probability
+    /// `p` (Fig. 3 uses `p = 0.2`).
+    Random {
+        /// Probability of keeping each edge.
+        p: f64,
+    },
+}
+
+impl Topology {
+    /// Convenience constructor for a random topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn random(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+        Topology::Random { p }
+    }
+
+    /// Materializes the adjacency for `k` agents using `rng` for random
+    /// topologies.
+    pub fn build<R: Rng>(&self, k: usize, rng: &mut R) -> Adjacency {
+        let mut adj = vec![vec![false; k]; k];
+        match *self {
+            Topology::Full => {
+                for (i, row) in adj.iter_mut().enumerate() {
+                    for (j, cell) in row.iter_mut().enumerate() {
+                        *cell = i != j;
+                    }
+                }
+            }
+            Topology::Ring => {
+                if k > 1 {
+                    for i in 0..k {
+                        let next = (i + 1) % k;
+                        adj[i][next] = true;
+                        adj[next][i] = true;
+                    }
+                }
+            }
+            Topology::Random { p } => {
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                            adj[i][j] = true;
+                            adj[j][i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        Adjacency { matrix: adj }
+    }
+}
+
+/// A symmetric adjacency matrix over agents.
+///
+/// # Example
+///
+/// ```
+/// use comdml_simnet::Topology;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let adj = Topology::Ring.build(5, &mut rng);
+/// assert_eq!(adj.degree(0), 2);
+/// assert!(adj.connected(0, 1) && !adj.connected(0, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adjacency {
+    matrix: Vec<Vec<bool>>,
+}
+
+impl Adjacency {
+    /// Builds an adjacency from an explicit symmetric matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square, not symmetric, or has self-loops.
+    pub fn from_matrix(matrix: Vec<Vec<bool>>) -> Self {
+        let k = matrix.len();
+        for (i, row) in matrix.iter().enumerate() {
+            assert_eq!(row.len(), k, "adjacency matrix must be square");
+            assert!(!row[i], "self-loops are not allowed");
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, matrix[j][i], "adjacency matrix must be symmetric");
+            }
+        }
+        Self { matrix }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Whether the adjacency covers zero agents.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// Whether agents `i` and `j` share a link.
+    pub fn connected(&self, i: usize, j: usize) -> bool {
+        i != j && self.matrix[i][j]
+    }
+
+    /// The neighbours of agent `i`.
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        self.matrix[i]
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &c)| if c { Some(j) } else { None })
+            .collect()
+    }
+
+    /// The degree of agent `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.matrix[i].iter().filter(|&&c| c).count()
+    }
+
+    /// Fraction of possible edges present.
+    pub fn density(&self) -> f64 {
+        let k = self.len();
+        if k < 2 {
+            return 0.0;
+        }
+        let edges: usize = (0..k).map(|i| self.degree(i)).sum::<usize>() / 2;
+        edges as f64 / (k * (k - 1) / 2) as f64
+    }
+
+    /// Whether the graph is connected (single component). Isolated agents
+    /// make this false; the paper lets such agents train independently.
+    pub fn is_connected_graph(&self) -> bool {
+        let k = self.len();
+        if k == 0 {
+            return true;
+        }
+        let mut seen = vec![false; k];
+        let mut stack = vec![0];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            for j in self.neighbors(i) {
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_mesh_connects_everyone() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let adj = Topology::Full.build(6, &mut rng);
+        assert_eq!(adj.degree(3), 5);
+        assert!((adj.density() - 1.0).abs() < 1e-12);
+        assert!(adj.is_connected_graph());
+    }
+
+    #[test]
+    fn ring_has_degree_two() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let adj = Topology::Ring.build(8, &mut rng);
+        for i in 0..8 {
+            assert_eq!(adj.degree(i), 2);
+        }
+        assert!(adj.is_connected_graph());
+    }
+
+    #[test]
+    fn ring_of_two_is_a_single_edge() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let adj = Topology::Ring.build(2, &mut rng);
+        assert!(adj.connected(0, 1));
+        assert_eq!(adj.degree(0), 1);
+    }
+
+    #[test]
+    fn random_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let adj = Topology::random(0.2).build(60, &mut rng);
+        let d = adj.density();
+        assert!((0.12..0.28).contains(&d), "density {d}");
+    }
+
+    #[test]
+    fn random_p_zero_is_isolated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let adj = Topology::random(0.0).build(5, &mut rng);
+        assert_eq!(adj.density(), 0.0);
+        assert!(!adj.is_connected_graph());
+    }
+
+    #[test]
+    fn no_self_loops_anywhere() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for topo in [Topology::Full, Topology::Ring, Topology::random(0.5)] {
+            let adj = topo.build(10, &mut rng);
+            for i in 0..10 {
+                assert!(!adj.connected(i, i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn from_matrix_validates_symmetry() {
+        let _ = Adjacency::from_matrix(vec![vec![false, true], vec![false, false]]);
+    }
+
+    #[test]
+    fn neighbors_listed_in_order() {
+        let m = vec![
+            vec![false, true, true],
+            vec![true, false, false],
+            vec![true, false, false],
+        ];
+        let adj = Adjacency::from_matrix(m);
+        assert_eq!(adj.neighbors(0), vec![1, 2]);
+        assert_eq!(adj.neighbors(1), vec![0]);
+    }
+}

@@ -1,0 +1,351 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::assign_profiles;
+use crate::{Adjacency, AgentId, AgentProfile, AgentState, Topology};
+
+/// Builder for a simulated world of heterogeneous agents.
+///
+/// # Example
+///
+/// ```
+/// use comdml_simnet::{Topology, WorldConfig};
+///
+/// let world = WorldConfig::heterogeneous(20, 7)
+///     .total_samples(50_000)
+///     .batch_size(100)
+///     .topology(Topology::Full)
+///     .build();
+/// assert_eq!(world.num_agents(), 20);
+/// let total: usize = world.agents().iter().map(|a| a.num_samples).sum();
+/// assert_eq!(total, 50_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    num_agents: usize,
+    seed: u64,
+    total_samples: usize,
+    batch_size: usize,
+    topology: Topology,
+    sample_skew: f64,
+}
+
+impl WorldConfig {
+    /// Starts a config for `k` agents with the paper's heterogeneous profile
+    /// mix, deterministic under `seed`.
+    pub fn heterogeneous(k: usize, seed: u64) -> Self {
+        Self {
+            num_agents: k,
+            seed,
+            total_samples: 50_000,
+            batch_size: 100,
+            topology: Topology::Full,
+            sample_skew: 0.0,
+        }
+    }
+
+    /// Sets the total number of training samples shared by all agents
+    /// (50 000 for CIFAR-10/100, 90 000 for CINIC-10).
+    pub fn total_samples(mut self, n: usize) -> Self {
+        self.total_samples = n;
+        self
+    }
+
+    /// Sets the local mini-batch size (the paper uses 100).
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b;
+        self
+    }
+
+    /// Sets the network topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Skews dataset sizes across agents: 0 gives an even split, 1 gives a
+    /// strongly uneven split (sizes proportional to `1 + skew·u` for uniform
+    /// `u`). The paper lists "task size" as one of the heterogeneity axes.
+    pub fn sample_skew(mut self, skew: f64) -> Self {
+        self.sample_skew = skew.clamp(0.0, 4.0);
+        self
+    }
+
+    /// Materializes the world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero agents or a zero batch size.
+    pub fn build(self) -> World {
+        assert!(self.num_agents > 0, "a world needs at least one agent");
+        assert!(self.batch_size > 0, "batch size must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let profiles = assign_profiles(self.num_agents, &mut rng);
+
+        // Dataset split: even shares, optionally skewed.
+        let k = self.num_agents;
+        let weights: Vec<f64> =
+            (0..k).map(|_| 1.0 + self.sample_skew * rng.gen::<f64>()).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut sizes: Vec<usize> =
+            weights.iter().map(|w| (self.total_samples as f64 * w / wsum) as usize).collect();
+        // Distribute rounding remainder deterministically.
+        let assigned: usize = sizes.iter().sum();
+        for i in 0..self.total_samples.saturating_sub(assigned) {
+            sizes[i % k] += 1;
+        }
+
+        let agents = profiles
+            .into_iter()
+            .zip(sizes)
+            .enumerate()
+            .map(|(i, (p, n))| AgentState::new(AgentId(i), p, n, self.batch_size))
+            .collect();
+        let adjacency = self.topology.build(k, &mut rng);
+        World { agents, adjacency, churn_rng: StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9) }
+    }
+}
+
+/// A simulated world: agents with resources and data, plus the link graph.
+///
+/// Pairwise link speed is the minimum of the two endpoints' link profiles
+/// (a path is no faster than its slowest hop), and 0 when the topology has
+/// no edge.
+#[derive(Debug, Clone)]
+pub struct World {
+    agents: Vec<AgentState>,
+    adjacency: Adjacency,
+    churn_rng: StdRng,
+}
+
+impl World {
+    /// Builds a world from explicit parts (used by tests and baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents.len()` differs from the adjacency size.
+    pub fn from_parts(agents: Vec<AgentState>, adjacency: Adjacency, seed: u64) -> Self {
+        assert_eq!(agents.len(), adjacency.len(), "agents and adjacency must agree");
+        Self { agents, adjacency, churn_rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// All agent states.
+    pub fn agents(&self) -> &[AgentState] {
+        &self.agents
+    }
+
+    /// Mutable agent states (used by failure-injection tests).
+    pub fn agents_mut(&mut self) -> &mut [AgentState] {
+        &mut self.agents
+    }
+
+    /// One agent's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn agent(&self, id: AgentId) -> &AgentState {
+        &self.agents[id.0]
+    }
+
+    /// The link graph.
+    pub fn adjacency(&self) -> &Adjacency {
+        &self.adjacency
+    }
+
+    /// Effective link speed between two agents in Mbps: the minimum of the
+    /// endpoints' profiles, or 0 if the topology has no edge or either agent
+    /// is disconnected.
+    pub fn link_mbps(&self, i: AgentId, j: AgentId) -> f64 {
+        if i == j || !self.adjacency.connected(i.0, j.0) {
+            return 0.0;
+        }
+        self.agents[i.0].profile.link_mbps.min(self.agents[j.0].profile.link_mbps)
+    }
+
+    /// The neighbours of `i` with a usable (non-zero) link.
+    pub fn reachable_neighbors(&self, i: AgentId) -> Vec<AgentId> {
+        self.adjacency
+            .neighbors(i.0)
+            .into_iter()
+            .map(AgentId)
+            .filter(|&j| self.link_mbps(i, j) > 0.0)
+            .collect()
+    }
+
+    /// Re-rolls the profiles of a `fraction` of agents, the paper's dynamic
+    /// environment ("we randomly changed the profile of 20% of the agents
+    /// after 100 rounds").
+    pub fn churn_profiles(&mut self, fraction: f64) {
+        let k = self.agents.len();
+        let n = ((k as f64 * fraction).round() as usize).min(k);
+        let mut ids: Vec<usize> = (0..k).collect();
+        ids.shuffle(&mut self.churn_rng);
+        for &i in ids.iter().take(n) {
+            self.agents[i].profile = AgentProfile::sample(&mut self.churn_rng);
+        }
+    }
+
+    /// Samples a participation subset of the given rate (Table III uses a
+    /// 20% sampling rate), always returning at least one agent.
+    pub fn sample_participants(&mut self, rate: f64) -> Vec<AgentId> {
+        let k = self.agents.len();
+        let n = ((k as f64 * rate).round() as usize).clamp(1, k);
+        let mut ids: Vec<usize> = (0..k).collect();
+        ids.shuffle(&mut self.churn_rng);
+        let mut out: Vec<AgentId> = ids.into_iter().take(n).map(AgentId).collect();
+        out.sort();
+        out
+    }
+
+    /// The slowest agent's solo round time given per-batch seconds computed
+    /// by the caller — convenience for straggler diagnostics.
+    pub fn straggler_by<F: Fn(&AgentState) -> f64>(&self, time_fn: F) -> (AgentId, f64) {
+        let mut worst = (AgentId(0), 0.0);
+        for a in &self.agents {
+            let t = time_fn(a);
+            if t > worst.1 {
+                worst = (a.id, t);
+            }
+        }
+        worst
+    }
+}
+
+/// Summary statistics of a world used in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorldSummary {
+    /// Number of agents.
+    pub num_agents: usize,
+    /// Mean CPU units.
+    pub mean_cpus: f64,
+    /// Mean link speed (Mbps).
+    pub mean_link_mbps: f64,
+    /// Edge density of the topology.
+    pub density: f64,
+}
+
+impl World {
+    /// Computes summary statistics.
+    pub fn summary(&self) -> WorldSummary {
+        let k = self.agents.len() as f64;
+        WorldSummary {
+            num_agents: self.agents.len(),
+            mean_cpus: self.agents.iter().map(|a| a.profile.cpus).sum::<f64>() / k,
+            mean_link_mbps: self.agents.iter().map(|a| a.profile.link_mbps).sum::<f64>() / k,
+            density: self.adjacency.density(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_splits_samples_exactly() {
+        let w = WorldConfig::heterogeneous(7, 3).total_samples(1000).build();
+        let total: usize = w.agents().iter().map(|a| a.num_samples).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn build_is_deterministic_under_seed() {
+        let a = WorldConfig::heterogeneous(10, 5).build();
+        let b = WorldConfig::heterogeneous(10, 5).build();
+        assert_eq!(a.agents(), b.agents());
+        assert_eq!(a.adjacency(), b.adjacency());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorldConfig::heterogeneous(10, 5).build();
+        let b = WorldConfig::heterogeneous(10, 6).build();
+        assert_ne!(a.agents(), b.agents());
+    }
+
+    #[test]
+    fn link_speed_is_min_of_endpoints() {
+        let agents = vec![
+            AgentState::new(AgentId(0), AgentProfile::new(1.0, 10.0), 100, 10),
+            AgentState::new(AgentId(1), AgentProfile::new(1.0, 50.0), 100, 10),
+        ];
+        let adj = Adjacency::from_matrix(vec![vec![false, true], vec![true, false]]);
+        let w = World::from_parts(agents, adj, 0);
+        assert_eq!(w.link_mbps(AgentId(0), AgentId(1)), 10.0);
+        assert_eq!(w.link_mbps(AgentId(0), AgentId(0)), 0.0);
+    }
+
+    #[test]
+    fn disconnected_profile_has_no_reachable_neighbors() {
+        let agents = vec![
+            AgentState::new(AgentId(0), AgentProfile::disconnected(1.0), 100, 10),
+            AgentState::new(AgentId(1), AgentProfile::new(1.0, 50.0), 100, 10),
+        ];
+        let adj = Adjacency::from_matrix(vec![vec![false, true], vec![true, false]]);
+        let w = World::from_parts(agents, adj, 0);
+        assert!(w.reachable_neighbors(AgentId(0)).is_empty());
+        assert!(w.reachable_neighbors(AgentId(1)).is_empty());
+    }
+
+    #[test]
+    fn churn_changes_a_fraction_of_profiles() {
+        let mut w = WorldConfig::heterogeneous(20, 11).build();
+        let before: Vec<AgentProfile> = w.agents().iter().map(|a| a.profile).collect();
+        w.churn_profiles(0.2);
+        let changed = w
+            .agents()
+            .iter()
+            .zip(before.iter())
+            .filter(|(a, b)| a.profile != **b)
+            .count();
+        // Exactly 4 agents are re-rolled; a re-roll may land on the same
+        // profile, so allow <= 4 but require the mechanism to have acted.
+        assert!(changed <= 4);
+        assert!(changed >= 1, "churn should usually change something");
+    }
+
+    #[test]
+    fn sampling_respects_rate_and_is_nonempty() {
+        let mut w = WorldConfig::heterogeneous(50, 13).build();
+        let s = w.sample_participants(0.2);
+        assert_eq!(s.len(), 10);
+        let tiny = w.sample_participants(0.0001);
+        assert_eq!(tiny.len(), 1);
+    }
+
+    #[test]
+    fn skewed_sizes_are_uneven() {
+        let w = WorldConfig::heterogeneous(10, 17).sample_skew(3.0).build();
+        let sizes: Vec<usize> = w.agents().iter().map(|a| a.num_samples).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max as f64 > 1.5 * min as f64, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn straggler_by_finds_maximum() {
+        let w = WorldConfig::heterogeneous(10, 19).build();
+        let (id, t) = w.straggler_by(|a| a.num_batches() as f64 / a.profile.cpus);
+        for a in w.agents() {
+            assert!(a.num_batches() as f64 / a.profile.cpus <= t + 1e-12);
+        }
+        assert!(id.0 < 10);
+    }
+
+    #[test]
+    fn summary_reports_sane_values() {
+        let w = WorldConfig::heterogeneous(25, 23).topology(Topology::random(0.5)).build();
+        let s = w.summary();
+        assert_eq!(s.num_agents, 25);
+        assert!(s.mean_cpus > 0.0 && s.mean_cpus <= 4.0);
+        assert!((0.0..=1.0).contains(&s.density));
+    }
+}

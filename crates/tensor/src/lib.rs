@@ -1,0 +1,30 @@
+//! Dense tensor and optimizer substrate for the ComDML reproduction.
+//!
+//! The paper trains CNNs (ResNet-56/110) with SGD + momentum. This crate
+//! provides the minimal-but-real numerical substrate that the `comdml-nn`
+//! layers are built on: a row-major dense [`Tensor`] with the linear-algebra
+//! kernels backpropagation needs, an [`SgdMomentum`] optimizer, and
+//! [`ParamVec`] utilities for flattening model parameters into the contiguous
+//! vectors that collective operations (AllReduce, gossip) exchange.
+//!
+//! # Example
+//!
+//! ```
+//! use comdml_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), comdml_tensor::TensorError>(())
+//! ```
+
+mod error;
+mod param_vec;
+mod sgd;
+mod tensor;
+
+pub use error::TensorError;
+pub use param_vec::ParamVec;
+pub use sgd::SgdMomentum;
+pub use tensor::Tensor;

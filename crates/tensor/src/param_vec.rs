@@ -1,0 +1,190 @@
+use crate::{Tensor, TensorError};
+
+/// Flattens model parameters into a single contiguous vector and back.
+///
+/// Collective operations in the paper (AllReduce aggregation, §IV-B; gossip
+/// averaging) exchange whole models as flat byte/float buffers. `ParamVec`
+/// records the shapes of a parameter list so a model can be serialized into
+/// one `Vec<f32>`, averaged across agents, and written back in place.
+///
+/// # Example
+///
+/// ```
+/// use comdml_tensor::{ParamVec, Tensor};
+///
+/// let params = vec![Tensor::ones(&[2, 2]), Tensor::zeros(&[3])];
+/// let pv = ParamVec::flatten(&params);
+/// assert_eq!(pv.values().len(), 7);
+/// let restored = pv.unflatten()?;
+/// assert_eq!(restored[0], params[0]);
+/// # Ok::<(), comdml_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamVec {
+    values: Vec<f32>,
+    shapes: Vec<Vec<usize>>,
+}
+
+impl ParamVec {
+    /// Flattens a list of tensors into one contiguous vector, remembering
+    /// each tensor's shape.
+    pub fn flatten(params: &[Tensor]) -> Self {
+        let mut values = Vec::with_capacity(params.iter().map(Tensor::len).sum());
+        let mut shapes = Vec::with_capacity(params.len());
+        for p in params {
+            values.extend_from_slice(p.data());
+            shapes.push(p.shape().to_vec());
+        }
+        Self { values, shapes }
+    }
+
+    /// Builds a `ParamVec` directly from a flat value buffer and shape list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the buffer length does not
+    /// equal the total element count of `shapes`.
+    pub fn from_parts(values: Vec<f32>, shapes: Vec<Vec<usize>>) -> Result<Self, TensorError> {
+        let expected: usize = shapes.iter().map(|s| s.iter().product::<usize>()).sum();
+        if values.len() != expected {
+            return Err(TensorError::ShapeMismatch { expected, actual: values.len() });
+        }
+        Ok(Self { values, shapes })
+    }
+
+    /// The flat parameter values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable access to the flat parameter values (e.g. for in-place
+    /// AllReduce or noise injection).
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// The recorded per-tensor shapes.
+    pub fn shapes(&self) -> &[Vec<usize>] {
+        &self.shapes
+    }
+
+    /// Total number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Size of the parameter payload in bytes when sent as `f32`s, the `b`
+    /// of the paper's AllReduce cost `2 (K-1)/K · b`.
+    pub fn byte_size(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Reconstructs the original tensor list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the internal buffer was
+    /// resized to an inconsistent length via [`ParamVec::values_mut`].
+    pub fn unflatten(&self) -> Result<Vec<Tensor>, TensorError> {
+        let mut out = Vec::with_capacity(self.shapes.len());
+        let mut offset = 0;
+        for shape in &self.shapes {
+            let n: usize = shape.iter().product();
+            if offset + n > self.values.len() {
+                return Err(TensorError::ShapeMismatch {
+                    expected: offset + n,
+                    actual: self.values.len(),
+                });
+            }
+            out.push(Tensor::from_vec(self.values[offset..offset + n].to_vec(), shape)?);
+            offset += n;
+        }
+        if offset != self.values.len() {
+            return Err(TensorError::ShapeMismatch { expected: offset, actual: self.values.len() });
+        }
+        Ok(out)
+    }
+
+    /// Averages several parameter vectors element-wise, the model-aggregation
+    /// step at the end of each ComDML round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] if the vectors disagree in
+    /// length. Returns an empty `ParamVec` if `vecs` is empty.
+    pub fn average(vecs: &[Self]) -> Result<Self, TensorError> {
+        let Some(first) = vecs.first() else {
+            return Ok(Self { values: Vec::new(), shapes: Vec::new() });
+        };
+        let n = first.values.len();
+        for v in vecs {
+            if v.values.len() != n {
+                return Err(TensorError::IncompatibleShapes {
+                    op: "average",
+                    lhs: vec![n],
+                    rhs: vec![v.values.len()],
+                });
+            }
+        }
+        let mut values = vec![0.0f32; n];
+        for v in vecs {
+            for (acc, &x) in values.iter_mut().zip(v.values.iter()) {
+                *acc += x;
+            }
+        }
+        let inv = 1.0 / vecs.len() as f32;
+        for acc in &mut values {
+            *acc *= inv;
+        }
+        Ok(Self { values, shapes: first.shapes.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_unflatten_round_trip() {
+        let params = vec![
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+            Tensor::from_vec(vec![5.0, 6.0], &[2]).unwrap(),
+        ];
+        let pv = ParamVec::flatten(&params);
+        assert_eq!(pv.len(), 6);
+        assert_eq!(pv.byte_size(), 24);
+        assert_eq!(pv.unflatten().unwrap(), params);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(ParamVec::from_parts(vec![0.0; 4], vec![vec![2, 2]]).is_ok());
+        assert!(ParamVec::from_parts(vec![0.0; 3], vec![vec![2, 2]]).is_err());
+    }
+
+    #[test]
+    fn average_is_elementwise_mean() {
+        let a = ParamVec::from_parts(vec![1.0, 2.0], vec![vec![2]]).unwrap();
+        let b = ParamVec::from_parts(vec![3.0, 6.0], vec![vec![2]]).unwrap();
+        let avg = ParamVec::average(&[a, b]).unwrap();
+        assert_eq!(avg.values(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn average_rejects_mismatched_lengths() {
+        let a = ParamVec::from_parts(vec![1.0, 2.0], vec![vec![2]]).unwrap();
+        let b = ParamVec::from_parts(vec![3.0], vec![vec![1]]).unwrap();
+        assert!(ParamVec::average(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn average_of_empty_list_is_empty() {
+        let avg = ParamVec::average(&[]).unwrap();
+        assert!(avg.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the tensor substrate.
+
+use comdml_tensor::{ParamVec, SgdMomentum, Tensor};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-100.0f32..100.0).prop_map(|v| (v * 100.0).round() / 100.0)
+}
+
+fn tensor_with_len(len: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(finite_f32(), len)
+        .prop_map(move |data| Tensor::from_vec(data, &[len]).expect("length matches"))
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(
+        (a, b) in (1usize..48).prop_flat_map(|n| (tensor_with_len(n), tensor_with_len(n)))
+    ) {
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn subtraction_then_addition_round_trips(
+        (a, b) in (1usize..48).prop_flat_map(|n| (tensor_with_len(n), tensor_with_len(n)))
+    ) {
+        let c = a.sub(&b).unwrap().add(&b).unwrap();
+        for (x, y) in c.data().iter().zip(a.data().iter()) {
+            prop_assert!((x - y).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn scale_is_linear(a in (1usize..48).prop_flat_map(tensor_with_len), k in -10.0f32..10.0) {
+        let scaled = a.scale(k);
+        for (s, x) in scaled.data().iter().zip(a.data().iter()) {
+            prop_assert!((s - k * x).abs() <= 1e-4 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(rows in 1usize..8, cols in 1usize..8, seed in 0u64..u64::MAX) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let a = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let out = a.matmul(&Tensor::eye(cols)).unwrap();
+        prop_assert_eq!(out, a);
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..u64::MAX) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let a = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn flatten_unflatten_round_trips(
+        shapes in prop::collection::vec((1usize..5, 1usize..5), 1..6),
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let params: Vec<Tensor> = shapes
+            .iter()
+            .map(|&(a, b)| {
+                let data = (0..a * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                Tensor::from_vec(data, &[a, b]).unwrap()
+            })
+            .collect();
+        let pv = ParamVec::flatten(&params);
+        prop_assert_eq!(pv.unflatten().unwrap(), params);
+    }
+
+    #[test]
+    fn param_average_bounded_by_extremes(
+        n in 1usize..32,
+        k in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let vecs: Vec<ParamVec> = (0..k)
+            .map(|_| {
+                let vals = (0..n).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+                ParamVec::from_parts(vals, vec![vec![n]]).unwrap()
+            })
+            .collect();
+        let avg = ParamVec::average(&vecs).unwrap();
+        for i in 0..n {
+            let lo = vecs.iter().map(|v| v.values()[i]).fold(f32::INFINITY, f32::min);
+            let hi = vecs.iter().map(|v| v.values()[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg.values()[i] >= lo - 1e-4 && avg.values()[i] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn sgd_with_zero_gradient_is_identity(
+        n in 1usize..16,
+        lr in 0.001f32..1.0,
+        momentum in 0.0f32..0.99,
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mut w = vec![Tensor::from_vec(data.clone(), &[n]).unwrap()];
+        let g = vec![Tensor::zeros(&[n])];
+        let mut opt = SgdMomentum::new(lr, momentum);
+        opt.step(&mut w, &g).unwrap();
+        prop_assert_eq!(w[0].data(), &data[..]);
+    }
+}

@@ -1,0 +1,38 @@
+//! A dynamic 20-agent fleet: resource profiles churn mid-training and the
+//! decentralized scheduler re-pairs agents on the fly (§IV-A's motivation
+//! for *dynamic* pairing).
+//!
+//! ```sh
+//! cargo run --example heterogeneous_fleet
+//! ```
+
+use comdml::core::{ChurnPolicy, ComDml, ComDmlConfig};
+use comdml::simnet::WorldConfig;
+
+fn main() {
+    let mut world = WorldConfig::heterogeneous(20, 7).total_samples(100_000).build();
+    let mut comdml = ComDml::new(ComDmlConfig {
+        churn: Some(ChurnPolicy { interval: 5, fraction: 0.3 }),
+        ..ComDmlConfig::default()
+    });
+
+    println!("round | time (s) | offloading pairs | straggler idle share");
+    for r in 0..15 {
+        let outcome = comdml.run_round(&mut world, r);
+        let idle_share = outcome.total_idle_s()
+            / (outcome.compute_s * outcome.agent_stats.len() as f64).max(1e-9);
+        println!(
+            "{:>5} | {:>8.1} | {:>16} | {:>19.1}%{}",
+            r,
+            outcome.round_s(),
+            outcome.num_offloads,
+            idle_share * 100.0,
+            if r > 0 && r % 5 == 0 { "   <- profiles churned" } else { "" }
+        );
+    }
+
+    println!(
+        "\nThe scheduler re-pairs after every churn event; round times stay \
+         balanced instead of degrading with stale pairings."
+    );
+}

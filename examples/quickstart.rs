@@ -1,0 +1,52 @@
+//! Quickstart: build a heterogeneous world, run ComDML to a target
+//! accuracy, and inspect what the scheduler decided.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use comdml::core::{ComDml, ComDmlConfig, PairingScheduler, TrainingTimeEstimator};
+use comdml::cost::{CostCalibration, ModelSpec, SplitProfile};
+use comdml::simnet::WorldConfig;
+
+fn main() {
+    // Ten agents with the paper's CPU/link profile mix, sharing CIFAR-10.
+    let world = WorldConfig::heterogeneous(10, 42).total_samples(50_000).build();
+    println!("world: {:?}\n", world.summary());
+
+    // What does one round's pairing look like?
+    let spec = ModelSpec::resnet56();
+    let profile = SplitProfile::new(&spec, 100);
+    let cal = CostCalibration::default();
+    let estimator = TrainingTimeEstimator::new(&spec, &profile, &cal);
+    let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+    let pairings = PairingScheduler::new().pair(&world, &ids, &estimator);
+    println!("round-0 pairing decisions (slowest agents pick first):");
+    for p in &pairings {
+        let a = world.agent(p.slow);
+        match p.fast {
+            Some(fast) => println!(
+                "  {} ({:>4} cpus) -> offloads {:>2} layers to {} (est {:>6.1}s, solo {:>6.1}s)",
+                p.slow,
+                a.profile.cpus,
+                p.offload,
+                fast,
+                p.est_time_s,
+                estimator.solo_time_s(a),
+            ),
+            None => println!(
+                "  {} ({:>4} cpus) trains alone ({:>6.1}s)",
+                p.slow, a.profile.cpus, p.est_time_s
+            ),
+        }
+    }
+
+    // Run the whole training to 80% accuracy.
+    let mut comdml = ComDml::new(ComDmlConfig::default());
+    let report = comdml.run(&world, 0.80);
+    println!(
+        "\nComDML reached 80% in {} rounds, {:.0} simulated seconds \
+         ({:.1}s/round, {:.1} offloading pairs/round)",
+        report.rounds, report.total_time_s, report.mean_round_s, report.mean_offloads
+    );
+}

@@ -1,0 +1,49 @@
+//! # ComDML — Communication-Efficient Training Workload Balancing for
+//! # Decentralized Multi-Agent Learning
+//!
+//! This is the facade crate of a from-scratch Rust reproduction of the
+//! ICDCS 2024 paper *"Communication-Efficient Training Workload Balancing for
+//! Decentralized Multi-Agent Learning"* (ComDML, arXiv:2405.00839).
+//!
+//! ComDML balances training workload in a server-less, peer-to-peer learning
+//! system: slower agents offload a suffix of the model to faster agents using
+//! local-loss split training, and a decentralized pairing scheduler picks both
+//! the partner and the split point by jointly considering computation and
+//! communication capacities.
+//!
+//! The facade re-exports every sub-crate:
+//!
+//! * [`tensor`] — dense tensors and SGD.
+//! * [`nn`] — layers, losses, sequential models and local-loss split training.
+//! * [`data`] — synthetic datasets and Dirichlet non-I.I.D. partitioning.
+//! * [`cost`] — analytic ResNet-56/110 cost models and split profiles.
+//! * [`simnet`] — heterogeneous agents, links and topologies.
+//! * [`collective`] — AllReduce, gossip and quantization.
+//! * [`core`] — the ComDML scheduler, estimator and round engine.
+//! * [`baselines`] — FedAvg, Gossip Learning, BrainTorrent, AllReduce DML.
+//! * [`privacy`] — differential privacy, patch shuffling, distance correlation.
+//! * [`net`] — tokio peer-to-peer runtime.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use comdml::core::{ComDml, ComDmlConfig};
+//! use comdml::simnet::WorldConfig;
+//!
+//! # fn main() {
+//! let world = WorldConfig::heterogeneous(10, 42).build();
+//! let report = ComDml::new(ComDmlConfig::default()).run(&world, 0.80);
+//! assert!(report.total_time_s > 0.0);
+//! # }
+//! ```
+
+pub use comdml_baselines as baselines;
+pub use comdml_collective as collective;
+pub use comdml_core as core;
+pub use comdml_cost as cost;
+pub use comdml_data as data;
+pub use comdml_net as net;
+pub use comdml_nn as nn;
+pub use comdml_privacy as privacy;
+pub use comdml_simnet as simnet;
+pub use comdml_tensor as tensor;

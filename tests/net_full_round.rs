@@ -1,0 +1,268 @@
+//! A complete ComDML round over real TCP with real gradient descent —
+//! the whole §III-B/§IV-B data path end to end:
+//!
+//! 1. profile exchange and pairing handshake,
+//! 2. the slow agent trains its prefix + auxiliary head while streaming
+//!    detached activations (and labels) to the fast agent,
+//! 3. the fast agent trains the offloaded suffix on the incoming stream
+//!    (in parallel with its own local model),
+//! 4. the suffix parameters come back, the slow agent reunites its model,
+//! 5. both agents average their full models.
+//!
+//! Assertions: both sides' losses fall, the reunited model beats chance,
+//! and both agents finish with identical parameters.
+
+use comdml::data::{DatasetSpec, SyntheticImageDataset};
+use comdml::net::{pairing_handshake, FramedStream, Message, PairOutcome};
+use comdml::nn::{accuracy, models, AuxHead, CrossEntropyLoss, Sequential, Trainer};
+use comdml::tensor::{ParamVec, SgdMomentum, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tokio::net::{TcpListener, TcpStream};
+
+const OFFLOAD: usize = 3;
+const ROUNDS: usize = 4;
+const BATCHES_PER_ROUND: usize = 8;
+const BATCH: usize = 24;
+
+fn build_model(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    models::tiny_cnn(1, 4, &mut rng)
+}
+
+fn flatten(params: &[Tensor]) -> Vec<f32> {
+    ParamVec::flatten(params).values().to_vec()
+}
+
+/// The slow agent: prefix + aux head locally, suffix remote.
+async fn slow_agent(addr: std::net::SocketAddr) -> (Vec<f32>, f32, Vec<f32>) {
+    let mut stream = FramedStream::new(TcpStream::connect(addr).await.unwrap());
+
+    // Pairing handshake carries the scheduler's decision.
+    let outcome = pairing_handshake(&mut stream, 0, OFFLOAD as u32).await.unwrap();
+    assert_eq!(outcome, PairOutcome::Accepted { fast_id: 1 });
+
+    let model = build_model(42);
+    let n_layers = model.len();
+    let (mut prefix, suffix) = model.split_at(n_layers - OFFLOAD).unwrap();
+    // The suffix's *shapes* stay known so the returned parameters can be
+    // reassembled; the fast agent trains the actual values.
+    let suffix_shapes: Vec<Vec<usize>> =
+        suffix.parameters().iter().map(|p| p.shape().to_vec()).collect();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut aux: Option<AuxHead> = None;
+    let mut opt = SgdMomentum::new(0.05, 0.9);
+    let data = SyntheticImageDataset::generate(&DatasetSpec::miniature(), 3);
+
+    let mut slow_losses = Vec::new();
+    let mut final_suffix: Vec<f32> = Vec::new();
+    for round in 0..ROUNDS {
+        let mut round_loss = 0.0f32;
+        for b in 0..BATCHES_PER_ROUND {
+            let idx: Vec<usize> =
+                (0..BATCH).map(|i| (round * BATCHES_PER_ROUND * BATCH + b * BATCH + i) % data.len()).collect();
+            let (x, y) = data.batch(&idx);
+            // Local-loss training of the prefix.
+            let z = prefix.forward(&x).unwrap();
+            if aux.is_none() {
+                aux = Some(AuxHead::for_activation(z.shape(), 4, &mut rng).unwrap());
+            }
+            let head = aux.as_mut().unwrap();
+            let logits = head.forward(&z).unwrap();
+            let (loss, grad) = CrossEntropyLoss::evaluate(&logits, &y).unwrap();
+            round_loss += loss;
+            let gz = head.backward(&grad).unwrap();
+            prefix.backward(&gz).unwrap();
+            let mut params = prefix.parameters();
+            params.extend(head.parameters());
+            let mut grads = prefix.gradients();
+            grads.extend(head.gradients());
+            opt.step(&mut params, &grads).unwrap();
+            let n = prefix.num_param_tensors();
+            prefix.set_parameters(&params[..n]).unwrap();
+            head.set_parameters(&params[n..]).unwrap();
+
+            // Stream the *detached* activation across the cut.
+            stream
+                .send(&Message::Activations {
+                    batch_idx: b as u32,
+                    data: z.data().to_vec(),
+                    labels: y.iter().map(|&v| v as u32).collect(),
+                })
+                .await
+                .unwrap();
+        }
+        slow_losses.push(round_loss / BATCHES_PER_ROUND as f32);
+        stream.send(&Message::Done).await.unwrap();
+
+        // Suffix parameters come home; reunite the model and aggregate.
+        let Message::SuffixParams { data } = stream.expect("SuffixParams").await.unwrap() else {
+            unreachable!("expect checked")
+        };
+        let suffix_params = ParamVec::from_parts(data, suffix_shapes.clone())
+            .unwrap()
+            .unflatten()
+            .unwrap();
+        let mut full = flatten(&prefix.parameters());
+        full.extend(flatten(&suffix_params));
+
+        // 2-agent aggregation: exchange full models, average.
+        stream.send(&Message::ModelChunk { step: round as u32, data: full.clone() }).await.unwrap();
+        let Message::ModelChunk { data: theirs, .. } =
+            stream.expect("ModelChunk").await.unwrap()
+        else {
+            unreachable!("expect checked")
+        };
+        let averaged: Vec<f32> =
+            full.iter().zip(theirs.iter()).map(|(a, b)| 0.5 * (a + b)).collect();
+        // Write the averaged prefix back; keep the averaged suffix as the
+        // current global suffix (the fast agent syncs it identically).
+        let n_prefix: usize = prefix.parameters().iter().map(Tensor::len).sum();
+        final_suffix = averaged[n_prefix..].to_vec();
+        let shapes: Vec<Vec<usize>> =
+            prefix.parameters().iter().map(|p| p.shape().to_vec()).collect();
+        let new_prefix = ParamVec::from_parts(averaged[..n_prefix].to_vec(), shapes)
+            .unwrap()
+            .unflatten()
+            .unwrap();
+        prefix.set_parameters(&new_prefix).unwrap();
+    }
+
+    assert!(
+        slow_losses.last().unwrap() < &slow_losses[0],
+        "slow-side loss must fall: {slow_losses:?}"
+    );
+
+    // Return the reunited model for the final cross-check.
+    let mut full = flatten(&prefix.parameters());
+    full.extend(final_suffix);
+    (full, *slow_losses.last().unwrap(), flatten(&prefix.parameters()))
+}
+
+/// The fast agent: own model + the guest suffix.
+async fn fast_agent(listener: TcpListener) -> (Vec<f32>, f32) {
+    let (sock, _) = listener.accept().await.unwrap();
+    let mut stream = FramedStream::new(sock);
+
+    // Accept the pairing.
+    let Message::PairRequest { offload, .. } = stream.expect("PairRequest").await.unwrap() else {
+        unreachable!("expect checked")
+    };
+    assert_eq!(offload as usize, OFFLOAD);
+    stream.send(&Message::PairAccept { fast_id: 1 }).await.unwrap();
+
+    // The guest suffix: same architecture, same init seed as the slow side.
+    let model = build_model(42);
+    let n_layers = model.len();
+    let (prefix, mut suffix) = model.split_at(n_layers - OFFLOAD).unwrap();
+    let n_prefix_scalars: usize = prefix.parameters().iter().map(Tensor::len).sum();
+
+    // The fast agent's own local model and data (trained in parallel).
+    let mut own = Trainer::new(build_model(42), 0.05, 0.9);
+    let own_data = SyntheticImageDataset::generate(&DatasetSpec::miniature(), 11);
+
+    let mut opt = SgdMomentum::new(0.05, 0.9);
+    let mut fast_losses = Vec::new();
+    for _round in 0..ROUNDS {
+        let mut round_loss = 0.0f32;
+        let mut batches = 0usize;
+        loop {
+            match stream.recv().await.unwrap() {
+                Message::Activations { data, labels, .. } => {
+                    let batch = labels.len();
+                    let feat = data.len() / batch;
+                    // Reconstruct the spatial activation shape [b, c, h, w]
+                    // from the known cut (tiny_cnn cut: [b, 16, 4, 4]).
+                    let z = Tensor::from_vec(data, &[batch, 16, feat / 16 / 4, 4]).unwrap();
+                    let y: Vec<usize> = labels.iter().map(|&v| v as usize).collect();
+                    let out = suffix.forward(&z).unwrap();
+                    let (loss, grad) = CrossEntropyLoss::evaluate(&out, &y).unwrap();
+                    round_loss += loss;
+                    batches += 1;
+                    suffix.backward(&grad).unwrap();
+                    let mut params = suffix.parameters();
+                    let grads = suffix.gradients();
+                    opt.step(&mut params, &grads).unwrap();
+                    suffix.set_parameters(&params).unwrap();
+
+                    // Interleave one batch of own training, as §III-B's
+                    // "simultaneously, each faster agent also performs the
+                    // model training using its local dataset".
+                    let idx: Vec<usize> = (0..BATCH).map(|i| (batches * BATCH + i) % own_data.len()).collect();
+                    let (ox, oy) = own_data.batch(&idx);
+                    own.step(&ox, &oy).unwrap();
+                }
+                Message::Done => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        fast_losses.push(round_loss / batches.max(1) as f32);
+
+        // Ship the trained suffix home.
+        stream
+            .send(&Message::SuffixParams { data: flatten(&suffix.parameters()) })
+            .await
+            .unwrap();
+
+        // Aggregation exchange (the fast agent contributes its own model).
+        let own_full = flatten(&own.model().parameters());
+        let Message::ModelChunk { data: theirs, step } =
+            stream.expect("ModelChunk").await.unwrap()
+        else {
+            unreachable!("expect checked")
+        };
+        stream.send(&Message::ModelChunk { step, data: own_full.clone() }).await.unwrap();
+        let averaged: Vec<f32> =
+            own_full.iter().zip(theirs.iter()).map(|(a, b)| 0.5 * (a + b)).collect();
+        let shapes: Vec<Vec<usize>> =
+            own.model().parameters().iter().map(|p| p.shape().to_vec()).collect();
+        let new_own = ParamVec::from_parts(averaged.clone(), shapes).unwrap().unflatten().unwrap();
+        own.model_mut().set_parameters(&new_own).unwrap();
+        // Keep the guest suffix in sync with the aggregated global model.
+        let suffix_shapes: Vec<Vec<usize>> =
+            suffix.parameters().iter().map(|p| p.shape().to_vec()).collect();
+        let new_suffix =
+            ParamVec::from_parts(averaged[n_prefix_scalars..].to_vec(), suffix_shapes)
+                .unwrap()
+                .unflatten()
+                .unwrap();
+        suffix.set_parameters(&new_suffix).unwrap();
+    }
+
+    assert!(
+        fast_losses.last().unwrap() < &fast_losses[0],
+        "fast-side loss must fall: {fast_losses:?}"
+    );
+    (flatten(&own.model().parameters()), *fast_losses.last().unwrap())
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn full_comdml_round_over_tcp() {
+    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let fast = tokio::spawn(fast_agent(listener));
+    let slow = tokio::spawn(slow_agent(addr));
+
+    let (slow_model, slow_loss, _prefix) = slow.await.unwrap();
+    let (fast_model, fast_loss) = fast.await.unwrap();
+    assert!(slow_loss.is_finite() && fast_loss.is_finite());
+
+    // After the final aggregation both agents hold the same global model.
+    assert_eq!(slow_model.len(), fast_model.len());
+    for (a, b) in slow_model.iter().zip(fast_model.iter()) {
+        assert!((a - b).abs() < 1e-4, "models diverged: {a} vs {b}");
+    }
+
+    // And the reunited model must beat chance on held-out data.
+    let mut eval = build_model(42);
+    let shapes: Vec<Vec<usize>> = eval.parameters().iter().map(|p| p.shape().to_vec()).collect();
+    let params = ParamVec::from_parts(slow_model, shapes).unwrap().unflatten().unwrap();
+    eval.set_parameters(&params).unwrap();
+    let eval_data = SyntheticImageDataset::generate(&DatasetSpec::miniature(), 99);
+    let idx: Vec<usize> = (0..128).collect();
+    let (x, y) = eval_data.batch(&idx);
+    let acc = accuracy(&mut eval, &x, &y).unwrap();
+    assert!(acc > 0.45, "4-class accuracy should beat chance clearly, got {acc}");
+}
