@@ -36,7 +36,7 @@ impl RoundEngine for AllReduceDml {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
-        let compute = self.cfg.straggler_compute_s(world, &participants);
+        let times = self.cfg.per_agent_times(world, &participants);
         let min_link = self.cfg.min_link_mbps(world, &participants);
         let cost = CollectiveCost::new(
             self.algorithm,
@@ -47,7 +47,7 @@ impl RoundEngine for AllReduceDml {
             self.cfg.calibration.bytes_per_s(min_link),
             self.cfg.calibration.link_latency_s,
         );
-        compute + agg
+        comdml_core::barrier_round_s(&times, agg)
     }
 }
 

@@ -21,7 +21,7 @@ pub struct BrainTorrent {
 impl BrainTorrent {
     /// Creates the engine; the rotating aggregator is drawn from `seed`.
     pub fn new(cfg: BaselineConfig) -> Self {
-        Self { cfg, rng: StdRng::seed_from_u64(0xb7a1_0) }
+        Self { cfg, rng: StdRng::seed_from_u64(0x000b_7a10) }
     }
 
     /// Overrides the aggregator-selection seed (for reproducible runs).
@@ -38,15 +38,15 @@ impl RoundEngine for BrainTorrent {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
-        let compute = self.cfg.straggler_compute_s(world, &participants);
+        let times = self.cfg.per_agent_times(world, &participants);
         if participants.len() < 2 {
-            return compute;
+            return comdml_core::barrier_round_s(&times, 0.0);
         }
         let aggregator = participants[self.rng.gen_range(0..participants.len())];
         let agg_link = world.agent(aggregator).profile.link_mbps;
         let b = self.cfg.model.model_bytes() as u64;
         let bytes = 2 * (participants.len() as u64 - 1) * b;
-        compute + self.cfg.calibration.transfer_time_s(bytes, agg_link)
+        comdml_core::barrier_round_s(&times, self.cfg.calibration.transfer_time_s(bytes, agg_link))
     }
 }
 
@@ -59,9 +59,8 @@ mod tests {
     fn aggregation_scales_with_participants() {
         let world_small = WorldConfig::heterogeneous(4, 1).build();
         let world_big = WorldConfig::heterogeneous(32, 1).build();
-        let mk = || {
-            BrainTorrent::new(BaselineConfig { churn: None, ..Default::default() }).with_seed(1)
-        };
+        let mk =
+            || BrainTorrent::new(BaselineConfig { churn: None, ..Default::default() }).with_seed(1);
         // Compare aggregation-only by subtracting the straggler compute.
         let mut small_engine = mk();
         let mut w = world_small.clone();

@@ -46,7 +46,7 @@ impl BaselineConfig {
     /// returning the participant set.
     pub fn participants(&self, world: &mut World, round: usize) -> Vec<AgentId> {
         if let Some(churn) = self.churn {
-            if churn.interval > 0 && round > 0 && round % churn.interval == 0 {
+            if churn.interval > 0 && round > 0 && round.is_multiple_of(churn.interval) {
                 world.churn_profiles(churn.fraction);
             }
         }
@@ -57,13 +57,17 @@ impl BaselineConfig {
         }
     }
 
+    /// Per-participant full-model epoch times, the input every synchronized
+    /// baseline feeds to the shared event clock.
+    pub fn per_agent_times(&self, world: &World, participants: &[AgentId]) -> Vec<(AgentId, f64)> {
+        participants.iter().map(|&id| (id, self.solo_time_s(world.agent(id)))).collect()
+    }
+
     /// The compute phase of a synchronized round: the slowest participant's
-    /// full local epoch.
+    /// full local epoch, executed as `AgentDone` events on the shared
+    /// simulated clock ([`comdml_core::barrier_round_s`]).
     pub fn straggler_compute_s(&self, world: &World, participants: &[AgentId]) -> f64 {
-        participants
-            .iter()
-            .map(|&id| self.solo_time_s(world.agent(id)))
-            .fold(0.0, f64::max)
+        comdml_core::barrier_round_s(&self.per_agent_times(world, participants), 0.0)
     }
 
     /// The slowest participant link in Mbps (0 if anyone is disconnected).

@@ -45,18 +45,16 @@ impl RoundEngine for DropStragglers {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
-        let mut by_speed: Vec<(AgentId, f64)> = participants
-            .iter()
-            .map(|&id| (id, self.cfg.solo_time_s(world.agent(id))))
-            .collect();
+        let mut by_speed: Vec<(AgentId, f64)> =
+            participants.iter().map(|&id| (id, self.cfg.solo_time_s(world.agent(id)))).collect();
         by_speed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let keep = ((by_speed.len() as f64 * (1.0 - self.drop_fraction)).ceil() as usize)
             .clamp(1, by_speed.len());
         let survivors: Vec<AgentId> = by_speed[..keep].iter().map(|&(id, _)| id).collect();
-        let compute = by_speed[keep - 1].1;
         let b = self.cfg.model.model_bytes() as u64;
         let min_link = self.cfg.min_link_mbps(world, &survivors);
-        compute + 2.0 * self.cfg.calibration.transfer_time_s(b, min_link)
+        let comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
+        comdml_core::barrier_round_s(&by_speed[..keep], comm)
     }
 }
 

@@ -29,7 +29,7 @@ impl RoundEngine for FedAvg {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
-        let compute = self.cfg.straggler_compute_s(world, &participants);
+        let times = self.cfg.per_agent_times(world, &participants);
         let b = self.cfg.model.model_bytes() as u64;
         // Slowest client link carries the model down and back up.
         let min_link = self.cfg.min_link_mbps(world, &participants);
@@ -37,7 +37,7 @@ impl RoundEngine for FedAvg {
         // The server moves 2·P·b bytes through its own pipe.
         let server_bytes = 2 * participants.len() as u64 * b;
         let server_comm = self.cfg.calibration.transfer_time_s(server_bytes, self.cfg.server_mbps);
-        compute + client_comm.max(server_comm)
+        comdml_core::barrier_round_s(&times, client_comm.max(server_comm))
     }
 }
 
@@ -63,11 +63,8 @@ mod tests {
             server_mbps: 10_000.0,
             ..Default::default()
         });
-        let mut slow_server = FedAvg::new(BaselineConfig {
-            churn: None,
-            server_mbps: 10.0,
-            ..Default::default()
-        });
+        let mut slow_server =
+            FedAvg::new(BaselineConfig { churn: None, server_mbps: 10.0, ..Default::default() });
         let world = WorldConfig::heterogeneous(10, 2).build();
         let t_fast = fast_server.round_time_s(&mut world.clone(), 0);
         let t_slow = slow_server.round_time_s(&mut world.clone(), 0);

@@ -50,17 +50,18 @@ impl RoundEngine for FedProx {
             participants.iter().map(|&id| self.cfg.solo_time_s(world.agent(id))).collect();
         solos.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let reference = solos[solos.len() / 2];
-        let compute = participants
+        let times: Vec<_> = participants
             .iter()
             .map(|&id| {
                 let solo = self.cfg.solo_time_s(world.agent(id));
                 let work = (reference / solo).clamp(self.min_work, 1.0);
-                solo * work
+                (id, solo * work)
             })
-            .fold(0.0, f64::max);
+            .collect();
         let b = self.cfg.model.model_bytes() as u64;
         let min_link = self.cfg.min_link_mbps(world, &participants);
-        compute + 2.0 * self.cfg.calibration.transfer_time_s(b, min_link)
+        let comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
+        comdml_core::barrier_round_s(&times, comm)
     }
 }
 

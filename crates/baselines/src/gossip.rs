@@ -65,16 +65,15 @@ impl RoundEngine for GossipLearning {
         let b = self.cfg.model.model_bytes() as u64;
         // No barrier: the fleet progresses at its mean pace, each agent
         // paying its own compute plus one model exchange over its own link.
-        let total: f64 = participants
+        let times: Vec<_> = participants
             .iter()
             .map(|&id| {
                 let a = world.agent(id);
-                let exchange =
-                    2.0 * self.cfg.calibration.transfer_time_s(b, a.profile.link_mbps);
-                self.cfg.solo_time_s(a) + exchange
+                let exchange = 2.0 * self.cfg.calibration.transfer_time_s(b, a.profile.link_mbps);
+                (id, self.cfg.solo_time_s(a) + exchange)
             })
-            .sum();
-        total / participants.len().max(1) as f64
+            .collect();
+        comdml_core::mean_round_s(&times)
     }
 }
 

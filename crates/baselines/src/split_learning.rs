@@ -61,7 +61,7 @@ impl RoundEngine for ClassicSplitLearning {
         // Per batch, the agent computes its prefix, ships the activation,
         // waits for the server to run the suffix, and receives the gradient
         // — fully serialized (that is the point of the comparison).
-        let longest = participants
+        let times: Vec<_> = participants
             .iter()
             .map(|&id| {
                 let a = world.agent(id);
@@ -82,10 +82,10 @@ impl RoundEngine for ClassicSplitLearning {
                         .cfg
                         .calibration
                         .transfer_time_s(e.nu_bytes_per_batch, a.profile.link_mbps);
-                a.num_batches() as f64 * (agent_batch + round_trip + server_batch)
+                (id, a.num_batches() as f64 * (agent_batch + round_trip + server_batch))
             })
-            .fold(0.0, f64::max);
-        longest
+            .collect();
+        comdml_core::barrier_round_s(&times, 0.0)
     }
 }
 

@@ -65,11 +65,12 @@ impl RoundEngine for TierBased {
         if tier.is_empty() {
             return 0.0;
         }
-        let compute = self.cfg.straggler_compute_s(world, tier);
+        let times = self.cfg.per_agent_times(world, tier);
         // Server exchange for the tier, as in FedAvg.
         let b = self.cfg.model.model_bytes() as u64;
         let min_link = self.cfg.min_link_mbps(world, tier);
-        compute + 2.0 * self.cfg.calibration.transfer_time_s(b, min_link)
+        let comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
+        comdml_core::barrier_round_s(&times, comm)
     }
 }
 

@@ -19,10 +19,9 @@ fn bench_orders(c: &mut Criterion) {
     let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
 
     let mut group = c.benchmark_group("pairing_order_k50");
-    for (name, order) in [
-        ("slowest_first", PairingOrder::SlowestFirst),
-        ("by_agent_id", PairingOrder::ByAgentId),
-    ] {
+    for (name, order) in
+        [("slowest_first", PairingOrder::SlowestFirst), ("by_agent_id", PairingOrder::ByAgentId)]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, &order| {
             b.iter(|| black_box(scheduler.pair_with_order(&world, &ids, &est, order)))
         });

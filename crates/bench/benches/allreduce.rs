@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 fn make_bufs(k: usize, n: usize) -> Vec<Vec<f32>> {
-    (0..k)
-        .map(|r| (0..n).map(|i| ((r * 31 + i) % 97) as f32).collect())
-        .collect()
+    (0..k).map(|r| (0..n).map(|i| ((r * 31 + i) % 97) as f32).collect()).collect()
 }
 
 fn bench_allreduce(c: &mut Criterion) {

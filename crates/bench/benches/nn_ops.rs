@@ -12,9 +12,7 @@ fn bench_conv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut conv = Conv2d::new(8, 8, 3, 1, 1, &mut rng);
     let x = Tensor::randn(&[8, 8, 8, 8], 1.0, &mut rng);
-    c.bench_function("conv2d_forward_8x8x8", |b| {
-        b.iter(|| black_box(conv.forward(&x).unwrap()))
-    });
+    c.bench_function("conv2d_forward_8x8x8", |b| b.iter(|| black_box(conv.forward(&x).unwrap())));
     let y = conv.forward(&x).unwrap();
     let g = Tensor::ones(y.shape());
     c.bench_function("conv2d_fwd_bwd_8x8x8", |b| {

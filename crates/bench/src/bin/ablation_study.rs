@@ -107,9 +107,7 @@ fn main() {
                 .time_s(cal.bytes_per_s(10.0), cal.link_latency_s);
             let ring = CollectiveCost::new(AllReduceAlgorithm::Ring, k, b)
                 .time_s(cal.bytes_per_s(10.0), cal.link_latency_s);
-            println!(
-                "4. allreduce k={k:<4}       halving/doubling {hd:>6.2}s   ring {ring:>6.2}s"
-            );
+            println!("4. allreduce k={k:<4}       halving/doubling {hd:>6.2}s   ring {ring:>6.2}s");
         }
     }
 

@@ -9,7 +9,9 @@
 use comdml_collective::AllReduceAlgorithm;
 use comdml_core::{simulate_round, Pairing, TrainingTimeEstimator};
 use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
-use comdml_simnet::{Adjacency, AgentId, AgentProfile, AgentState, World, CPU_PROFILES, LINK_PROFILES_MBPS};
+use comdml_simnet::{
+    Adjacency, AgentId, AgentProfile, AgentState, World, CPU_PROFILES, LINK_PROFILES_MBPS,
+};
 
 fn main() {
     let spec = ModelSpec::resnet56();
@@ -34,8 +36,7 @@ fn main() {
                     AgentState::new(AgentId(0), AgentProfile::new(slow_cpus, link), 5_000, 100),
                     AgentState::new(AgentId(1), AgentProfile::new(fast_cpus, link), 5_000, 100),
                 ];
-                let adj =
-                    Adjacency::from_matrix(vec![vec![false, true], vec![true, false]]);
+                let adj = Adjacency::from_matrix(vec![vec![false, true], vec![true, false]]);
                 let world = World::from_parts(agents, adj, 0);
                 let slow = world.agent(AgentId(0));
                 let fast = world.agent(AgentId(1));
@@ -51,8 +52,14 @@ fn main() {
                         offload: m,
                         est_time_s: 0.0,
                     }];
-                    simulate_round(&world, &pairings, &est, &cal, AllReduceAlgorithm::HalvingDoubling)
-                        .compute_s
+                    simulate_round(
+                        &world,
+                        &pairings,
+                        &est,
+                        &cal,
+                        AllReduceAlgorithm::HalvingDoubling,
+                    )
+                    .compute_s
                 };
                 let simulated = simulate(d.offload);
                 let err = (d.est_time_s - simulated).abs() / simulated;
@@ -60,8 +67,7 @@ fn main() {
 
                 // How close is the estimator's pick to the true optimum
                 // over every split, as the pipeline simulation sees it?
-                let best_sim =
-                    (1..56).map(simulate).fold(f64::INFINITY, f64::min);
+                let best_sim = (1..56).map(simulate).fold(f64::INFINITY, f64::min);
                 rank_total += 1;
                 if simulated <= best_sim * 1.25 {
                     rank_hits += 1;

@@ -44,10 +44,7 @@ fn main() {
     }
 
     let comdml = results[0].total_time_s;
-    let best_other = results[1..]
-        .iter()
-        .map(|t| t.total_time_s)
-        .fold(f64::INFINITY, f64::min);
+    let best_other = results[1..].iter().map(|t| t.total_time_s).fold(f64::INFINITY, f64::min);
     println!(
         "\nComDML vs the best straggler-mitigation alternative: {:.0}% faster",
         (1.0 - comdml / best_other) * 100.0

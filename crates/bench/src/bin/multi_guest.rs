@@ -34,18 +34,13 @@ fn main() {
     let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
 
     println!("multi-guest offloading: estimated round makespan (s)\n");
-    println!(
-        "{:<22} {:>10} {:>10} {:>10} {:>10}",
-        "fleet", "solo", "cap 1", "cap 2", "cap 3"
-    );
+    println!("{:<22} {:>10} {:>10} {:>10} {:>10}", "fleet", "solo", "cap 1", "cap 2", "cap 3");
     for (num_slow, num_fast) in [(2usize, 2usize), (4, 2), (6, 2), (6, 3)] {
         let world = skewed_world(num_slow, num_fast);
         let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
-        let solo = ids
-            .iter()
-            .map(|&id| est.solo_time_s(world.agent(id)))
-            .fold(0.0, f64::max);
-        let mut row = format!("{:<22} {:>10.1}", format!("{num_slow} slow / {num_fast} fast"), solo);
+        let solo = ids.iter().map(|&id| est.solo_time_s(world.agent(id))).fold(0.0, f64::max);
+        let mut row =
+            format!("{:<22} {:>10.1}", format!("{num_slow} slow / {num_fast} fast"), solo);
         for cap in [1usize, 2, 3] {
             let pairings = if cap == 1 {
                 PairingScheduler::new().pair(&world, &ids, &est)

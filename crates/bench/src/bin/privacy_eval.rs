@@ -38,10 +38,8 @@ fn main() {
     );
 
     // Distance-correlation protection: noise at the cut (α = 0.5 scale).
-    let mut dcor_fleet = RealSplitFleet::new(RealFleetConfig {
-        activation_noise_std: 1.5,
-        ..baseline_config()
-    });
+    let mut dcor_fleet =
+        RealSplitFleet::new(RealFleetConfig { activation_noise_std: 1.5, ..baseline_config() });
     let dcor_report = dcor_fleet.run(ROUNDS);
     let (x2, z2) = dcor_fleet.leakage_probe(96).expect("fleet has split agents");
     // The observable activation includes the protection noise.

@@ -49,23 +49,32 @@ fn main() {
     let rounds = LearningCurve::cifar10(true).rounds_to(0.90, 1.0) as f64;
 
     let settings = [
-        Setting { name: "1st Setting (2 / 0.25 CPU, 50 Mbps)", slow_cpus: 0.25, fast_cpus: 2.0, link_mbps: 50.0 },
-        Setting { name: "2nd Setting (2 / 1 CPU, 100 Mbps)", slow_cpus: 1.0, fast_cpus: 2.0, link_mbps: 100.0 },
+        Setting {
+            name: "1st Setting (2 / 0.25 CPU, 50 Mbps)",
+            slow_cpus: 0.25,
+            fast_cpus: 2.0,
+            link_mbps: 50.0,
+        },
+        Setting {
+            name: "2nd Setting (2 / 1 CPU, 100 Mbps)",
+            slow_cpus: 1.0,
+            fast_cpus: 2.0,
+            link_mbps: 100.0,
+        },
     ];
     let offloads = [0usize, 1, 10, 19, 28, 37, 46, 55];
     let widths = [8usize, 10, 10, 10, 10];
 
-    println!("Table I — 2-agent training with varying layer offloading (ResNet-56, CIFAR-10 to 90%)");
+    println!(
+        "Table I — 2-agent training with varying layer offloading (ResNet-56, CIFAR-10 to 90%)"
+    );
     println!("(times in simulated seconds over {rounds} rounds)\n");
     for setting in &settings {
         let world = world_for(setting);
         println!("{}", setting.name);
         println!(
             "{}",
-            row(
-                &["Layers", "Train", "Comm.", "Idle", "Total"].map(String::from),
-                &widths
-            )
+            row(&["Layers", "Train", "Comm.", "Idle", "Total"].map(String::from), &widths)
         );
         let mut best = (f64::INFINITY, 0usize);
         for &m in &offloads {
@@ -75,7 +84,12 @@ fn main() {
                     Pairing { slow: AgentId(1), fast: None, offload: 0, est_time_s: 0.0 },
                 ]
             } else {
-                vec![Pairing { slow: AgentId(0), fast: Some(AgentId(1)), offload: m, est_time_s: 0.0 }]
+                vec![Pairing {
+                    slow: AgentId(0),
+                    fast: Some(AgentId(1)),
+                    offload: m,
+                    est_time_s: 0.0,
+                }]
             };
             let outcome = simulate_round(
                 &world,
@@ -84,11 +98,8 @@ fn main() {
                 &cal,
                 AllReduceAlgorithm::HalvingDoubling,
             );
-            let fast_train = outcome
-                .agent_stats
-                .iter()
-                .find(|s| s.id == AgentId(1))
-                .map_or(0.0, |s| s.train_s);
+            let fast_train =
+                outcome.agent_stats.iter().find(|s| s.id == AgentId(1)).map_or(0.0, |s| s.train_s);
             let comm = outcome.total_comm_s();
             let idle = outcome.total_idle_s();
             let total = outcome.round_s();

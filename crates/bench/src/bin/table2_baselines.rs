@@ -45,7 +45,15 @@ fn main() {
 
     let mut report = Report::new(
         "table2",
-        &["method", "c10_iid", "c10_noniid", "c100_iid", "c100_noniid", "cinic_iid", "cinic_noniid"],
+        &[
+            "method",
+            "c10_iid",
+            "c10_noniid",
+            "c100_iid",
+            "c100_noniid",
+            "cinic_iid",
+            "cinic_noniid",
+        ],
     );
     for (name, cells) in &table {
         let mut line = vec![name.clone()];
@@ -61,11 +69,7 @@ fn main() {
 
     // Headline claim: reduction vs FedAvg and BrainTorrent on CIFAR-10 IID.
     let get = |name: &str| {
-        table
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, cells)| cells[0])
-            .expect("method present")
+        table.iter().find(|(n, _)| n == name).map(|(_, cells)| cells[0]).expect("method present")
     };
     let comdml = get("ComDML");
     println!(

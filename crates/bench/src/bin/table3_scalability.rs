@@ -31,10 +31,8 @@ fn main() {
         (ModelSpec::resnet110(), LearningCurve::cifar10(true).deeper()),
     ] {
         for k in [20usize, 50, 100] {
-            let world = WorldConfig::heterogeneous(k, 42)
-                .total_samples(5_000 * k)
-                .batch_size(100)
-                .build();
+            let world =
+                WorldConfig::heterogeneous(k, 42).total_samples(5_000 * k).batch_size(100).build();
             let engines = all_methods(
                 BaselineConfig {
                     model: model.clone(),
@@ -50,8 +48,7 @@ fn main() {
             );
             let mut cells = vec![model.name().to_string(), k.to_string()];
             for mut engine in engines {
-                let rounds =
-                    rounds_with_sampling(&curve, target, engine.rounds_factor(), sampling);
+                let rounds = rounds_with_sampling(&curve, target, engine.rounds_factor(), sampling);
                 let total = run_rounds(engine.as_mut(), &world, rounds);
                 cells.push(fmt_s(total));
             }

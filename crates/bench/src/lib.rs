@@ -27,7 +27,13 @@ pub fn table2_cells() -> Vec<(DatasetSpec, bool, f64)> {
 /// Builds the world for one Table II cell: `k` heterogeneous agents sharing
 /// the dataset's training set; non-I.I.D. cells get Dirichlet(0.5) sizes
 /// (label skew also skews per-agent sample counts).
-pub fn world_for_dataset(spec: &DatasetSpec, iid: bool, k: usize, seed: u64, topo: Topology) -> World {
+pub fn world_for_dataset(
+    spec: &DatasetSpec,
+    iid: bool,
+    k: usize,
+    seed: u64,
+    topo: Topology,
+) -> World {
     let mut world = WorldConfig::heterogeneous(k, seed)
         .total_samples(spec.train_samples)
         .batch_size(100)
@@ -82,7 +88,7 @@ pub fn fmt_s(v: f64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -92,12 +98,7 @@ pub fn fmt_s(v: f64) -> String {
 
 /// Prints a markdown-ish table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths.iter())
-        .map(|(c, w)| format!("{c:>w$}"))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths.iter()).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
 }
 
 #[cfg(test)]

@@ -194,9 +194,7 @@ mod tests {
     }
 
     fn sample_bufs(k: usize, n: usize) -> Vec<Vec<f32>> {
-        (0..k)
-            .map(|r| (0..n).map(|i| ((r * 31 + i * 7) % 17) as f32 - 8.0).collect())
-            .collect()
+        (0..k).map(|r| (0..n).map(|i| ((r * 31 + i * 7) % 17) as f32 - 8.0).collect()).collect()
     }
 
     #[test]

@@ -30,10 +30,9 @@ impl fmt::Display for CollectiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CollectiveError::Empty => write!(f, "collective requires at least one participant"),
-            CollectiveError::LengthMismatch { expected, rank, actual } => write!(
-                f,
-                "rank {rank} has buffer length {actual} but rank 0 has {expected}"
-            ),
+            CollectiveError::LengthMismatch { expected, rank, actual } => {
+                write!(f, "rank {rank} has buffer length {actual} but rank 0 has {expected}")
+            }
             CollectiveError::InvalidPair { a, b, len } => {
                 write!(f, "invalid gossip pair ({a}, {b}) among {len} participants")
             }

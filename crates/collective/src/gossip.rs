@@ -11,7 +11,11 @@ use crate::CollectiveError;
 /// Returns [`CollectiveError::InvalidPair`] if `a == b` or either index is
 /// out of range, and [`CollectiveError::LengthMismatch`] if the two buffers
 /// disagree in length.
-pub fn gossip_pair_average(bufs: &mut [Vec<f32>], a: usize, b: usize) -> Result<(), CollectiveError> {
+pub fn gossip_pair_average(
+    bufs: &mut [Vec<f32>],
+    a: usize,
+    b: usize,
+) -> Result<(), CollectiveError> {
     let len = bufs.len();
     if a == b || a >= len || b >= len {
         return Err(CollectiveError::InvalidPair { a, b, len });
@@ -96,8 +100,7 @@ mod tests {
 
     #[test]
     fn gossip_preserves_global_mean() {
-        let mut bufs: Vec<Vec<f32>> =
-            (0..6).map(|r| vec![r as f32, 10.0 - r as f32]).collect();
+        let mut bufs: Vec<Vec<f32>> = (0..6).map(|r| vec![r as f32, 10.0 - r as f32]).collect();
         let mean_before: f32 = bufs.iter().map(|b| b[0]).sum::<f32>() / 6.0;
         let mut rng = StdRng::seed_from_u64(3);
         let all = |r: usize| (0..6).filter(|&j| j != r).collect::<Vec<_>>();

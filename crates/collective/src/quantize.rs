@@ -36,10 +36,7 @@ impl Int8Quantizer {
 
     /// Quantizes values to int8 with round-to-nearest.
     pub fn quantize(&self, values: &[f32]) -> Vec<i8> {
-        values
-            .iter()
-            .map(|&v| (v / self.scale).round().clamp(-127.0, 127.0) as i8)
-            .collect()
+        values.iter().map(|&v| (v / self.scale).round().clamp(-127.0, 127.0) as i8).collect()
     }
 
     /// Restores approximate floats.

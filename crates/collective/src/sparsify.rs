@@ -154,12 +154,8 @@ mod tests {
         let values: Vec<f32> = (0..100).map(|i| (i as f32) / 100.0).collect();
         let s = TopKSparsifier::new(50).sparsify(&values);
         let dense = s.densify();
-        let err: f32 = values
-            .iter()
-            .zip(dense.iter())
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f32>()
-            .sqrt();
+        let err: f32 =
+            values.iter().zip(dense.iter()).map(|(a, b)| (a - b).powi(2)).sum::<f32>().sqrt();
         // Dropped entries are exactly the 50 smallest (0.00..0.49).
         let dropped: f32 = (0..50).map(|i| (i as f32 / 100.0).powi(2)).sum::<f32>().sqrt();
         assert!((err - dropped).abs() < 1e-4);

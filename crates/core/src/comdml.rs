@@ -1,9 +1,14 @@
+use std::collections::HashMap;
+
 use comdml_collective::AllReduceAlgorithm;
 use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
 use comdml_simnet::{AgentId, World};
 use serde::{Deserialize, Serialize};
 
-use crate::{simulate_round, LearningCurve, PairingScheduler, RoundOutcome, TrainingTimeEstimator};
+use crate::{
+    AggregationMode, EventRound, EventRoundReport, LearningCurve, PairingScheduler, RoundOutcome,
+    TrainingTimeEstimator,
+};
 
 /// Dynamic-environment policy: re-roll a fraction of agent profiles every
 /// `interval` rounds ("we randomly changed the profile of 20% of the agents
@@ -41,6 +46,11 @@ pub struct ComDmlConfig {
     pub curve: LearningCurve,
     /// Mini-batch size used for profiling (the paper uses 100).
     pub batch_size: usize,
+    /// How rounds aggregate: the classic barrier, a quorum/staleness
+    /// semi-synchronous trigger, or fully asynchronous (no barrier). The
+    /// non-synchronous modes carry stragglers' unfinished work into the
+    /// next round instead of waiting for them.
+    pub aggregation: AggregationMode,
 }
 
 impl Default for ComDmlConfig {
@@ -54,6 +64,7 @@ impl Default for ComDmlConfig {
             candidate_offloads: None,
             curve: LearningCurve::cifar10(true),
             batch_size: 100,
+            aggregation: AggregationMode::Synchronous,
         }
     }
 }
@@ -140,6 +151,10 @@ pub struct ComDml {
     profile: SplitProfile,
     scheduler: PairingScheduler,
     last_outcome: Option<RoundOutcome>,
+    last_report: Option<EventRoundReport>,
+    /// Per-agent head starts carried between rounds by the semi-sync and
+    /// async aggregation modes (empty under the synchronous barrier).
+    ready_at: HashMap<AgentId, f64>,
 }
 
 impl ComDml {
@@ -151,7 +166,14 @@ impl ComDml {
             Some(c) => full.restrict_to(c),
             None => full,
         };
-        Self { config, profile, scheduler: PairingScheduler::new(), last_outcome: None }
+        Self {
+            config,
+            profile,
+            scheduler: PairingScheduler::new(),
+            last_outcome: None,
+            last_report: None,
+            ready_at: HashMap::new(),
+        }
     }
 
     /// The active configuration.
@@ -169,11 +191,22 @@ impl ComDml {
         self.last_outcome.as_ref()
     }
 
+    /// The full event-engine report of the most recent round (aggregation
+    /// cohort, spill-over, repairs), if any.
+    pub fn last_report(&self) -> Option<&EventRoundReport> {
+        self.last_report.as_ref()
+    }
+
     /// Simulates one round on `world` (applying churn and sampling) and
     /// returns its outcome.
+    ///
+    /// The round executes on the discrete-event engine under the configured
+    /// [`AggregationMode`]; semi-synchronous and asynchronous modes carry
+    /// stragglers' unfinished work into the next call as per-agent head
+    /// starts.
     pub fn run_round(&mut self, world: &mut World, round: usize) -> RoundOutcome {
         if let Some(churn) = self.config.churn {
-            if churn.interval > 0 && round > 0 && round % churn.interval == 0 {
+            if churn.interval > 0 && round > 0 && round.is_multiple_of(churn.interval) {
                 world.churn_profiles(churn.fraction);
             }
         }
@@ -185,13 +218,25 @@ impl ComDml {
         let estimator =
             TrainingTimeEstimator::new(&self.config.model, &self.profile, &self.config.calibration);
         let pairings = self.scheduler.pair(world, &participants, &estimator);
-        let outcome = simulate_round(
+        let report = EventRound::new(
             world,
             &pairings,
             &estimator,
             &self.config.calibration,
             self.config.algorithm,
-        );
+        )
+        .mode(self.config.aggregation)
+        .ready_at(std::mem::take(&mut self.ready_at))
+        .run();
+        self.ready_at = report
+            .spill_s
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > 0.0)
+            .map(|(i, &s)| (AgentId(i), s))
+            .collect();
+        let outcome = report.outcome.clone();
+        self.last_report = Some(report);
         self.last_outcome = Some(outcome.clone());
         outcome
     }
@@ -261,11 +306,7 @@ mod tests {
         let cfg = ComDmlConfig::default();
         let profile = SplitProfile::new(&cfg.model, cfg.batch_size);
         let est = TrainingTimeEstimator::new(&cfg.model, &profile, &cfg.calibration);
-        let straggler = world
-            .agents()
-            .iter()
-            .map(|a| est.solo_time_s(a))
-            .fold(0.0, f64::max);
+        let straggler = world.agents().iter().map(|a| est.solo_time_s(a)).fold(0.0, f64::max);
         assert!(
             report.mean_round_s < straggler * 0.8,
             "balanced round {} vs straggler {straggler}",

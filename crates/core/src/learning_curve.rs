@@ -116,11 +116,9 @@ impl LearningCurve {
             let mut tau = 0.5;
             while tau <= 200.0 {
                 let curve = Self::new(a, tau);
-                let sse: f64 = points
-                    .iter()
-                    .map(|&(r, acc)| (curve.accuracy_at(r) - acc).powi(2))
-                    .sum();
-                if best.as_ref().map_or(true, |(b, _)| sse < *b) {
+                let sse: f64 =
+                    points.iter().map(|&(r, acc)| (curve.accuracy_at(r) - acc).powi(2)).sum();
+                if best.as_ref().is_none_or(|(b, _)| sse < *b) {
                     best = Some((sse, curve));
                 }
                 tau *= 1.07;
@@ -138,11 +136,7 @@ impl LearningCurve {
     /// Panics if `target >= a_max` (the curve never reaches it) or
     /// `efficiency` is not positive.
     pub fn rounds_to(&self, target: f64, efficiency: f64) -> usize {
-        assert!(
-            target < self.a_max,
-            "target {target} is unreachable (asymptote {})",
-            self.a_max
-        );
+        assert!(target < self.a_max, "target {target} is unreachable (asymptote {})", self.a_max);
         assert!(efficiency > 0.0, "efficiency must be positive, got {efficiency}");
         let r = -self.tau * (1.0 - target / self.a_max).ln();
         (r / efficiency).ceil().max(1.0) as usize

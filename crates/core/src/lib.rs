@@ -37,6 +37,7 @@
 
 mod comdml;
 mod estimator;
+mod event_round;
 mod learning_curve;
 mod multi;
 mod real_fleet;
@@ -45,10 +46,12 @@ mod scheduler;
 mod theory;
 
 pub use comdml::{
-    time_to_accuracy, ChurnPolicy, ComDml, ComDmlConfig, ComDmlReport, RoundEngine,
-    TimeToAccuracy,
+    time_to_accuracy, ChurnPolicy, ComDml, ComDmlConfig, ComDmlReport, RoundEngine, TimeToAccuracy,
 };
 pub use estimator::{SplitDecision, TrainingTimeEstimator};
+pub use event_round::{
+    barrier_round_s, mean_round_s, AggregationMode, Disruption, EventRound, EventRoundReport,
+};
 pub use learning_curve::LearningCurve;
 pub use multi::{helper_completion_s, pair_with_capacity, MultiPairing};
 pub use real_fleet::{InputHook, ParamHook, RealFleetConfig, RealFleetReport, RealSplitFleet};

@@ -36,10 +36,8 @@ pub fn pair_with_capacity(
     capacity: usize,
 ) -> Vec<MultiPairing> {
     assert!(capacity > 0, "helper capacity must be positive");
-    let mut order: Vec<(AgentId, f64)> = participants
-        .iter()
-        .map(|&id| (id, estimator.solo_time_s(world.agent(id))))
-        .collect();
+    let mut order: Vec<(AgentId, f64)> =
+        participants.iter().map(|&id| (id, estimator.solo_time_s(world.agent(id)))).collect();
     order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
     // Helpers accumulate load; slow agents are consumed.
@@ -75,7 +73,7 @@ pub fn pair_with_capacity(
             if d.offload == 0 {
                 continue;
             }
-            if best.map_or(true, |(_, cur)| d.est_time_s < cur.est_time_s) {
+            if best.is_none_or(|(_, cur)| d.est_time_s < cur.est_time_s) {
                 best = Some((j, d));
             }
         }
@@ -97,7 +95,12 @@ pub fn pair_with_capacity(
                 if guest_count.iter().any(|&(h, c)| h == j && c >= capacity) {
                     consumed.push(j);
                 }
-                out.push(Pairing { slow: i, fast: Some(j), offload: d.offload, est_time_s: d.est_time_s });
+                out.push(Pairing {
+                    slow: i,
+                    fast: Some(j),
+                    offload: d.offload,
+                    est_time_s: d.est_time_s,
+                });
             }
             _ => {
                 consumed.push(i);

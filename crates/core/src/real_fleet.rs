@@ -1,5 +1,7 @@
 use comdml_collective::halving_doubling_allreduce;
-use comdml_data::{iid_partition, Batcher, DatasetSpec, DirichletPartitioner, SyntheticImageDataset};
+use comdml_data::{
+    iid_partition, Batcher, DatasetSpec, DirichletPartitioner, SyntheticImageDataset,
+};
 use comdml_nn::{accuracy, models, LocalLossSplit, Sequential, SgdPair, Trainer};
 use comdml_tensor::ParamVec;
 use rand::rngs::StdRng;
@@ -200,7 +202,10 @@ impl RealSplitFleet {
     /// raw inputs — feed both to `comdml_privacy::distance_correlation`.
     ///
     /// Returns `None` if the fleet has no split (slow) agent.
-    pub fn leakage_probe(&mut self, n: usize) -> Option<(comdml_tensor::Tensor, comdml_tensor::Tensor)> {
+    pub fn leakage_probe(
+        &mut self,
+        n: usize,
+    ) -> Option<(comdml_tensor::Tensor, comdml_tensor::Tensor)> {
         let idx: Vec<usize> = (0..self.eval_set.len().min(n)).collect();
         let (x, _) = self.eval_set.batch(&idx);
         for agent in self.agents.iter_mut() {
@@ -267,7 +272,9 @@ impl RealSplitFleet {
             .agents
             .iter()
             .map(|a| match a {
-                AgentModel::Plain(t) => ParamVec::flatten(&t.model().parameters()).values().to_vec(),
+                AgentModel::Plain(t) => {
+                    ParamVec::flatten(&t.model().parameters()).values().to_vec()
+                }
                 AgentModel::Split(s, _) => {
                     ParamVec::flatten(&s.full_parameters()).values().to_vec()
                 }
@@ -280,12 +287,14 @@ impl RealSplitFleet {
         }
         halving_doubling_allreduce(&mut bufs).expect("equal-length parameter buffers");
         let shapes: Vec<Vec<usize>> = match &self.agents[0] {
-            AgentModel::Plain(t) => t.model().parameters().iter().map(|p| p.shape().to_vec()).collect(),
+            AgentModel::Plain(t) => {
+                t.model().parameters().iter().map(|p| p.shape().to_vec()).collect()
+            }
             AgentModel::Split(s, _) => {
                 s.full_parameters().iter().map(|p| p.shape().to_vec()).collect()
             }
         };
-        for (agent, buf) in self.agents.iter_mut().zip(bufs.into_iter()) {
+        for (agent, buf) in self.agents.iter_mut().zip(bufs) {
             let pv = ParamVec::from_parts(buf, shapes.clone()).expect("allreduce preserves length");
             let params = pv.unflatten().expect("shapes recorded at flatten time");
             match agent {
@@ -336,10 +345,7 @@ mod tests {
             RealSplitFleet::new(RealFleetConfig { offload: 0, ..RealFleetConfig::default() });
         let a = with_split.run(8).final_accuracy();
         let b = no_split.run(8).final_accuracy();
-        assert!(
-            (a - b).abs() < 0.15,
-            "split training should match plain accuracy: {a} vs {b}"
-        );
+        assert!((a - b).abs() < 0.15, "split training should match plain accuracy: {a} vs {b}");
     }
 
     #[test]

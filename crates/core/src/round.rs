@@ -1,4 +1,4 @@
-use comdml_collective::{AllReduceAlgorithm, CollectiveCost};
+use comdml_collective::AllReduceAlgorithm;
 use comdml_cost::CostCalibration;
 use comdml_simnet::{AgentId, World};
 
@@ -47,16 +47,23 @@ pub struct PairTimes {
 impl PairRoundSim {
     /// Completion time of the compute/transfer pipeline for a given
     /// per-batch transfer time (excluding the suffix-parameter return).
-    fn completion(&self, transfer_s: f64) -> f64 {
+    pub(crate) fn completion(&self, transfer_s: f64) -> f64 {
+        self.completion_from(transfer_s, 0.0, 0.0)
+    }
+
+    /// Like [`PairRoundSim::completion`] but with the two sides starting at
+    /// `slow_start` / `fast_start` (carry-over from a previous round under
+    /// semi-synchronous or asynchronous aggregation).
+    pub(crate) fn completion_from(&self, transfer_s: f64, slow_start: f64, fast_start: f64) -> f64 {
         let n = self.n_slow_batches;
-        let own_done = self.n_fast_batches as f64 * self.fast_own_batch_s;
+        let own_done = fast_start + self.n_fast_batches as f64 * self.fast_own_batch_s;
         if n == 0 {
             return own_done;
         }
         let mut send_done = 0.0f64;
         let mut guest_done = own_done;
         for b in 0..n {
-            let produced = (b + 1) as f64 * self.slow_batch_s;
+            let produced = slow_start + (b + 1) as f64 * self.slow_batch_s;
             let send_start = produced.max(send_done);
             send_done = send_start + transfer_s;
             guest_done = send_done.max(guest_done) + self.fast_guest_batch_s;
@@ -170,6 +177,14 @@ impl RoundOutcome {
 ///
 /// Agents with a dead link are excluded from aggregation (they "train
 /// independently", §V-B.5) but still contribute compute time.
+///
+/// This is a thin synchronous wrapper over the discrete-event engine
+/// ([`crate::EventRound`]): the per-pair pipelines run as `BatchProduced` /
+/// `TransferComplete` / `SuffixReturn` events on a shared clock, and the
+/// result matches the historical closed-form implementation to within 1e-9.
+/// Callers needing semi-synchronous or asynchronous aggregation, failure
+/// injection, or per-agent carry-over should use [`crate::EventRound`]
+/// directly.
 pub fn simulate_round(
     world: &World,
     pairings: &[Pairing],
@@ -177,90 +192,7 @@ pub fn simulate_round(
     cal: &CostCalibration,
     algorithm: AllReduceAlgorithm,
 ) -> RoundOutcome {
-    let mut stats = Vec::new();
-    let mut compute_s = 0.0f64;
-    let mut num_offloads = 0;
-
-    for p in pairings {
-        let slow = world.agent(p.slow);
-        match p.fast {
-            Some(fast_id) if p.offload > 0 => {
-                num_offloads += 1;
-                let fast = world.agent(fast_id);
-                let entry = estimator
-                    .profile()
-                    .entry(p.offload)
-                    .expect("scheduler only emits profiled offloads");
-                let p_i = estimator.batches_per_s(slow);
-                let p_j = estimator.batches_per_s(fast);
-                let link = world.link_mbps(p.slow, fast_id);
-                let sim = PairRoundSim {
-                    n_slow_batches: slow.num_batches(),
-                    n_fast_batches: fast.num_batches(),
-                    slow_batch_s: entry.t_slow_rel / p_i,
-                    fast_own_batch_s: 1.0 / p_j,
-                    fast_guest_batch_s: entry.t_fast_rel / p_j,
-                    transfer_s: cal.transfer_time_s(entry.nu_bytes_per_batch, link),
-                    suffix_return_s: cal.transfer_time_s(entry.suffix_param_bytes, link),
-                };
-                let t = sim.run();
-                compute_s = compute_s.max(t.pair_done_s);
-                stats.push(AgentRoundStats {
-                    id: p.slow,
-                    train_s: t.slow_busy_s,
-                    comm_s: 0.0,
-                    idle_s: (t.pair_done_s - t.slow_busy_s).max(0.0),
-                    finish_s: t.pair_done_s,
-                });
-                stats.push(AgentRoundStats {
-                    id: fast_id,
-                    train_s: t.fast_busy_s,
-                    comm_s: t.comm_s,
-                    idle_s: (t.pair_done_s - t.fast_busy_s - t.comm_s).max(0.0),
-                    finish_s: t.pair_done_s,
-                });
-            }
-            _ => {
-                let solo = estimator.solo_time_s(slow);
-                compute_s = compute_s.max(solo);
-                stats.push(AgentRoundStats {
-                    id: p.slow,
-                    train_s: solo,
-                    comm_s: 0.0,
-                    idle_s: 0.0,
-                    finish_s: solo,
-                });
-            }
-        }
-    }
-
-    // Everyone waits for the round straggler before aggregation.
-    for s in &mut stats {
-        s.idle_s += (compute_s - s.finish_s).max(0.0);
-    }
-
-    // AllReduce over the connected participants; bandwidth limited by the
-    // slowest connected participant.
-    let connected: Vec<&AgentRoundStats> = stats
-        .iter()
-        .filter(|s| world.agent(s.id).profile.is_connected())
-        .collect();
-    let allreduce_s = if connected.len() > 1 {
-        let min_link = connected
-            .iter()
-            .map(|s| world.agent(s.id).profile.link_mbps)
-            .fold(f64::INFINITY, f64::min);
-        let cost = CollectiveCost::new(
-            algorithm,
-            connected.len(),
-            estimator.profile().model_bytes(),
-        );
-        cost.time_s(cal.bytes_per_s(min_link), cal.link_latency_s)
-    } else {
-        0.0
-    };
-
-    RoundOutcome { agent_stats: stats, compute_s, allreduce_s, num_offloads }
+    crate::EventRound::new(world, pairings, estimator, cal, algorithm).run().outcome
 }
 
 #[cfg(test)]
@@ -356,12 +288,16 @@ mod tests {
         ];
         let adj = Adjacency::from_matrix(vec![vec![false, true], vec![true, false]]);
         let world = World::from_parts(agents, adj, 0);
-        let pairings =
-            PairingScheduler::new().pair(&world, &[AgentId(0), AgentId(1)], &est);
-        let outcome = simulate_round(&world, &pairings, &est, &cal, AllReduceAlgorithm::HalvingDoubling);
+        let pairings = PairingScheduler::new().pair(&world, &[AgentId(0), AgentId(1)], &est);
+        let outcome =
+            simulate_round(&world, &pairings, &est, &cal, AllReduceAlgorithm::HalvingDoubling);
         // Without balancing, the 0.25-CPU agent would run the full epoch.
         let solo_straggler = est.solo_time_s(world.agent(AgentId(0)));
-        assert!(outcome.compute_s < solo_straggler * 0.7, "{} vs {solo_straggler}", outcome.compute_s);
+        assert!(
+            outcome.compute_s < solo_straggler * 0.7,
+            "{} vs {solo_straggler}",
+            outcome.compute_s
+        );
         assert_eq!(outcome.num_offloads, 1);
         assert!(outcome.allreduce_s > 0.0);
     }
@@ -373,7 +309,8 @@ mod tests {
         let world = WorldConfig::heterogeneous(10, 5).build();
         let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
         let pairings = PairingScheduler::new().pair(&world, &ids, &est);
-        let outcome = simulate_round(&world, &pairings, &est, &cal, AllReduceAlgorithm::HalvingDoubling);
+        let outcome =
+            simulate_round(&world, &pairings, &est, &cal, AllReduceAlgorithm::HalvingDoubling);
         assert_eq!(outcome.agent_stats.len(), 10);
         for s in &outcome.agent_stats {
             assert!(s.finish_s <= outcome.compute_s + 1e-9);

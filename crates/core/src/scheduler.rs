@@ -1,3 +1,5 @@
+use std::collections::HashMap;
+
 use comdml_simnet::{AgentId, World};
 
 use crate::{SplitDecision, TrainingTimeEstimator};
@@ -23,6 +25,15 @@ impl Pairing {
     }
 }
 
+/// Alternative pairing orders used by the ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairingOrder {
+    /// The paper's slowest-first order.
+    SlowestFirst,
+    /// Agents pair in id order (what a naive static scheme does).
+    ByAgentId,
+}
+
 /// The dynamic decentralized pairing scheduler (§IV-A, Algorithm 1).
 ///
 /// Every round, agents broadcast their processing speed and estimated solo
@@ -35,6 +46,22 @@ impl Pairing {
 /// The implementation is deliberately a pure function of shared, local
 /// information (speeds, solo times, link speeds) — exactly what each agent
 /// could compute for itself in the decentralized protocol.
+///
+/// # Scaling
+///
+/// Paired-membership checks use O(1) indexed flags, and candidate search is
+/// driven by sorted candidate lists with two exact prunes:
+///
+/// * a candidate whose own task `τ̂ⱼ` already exceeds the best estimate so
+///   far can never win (the fast arm of line 18 is bounded below by `τ̂ⱼ`);
+/// * on a full mesh, within a `(CPU, link, batch size)` profile class the
+///   unpaired candidate with the smallest `τ̂ⱼ` dominates every other
+///   member, so at most one estimator call per class is needed.
+///
+/// Together these take one pairing round from the seed's O(n³)-flavoured
+/// scan to roughly O(n·(C + log n)) for C profile classes — the 10,000-agent
+/// scalability benchmark (`cargo run --release --bin scalability_10k`) runs
+/// entire 100-round simulations on this path.
 ///
 /// # Example
 ///
@@ -57,13 +84,39 @@ pub struct PairingScheduler {
     _private: (),
 }
 
+/// Sorted per-class candidate list with a lazily advancing cursor.
+struct ClassList {
+    /// `(solo_time, id)` ascending by solo time, ties by id.
+    members: Vec<(f64, AgentId)>,
+    cursor: usize,
+}
+
+impl ClassList {
+    /// First unpaired member other than `skip`, without consuming unpaired
+    /// entries (the cursor only advances past permanently paired agents).
+    fn peek(&mut self, paired: &[bool], skip: AgentId) -> Option<(f64, AgentId)> {
+        while self.cursor < self.members.len() && paired[self.members[self.cursor].1 .0] {
+            self.cursor += 1;
+        }
+        let mut i = self.cursor;
+        while i < self.members.len() {
+            let (solo, id) = self.members[i];
+            if !paired[id.0] && id != skip {
+                return Some((solo, id));
+            }
+            i += 1;
+        }
+        None
+    }
+}
+
 impl PairingScheduler {
     /// Creates a scheduler.
     pub fn new() -> Self {
         Self { _private: () }
     }
 
-    /// Runs one round of pairing over `participants`.
+    /// Runs one round of pairing over `participants`, slowest first.
     ///
     /// Returns one [`Pairing`] per *slow* agent; agents that act as helpers
     /// appear only in the `fast` field of their partner's pairing. Every
@@ -74,76 +127,16 @@ impl PairingScheduler {
         participants: &[AgentId],
         estimator: &TrainingTimeEstimator<'_>,
     ) -> Vec<Pairing> {
-        // Step 1 (line 2): agents broadcast p and τ̂ — here, compute solo
-        // times for everyone.
-        let mut order: Vec<(AgentId, f64)> = participants
-            .iter()
-            .map(|&id| (id, estimator.solo_time_s(world.agent(id))))
-            .collect();
+        // Step 1 (line 2): agents broadcast p and τ̂ — compute solo times.
+        let mut order: Vec<(AgentId, f64)> =
+            participants.iter().map(|&id| (id, estimator.solo_time_s(world.agent(id)))).collect();
         // Descending order of task completion time (list A).
-        order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-
-        let mut paired: Vec<AgentId> = Vec::new();
-        let mut out = Vec::new();
-        for &(i, solo_i) in &order {
-            if paired.contains(&i) {
-                continue;
-            }
-            // Line 10: all unpaired connected j.
-            let slow_state = world.agent(i);
-            let mut best: Option<(AgentId, SplitDecision)> = None;
-            for &(j, solo_j) in &order {
-                if j == i || paired.contains(&j) {
-                    continue;
-                }
-                let link = world.link_mbps(i, j);
-                if link <= 0.0 {
-                    continue;
-                }
-                let d = estimator.estimate(slow_state, world.agent(j), solo_j, link);
-                if d.offload == 0 {
-                    continue;
-                }
-                let better = match &best {
-                    Some((_, cur)) => d.est_time_s < cur.est_time_s,
-                    None => true,
-                };
-                if better {
-                    best = Some((j, d));
-                }
-            }
-            match best {
-                // Lines 13-14: pair with j* when offloading wins.
-                Some((j, d)) if d.est_time_s < solo_i => {
-                    paired.push(i);
-                    paired.push(j);
-                    out.push(Pairing {
-                        slow: i,
-                        fast: Some(j),
-                        offload: d.offload,
-                        est_time_s: d.est_time_s,
-                    });
-                }
-                _ => {
-                    paired.push(i);
-                    out.push(Pairing { slow: i, fast: None, offload: 0, est_time_s: solo_i });
-                }
-            }
-        }
-        out
+        order.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        self.pair_ordered(world, &order, estimator)
     }
-}
 
-/// Alternative pairing orders used by the ablation benchmarks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PairingOrder {
-    /// The paper's slowest-first order.
-    SlowestFirst,
-    /// Agents pair in id order (what a naive static scheme does).
-    ByAgentId,
-}
-
-impl PairingScheduler {
     /// Like [`PairingScheduler::pair`] but with a configurable visit order —
     /// used by the ablation study to quantify the value of slowest-first.
     pub fn pair_with_order(
@@ -158,61 +151,148 @@ impl PairingScheduler {
             PairingOrder::ByAgentId => {
                 let mut sorted = participants.to_vec();
                 sorted.sort();
-                // Re-use the core loop by temporarily constructing an order
-                // by id: emulate by calling pair on a world where solo times
-                // are ignored. Simplest correct approach: replicate the loop.
-                let mut paired: Vec<AgentId> = Vec::new();
-                let mut out = Vec::new();
-                let solo: Vec<(AgentId, f64)> = sorted
-                    .iter()
-                    .map(|&id| (id, estimator.solo_time_s(world.agent(id))))
+                let order: Vec<(AgentId, f64)> = sorted
+                    .into_iter()
+                    .map(|id| (id, estimator.solo_time_s(world.agent(id))))
                     .collect();
-                for &(i, solo_i) in &solo {
-                    if paired.contains(&i) {
-                        continue;
-                    }
-                    let mut best: Option<(AgentId, SplitDecision)> = None;
-                    for &(j, solo_j) in &solo {
-                        if j == i || paired.contains(&j) {
-                            continue;
-                        }
-                        let link = world.link_mbps(i, j);
-                        if link <= 0.0 {
-                            continue;
-                        }
-                        let d = estimator.estimate(world.agent(i), world.agent(j), solo_j, link);
-                        if d.offload == 0 {
-                            continue;
-                        }
-                        if best.map_or(true, |(_, cur)| d.est_time_s < cur.est_time_s) {
-                            best = Some((j, d));
-                        }
-                    }
-                    match best {
-                        Some((j, d)) if d.est_time_s < solo_i => {
-                            paired.push(i);
-                            paired.push(j);
-                            out.push(Pairing {
-                                slow: i,
-                                fast: Some(j),
-                                offload: d.offload,
-                                est_time_s: d.est_time_s,
-                            });
-                        }
-                        _ => {
-                            paired.push(i);
-                            out.push(Pairing {
-                                slow: i,
-                                fast: None,
-                                offload: 0,
-                                est_time_s: solo_i,
-                            });
-                        }
-                    }
-                }
-                out
+                self.pair_ordered(world, &order, estimator)
             }
         }
+    }
+
+    /// The shared pairing loop: visits agents in the given order, finding
+    /// each unpaired one its best unpaired partner.
+    fn pair_ordered(
+        &self,
+        world: &World,
+        order: &[(AgentId, f64)],
+        estimator: &TrainingTimeEstimator<'_>,
+    ) -> Vec<Pairing> {
+        let k = world.num_agents();
+        let mut paired = vec![true; k];
+        for &(id, _) in order {
+            paired[id.0] = false; // participants start unpaired
+        }
+        let full_mesh = world.adjacency().is_full_mesh();
+
+        // Full-mesh fast path: group candidates by (CPU, link) profile
+        // class; within a class only the smallest-τ̂ⱼ unpaired member can
+        // be optimal, so each class is one peek + at most one estimate.
+        let mut classes: Vec<ClassList> = Vec::new();
+        if full_mesh {
+            let mut index: HashMap<(u64, u64, usize), usize> = HashMap::new();
+            for &(id, solo) in order {
+                let agent = world.agent(id);
+                let prof = agent.profile;
+                // batch_size feeds batches_per_s, so it is part of the class
+                // identity: within a class the helper speed p_j is constant
+                // and the smallest-τ̂ⱼ member dominates.
+                let key = (prof.cpus.to_bits(), prof.link_mbps.to_bits(), agent.batch_size);
+                let slot = *index.entry(key).or_insert_with(|| {
+                    classes.push(ClassList { members: Vec::new(), cursor: 0 });
+                    classes.len() - 1
+                });
+                classes[slot].members.push((solo, id));
+            }
+            for c in &mut classes {
+                c.members.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+                });
+            }
+        }
+        // Sparse fallback: solo times by id for neighbour scans.
+        let mut solo_of: Vec<f64> = vec![f64::INFINITY; k];
+        for &(id, solo) in order {
+            solo_of[id.0] = solo;
+        }
+
+        let mut out = Vec::with_capacity(order.len());
+        for &(i, solo_i) in order {
+            if paired[i.0] {
+                continue;
+            }
+            let slow_state = world.agent(i);
+            let mut best: Option<(AgentId, SplitDecision)> = None;
+            let mut best_time = solo_i;
+
+            if full_mesh {
+                // Ties in estimated time are broken by (τ̂ⱼ, id), matching
+                // the ascending-scan order of the sparse path below.
+                let mut best_key = (f64::INFINITY, f64::INFINITY, usize::MAX);
+                for class in &mut classes {
+                    let Some((solo_j, j)) = class.peek(&paired, i) else { continue };
+                    // Exact prune: the fast arm strictly exceeds τ̂ⱼ, so a
+                    // candidate this busy can never beat the current best.
+                    if solo_j >= best_time {
+                        continue;
+                    }
+                    let link = world.link_mbps(i, j);
+                    if link <= 0.0 {
+                        continue;
+                    }
+                    let d = estimator.estimate(slow_state, world.agent(j), solo_j, link);
+                    if d.offload == 0 || d.est_time_s >= solo_i {
+                        continue;
+                    }
+                    let key = (d.est_time_s, solo_j, j.0);
+                    if key < best_key {
+                        best_key = key;
+                        best_time = best_time.min(d.est_time_s);
+                        best = Some((j, d));
+                    }
+                }
+            } else {
+                // Neighbour scan in ascending τ̂ⱼ with the same prune; once
+                // τ̂ⱼ crosses the best estimate the rest cannot win.
+                let mut neighbors: Vec<(f64, AgentId)> = world
+                    .adjacency()
+                    .neighbors(i.0)
+                    .into_iter()
+                    .map(AgentId)
+                    .filter(|&j| !paired[j.0] && solo_of[j.0].is_finite())
+                    .map(|j| (solo_of[j.0], j))
+                    .collect();
+                neighbors.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+                });
+                for (solo_j, j) in neighbors {
+                    if solo_j >= best_time {
+                        break;
+                    }
+                    let link = world.link_mbps(i, j);
+                    if link <= 0.0 {
+                        continue;
+                    }
+                    let d = estimator.estimate(slow_state, world.agent(j), solo_j, link);
+                    if d.offload == 0 {
+                        continue;
+                    }
+                    if d.est_time_s < best_time {
+                        best_time = d.est_time_s;
+                        best = Some((j, d));
+                    }
+                }
+            }
+
+            match best {
+                // Lines 13-14: pair with j* when offloading wins.
+                Some((j, d)) => {
+                    paired[i.0] = true;
+                    paired[j.0] = true;
+                    out.push(Pairing {
+                        slow: i,
+                        fast: Some(j),
+                        offload: d.offload,
+                        est_time_s: d.est_time_s,
+                    });
+                }
+                None => {
+                    paired[i.0] = true;
+                    out.push(Pairing { slow: i, fast: None, offload: 0, est_time_s: solo_i });
+                }
+            }
+        }
+        out
     }
 }
 
@@ -220,7 +300,7 @@ impl PairingScheduler {
 mod tests {
     use super::*;
     use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
-    use comdml_simnet::{Adjacency, AgentProfile, AgentState, WorldConfig};
+    use comdml_simnet::{Adjacency, AgentProfile, AgentState, Topology, WorldConfig};
 
     fn fixtures() -> (ModelSpec, SplitProfile, CostCalibration) {
         let spec = ModelSpec::resnet56();
@@ -261,11 +341,7 @@ mod tests {
         let (spec, profile, cal) = fixtures();
         let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
         let world = two_agent_world(0.2, 4.0, 100.0);
-        let pairings = PairingScheduler::new().pair(
-            &world,
-            &[AgentId(0), AgentId(1)],
-            &est,
-        );
+        let pairings = PairingScheduler::new().pair(&world, &[AgentId(0), AgentId(1)], &est);
         assert_eq!(pairings.len(), 1);
         let p = pairings[0];
         assert_eq!(p.slow, AgentId(0));
@@ -329,10 +405,7 @@ mod tests {
         let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
         let pairings = PairingScheduler::new().pair(&world, &ids, &est);
         let max_est = pairings.iter().map(|p| p.est_time_s).fold(0.0, f64::max);
-        let max_solo = ids
-            .iter()
-            .map(|&id| est.solo_time_s(world.agent(id)))
-            .fold(0.0, f64::max);
+        let max_solo = ids.iter().map(|&id| est.solo_time_s(world.agent(id))).fold(0.0, f64::max);
         assert!(
             max_est < max_solo,
             "balancing should shrink the straggler: {max_est} vs {max_solo}"
@@ -346,11 +419,68 @@ mod tests {
         let world = WorldConfig::heterogeneous(20, 9).build();
         let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
         let sched = PairingScheduler::new();
-        let slowest =
-            sched.pair_with_order(&world, &ids, &est, PairingOrder::SlowestFirst);
+        let slowest = sched.pair_with_order(&world, &ids, &est, PairingOrder::SlowestFirst);
         let by_id = sched.pair_with_order(&world, &ids, &est, PairingOrder::ByAgentId);
-        let makespan =
-            |ps: &[Pairing]| ps.iter().map(|p| p.est_time_s).fold(0.0, f64::max);
+        let makespan = |ps: &[Pairing]| ps.iter().map(|p| p.est_time_s).fold(0.0, f64::max);
         assert!(makespan(&slowest) <= makespan(&by_id) + 1e-9);
+    }
+
+    #[test]
+    fn full_mesh_and_matrix_mesh_agree() {
+        // The class-pruned fast path must pick the same matching as the
+        // generic neighbour scan on an explicit all-ones matrix.
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        for seed in 0..10 {
+            let implicit = WorldConfig::heterogeneous(24, seed).build();
+            assert!(implicit.adjacency().is_full_mesh());
+            let k = implicit.num_agents();
+            let matrix: Vec<Vec<bool>> = (0..k).map(|i| (0..k).map(|j| i != j).collect()).collect();
+            let explicit =
+                World::from_parts(implicit.agents().to_vec(), Adjacency::from_matrix(matrix), seed);
+            let ids: Vec<AgentId> = implicit.agents().iter().map(|a| a.id).collect();
+            let sched = PairingScheduler::new();
+            let a = sched.pair(&implicit, &ids, &est);
+            let b = sched.pair(&explicit, &ids, &est);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mixed_batch_sizes_keep_fast_path_exact() {
+        // batches_per_s depends on batch_size, so it is part of the class
+        // identity; agents sharing (CPU, link) but not batch size must not
+        // shadow each other in the full-mesh fast path.
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let mut agents = Vec::new();
+        for i in 0..12 {
+            let cpus = [0.2, 0.5, 4.0][i % 3];
+            let batch = [50, 100][i % 2];
+            agents.push(AgentState::new(AgentId(i), AgentProfile::new(cpus, 100.0), 5000, batch));
+        }
+        let k = agents.len();
+        let implicit = World::from_parts(agents.clone(), Adjacency::full(k), 1);
+        let matrix: Vec<Vec<bool>> = (0..k).map(|i| (0..k).map(|j| i != j).collect()).collect();
+        let explicit = World::from_parts(agents, Adjacency::from_matrix(matrix), 1);
+        let ids: Vec<AgentId> = (0..k).map(AgentId).collect();
+        let sched = PairingScheduler::new();
+        assert_eq!(sched.pair(&implicit, &ids, &est), sched.pair(&explicit, &ids, &est));
+    }
+
+    #[test]
+    fn partial_participation_only_pairs_participants() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let world = WorldConfig::heterogeneous(30, 5).topology(Topology::Full).build();
+        let participants: Vec<AgentId> = (0..30).step_by(3).map(AgentId).collect();
+        let pairings = PairingScheduler::new().pair(&world, &participants, &est);
+        let mut seen: Vec<AgentId> = Vec::new();
+        for p in &pairings {
+            seen.push(p.slow);
+            seen.extend(p.fast);
+        }
+        seen.sort();
+        assert_eq!(seen, participants, "non-participants must never be drafted");
     }
 }

@@ -1,8 +1,8 @@
 use serde::{Deserialize, Serialize};
 
-use crate::LayerSpec;
 #[cfg(test)]
 use crate::LayerKind;
+use crate::LayerSpec;
 
 /// Analytic description of a full model as an ordered list of weighted
 /// layers.
@@ -111,9 +111,9 @@ impl ModelSpec {
         for i in 0..layers_n {
             // QKV + output projections: 4 * hidden^2 per token; attention
             // scores: 2 * seq * hidden per token; FFN: 2 * hidden * ffn.
-            let per_token =
-                4.0 * (hidden * hidden) as f64 + 2.0 * (seq_len * hidden) as f64
-                    + 2.0 * (hidden * ffn) as f64;
+            let per_token = 4.0 * (hidden * hidden) as f64
+                + 2.0 * (seq_len * hidden) as f64
+                + 2.0 * (hidden * ffn) as f64;
             let flops_fwd = 2.0 * per_token * seq_len as f64;
             let params = 4 * hidden * hidden + 2 * hidden * ffn + 4 * hidden;
             layers.push(LayerSpec {

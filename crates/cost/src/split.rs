@@ -177,9 +177,7 @@ mod tests {
         // Cut before FC (m = 1): 64*8*8 floats * 100 samples.
         assert_eq!(p.entry(1).unwrap().nu_bytes_per_batch, 64 * 8 * 8 * 4 * 100);
         // Early cuts carry more activation data than late cuts.
-        assert!(
-            p.entry(55).unwrap().nu_bytes_per_batch > p.entry(1).unwrap().nu_bytes_per_batch
-        );
+        assert!(p.entry(55).unwrap().nu_bytes_per_batch > p.entry(1).unwrap().nu_bytes_per_batch);
     }
 
     #[test]

@@ -43,12 +43,8 @@ impl Augmenter {
         if images.rank() != 4 {
             return None;
         }
-        let (b, c, h, w) = (
-            images.shape()[0],
-            images.shape()[1],
-            images.shape()[2],
-            images.shape()[3],
-        );
+        let (b, c, h, w) =
+            (images.shape()[0], images.shape()[1], images.shape()[2], images.shape()[3]);
         if self.max_shift >= h || self.max_shift >= w {
             return None;
         }

@@ -51,14 +51,13 @@ impl SyntheticImageDataset {
         // Class-specific grating: frequency and phase derive from the class.
         let freq = 1.0 + (class % 4) as f32;
         let phase = (class / 4) as f32 * std::f32::consts::FRAC_PI_2;
-        let diag = if class % 2 == 0 { 1.0 } else { -1.0 };
+        let diag = if class.is_multiple_of(2) { 1.0 } else { -1.0 };
         for c in 0..spec.channels {
             for y in 0..spec.height {
                 for x in 0..spec.width {
                     let u = x as f32 / spec.width as f32;
                     let v = y as f32 / spec.height as f32;
-                    let signal = (2.0 * std::f32::consts::PI * freq * (u + diag * v) + phase)
-                        .sin()
+                    let signal = (2.0 * std::f32::consts::PI * freq * (u + diag * v) + phase).sin()
                         * (1.0 + 0.2 * c as f32);
                     let noise: f32 = rng.gen_range(-0.35..0.35);
                     out.push(signal + noise);
@@ -180,12 +179,9 @@ mod tests {
             if best.1 == y[0] {
                 correct += 1;
             }
-            }
+        }
         let total = (0..ds.len()).step_by(7).count();
-        assert!(
-            correct as f32 / total as f32 > 0.9,
-            "nearest-mean accuracy {correct}/{total}"
-        );
+        assert!(correct as f32 / total as f32 > 0.9, "nearest-mean accuracy {correct}/{total}");
     }
 
     #[test]

@@ -5,15 +5,15 @@ use crate::{FramedStream, Message, NetError};
 /// Every rank holds a stream to its successor (`next`) and from its
 /// predecessor (`prev`) in the ring. The schedule matches
 /// `comdml_collective::ring_allreduce`: `K−1` reduce-scatter steps followed
-/// by `K−1` all-gather steps, with each step's send and receive performed
-/// concurrently so the ring never deadlocks. The result is the element-wise
-/// *mean* across ranks, exactly as the aggregation step of §IV-B requires.
+/// by `K−1` all-gather steps. Each step's send runs on a scoped helper
+/// thread while the receive blocks on the calling thread, so the ring never
+/// deadlocks regardless of socket buffer sizes.
 ///
 /// # Errors
 ///
 /// Returns a [`NetError`] on socket failure or protocol violation (a peer
 /// sending a chunk for the wrong step).
-pub async fn ring_allreduce_tcp(
+pub fn ring_allreduce_tcp(
     rank: usize,
     k: usize,
     mut values: Vec<f32>,
@@ -27,6 +27,22 @@ pub async fn ring_allreduce_tcp(
     let bounds: Vec<usize> = (0..=k).map(|c| c * n / k).collect();
     let chunk_range = |c: usize| bounds[c % k]..bounds[c % k + 1];
 
+    // One ring step: concurrently push `outgoing` to the successor and pull
+    // the predecessor's chunk.
+    fn exchange(
+        next: &mut FramedStream,
+        prev: &mut FramedStream,
+        outgoing: &Message,
+    ) -> Result<Message, NetError> {
+        std::thread::scope(|scope| {
+            let sender = scope.spawn(|| next.send(outgoing));
+            let received = prev.expect("ModelChunk");
+            let sent = sender.join().expect("send thread must not panic");
+            sent?;
+            received
+        })
+    }
+
     // Reduce-scatter: after K-1 steps, this rank holds the full sum of
     // chunk (rank + 1) mod K.
     for s in 0..k - 1 {
@@ -34,11 +50,8 @@ pub async fn ring_allreduce_tcp(
         let recv_c = (rank + k - s - 1) % k;
         let payload = values[chunk_range(send_c)].to_vec();
         let outgoing = Message::ModelChunk { step: s as u32, data: payload };
-        let send_fut = next.send(&outgoing);
-        let recv_fut = prev.expect("ModelChunk");
-        let (sent, received) = tokio::join!(send_fut, recv_fut);
-        sent?;
-        let Message::ModelChunk { step, data } = received? else { unreachable!("expect checked") };
+        let received = exchange(next, prev, &outgoing)?;
+        let Message::ModelChunk { step, data } = received else { unreachable!("expect checked") };
         if step != s as u32 {
             return Err(NetError::Unexpected {
                 expected: "chunk for current step",
@@ -64,11 +77,8 @@ pub async fn ring_allreduce_tcp(
         let recv_c = (rank + k - s) % k;
         let payload = values[chunk_range(send_c)].to_vec();
         let outgoing = Message::ModelChunk { step: (k - 1 + s) as u32, data: payload };
-        let send_fut = next.send(&outgoing);
-        let recv_fut = prev.expect("ModelChunk");
-        let (sent, received) = tokio::join!(send_fut, recv_fut);
-        sent?;
-        let Message::ModelChunk { data, .. } = received? else { unreachable!("expect checked") };
+        let received = exchange(next, prev, &outgoing)?;
+        let Message::ModelChunk { data, .. } = received else { unreachable!("expect checked") };
         let range = chunk_range(recv_c);
         if data.len() != range.len() {
             return Err(NetError::BadFrame(format!(

@@ -1,9 +1,7 @@
 use std::error::Error;
 use std::fmt;
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::TcpStream;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 
 /// Errors produced by the wire protocol.
 #[derive(Debug)]
@@ -54,6 +52,49 @@ impl From<std::io::Error> for NetError {
 /// Maximum accepted frame size (a full ResNet-110 model is ~7 MB; leave
 /// generous headroom).
 const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Little-endian cursor over a received frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], NetError> {
+        if self.buf.len() < n {
+            return Err(NetError::BadFrame(format!("truncated {what}")));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self, what: &str) -> Result<u8, NetError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn get_u32_le(&mut self, what: &str) -> Result<u32, NetError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_f64_le(&mut self, what: &str) -> Result<f64, NetError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn get_f32_le(&mut self, what: &str) -> Result<f32, NetError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
 
 /// Protocol messages exchanged between ComDML peers.
 ///
@@ -151,39 +192,40 @@ impl Message {
     }
 
     /// Serializes the message body (without the length prefix).
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16);
-        buf.put_u8(self.tag());
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        buf.push(self.tag());
+        let put_u32 = |buf: &mut Vec<u8>, v: u32| buf.extend_from_slice(&v.to_le_bytes());
         match self {
-            Message::Hello { agent_id } => buf.put_u32_le(*agent_id),
+            Message::Hello { agent_id } => put_u32(&mut buf, *agent_id),
             Message::Profile { agent_id, batches_per_s, solo_time_s } => {
-                buf.put_u32_le(*agent_id);
-                buf.put_f64_le(*batches_per_s);
-                buf.put_f64_le(*solo_time_s);
+                put_u32(&mut buf, *agent_id);
+                buf.extend_from_slice(&batches_per_s.to_le_bytes());
+                buf.extend_from_slice(&solo_time_s.to_le_bytes());
             }
             Message::PairRequest { slow_id, offload } => {
-                buf.put_u32_le(*slow_id);
-                buf.put_u32_le(*offload);
+                put_u32(&mut buf, *slow_id);
+                put_u32(&mut buf, *offload);
             }
             Message::PairAccept { fast_id } | Message::PairReject { fast_id } => {
-                buf.put_u32_le(*fast_id)
+                put_u32(&mut buf, *fast_id)
             }
             Message::Activations { batch_idx, data, labels } => {
-                buf.put_u32_le(*batch_idx);
+                put_u32(&mut buf, *batch_idx);
                 put_f32s(&mut buf, data);
-                buf.put_u32_le(labels.len() as u32);
+                put_u32(&mut buf, labels.len() as u32);
                 for &y in labels {
-                    buf.put_u32_le(y);
+                    put_u32(&mut buf, y);
                 }
             }
             Message::SuffixParams { data } => put_f32s(&mut buf, data),
             Message::ModelChunk { step, data } => {
-                buf.put_u32_le(*step);
+                put_u32(&mut buf, *step);
                 put_f32s(&mut buf, data);
             }
             Message::Done => {}
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a message body produced by [`Message::encode`].
@@ -191,58 +233,40 @@ impl Message {
     /// # Errors
     ///
     /// Returns [`NetError::BadFrame`] on any structural problem.
-    pub fn decode(mut buf: Bytes) -> Result<Self, NetError> {
-        if buf.is_empty() {
+    pub fn decode(buf: &[u8]) -> Result<Self, NetError> {
+        let mut r = Reader::new(buf);
+        if r.remaining() == 0 {
             return Err(NetError::BadFrame("empty frame".into()));
         }
-        let tag = buf.get_u8();
-        let need = |buf: &Bytes, n: usize, what: &str| -> Result<(), NetError> {
-            if buf.remaining() < n {
-                Err(NetError::BadFrame(format!("truncated {what}")))
-            } else {
-                Ok(())
-            }
-        };
+        let tag = r.get_u8("tag")?;
         let msg = match tag {
-            0 => {
-                need(&buf, 4, "Hello")?;
-                Message::Hello { agent_id: buf.get_u32_le() }
-            }
-            1 => {
-                need(&buf, 20, "Profile")?;
-                Message::Profile {
-                    agent_id: buf.get_u32_le(),
-                    batches_per_s: buf.get_f64_le(),
-                    solo_time_s: buf.get_f64_le(),
-                }
-            }
-            2 => {
-                need(&buf, 8, "PairRequest")?;
-                Message::PairRequest { slow_id: buf.get_u32_le(), offload: buf.get_u32_le() }
-            }
-            3 => {
-                need(&buf, 4, "PairAccept")?;
-                Message::PairAccept { fast_id: buf.get_u32_le() }
-            }
-            4 => {
-                need(&buf, 4, "PairReject")?;
-                Message::PairReject { fast_id: buf.get_u32_le() }
-            }
+            0 => Message::Hello { agent_id: r.get_u32_le("Hello")? },
+            1 => Message::Profile {
+                agent_id: r.get_u32_le("Profile")?,
+                batches_per_s: r.get_f64_le("Profile")?,
+                solo_time_s: r.get_f64_le("Profile")?,
+            },
+            2 => Message::PairRequest {
+                slow_id: r.get_u32_le("PairRequest")?,
+                offload: r.get_u32_le("PairRequest")?,
+            },
+            3 => Message::PairAccept { fast_id: r.get_u32_le("PairAccept")? },
+            4 => Message::PairReject { fast_id: r.get_u32_le("PairReject")? },
             5 => {
-                need(&buf, 4, "Activations")?;
-                let batch_idx = buf.get_u32_le();
-                let data = get_f32s(&mut buf)?;
-                need(&buf, 4, "Activations labels")?;
-                let n = buf.get_u32_le() as usize;
-                need(&buf, n * 4, "Activations labels")?;
-                let labels = (0..n).map(|_| buf.get_u32_le()).collect();
+                let batch_idx = r.get_u32_le("Activations")?;
+                let data = get_f32s(&mut r)?;
+                let n = r.get_u32_le("Activations labels")? as usize;
+                let raw = r.take(n * 4, "Activations labels")?;
+                let labels = raw
+                    .chunks_exact(4)
+                    .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                    .collect();
                 Message::Activations { batch_idx, data, labels }
             }
-            6 => Message::SuffixParams { data: get_f32s(&mut buf)? },
+            6 => Message::SuffixParams { data: get_f32s(&mut r)? },
             7 => {
-                need(&buf, 4, "ModelChunk")?;
-                let step = buf.get_u32_le();
-                Message::ModelChunk { step, data: get_f32s(&mut buf)? }
+                let step = r.get_u32_le("ModelChunk")?;
+                Message::ModelChunk { step, data: get_f32s(&mut r)? }
             }
             8 => Message::Done,
             other => return Err(NetError::BadFrame(format!("unknown tag {other}"))),
@@ -251,29 +275,30 @@ impl Message {
     }
 }
 
-fn put_f32s(buf: &mut BytesMut, data: &[f32]) {
-    buf.put_u32_le(data.len() as u32);
+fn put_f32s(buf: &mut Vec<u8>, data: &[f32]) {
+    buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
     buf.reserve(data.len() * 4);
     for &v in data {
-        buf.put_f32_le(v);
+        buf.extend_from_slice(&v.to_le_bytes());
     }
 }
 
-fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, NetError> {
-    if buf.remaining() < 4 {
-        return Err(NetError::BadFrame("truncated vector length".into()));
-    }
-    let n = buf.get_u32_le() as usize;
-    if buf.remaining() < n * 4 {
+fn get_f32s(r: &mut Reader<'_>) -> Result<Vec<f32>, NetError> {
+    let n = r.get_u32_le("vector length")? as usize;
+    if r.remaining() < n * 4 {
         return Err(NetError::BadFrame(format!(
             "vector claims {n} floats but only {} bytes remain",
-            buf.remaining()
+            r.remaining()
         )));
     }
-    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+    (0..n).map(|_| r.get_f32_le("vector")).collect()
 }
 
 /// A TCP stream with length-prefixed [`Message`] framing.
+///
+/// Blocking: `send` and `recv` run on the calling thread. Peers that must
+/// send and receive concurrently (e.g. ring AllReduce steps) do so from
+/// separate threads — see [`crate::ring_allreduce_tcp`].
 #[derive(Debug)]
 pub struct FramedStream {
     stream: TcpStream,
@@ -290,11 +315,11 @@ impl FramedStream {
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on socket failure.
-    pub async fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+    pub fn send(&mut self, msg: &Message) -> Result<(), NetError> {
         let body = msg.encode();
-        self.stream.write_u32_le(body.len() as u32).await?;
-        self.stream.write_all(&body).await?;
-        self.stream.flush().await?;
+        self.stream.write_all(&(body.len() as u32).to_le_bytes())?;
+        self.stream.write_all(&body)?;
+        self.stream.flush()?;
         Ok(())
     }
 
@@ -305,14 +330,16 @@ impl FramedStream {
     /// Returns [`NetError::Io`] on socket failure,
     /// [`NetError::FrameTooLarge`] on a corrupt length prefix, or
     /// [`NetError::BadFrame`] if the body does not decode.
-    pub async fn recv(&mut self) -> Result<Message, NetError> {
-        let len = self.stream.read_u32_le().await? as usize;
+    pub fn recv(&mut self) -> Result<Message, NetError> {
+        let mut prefix = [0u8; 4];
+        self.stream.read_exact(&mut prefix)?;
+        let len = u32::from_le_bytes(prefix) as usize;
         if len > MAX_FRAME {
             return Err(NetError::FrameTooLarge(len));
         }
         let mut body = vec![0u8; len];
-        self.stream.read_exact(&mut body).await?;
-        Message::decode(Bytes::from(body))
+        self.stream.read_exact(&mut body)?;
+        Message::decode(&body)
     }
 
     /// Receives a message, erroring unless it matches `expected_name`.
@@ -321,8 +348,8 @@ impl FramedStream {
     ///
     /// Returns [`NetError::Unexpected`] on a protocol violation, or any
     /// receive error.
-    pub async fn expect(&mut self, expected_name: &'static str) -> Result<Message, NetError> {
-        let msg = self.recv().await?;
+    pub fn expect(&mut self, expected_name: &'static str) -> Result<Message, NetError> {
+        let msg = self.recv()?;
         if msg.name() != expected_name {
             return Err(NetError::Unexpected { expected: expected_name, got: msg.name().into() });
         }
@@ -335,7 +362,7 @@ mod tests {
     use super::*;
 
     fn round_trip(msg: Message) {
-        let decoded = Message::decode(msg.encode()).unwrap();
+        let decoded = Message::decode(&msg.encode()).unwrap();
         assert_eq!(decoded, msg);
     }
 
@@ -346,7 +373,11 @@ mod tests {
         round_trip(Message::PairRequest { slow_id: 3, offload: 37 });
         round_trip(Message::PairAccept { fast_id: 4 });
         round_trip(Message::PairReject { fast_id: 4 });
-        round_trip(Message::Activations { batch_idx: 12, data: vec![1.5, -2.0, 0.0], labels: vec![0, 2, 1] });
+        round_trip(Message::Activations {
+            batch_idx: 12,
+            data: vec![1.5, -2.0, 0.0],
+            labels: vec![0, 2, 1],
+        });
         round_trip(Message::SuffixParams { data: vec![0.125; 33] });
         round_trip(Message::ModelChunk { step: 2, data: vec![] });
         round_trip(Message::Done);
@@ -356,44 +387,46 @@ mod tests {
     fn truncated_frames_error() {
         let full = Message::Profile { agent_id: 1, batches_per_s: 1.0, solo_time_s: 2.0 }.encode();
         for cut in 1..full.len() {
-            let sliced = full.slice(0..cut);
-            assert!(Message::decode(sliced).is_err() || cut == full.len());
+            assert!(Message::decode(&full[..cut]).is_err());
         }
     }
 
     #[test]
     fn unknown_tag_errors() {
-        let buf = Bytes::from_static(&[99u8, 0, 0, 0]);
-        assert!(matches!(Message::decode(buf), Err(NetError::BadFrame(_))));
+        assert!(matches!(Message::decode(&[99u8, 0, 0, 0]), Err(NetError::BadFrame(_))));
     }
 
     #[test]
     fn lying_vector_length_errors() {
-        let mut raw = BytesMut::new();
-        raw.put_u8(6); // SuffixParams
-        raw.put_u32_le(1000); // claims 1000 floats
-        raw.put_f32_le(1.0); // provides one
-        assert!(Message::decode(raw.freeze()).is_err());
+        let mut raw = vec![6u8]; // SuffixParams
+        raw.extend_from_slice(&1000u32.to_le_bytes()); // claims 1000 floats
+        raw.extend_from_slice(&1.0f32.to_le_bytes()); // provides one
+        assert!(Message::decode(&raw).is_err());
     }
 
-    #[tokio::test]
-    async fn framed_stream_round_trips_over_tcp() {
-        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn framed_stream_round_trips_over_tcp() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let client = tokio::spawn(async move {
-            let mut s = FramedStream::new(TcpStream::connect(addr).await.unwrap());
-            s.send(&Message::Hello { agent_id: 42 }).await.unwrap();
-            s.send(&Message::Activations { batch_idx: 0, data: vec![1.0; 1024], labels: vec![7; 16] }).await.unwrap();
-            s.expect("Done").await.unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = FramedStream::new(TcpStream::connect(addr).unwrap());
+            s.send(&Message::Hello { agent_id: 42 }).unwrap();
+            s.send(&Message::Activations {
+                batch_idx: 0,
+                data: vec![1.0; 1024],
+                labels: vec![7; 16],
+            })
+            .unwrap();
+            s.expect("Done").unwrap();
         });
-        let (sock, _) = listener.accept().await.unwrap();
+        let (sock, _) = listener.accept().unwrap();
         let mut s = FramedStream::new(sock);
-        assert_eq!(s.recv().await.unwrap(), Message::Hello { agent_id: 42 });
-        match s.recv().await.unwrap() {
+        assert_eq!(s.recv().unwrap(), Message::Hello { agent_id: 42 });
+        match s.recv().unwrap() {
             Message::Activations { data, .. } => assert_eq!(data.len(), 1024),
             other => panic!("unexpected {other:?}"),
         }
-        s.send(&Message::Done).await.unwrap();
-        client.await.unwrap();
+        s.send(&Message::Done).unwrap();
+        client.join().unwrap();
     }
 }

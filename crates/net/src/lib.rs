@@ -2,14 +2,16 @@
 //! sockets.
 //!
 //! The simulator in `comdml-core` accounts for time; this crate demonstrates
-//! the *protocol* itself on a real asynchronous substrate (tokio + TCP):
+//! the *protocol* itself on a real substrate (blocking `std::net` TCP, one
+//! thread per peer):
 //!
 //! * [`Message`] / [`FramedStream`] — a compact length-prefixed binary wire
 //!   format for profile broadcasts, pairing handshakes, activation streaming
 //!   and model exchange.
 //! * [`ring_allreduce_tcp`] — the ring AllReduce executed across real
 //!   connections (reduce-scatter + all-gather, `2(K−1)` steps), matching the
-//!   in-memory implementation in `comdml-collective`.
+//!   in-memory implementation in `comdml-collective`. Each step's send runs
+//!   on a scoped thread so the ring never deadlocks.
 //! * [`Node`] and [`spawn_ring`] — helpers to stand up an in-process cluster
 //!   of peers on localhost.
 //! * [`pairing_handshake`] — the slow→fast agent request/accept exchange of
@@ -18,23 +20,20 @@
 //! # Example
 //!
 //! ```no_run
-//! use comdml_net::{spawn_ring, ring_allreduce_tcp};
+//! use comdml_net::spawn_ring;
 //!
-//! #[tokio::main(flavor = "current_thread")]
-//! async fn main() {
-//!     let mut cluster = spawn_ring(4).await.unwrap();
-//!     // Every node contributes rank-dependent parameters…
-//!     let handles: Vec<_> = cluster
-//!         .drain(..)
-//!         .map(|mut node| tokio::spawn(async move {
-//!             let params = vec![node.rank() as f32; 8];
-//!             node.allreduce(params).await.unwrap()
-//!         }))
-//!         .collect();
-//!     for h in handles {
-//!         let avg = h.await.unwrap();
-//!         assert!((avg[0] - 1.5).abs() < 1e-6); // mean of 0,1,2,3
-//!     }
+//! let cluster = spawn_ring(4).unwrap();
+//! // Every node contributes rank-dependent parameters from its own thread…
+//! let handles: Vec<_> = cluster
+//!     .into_iter()
+//!     .map(|mut node| std::thread::spawn(move || {
+//!         let params = vec![node.rank() as f32; 8];
+//!         node.allreduce(params).unwrap()
+//!     }))
+//!     .collect();
+//! for h in handles {
+//!     let avg = h.join().unwrap();
+//!     assert!((avg[0] - 1.5).abs() < 1e-6); // mean of 0,1,2,3
 //! }
 //! ```
 

@@ -1,4 +1,4 @@
-use tokio::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream};
 
 use crate::{ring_allreduce_tcp, FramedStream, Message, NetError};
 
@@ -32,8 +32,8 @@ impl Node {
     ///
     /// Propagates socket and protocol errors; all ranks must call this with
     /// equal-length vectors.
-    pub async fn allreduce(&mut self, values: Vec<f32>) -> Result<Vec<f32>, NetError> {
-        ring_allreduce_tcp(self.rank, self.k, values, &mut self.next, &mut self.prev).await
+    pub fn allreduce(&mut self, values: Vec<f32>) -> Result<Vec<f32>, NetError> {
+        ring_allreduce_tcp(self.rank, self.k, values, &mut self.next, &mut self.prev)
     }
 
     /// Sends a message to the ring successor.
@@ -41,8 +41,8 @@ impl Node {
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on socket failure.
-    pub async fn send_next(&mut self, msg: &Message) -> Result<(), NetError> {
-        self.next.send(msg).await
+    pub fn send_next(&mut self, msg: &Message) -> Result<(), NetError> {
+        self.next.send(msg)
     }
 
     /// Receives a message from the ring predecessor.
@@ -50,8 +50,8 @@ impl Node {
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on socket failure.
-    pub async fn recv_prev(&mut self) -> Result<Message, NetError> {
-        self.prev.recv().await
+    pub fn recv_prev(&mut self) -> Result<Message, NetError> {
+        self.prev.recv()
     }
 }
 
@@ -61,23 +61,24 @@ impl Node {
 /// # Errors
 ///
 /// Propagates bind/connect failures and handshake protocol errors.
-pub async fn spawn_ring(k: usize) -> Result<Vec<Node>, NetError> {
+pub fn spawn_ring(k: usize) -> Result<Vec<Node>, NetError> {
     assert!(k >= 2, "a ring needs at least two nodes");
     let mut listeners = Vec::with_capacity(k);
     let mut addrs = Vec::with_capacity(k);
     for _ in 0..k {
-        let l = TcpListener::bind("127.0.0.1:0").await?;
+        let l = TcpListener::bind("127.0.0.1:0")?;
         addrs.push(l.local_addr()?);
         listeners.push(l);
     }
 
-    // Each rank dials its successor, identifying itself with Hello.
+    // Each rank dials its successor on a helper thread, identifying itself
+    // with Hello, while the main thread accepts the inbound predecessors.
     let mut connect_tasks = Vec::with_capacity(k);
-    for r in 0..k {
+    for (r, _) in addrs.iter().enumerate() {
         let target = addrs[(r + 1) % k];
-        connect_tasks.push(tokio::spawn(async move {
-            let mut s = FramedStream::new(TcpStream::connect(target).await?);
-            s.send(&Message::Hello { agent_id: r as u32 }).await?;
+        connect_tasks.push(std::thread::spawn(move || {
+            let mut s = FramedStream::new(TcpStream::connect(target)?);
+            s.send(&Message::Hello { agent_id: r as u32 })?;
             Ok::<FramedStream, NetError>(s)
         }));
     }
@@ -85,9 +86,9 @@ pub async fn spawn_ring(k: usize) -> Result<Vec<Node>, NetError> {
     // Each rank accepts exactly one inbound connection: its predecessor.
     let mut prev_streams: Vec<Option<FramedStream>> = (0..k).map(|_| None).collect();
     for (r, listener) in listeners.iter().enumerate() {
-        let (sock, _) = listener.accept().await?;
+        let (sock, _) = listener.accept()?;
         let mut s = FramedStream::new(sock);
-        let hello = s.expect("Hello").await?;
+        let hello = s.expect("Hello")?;
         let Message::Hello { agent_id } = hello else { unreachable!("expect checked") };
         let expected_pred = (r + k - 1) % k;
         if agent_id as usize != expected_pred {
@@ -101,8 +102,8 @@ pub async fn spawn_ring(k: usize) -> Result<Vec<Node>, NetError> {
 
     let mut nodes = Vec::with_capacity(k);
     for (r, task) in connect_tasks.into_iter().enumerate() {
-        let next = task.await.map_err(|e| {
-            NetError::Io(std::io::Error::other(format!("connect task panicked: {e}")))
+        let next = task.join().map_err(|e| {
+            NetError::Io(std::io::Error::other(format!("connect task panicked: {e:?}")))
         })??;
         let prev = prev_streams[r].take().expect("accepted above");
         nodes.push(Node { rank: r, k, next, prev });
@@ -133,13 +134,13 @@ pub enum PairOutcome {
 ///
 /// Returns [`NetError::Unexpected`] if the peer violates the protocol, or
 /// any socket error.
-pub async fn pairing_handshake(
+pub fn pairing_handshake(
     to_fast: &mut FramedStream,
     slow_id: u32,
     offload: u32,
 ) -> Result<PairOutcome, NetError> {
-    to_fast.send(&Message::PairRequest { slow_id, offload }).await?;
-    match to_fast.recv().await? {
+    to_fast.send(&Message::PairRequest { slow_id, offload })?;
+    match to_fast.recv()? {
         Message::PairAccept { fast_id } => Ok(PairOutcome::Accepted { fast_id }),
         Message::PairReject { fast_id } => Ok(PairOutcome::Rejected { fast_id }),
         other => Err(NetError::Unexpected {
@@ -153,78 +154,77 @@ pub async fn pairing_handshake(
 mod tests {
     use super::*;
 
-    #[tokio::test]
-    async fn ring_allreduce_over_tcp_equals_mean() {
-        let cluster = spawn_ring(4).await.unwrap();
+    #[test]
+    fn ring_allreduce_over_tcp_equals_mean() {
+        let cluster = spawn_ring(4).unwrap();
         let handles: Vec<_> = cluster
             .into_iter()
             .map(|mut node| {
-                tokio::spawn(async move {
+                std::thread::spawn(move || {
                     let params = vec![node.rank() as f32; 10];
-                    node.allreduce(params).await.unwrap()
+                    node.allreduce(params).unwrap()
                 })
             })
             .collect();
         for h in handles {
-            let avg = h.await.unwrap();
+            let avg = h.join().unwrap();
             for v in avg {
                 assert!((v - 1.5).abs() < 1e-6, "mean of 0..4 is 1.5, got {v}");
             }
         }
     }
 
-    #[tokio::test]
-    async fn ring_allreduce_with_odd_cluster() {
-        let cluster = spawn_ring(5).await.unwrap();
+    #[test]
+    fn ring_allreduce_with_odd_cluster() {
+        let cluster = spawn_ring(5).unwrap();
         let handles: Vec<_> = cluster
             .into_iter()
             .map(|mut node| {
-                tokio::spawn(async move {
-                    let params: Vec<f32> =
-                        (0..7).map(|i| (node.rank() * 7 + i) as f32).collect();
-                    node.allreduce(params).await.unwrap()
+                std::thread::spawn(move || {
+                    let params: Vec<f32> = (0..7).map(|i| (node.rank() * 7 + i) as f32).collect();
+                    node.allreduce(params).unwrap()
                 })
             })
             .collect();
-        let first = handles.into_iter().next().unwrap().await.unwrap();
+        let first = handles.into_iter().next().unwrap().join().unwrap();
         // Rank means: element j = mean over r of (7r + j) = 14 + j.
         for (j, v) in first.iter().enumerate() {
             assert!((v - (14.0 + j as f32)).abs() < 1e-4, "element {j}: {v}");
         }
     }
 
-    #[tokio::test]
-    async fn pairing_handshake_accept_and_reject() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn pairing_handshake_accept_and_reject() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let fast = tokio::spawn(async move {
-            let (sock, _) = listener.accept().await.unwrap();
+        let fast = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
             let mut s = FramedStream::new(sock);
             // First request accepted, second rejected.
-            let m = s.expect("PairRequest").await.unwrap();
+            let m = s.expect("PairRequest").unwrap();
             assert_eq!(m, Message::PairRequest { slow_id: 0, offload: 37 });
-            s.send(&Message::PairAccept { fast_id: 1 }).await.unwrap();
-            s.expect("PairRequest").await.unwrap();
-            s.send(&Message::PairReject { fast_id: 1 }).await.unwrap();
+            s.send(&Message::PairAccept { fast_id: 1 }).unwrap();
+            s.expect("PairRequest").unwrap();
+            s.send(&Message::PairReject { fast_id: 1 }).unwrap();
         });
-        let mut s = FramedStream::new(TcpStream::connect(addr).await.unwrap());
-        let first = pairing_handshake(&mut s, 0, 37).await.unwrap();
+        let mut s = FramedStream::new(TcpStream::connect(addr).unwrap());
+        let first = pairing_handshake(&mut s, 0, 37).unwrap();
         assert_eq!(first, PairOutcome::Accepted { fast_id: 1 });
-        let second = pairing_handshake(&mut s, 0, 19).await.unwrap();
+        let second = pairing_handshake(&mut s, 0, 19).unwrap();
         assert_eq!(second, PairOutcome::Rejected { fast_id: 1 });
-        fast.await.unwrap();
+        fast.join().unwrap();
     }
 
-    #[tokio::test]
-    async fn activation_streaming_between_pair() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn activation_streaming_between_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let fast = tokio::spawn(async move {
-            let (sock, _) = listener.accept().await.unwrap();
+        let fast = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
             let mut s = FramedStream::new(sock);
             let mut received = 0usize;
             loop {
-                match s.recv().await.unwrap() {
+                match s.recv().unwrap() {
                     Message::Activations { batch_idx, data, labels } => {
                         assert_eq!(batch_idx as usize, received);
                         assert_eq!(data.len(), 64);
@@ -236,22 +236,21 @@ mod tests {
                 }
             }
             // Return the trained suffix parameters.
-            s.send(&Message::SuffixParams { data: vec![0.5; 8] }).await.unwrap();
+            s.send(&Message::SuffixParams { data: vec![0.5; 8] }).unwrap();
             received
         });
-        let mut s = FramedStream::new(TcpStream::connect(addr).await.unwrap());
+        let mut s = FramedStream::new(TcpStream::connect(addr).unwrap());
         for b in 0..5u32 {
             s.send(&Message::Activations {
                 batch_idx: b,
                 data: vec![b as f32; 64],
                 labels: vec![b; 4],
             })
-            .await
             .unwrap();
         }
-        s.send(&Message::Done).await.unwrap();
-        let suffix = s.expect("SuffixParams").await.unwrap();
+        s.send(&Message::Done).unwrap();
+        let suffix = s.expect("SuffixParams").unwrap();
         assert_eq!(suffix, Message::SuffixParams { data: vec![0.5; 8] });
-        assert_eq!(fast.await.unwrap(), 5);
+        assert_eq!(fast.join().unwrap(), 5);
     }
 }

@@ -104,7 +104,7 @@ impl SlowSideSession {
     /// # Errors
     ///
     /// Propagates transport and training errors.
-    pub async fn train_round(
+    pub fn train_round(
         &mut self,
         stream: &mut FramedStream,
         batches: &[(Tensor, Vec<usize>)],
@@ -113,7 +113,8 @@ impl SlowSideSession {
         for (b, (x, y)) in batches.iter().enumerate() {
             let z = self.prefix.forward(x)?;
             if self.aux.is_none() {
-                self.aux = Some(AuxHead::for_activation(z.shape(), self.num_classes, &mut self.rng)?);
+                self.aux =
+                    Some(AuxHead::for_activation(z.shape(), self.num_classes, &mut self.rng)?);
             }
             let aux = self.aux.as_mut().expect("initialized above");
             let logits = aux.forward(&z)?;
@@ -131,17 +132,15 @@ impl SlowSideSession {
             self.prefix.set_parameters(&params[..n])?;
             aux.set_parameters(&params[n..])?;
 
-            stream
-                .send(&Message::Activations {
-                    batch_idx: b as u32,
-                    data: z.data().to_vec(),
-                    labels: y.iter().map(|&v| v as u32).collect(),
-                })
-                .await?;
+            stream.send(&Message::Activations {
+                batch_idx: b as u32,
+                data: z.data().to_vec(),
+                labels: y.iter().map(|&v| v as u32).collect(),
+            })?;
         }
-        stream.send(&Message::Done).await?;
+        stream.send(&Message::Done)?;
 
-        let Message::SuffixParams { data } = stream.expect("SuffixParams").await? else {
+        let Message::SuffixParams { data } = stream.expect("SuffixParams")? else {
             unreachable!("expect checked the variant")
         };
         let suffix = ParamVec::from_parts(data, self.suffix_shapes.clone())
@@ -196,7 +195,7 @@ impl FastSideSession {
     ///
     /// Propagates transport and training errors; protocol violations (an
     /// unexpected message mid-stream) surface as [`NetError::Unexpected`].
-    pub async fn serve_round<F>(
+    pub fn serve_round<F>(
         &mut self,
         stream: &mut FramedStream,
         mut on_batch: F,
@@ -207,7 +206,7 @@ impl FastSideSession {
         let mut served = 0usize;
         let mut total = 0.0f32;
         loop {
-            match stream.recv().await? {
+            match stream.recv()? {
                 Message::Activations { data, labels, .. } => {
                     let batch = labels.len().max(1);
                     let mut shape = vec![batch];
@@ -236,7 +235,7 @@ impl FastSideSession {
             }
         }
         let flat = ParamVec::flatten(&self.suffix.parameters()).values().to_vec();
-        stream.send(&Message::SuffixParams { data: flat }).await?;
+        stream.send(&Message::SuffixParams { data: flat })?;
         Ok((served, if served == 0 { 0.0 } else { total / served as f32 }))
     }
 }
@@ -245,7 +244,7 @@ impl FastSideSession {
 mod tests {
     use super::*;
     use comdml_nn::models;
-    use tokio::net::{TcpListener, TcpStream};
+    use std::net::{TcpListener, TcpStream};
 
     fn split_model(seed: u64, offload: usize) -> (Sequential, Sequential) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -260,22 +259,20 @@ mod tests {
             .map(|_| {
                 let x = Tensor::randn(&[12, 8], 1.0, &mut rng);
                 // Learnable rule: label from the sign of the first feature.
-                let y = (0..12)
-                    .map(|i| if x.data()[i * 8] > 0.0 { 1usize } else { 0 })
-                    .collect();
+                let y = (0..12).map(|i| if x.data()[i * 8] > 0.0 { 1usize } else { 0 }).collect();
                 (x, y)
             })
             .collect()
     }
 
-    #[tokio::test]
-    async fn sessions_train_both_sides_over_tcp() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn sessions_train_both_sides_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let offload = 2;
 
-        let fast = tokio::spawn(async move {
-            let (sock, _) = listener.accept().await.unwrap();
+        let fast = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
             let mut stream = FramedStream::new(sock);
             let (_, suffix) = split_model(5, offload);
             // MLP cut before the last dense+relu: activation is [16].
@@ -284,48 +281,48 @@ mod tests {
             let mut losses = Vec::new();
             for _ in 0..6 {
                 let (served, loss) =
-                    session.serve_round(&mut stream, |_| own_batches += 1).await.unwrap();
+                    session.serve_round(&mut stream, |_| own_batches += 1).unwrap();
                 assert_eq!(served, 4);
                 losses.push(loss);
             }
             (losses, own_batches)
         });
 
-        let mut stream = FramedStream::new(TcpStream::connect(addr).await.unwrap());
+        let mut stream = FramedStream::new(TcpStream::connect(addr).unwrap());
         let (prefix, suffix) = split_model(5, offload);
         let shapes = suffix.parameters().iter().map(|p| p.shape().to_vec()).collect();
         let mut session = SlowSideSession::new(prefix, shapes, 4, 0.05, 0.9, 1);
         let batches = toy_batches(4, 9);
         let mut slow_losses = Vec::new();
         for _ in 0..6 {
-            let (loss, suffix_params) = session.train_round(&mut stream, &batches).await.unwrap();
+            let (loss, suffix_params) = session.train_round(&mut stream, &batches).unwrap();
             slow_losses.push(loss);
             assert!(!suffix_params.is_empty());
         }
 
-        let (fast_losses, own_batches) = fast.await.unwrap();
+        let (fast_losses, own_batches) = fast.join().unwrap();
         assert!(slow_losses.last().unwrap() < &slow_losses[0], "{slow_losses:?}");
         assert!(fast_losses.last().unwrap() < &fast_losses[0], "{fast_losses:?}");
         assert_eq!(own_batches, 24, "the hook interleaves the fast agent's own work");
     }
 
-    #[tokio::test]
-    async fn fast_session_rejects_protocol_violation() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn fast_session_rejects_protocol_violation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
 
-        let fast = tokio::spawn(async move {
-            let (sock, _) = listener.accept().await.unwrap();
+        let fast = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
             let mut stream = FramedStream::new(sock);
             let (_, suffix) = split_model(5, 2);
             let mut session = FastSideSession::new(suffix, vec![16], 0.05, 0.9);
-            session.serve_round(&mut stream, |_| {}).await
+            session.serve_round(&mut stream, |_| {})
         });
 
-        let mut stream = FramedStream::new(TcpStream::connect(addr).await.unwrap());
+        let mut stream = FramedStream::new(TcpStream::connect(addr).unwrap());
         // A pairing request mid-stream is a violation.
-        stream.send(&Message::PairRequest { slow_id: 0, offload: 1 }).await.unwrap();
-        let err = fast.await.unwrap().unwrap_err();
+        stream.send(&Message::PairRequest { slow_id: 0, offload: 1 }).unwrap();
+        let err = fast.join().unwrap().unwrap_err();
         assert!(matches!(err, ProtocolError::Net(NetError::Unexpected { .. })), "{err}");
     }
 }

@@ -73,6 +73,7 @@ impl Layer for BatchNorm2d {
         "batch_norm2d"
     }
 
+    #[allow(clippy::needless_range_loop)] // channel-strided indexing
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         if input.rank() != 4 || input.shape()[1] != self.channels() {
             return Err(NnError::BadInput {
@@ -81,12 +82,7 @@ impl Layer for BatchNorm2d {
                 got: input.shape().to_vec(),
             });
         }
-        let (b, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let n_per_c = (b * h * w) as f32;
         let x = input.data();
         let mut out = vec![0.0f32; x.len()];
@@ -132,11 +128,9 @@ impl Layer for BatchNorm2d {
         Ok(Tensor::from_vec(out, input.shape())?)
     }
 
+    #[allow(clippy::needless_range_loop)] // channel-strided indexing
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self
-            .cache
-            .take()
-            .ok_or(NnError::NoForwardContext { layer: "batch_norm2d" })?;
+        let cache = self.cache.take().ok_or(NnError::NoForwardContext { layer: "batch_norm2d" })?;
         let (b, c, h, w) = (cache.shape[0], cache.shape[1], cache.shape[2], cache.shape[3]);
         let n_per_c = (b * h * w) as f32;
         let gy = grad_out.data();
@@ -163,7 +157,8 @@ impl Layer for BatchNorm2d {
                 let base = (bi * c + ci) * h * w;
                 for i in base..base + h * w {
                     // dx = γ/σ · (dy − mean(dy) − x̂·mean(dy·x̂))
-                    gx[i] = g * inv_std
+                    gx[i] = g
+                        * inv_std
                         * (gy[i] - sum_gy / n_per_c - cache.x_hat[i] * sum_gy_xhat / n_per_c);
                 }
             }
@@ -222,8 +217,7 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + 16]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
         }
@@ -272,11 +266,7 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
             let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
-            assert!(
-                (gx.data()[idx] - num).abs() < 2e-2,
-                "idx {idx}: {} vs {num}",
-                gx.data()[idx]
-            );
+            assert!((gx.data()[idx] - num).abs() < 2e-2, "idx {idx}: {} vs {num}", gx.data()[idx]);
         }
     }
 

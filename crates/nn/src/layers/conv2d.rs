@@ -94,12 +94,8 @@ impl Layer for Conv2d {
                 got: input.shape().to_vec(),
             });
         }
-        let (batch, c_in, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (batch, c_in, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (c_out, k, s, p) = (self.c_out(), self.kernel(), self.stride, self.padding);
         let (ho, wo) = (self.out_dim(h), self.out_dim(w));
         let x = input.data();
@@ -141,16 +137,9 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self
-            .input
-            .take()
-            .ok_or(NnError::NoForwardContext { layer: "conv2d" })?;
-        let (batch, c_in, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let input = self.input.take().ok_or(NnError::NoForwardContext { layer: "conv2d" })?;
+        let (batch, c_in, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (c_out, k, s, p) = (self.c_out(), self.kernel(), self.stride, self.padding);
         let (ho, wo) = (self.out_dim(h), self.out_dim(w));
         if grad_out.shape() != [batch, c_out, ho, wo] {
@@ -220,7 +209,11 @@ impl Layer for Conv2d {
         {
             return Err(NnError::BadInput {
                 layer: "conv2d",
-                expected: format!("params shaped {:?} and {:?}", self.weight.shape(), self.bias.shape()),
+                expected: format!(
+                    "params shaped {:?} and {:?}",
+                    self.weight.shape(),
+                    self.bias.shape()
+                ),
                 got: params.first().map(|t| t.shape().to_vec()).unwrap_or_default(),
             });
         }
@@ -298,11 +291,7 @@ mod tests {
             let lp = c2.forward(&xp).unwrap().sum();
             let lm = c2.forward(&xm).unwrap().sum();
             let num = (lp - lm) / (2.0 * eps);
-            assert!(
-                (gx.data()[idx] - num).abs() < 2e-2,
-                "idx {idx}: {} vs {num}",
-                gx.data()[idx]
-            );
+            assert!((gx.data()[idx] - num).abs() < 2e-2, "idx {idx}: {} vs {num}", gx.data()[idx]);
         }
     }
 
@@ -330,11 +319,7 @@ mod tests {
             let lp = cp.forward(&x).unwrap().sum();
             let lm = cm.forward(&x).unwrap().sum();
             let num = (lp - lm) / (2.0 * eps);
-            assert!(
-                (gw.data()[idx] - num).abs() < 5e-2,
-                "idx {idx}: {} vs {num}",
-                gw.data()[idx]
-            );
+            assert!((gw.data()[idx] - num).abs() < 5e-2, "idx {idx}: {} vs {num}", gw.data()[idx]);
         }
     }
 

@@ -77,10 +77,7 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self
-            .input
-            .take()
-            .ok_or(NnError::NoForwardContext { layer: "dense" })?;
+        let input = self.input.take().ok_or(NnError::NoForwardContext { layer: "dense" })?;
         // dW = x^T · dy ; db = column sums of dy ; dx = dy · W^T
         self.grad_w = input.transpose()?.matmul(grad_out)?;
         let (batch, n_out) = (grad_out.shape()[0], grad_out.shape()[1]);
@@ -109,7 +106,11 @@ impl Layer for Dense {
         {
             return Err(NnError::BadInput {
                 layer: "dense",
-                expected: format!("params shaped {:?} and {:?}", self.weight.shape(), self.bias.shape()),
+                expected: format!(
+                    "params shaped {:?} and {:?}",
+                    self.weight.shape(),
+                    self.bias.shape()
+                ),
                 got: params.first().map(|p| p.shape().to_vec()).unwrap_or_default(),
             });
         }

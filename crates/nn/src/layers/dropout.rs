@@ -59,10 +59,7 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self
-            .mask
-            .take()
-            .ok_or(NnError::NoForwardContext { layer: "dropout" })?;
+        let mask = self.mask.take().ok_or(NnError::NoForwardContext { layer: "dropout" })?;
         if mask.len() != grad_out.len() {
             return Err(NnError::BadInput {
                 layer: "dropout",

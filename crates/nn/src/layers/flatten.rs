@@ -35,10 +35,8 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let shape = self
-            .input_shape
-            .take()
-            .ok_or(NnError::NoForwardContext { layer: "flatten" })?;
+        let shape =
+            self.input_shape.take().ok_or(NnError::NoForwardContext { layer: "flatten" })?;
         Ok(grad_out.reshape(&shape)?)
     }
 }

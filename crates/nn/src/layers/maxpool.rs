@@ -30,8 +30,8 @@ impl Layer for MaxPool2d {
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         if input.rank() != 4
-            || input.shape()[2] % self.window != 0
-            || input.shape()[3] % self.window != 0
+            || !input.shape()[2].is_multiple_of(self.window)
+            || !input.shape()[3].is_multiple_of(self.window)
         {
             return Err(NnError::BadInput {
                 layer: "max_pool2d",
@@ -39,12 +39,7 @@ impl Layer for MaxPool2d {
                 got: input.shape().to_vec(),
             });
         }
-        let (b, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let k = self.window;
         let (ho, wo) = (h / k, w / k);
         let x = input.data();
@@ -78,14 +73,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let shape = self
-            .input_shape
-            .take()
-            .ok_or(NnError::NoForwardContext { layer: "max_pool2d" })?;
-        let (total, winners) = self
-            .argmax
-            .take()
-            .ok_or(NnError::NoForwardContext { layer: "max_pool2d" })?;
+        let shape =
+            self.input_shape.take().ok_or(NnError::NoForwardContext { layer: "max_pool2d" })?;
+        let (total, winners) =
+            self.argmax.take().ok_or(NnError::NoForwardContext { layer: "max_pool2d" })?;
         let mut gx = vec![0.0f32; total[0]];
         for (o, &src) in winners.iter().enumerate() {
             gx[src] += grad_out.data()[o];

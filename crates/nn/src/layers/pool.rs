@@ -28,19 +28,17 @@ impl Layer for AvgPool2d {
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
-        if input.rank() != 4 || input.shape()[2] % self.window != 0 || input.shape()[3] % self.window != 0 {
+        if input.rank() != 4
+            || !input.shape()[2].is_multiple_of(self.window)
+            || !input.shape()[3].is_multiple_of(self.window)
+        {
             return Err(NnError::BadInput {
                 layer: "avg_pool2d",
                 expected: format!("[batch, c, h, w] with h, w divisible by {}", self.window),
                 got: input.shape().to_vec(),
             });
         }
-        let (b, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let k = self.window;
         let (ho, wo) = (h / k, w / k);
         let x = input.data();
@@ -66,10 +64,8 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let shape = self
-            .input_shape
-            .take()
-            .ok_or(NnError::NoForwardContext { layer: "avg_pool2d" })?;
+        let shape =
+            self.input_shape.take().ok_or(NnError::NoForwardContext { layer: "avg_pool2d" })?;
         let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let k = self.window;
         let (ho, wo) = (h / k, w / k);
@@ -123,12 +119,7 @@ impl Layer for GlobalAvgPool {
                 got: input.shape().to_vec(),
             });
         }
-        let (b, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let x = input.data();
         let norm = 1.0 / (h * w) as f32;
         let mut out = vec![0.0f32; b * c];
@@ -172,7 +163,10 @@ mod tests {
     fn avg_pool_averages_windows() {
         let mut p = AvgPool2d::new(2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

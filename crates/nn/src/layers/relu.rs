@@ -26,10 +26,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self
-            .mask
-            .take()
-            .ok_or(NnError::NoForwardContext { layer: "relu" })?;
+        let mask = self.mask.take().ok_or(NnError::NoForwardContext { layer: "relu" })?;
         if mask.len() != grad_out.len() {
             return Err(NnError::BadInput {
                 layer: "relu",

@@ -182,11 +182,8 @@ mod tests {
         let (x, y) = blobs(4, &mut rng);
         trainer.step(&x, &y).unwrap();
         let after = trainer.model().parameters();
-        let delta: f32 = before
-            .iter()
-            .zip(after.iter())
-            .map(|(a, b)| a.sub(b).unwrap().norm())
-            .sum();
+        let delta: f32 =
+            before.iter().zip(after.iter()).map(|(a, b)| a.sub(b).unwrap().norm()).sum();
         assert!(delta < 0.5, "decayed steps should be small, moved {delta}");
     }
 }

@@ -51,12 +51,8 @@ fn centered_distance_matrix(t: &Tensor, n: usize) -> Vec<f64> {
         for j in (i + 1)..n {
             let a = &data[i * f..(i + 1) * f];
             let b = &data[j * f..(j + 1) * f];
-            let dist = a
-                .iter()
-                .zip(b.iter())
-                .map(|(&x, &y)| ((x - y) as f64).powi(2))
-                .sum::<f64>()
-                .sqrt();
+            let dist =
+                a.iter().zip(b.iter()).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt();
             d[i * n + j] = dist;
             d[j * n + i] = dist;
         }

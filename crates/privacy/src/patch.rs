@@ -50,12 +50,8 @@ impl PatchShuffler {
         if images.rank() != 4 {
             return None;
         }
-        let (b, c, h, w) = (
-            images.shape()[0],
-            images.shape()[1],
-            images.shape()[2],
-            images.shape()[3],
-        );
+        let (b, c, h, w) =
+            (images.shape()[0], images.shape()[1], images.shape()[2], images.shape()[3]);
         let p = self.patch;
         if h % p != 0 || w % p != 0 {
             return None;

@@ -1,0 +1,280 @@
+use crate::{AgentId, EventQueue};
+
+/// Typed events of the ComDML discrete-event simulation.
+///
+/// `pair` fields index into the round's pairing list (the round engine in
+/// `comdml-core` owns the per-pair state); agent-level events carry the
+/// [`AgentId`] directly. The engine is deliberately open-ended: fleet-level
+/// dynamics (failure, join, leave) share the same queue as the per-batch
+/// pipeline events, so a helper can die halfway through a transfer and the
+/// handler observes it in causal order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// The slow side of pairing `pair` finished producing activation batch
+    /// `batch`.
+    BatchProduced {
+        /// Pairing index within the round.
+        pair: usize,
+        /// Zero-based batch index.
+        batch: usize,
+    },
+    /// The link of pairing `pair` finished moving batch `batch` to the
+    /// helper.
+    TransferComplete {
+        /// Pairing index within the round.
+        pair: usize,
+        /// Zero-based batch index.
+        batch: usize,
+    },
+    /// The helper of pairing `pair` shipped the trained suffix parameters
+    /// back to the slow agent.
+    SuffixReturn {
+        /// Pairing index within the round.
+        pair: usize,
+    },
+    /// `agent` finished its round task (solo epoch or its half of a pair).
+    AgentDone {
+        /// The finishing agent.
+        agent: AgentId,
+    },
+    /// Aggregation began over the currently finished cohort.
+    AggregateStart,
+    /// Aggregation completed; the round's critical path ends here.
+    AggregateDone,
+    /// `agent` failed (crash-stop). Pairs it participates in must react.
+    AgentFail {
+        /// The failing agent.
+        agent: AgentId,
+    },
+    /// `agent` joined the fleet mid-simulation.
+    AgentJoin {
+        /// The joining agent.
+        agent: AgentId,
+    },
+    /// `agent` left the fleet gracefully.
+    AgentLeave {
+        /// The leaving agent.
+        agent: AgentId,
+    },
+}
+
+/// Per-agent accounting accumulated while events execute.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AgentTimeline {
+    /// Compute-busy seconds.
+    pub busy_s: f64,
+    /// Critical-path communication seconds.
+    pub comm_s: f64,
+    /// When the agent's task finished (simulated seconds); 0 until then.
+    pub finish_s: f64,
+    /// Whether the agent finished its task this round.
+    pub done: bool,
+    /// Whether the agent crash-stopped this round.
+    pub failed: bool,
+}
+
+/// The discrete-event simulation driver: a shared simulated clock, the
+/// typed event queue, and per-agent timelines.
+///
+/// The driver intentionally has *no* callback registration — the consumer
+/// drains events in causal order with [`SimDriver::next`] and schedules
+/// follow-ups, which keeps borrow scopes trivial and makes handlers easy
+/// to test:
+///
+/// ```
+/// use comdml_simnet::{AgentId, SimDriver, SimEvent};
+///
+/// let mut driver = SimDriver::new(2);
+/// // Agent 0 produces one batch at t=1.0; the transfer takes 0.5s.
+/// driver.schedule_at(1.0, SimEvent::BatchProduced { pair: 0, batch: 0 });
+/// while let Some((t, ev)) = driver.next() {
+///     match ev {
+///         SimEvent::BatchProduced { pair, batch } => {
+///             driver.record_busy(AgentId(0), 1.0);
+///             driver.schedule_in(0.5, SimEvent::TransferComplete { pair, batch });
+///         }
+///         SimEvent::TransferComplete { .. } => {
+///             driver.mark_done(AgentId(0), t);
+///         }
+///         _ => {}
+///     }
+/// }
+/// assert_eq!(driver.now(), 1.5);
+/// assert!(driver.timeline(AgentId(0)).done);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimDriver {
+    queue: EventQueue<SimEvent>,
+    now: f64,
+    timelines: Vec<AgentTimeline>,
+}
+
+impl SimDriver {
+    /// Creates a driver for a fleet of `num_agents`, clock at zero.
+    pub fn new(num_agents: usize) -> Self {
+        Self {
+            queue: EventQueue::new(),
+            now: 0.0,
+            timelines: vec![AgentTimeline::default(); num_agents],
+        }
+    }
+
+    /// The current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute simulated time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the current clock (causality violation) or
+    /// is NaN.
+    pub fn schedule_at(&mut self, time: f64, event: SimEvent) {
+        assert!(time >= self.now, "cannot schedule into the past: {time} < {}", self.now);
+        self.queue.push(time, event);
+    }
+
+    /// Schedules `event` `delay` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: SimEvent) {
+        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    ///
+    /// Ties are delivered in scheduling order, so identical runs replay the
+    /// exact same event sequence — the determinism the seed-reproducibility
+    /// tests rely on.
+    #[allow(clippy::should_implement_trait)] // DES vocabulary; the driver is not an Iterator
+    pub fn next(&mut self) -> Option<(f64, SimEvent)> {
+        let (t, ev) = self.queue.pop()?;
+        self.now = t;
+        Some((t, ev))
+    }
+
+    /// Accounts `seconds` of compute on `agent`'s timeline.
+    pub fn record_busy(&mut self, agent: AgentId, seconds: f64) {
+        self.timelines[agent.0].busy_s += seconds;
+    }
+
+    /// Accounts `seconds` of critical-path communication on `agent`'s
+    /// timeline.
+    pub fn record_comm(&mut self, agent: AgentId, seconds: f64) {
+        self.timelines[agent.0].comm_s += seconds;
+    }
+
+    /// Marks `agent`'s round task finished at time `at`.
+    pub fn mark_done(&mut self, agent: AgentId, at: f64) {
+        let t = &mut self.timelines[agent.0];
+        t.done = true;
+        t.finish_s = at;
+    }
+
+    /// Marks `agent` crash-stopped.
+    pub fn mark_failed(&mut self, agent: AgentId) {
+        self.timelines[agent.0].failed = true;
+    }
+
+    /// Clears `agent`'s done flag — used when an idle agent is re-tasked
+    /// mid-round (e.g. claimed as a replacement helper after a failure).
+    pub fn mark_active(&mut self, agent: AgentId) {
+        self.timelines[agent.0].done = false;
+    }
+
+    /// One agent's accumulated timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn timeline(&self, agent: AgentId) -> &AgentTimeline {
+        &self.timelines[agent.0]
+    }
+
+    /// All timelines, indexed by agent id.
+    pub fn timelines(&self) -> &[AgentTimeline] {
+        &self.timelines
+    }
+
+    /// Number of agents currently marked done.
+    pub fn done_count(&self) -> usize {
+        self.timelines.iter().filter(|t| t.done).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut d = SimDriver::new(1);
+        d.schedule_at(2.0, SimEvent::AggregateStart);
+        d.schedule_at(1.0, SimEvent::AgentDone { agent: AgentId(0) });
+        let (t1, e1) = d.next().unwrap();
+        assert_eq!(t1, 1.0);
+        assert!(matches!(e1, SimEvent::AgentDone { .. }));
+        assert_eq!(d.now(), 1.0);
+        let (t2, _) = d.next().unwrap();
+        assert_eq!(t2, 2.0);
+        assert!(d.next().is_none());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut d = SimDriver::new(1);
+        d.schedule_at(3.0, SimEvent::AggregateStart);
+        d.next().unwrap();
+        d.schedule_in(1.5, SimEvent::AggregateDone);
+        let (t, _) = d.next().unwrap();
+        assert_eq!(t, 4.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut d = SimDriver::new(1);
+        d.schedule_at(5.0, SimEvent::AggregateStart);
+        d.next().unwrap();
+        d.schedule_at(4.0, SimEvent::AggregateDone);
+    }
+
+    #[test]
+    fn timelines_accumulate() {
+        let mut d = SimDriver::new(2);
+        d.record_busy(AgentId(0), 2.0);
+        d.record_busy(AgentId(0), 3.0);
+        d.record_comm(AgentId(1), 1.0);
+        d.mark_done(AgentId(0), 5.0);
+        assert_eq!(d.timeline(AgentId(0)).busy_s, 5.0);
+        assert_eq!(d.timeline(AgentId(1)).comm_s, 1.0);
+        assert!(d.timeline(AgentId(0)).done);
+        assert!(!d.timeline(AgentId(1)).done);
+        assert_eq!(d.done_count(), 1);
+    }
+
+    #[test]
+    fn identical_schedules_replay_identically() {
+        let run = || {
+            let mut d = SimDriver::new(3);
+            d.schedule_at(1.0, SimEvent::AgentDone { agent: AgentId(0) });
+            d.schedule_at(1.0, SimEvent::AgentDone { agent: AgentId(1) });
+            d.schedule_at(0.5, SimEvent::BatchProduced { pair: 0, batch: 0 });
+            let mut order = Vec::new();
+            while let Some((t, ev)) = d.next() {
+                order.push((t.to_bits(), format!("{ev:?}")));
+            }
+            order
+        };
+        assert_eq!(run(), run());
+    }
+}

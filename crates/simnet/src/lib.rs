@@ -10,8 +10,12 @@
 //! This crate reproduces that substrate: [`AgentProfile`]s and the paper's
 //! profile grids, [`Topology`] generation, the [`World`] container tying
 //! agents + links + data sizes together, profile churn, participant sampling,
-//! and a small deterministic [`EventQueue`] used by the round engine for
-//! per-batch pipeline simulation.
+//! and the discrete-event core — a deterministic [`EventQueue`] plus the
+//! [`SimDriver`] that executes typed [`SimEvent`]s (batch production,
+//! transfers, suffix returns, aggregation, failure/join/leave) against a
+//! shared simulated clock with per-agent [`AgentTimeline`] accounting. The
+//! round engine in `comdml-core` builds every simulation — ComDML and all
+//! baselines — on this driver.
 //!
 //! # Example
 //!
@@ -25,12 +29,14 @@
 //! ```
 
 mod agent;
+mod driver;
 mod events;
 mod profile;
 mod topology;
 mod world;
 
 pub use agent::{AgentId, AgentState};
+pub use driver::{AgentTimeline, SimDriver, SimEvent};
 pub use events::EventQueue;
 pub use profile::{AgentProfile, CPU_PROFILES, LINK_PROFILES_MBPS};
 pub use topology::{Adjacency, Topology};

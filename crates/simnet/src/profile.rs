@@ -67,10 +67,8 @@ impl AgentProfile {
 /// uniformly.
 pub fn assign_profiles<R: Rng>(k: usize, rng: &mut R) -> Vec<AgentProfile> {
     let per_cell = k / CPU_PROFILES.len();
-    let mut cpus: Vec<f64> = CPU_PROFILES
-        .iter()
-        .flat_map(|&c| std::iter::repeat(c).take(per_cell))
-        .collect();
+    let mut cpus: Vec<f64> =
+        CPU_PROFILES.iter().flat_map(|&c| std::iter::repeat_n(c, per_cell)).collect();
     // Links cycle through the grid and are shuffled *independently* of the
     // CPU tiers, so compute and communication heterogeneity are uncorrelated
     // (the paper assigns agents to CPU × link combinations randomly).
@@ -78,11 +76,8 @@ pub fn assign_profiles<R: Rng>(k: usize, rng: &mut R) -> Vec<AgentProfile> {
         (0..cpus.len()).map(|i| LINK_PROFILES_MBPS[i % LINK_PROFILES_MBPS.len()]).collect();
     cpus.shuffle(rng);
     links.shuffle(rng);
-    let mut out: Vec<AgentProfile> = cpus
-        .into_iter()
-        .zip(links)
-        .map(|(c, l)| AgentProfile::new(c, l))
-        .collect();
+    let mut out: Vec<AgentProfile> =
+        cpus.into_iter().zip(links).map(|(c, l)| AgentProfile::new(c, l)).collect();
     while out.len() < k {
         out.push(AgentProfile::sample(rng));
     }

@@ -30,16 +30,16 @@ impl Topology {
 
     /// Materializes the adjacency for `k` agents using `rng` for random
     /// topologies.
+    #[allow(clippy::needless_range_loop)] // symmetric writes need both indices
     pub fn build<R: Rng>(&self, k: usize, rng: &mut R) -> Adjacency {
+        // A full mesh is stored implicitly: at fleet scale (10k+ agents) an
+        // explicit k×k matrix would cost O(k²) memory for no information.
+        if matches!(*self, Topology::Full) {
+            return Adjacency::Full { k };
+        }
         let mut adj = vec![vec![false; k]; k];
         match *self {
-            Topology::Full => {
-                for (i, row) in adj.iter_mut().enumerate() {
-                    for (j, cell) in row.iter_mut().enumerate() {
-                        *cell = i != j;
-                    }
-                }
-            }
+            Topology::Full => unreachable!("handled above"),
             Topology::Ring => {
                 if k > 1 {
                     for i in 0..k {
@@ -60,11 +60,12 @@ impl Topology {
                 }
             }
         }
-        Adjacency { matrix: adj }
+        Adjacency::from_matrix(adj)
     }
 }
 
-/// A symmetric adjacency matrix over agents.
+/// A symmetric link graph over agents: either an implicit full mesh (O(1)
+/// memory, the fleet-scale default) or an explicit adjacency matrix.
 ///
 /// # Example
 ///
@@ -78,8 +79,17 @@ impl Topology {
 /// assert!(adj.connected(0, 1) && !adj.connected(0, 2));
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Adjacency {
-    matrix: Vec<Vec<bool>>,
+pub enum Adjacency {
+    /// Every distinct pair of the `k` agents is linked.
+    Full {
+        /// Number of agents.
+        k: usize,
+    },
+    /// Explicit symmetric adjacency matrix.
+    Matrix {
+        /// `matrix[i][j]` is true when `i` and `j` share a link.
+        matrix: Vec<Vec<bool>>,
+    },
 }
 
 impl Adjacency {
@@ -97,36 +107,65 @@ impl Adjacency {
                 assert_eq!(v, matrix[j][i], "adjacency matrix must be symmetric");
             }
         }
-        Self { matrix }
+        Self::Matrix { matrix }
+    }
+
+    /// An implicit full mesh over `k` agents.
+    pub fn full(k: usize) -> Self {
+        Self::Full { k }
+    }
+
+    /// Whether the full mesh is stored implicitly (O(1) memory).
+    pub fn is_full_mesh(&self) -> bool {
+        matches!(self, Adjacency::Full { .. })
     }
 
     /// Number of agents.
     pub fn len(&self) -> usize {
-        self.matrix.len()
+        match self {
+            Adjacency::Full { k } => *k,
+            Adjacency::Matrix { matrix } => matrix.len(),
+        }
     }
 
     /// Whether the adjacency covers zero agents.
     pub fn is_empty(&self) -> bool {
-        self.matrix.is_empty()
+        self.len() == 0
     }
 
     /// Whether agents `i` and `j` share a link.
     pub fn connected(&self, i: usize, j: usize) -> bool {
-        i != j && self.matrix[i][j]
+        match self {
+            Adjacency::Full { k } => i != j && i < *k && j < *k,
+            Adjacency::Matrix { matrix } => i != j && matrix[i][j],
+        }
     }
 
     /// The neighbours of agent `i`.
     pub fn neighbors(&self, i: usize) -> Vec<usize> {
-        self.matrix[i]
-            .iter()
-            .enumerate()
-            .filter_map(|(j, &c)| if c { Some(j) } else { None })
-            .collect()
+        match self {
+            Adjacency::Full { k } => (0..*k).filter(|&j| j != i).collect(),
+            Adjacency::Matrix { matrix } => matrix[i]
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &c)| if c { Some(j) } else { None })
+                .collect(),
+        }
     }
 
     /// The degree of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
     pub fn degree(&self, i: usize) -> usize {
-        self.matrix[i].iter().filter(|&&c| c).count()
+        match self {
+            Adjacency::Full { k } => {
+                assert!(i < *k, "agent {i} out of range for {k} agents");
+                *k - 1
+            }
+            Adjacency::Matrix { matrix } => matrix[i].iter().filter(|&&c| c).count(),
+        }
     }
 
     /// Fraction of possible edges present.
@@ -134,6 +173,9 @@ impl Adjacency {
         let k = self.len();
         if k < 2 {
             return 0.0;
+        }
+        if self.is_full_mesh() {
+            return 1.0;
         }
         let edges: usize = (0..k).map(|i| self.degree(i)).sum::<usize>() / 2;
         edges as f64 / (k * (k - 1) / 2) as f64
@@ -143,7 +185,7 @@ impl Adjacency {
     /// make this false; the paper lets such agents train independently.
     pub fn is_connected_graph(&self) -> bool {
         let k = self.len();
-        if k == 0 {
+        if k == 0 || self.is_full_mesh() {
             return true;
         }
         let mut seen = vec![false; k];
@@ -229,11 +271,7 @@ mod tests {
 
     #[test]
     fn neighbors_listed_in_order() {
-        let m = vec![
-            vec![false, true, true],
-            vec![true, false, false],
-            vec![true, false, false],
-        ];
+        let m = vec![vec![false, true, true], vec![true, false, false], vec![true, false, false]];
         let adj = Adjacency::from_matrix(m);
         assert_eq!(adj.neighbors(0), vec![1, 2]);
         assert_eq!(adj.neighbors(1), vec![0]);

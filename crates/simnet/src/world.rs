@@ -86,8 +86,7 @@ impl WorldConfig {
 
         // Dataset split: even shares, optionally skewed.
         let k = self.num_agents;
-        let weights: Vec<f64> =
-            (0..k).map(|_| 1.0 + self.sample_skew * rng.gen::<f64>()).collect();
+        let weights: Vec<f64> = (0..k).map(|_| 1.0 + self.sample_skew * rng.gen::<f64>()).collect();
         let wsum: f64 = weights.iter().sum();
         let mut sizes: Vec<usize> =
             weights.iter().map(|w| (self.total_samples as f64 * w / wsum) as usize).collect();
@@ -104,7 +103,12 @@ impl WorldConfig {
             .map(|(i, (p, n))| AgentState::new(AgentId(i), p, n, self.batch_size))
             .collect();
         let adjacency = self.topology.build(k, &mut rng);
-        World { agents, adjacency, churn_rng: StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9) }
+        World {
+            agents,
+            adjacency,
+            churn_rng: StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9),
+            participation_rng: StdRng::seed_from_u64(self.seed ^ 0x85eb_ca6b),
+        }
     }
 }
 
@@ -117,7 +121,11 @@ impl WorldConfig {
 pub struct World {
     agents: Vec<AgentState>,
     adjacency: Adjacency,
+    /// Drives profile churn only. Participation sampling has its own stream
+    /// ([`World::sample_participants`]) so enabling one feature never
+    /// perturbs the other's outcomes under a fixed seed.
     churn_rng: StdRng,
+    participation_rng: StdRng,
 }
 
 impl World {
@@ -128,7 +136,12 @@ impl World {
     /// Panics if `agents.len()` differs from the adjacency size.
     pub fn from_parts(agents: Vec<AgentState>, adjacency: Adjacency, seed: u64) -> Self {
         assert_eq!(agents.len(), adjacency.len(), "agents and adjacency must agree");
-        Self { agents, adjacency, churn_rng: StdRng::seed_from_u64(seed) }
+        Self {
+            agents,
+            adjacency,
+            churn_rng: StdRng::seed_from_u64(seed),
+            participation_rng: StdRng::seed_from_u64(seed ^ 0x85eb_ca6b),
+        }
     }
 
     /// Number of agents.
@@ -195,11 +208,14 @@ impl World {
 
     /// Samples a participation subset of the given rate (Table III uses a
     /// 20% sampling rate), always returning at least one agent.
+    ///
+    /// Draws from a dedicated RNG stream: toggling sampling on or off does
+    /// not change which profiles churn re-rolls, and vice versa.
     pub fn sample_participants(&mut self, rate: f64) -> Vec<AgentId> {
         let k = self.agents.len();
         let n = ((k as f64 * rate).round() as usize).clamp(1, k);
         let mut ids: Vec<usize> = (0..k).collect();
-        ids.shuffle(&mut self.churn_rng);
+        ids.shuffle(&mut self.participation_rng);
         let mut out: Vec<AgentId> = ids.into_iter().take(n).map(AgentId).collect();
         out.sort();
         out
@@ -300,12 +316,8 @@ mod tests {
         let mut w = WorldConfig::heterogeneous(20, 11).build();
         let before: Vec<AgentProfile> = w.agents().iter().map(|a| a.profile).collect();
         w.churn_profiles(0.2);
-        let changed = w
-            .agents()
-            .iter()
-            .zip(before.iter())
-            .filter(|(a, b)| a.profile != **b)
-            .count();
+        let changed =
+            w.agents().iter().zip(before.iter()).filter(|(a, b)| a.profile != **b).count();
         // Exactly 4 agents are re-rolled; a re-roll may land on the same
         // profile, so allow <= 4 but require the mechanism to have acted.
         assert!(changed <= 4);
@@ -319,6 +331,27 @@ mod tests {
         assert_eq!(s.len(), 10);
         let tiny = w.sample_participants(0.0001);
         assert_eq!(tiny.len(), 1);
+    }
+
+    #[test]
+    fn sampling_does_not_perturb_churn_stream() {
+        let mut plain = WorldConfig::heterogeneous(20, 11).build();
+        let mut sampled = WorldConfig::heterogeneous(20, 11).build();
+        // Only one world draws participation samples first…
+        let _ = sampled.sample_participants(0.2);
+        let _ = sampled.sample_participants(0.2);
+        // …yet churn outcomes must stay identical: the streams are decoupled.
+        plain.churn_profiles(0.5);
+        sampled.churn_profiles(0.5);
+        assert_eq!(plain.agents(), sampled.agents());
+    }
+
+    #[test]
+    fn churn_does_not_perturb_sampling_stream() {
+        let mut plain = WorldConfig::heterogeneous(20, 13).build();
+        let mut churned = WorldConfig::heterogeneous(20, 13).build();
+        churned.churn_profiles(0.5);
+        assert_eq!(plain.sample_participants(0.3), churned.sample_participants(0.3));
     }
 
     #[test]

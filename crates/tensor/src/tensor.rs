@@ -235,10 +235,18 @@ impl Tensor {
     /// or [`TensorError::IncompatibleShapes`] if the inner dimensions differ.
     pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         if other.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: other.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: other.rank(),
+            });
         }
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
@@ -401,10 +409,7 @@ mod tests {
     fn matmul_rejects_bad_shapes() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
-        assert!(matches!(
-            a.matmul(&b),
-            Err(TensorError::IncompatibleShapes { op: "matmul", .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(TensorError::IncompatibleShapes { op: "matmul", .. })));
         let v = Tensor::zeros(&[3]);
         assert!(matches!(v.matmul(&a), Err(TensorError::RankMismatch { .. })));
     }

@@ -1,6 +1,6 @@
-//! A real tokio cluster of five peers on localhost: profile broadcast
+//! A real TCP cluster of five peers on localhost: profile broadcast
 //! around the ring, a pairing handshake, and a genuine ring AllReduce over
-//! TCP sockets.
+//! sockets, one OS thread per peer.
 //!
 //! ```sh
 //! cargo run --example p2p_cluster
@@ -8,10 +8,9 @@
 
 use comdml::net::{spawn_ring, Message};
 
-#[tokio::main(flavor = "multi_thread", worker_threads = 4)]
-async fn main() {
+fn main() {
     let k = 5;
-    let cluster = spawn_ring(k).await.expect("localhost cluster");
+    let cluster = spawn_ring(k).expect("localhost cluster");
     println!("spawned a ring of {k} peers\n");
 
     // Every node broadcasts its profile one hop and reports what it heard,
@@ -19,15 +18,15 @@ async fn main() {
     let handles: Vec<_> = cluster
         .into_iter()
         .map(|mut node| {
-            tokio::spawn(async move {
+            std::thread::spawn(move || {
                 let rank = node.rank();
                 let profile = Message::Profile {
                     agent_id: rank as u32,
                     batches_per_s: 1.0 + rank as f64,
                     solo_time_s: 100.0 / (1.0 + rank as f64),
                 };
-                node.send_next(&profile).await.expect("send profile");
-                let heard = node.recv_prev().await.expect("recv profile");
+                node.send_next(&profile).expect("send profile");
+                let heard = node.recv_prev().expect("recv profile");
                 if let Message::Profile { agent_id, solo_time_s, .. } = heard {
                     println!(
                         "peer {rank}: neighbour agent#{agent_id} reports solo time {solo_time_s:.1}s"
@@ -37,7 +36,7 @@ async fn main() {
                 // Model aggregation: the element-wise mean must appear at
                 // every peer.
                 let params = vec![rank as f32 * 10.0; 4];
-                let avg = node.allreduce(params).await.expect("allreduce");
+                let avg = node.allreduce(params).expect("allreduce");
                 (rank, avg)
             })
         })
@@ -45,7 +44,7 @@ async fn main() {
 
     println!();
     for h in handles {
-        let (rank, avg) = h.await.expect("peer task");
+        let (rank, avg) = h.join().expect("peer task");
         println!("peer {rank}: aggregated model = {avg:?} (expected mean 20.0)");
         assert!((avg[0] - 20.0).abs() < 1e-5);
     }

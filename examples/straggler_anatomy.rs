@@ -60,10 +60,7 @@ fn main() {
         &world,
     );
 
-    println!(
-        "training-time reduction: {:.0}%",
-        (1.0 - after.round_s() / before.round_s()) * 100.0
-    );
+    println!("training-time reduction: {:.0}%", (1.0 - after.round_s() / before.round_s()) * 100.0);
 
     println!("\ntimeline without balancing:");
     print!("{}", before.render_timeline(60));

@@ -12,7 +12,10 @@ use comdml::simnet::{Topology, WorldConfig};
 fn main() {
     let k = 50;
     println!("ComDML on 50 agents, IID CIFAR-10 to 80%, per topology:\n");
-    println!("{:<22} {:>10} {:>12} {:>18}", "topology", "time (s)", "s / round", "offloads / round");
+    println!(
+        "{:<22} {:>10} {:>12} {:>18}",
+        "topology", "time (s)", "s / round", "offloads / round"
+    );
     for (name, topo) in [
         ("full mesh", Topology::Full),
         ("random p=0.5", Topology::random(0.5)),
@@ -20,10 +23,8 @@ fn main() {
         ("random p=0.05", Topology::random(0.05)),
         ("ring", Topology::Ring),
     ] {
-        let world = WorldConfig::heterogeneous(k, 42)
-            .total_samples(5_000 * k)
-            .topology(topo)
-            .build();
+        let world =
+            WorldConfig::heterogeneous(k, 42).total_samples(5_000 * k).topology(topo).build();
         let mut comdml = ComDml::new(ComDmlConfig { churn: None, ..ComDmlConfig::default() });
         let report = comdml.run(&world, 0.80);
         println!(

@@ -17,12 +17,24 @@
 //! * [`nn`] — layers, losses, sequential models and local-loss split training.
 //! * [`data`] — synthetic datasets and Dirichlet non-I.I.D. partitioning.
 //! * [`cost`] — analytic ResNet-56/110 cost models and split profiles.
-//! * [`simnet`] — heterogeneous agents, links and topologies.
+//! * [`simnet`] — heterogeneous agents, links, topologies, and the
+//!   discrete-event driver (`SimDriver` / `SimEvent`) every simulation runs
+//!   on.
 //! * [`collective`] — AllReduce, gossip and quantization.
-//! * [`core`] — the ComDML scheduler, estimator and round engine.
-//! * [`baselines`] — FedAvg, Gossip Learning, BrainTorrent, AllReduce DML.
+//! * [`core`] — the ComDML scheduler, estimator and the event-driven round
+//!   engine (`EventRound`): synchronous, semi-synchronous and asynchronous
+//!   aggregation, mid-round failure re-pairing, per-agent carry-over.
+//! * [`baselines`] — FedAvg, Gossip Learning, BrainTorrent, AllReduce DML —
+//!   all executing on the same shared simulated clock.
 //! * [`privacy`] — differential privacy, patch shuffling, distance correlation.
-//! * [`net`] — tokio peer-to-peer runtime.
+//! * [`net`] — threaded `std::net` peer-to-peer transport for the protocol.
+//!
+//! Rounds are simulated by scheduling typed events (batch produced, transfer
+//! complete, suffix return, agent done, aggregate start/done,
+//! fail/join/leave) against one clock, which is what lets a 10,000-agent
+//! fleet simulate 100 rounds in seconds (`cargo run --release --bin
+//! scalability_10k`) and lets helpers fail mid-transfer with the orphaned
+//! work re-paired onto idle agents.
 //!
 //! # Quickstart
 //!

@@ -54,8 +54,5 @@ fn extreme_sparsification_finally_breaks_training() {
         params.copy_from_slice(&restored);
     }));
     let broken = crushed.run(5).final_accuracy();
-    assert!(
-        broken < clean - 0.1,
-        "0.1% sparsity should clearly hurt: {broken} vs {clean}"
-    );
+    assert!(broken < clean - 0.1, "0.1% sparsity should clearly hurt: {broken} vs {clean}");
 }

@@ -1,4 +1,4 @@
-//! Integration tests of the tokio transport against the rest of the stack:
+//! Integration tests of the TCP transport against the rest of the stack:
 //! real models aggregated over real sockets must match the in-memory
 //! collective, and the pairing protocol must carry scheduler decisions.
 
@@ -8,10 +8,10 @@ use comdml::nn::models;
 use comdml::tensor::ParamVec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tokio::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream};
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn tcp_allreduce_matches_in_memory_allreduce_on_real_models() {
+#[test]
+fn tcp_allreduce_matches_in_memory_allreduce_on_real_models() {
     let k = 4;
     // Four differently initialized real models.
     let params: Vec<Vec<f32>> = (0..k)
@@ -25,66 +25,66 @@ async fn tcp_allreduce_matches_in_memory_allreduce_on_real_models() {
     let mut expected = params.clone();
     naive_allreduce(&mut expected).unwrap();
 
-    let cluster = spawn_ring(k).await.unwrap();
+    let cluster = spawn_ring(k).unwrap();
     let handles: Vec<_> = cluster
         .into_iter()
         .map(|mut node| {
             let mine = params[node.rank()].clone();
-            tokio::spawn(async move { (node.rank(), node.allreduce(mine).await.unwrap()) })
+            std::thread::spawn(move || (node.rank(), node.allreduce(mine).unwrap()))
         })
         .collect();
     for h in handles {
-        let (rank, got) = h.await.unwrap();
+        let (rank, got) = h.join().unwrap();
         for (a, b) in got.iter().zip(expected[0].iter()) {
             assert!((a - b).abs() < 1e-4, "rank {rank} diverged: {a} vs {b}");
         }
     }
 }
 
-#[tokio::test]
-async fn pairing_protocol_carries_scheduler_decision() {
+#[test]
+fn pairing_protocol_carries_scheduler_decision() {
     // The slow side computes a split decision (as the scheduler would) and
     // transmits it; the fast side sees the exact offload.
-    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let offload_decided = 37u32;
 
-    let fast = tokio::spawn(async move {
-        let (sock, _) = listener.accept().await.unwrap();
+    let fast = std::thread::spawn(move || {
+        let (sock, _) = listener.accept().unwrap();
         let mut s = FramedStream::new(sock);
-        let msg = s.expect("PairRequest").await.unwrap();
+        let msg = s.expect("PairRequest").unwrap();
         let Message::PairRequest { slow_id, offload } = msg else { unreachable!() };
         assert_eq!((slow_id, offload), (0, 37));
-        s.send(&Message::PairAccept { fast_id: 1 }).await.unwrap();
+        s.send(&Message::PairAccept { fast_id: 1 }).unwrap();
         offload
     });
 
-    let mut s = FramedStream::new(TcpStream::connect(addr).await.unwrap());
-    let outcome = pairing_handshake(&mut s, 0, offload_decided).await.unwrap();
+    let mut s = FramedStream::new(TcpStream::connect(addr).unwrap());
+    let outcome = pairing_handshake(&mut s, 0, offload_decided).unwrap();
     assert_eq!(outcome, PairOutcome::Accepted { fast_id: 1 });
-    assert_eq!(fast.await.unwrap(), offload_decided);
+    assert_eq!(fast.join().unwrap(), offload_decided);
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn repeated_rounds_reuse_the_ring() {
+#[test]
+fn repeated_rounds_reuse_the_ring() {
     // Three consecutive "rounds" of aggregation over the same connections —
     // the steady-state of Algorithm 1's loop.
     let k = 3;
-    let cluster = spawn_ring(k).await.unwrap();
+    let cluster = spawn_ring(k).unwrap();
     let handles: Vec<_> = cluster
         .into_iter()
         .map(|mut node| {
-            tokio::spawn(async move {
+            std::thread::spawn(move || {
                 let mut v = vec![(node.rank() + 1) as f32; 5];
                 for _ in 0..3 {
-                    v = node.allreduce(v).await.unwrap();
+                    v = node.allreduce(v).unwrap();
                 }
                 v
             })
         })
         .collect();
     for h in handles {
-        let v = h.await.unwrap();
+        let v = h.join().unwrap();
         // Mean of 1,2,3 is 2; repeated averaging of identical vectors stays 2.
         for x in v {
             assert!((x - 2.0).abs() < 1e-5);
@@ -92,38 +92,36 @@ async fn repeated_rounds_reuse_the_ring() {
     }
 }
 
-#[tokio::test]
-async fn activation_stream_then_suffix_return_round_trip() {
+#[test]
+fn activation_stream_then_suffix_return_round_trip() {
     // The §III-B data flow: slow sends activations for a whole round, fast
     // returns the trained suffix parameters.
-    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
 
-    let fast = tokio::spawn(async move {
-        let (sock, _) = listener.accept().await.unwrap();
+    let fast = std::thread::spawn(move || {
+        let (sock, _) = listener.accept().unwrap();
         let mut s = FramedStream::new(sock);
         let mut sum = 0.0f32;
         loop {
-            match s.recv().await.unwrap() {
+            match s.recv().unwrap() {
                 Message::Activations { data, .. } => sum += data.iter().sum::<f32>(),
                 Message::Done => break,
                 other => panic!("unexpected {other:?}"),
             }
         }
-        s.send(&Message::SuffixParams { data: vec![sum] }).await.unwrap();
+        s.send(&Message::SuffixParams { data: vec![sum] }).unwrap();
     });
 
-    let mut s = FramedStream::new(TcpStream::connect(addr).await.unwrap());
+    let mut s = FramedStream::new(TcpStream::connect(addr).unwrap());
     let mut expected = 0.0f32;
     for b in 0..4u32 {
         let batch = vec![b as f32; 16];
         expected += batch.iter().sum::<f32>();
-        s.send(&Message::Activations { batch_idx: b, data: batch, labels: vec![0; 16] }).await.unwrap();
+        s.send(&Message::Activations { batch_idx: b, data: batch, labels: vec![0; 16] }).unwrap();
     }
-    s.send(&Message::Done).await.unwrap();
-    let Message::SuffixParams { data } = s.expect("SuffixParams").await.unwrap() else {
-        unreachable!()
-    };
+    s.send(&Message::Done).unwrap();
+    let Message::SuffixParams { data } = s.expect("SuffixParams").unwrap() else { unreachable!() };
     assert_eq!(data, vec![expected]);
-    fast.await.unwrap();
+    fast.join().unwrap();
 }

@@ -18,7 +18,7 @@ use comdml::nn::{accuracy, models, AuxHead, CrossEntropyLoss, Sequential, Traine
 use comdml::tensor::{ParamVec, SgdMomentum, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tokio::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream};
 
 const OFFLOAD: usize = 3;
 const ROUNDS: usize = 4;
@@ -35,11 +35,11 @@ fn flatten(params: &[Tensor]) -> Vec<f32> {
 }
 
 /// The slow agent: prefix + aux head locally, suffix remote.
-async fn slow_agent(addr: std::net::SocketAddr) -> (Vec<f32>, f32, Vec<f32>) {
-    let mut stream = FramedStream::new(TcpStream::connect(addr).await.unwrap());
+fn slow_agent(addr: std::net::SocketAddr) -> (Vec<f32>, f32, Vec<f32>) {
+    let mut stream = FramedStream::new(TcpStream::connect(addr).unwrap());
 
     // Pairing handshake carries the scheduler's decision.
-    let outcome = pairing_handshake(&mut stream, 0, OFFLOAD as u32).await.unwrap();
+    let outcome = pairing_handshake(&mut stream, 0, OFFLOAD as u32).unwrap();
     assert_eq!(outcome, PairOutcome::Accepted { fast_id: 1 });
 
     let model = build_model(42);
@@ -60,8 +60,9 @@ async fn slow_agent(addr: std::net::SocketAddr) -> (Vec<f32>, f32, Vec<f32>) {
     for round in 0..ROUNDS {
         let mut round_loss = 0.0f32;
         for b in 0..BATCHES_PER_ROUND {
-            let idx: Vec<usize> =
-                (0..BATCH).map(|i| (round * BATCHES_PER_ROUND * BATCH + b * BATCH + i) % data.len()).collect();
+            let idx: Vec<usize> = (0..BATCH)
+                .map(|i| (round * BATCHES_PER_ROUND * BATCH + b * BATCH + i) % data.len())
+                .collect();
             let (x, y) = data.batch(&idx);
             // Local-loss training of the prefix.
             let z = prefix.forward(&x).unwrap();
@@ -90,28 +91,23 @@ async fn slow_agent(addr: std::net::SocketAddr) -> (Vec<f32>, f32, Vec<f32>) {
                     data: z.data().to_vec(),
                     labels: y.iter().map(|&v| v as u32).collect(),
                 })
-                .await
                 .unwrap();
         }
         slow_losses.push(round_loss / BATCHES_PER_ROUND as f32);
-        stream.send(&Message::Done).await.unwrap();
+        stream.send(&Message::Done).unwrap();
 
         // Suffix parameters come home; reunite the model and aggregate.
-        let Message::SuffixParams { data } = stream.expect("SuffixParams").await.unwrap() else {
+        let Message::SuffixParams { data } = stream.expect("SuffixParams").unwrap() else {
             unreachable!("expect checked")
         };
-        let suffix_params = ParamVec::from_parts(data, suffix_shapes.clone())
-            .unwrap()
-            .unflatten()
-            .unwrap();
+        let suffix_params =
+            ParamVec::from_parts(data, suffix_shapes.clone()).unwrap().unflatten().unwrap();
         let mut full = flatten(&prefix.parameters());
         full.extend(flatten(&suffix_params));
 
         // 2-agent aggregation: exchange full models, average.
-        stream.send(&Message::ModelChunk { step: round as u32, data: full.clone() }).await.unwrap();
-        let Message::ModelChunk { data: theirs, .. } =
-            stream.expect("ModelChunk").await.unwrap()
-        else {
+        stream.send(&Message::ModelChunk { step: round as u32, data: full.clone() }).unwrap();
+        let Message::ModelChunk { data: theirs, .. } = stream.expect("ModelChunk").unwrap() else {
             unreachable!("expect checked")
         };
         let averaged: Vec<f32> =
@@ -141,16 +137,16 @@ async fn slow_agent(addr: std::net::SocketAddr) -> (Vec<f32>, f32, Vec<f32>) {
 }
 
 /// The fast agent: own model + the guest suffix.
-async fn fast_agent(listener: TcpListener) -> (Vec<f32>, f32) {
-    let (sock, _) = listener.accept().await.unwrap();
+fn fast_agent(listener: TcpListener) -> (Vec<f32>, f32) {
+    let (sock, _) = listener.accept().unwrap();
     let mut stream = FramedStream::new(sock);
 
     // Accept the pairing.
-    let Message::PairRequest { offload, .. } = stream.expect("PairRequest").await.unwrap() else {
+    let Message::PairRequest { offload, .. } = stream.expect("PairRequest").unwrap() else {
         unreachable!("expect checked")
     };
     assert_eq!(offload as usize, OFFLOAD);
-    stream.send(&Message::PairAccept { fast_id: 1 }).await.unwrap();
+    stream.send(&Message::PairAccept { fast_id: 1 }).unwrap();
 
     // The guest suffix: same architecture, same init seed as the slow side.
     let model = build_model(42);
@@ -168,7 +164,7 @@ async fn fast_agent(listener: TcpListener) -> (Vec<f32>, f32) {
         let mut round_loss = 0.0f32;
         let mut batches = 0usize;
         loop {
-            match stream.recv().await.unwrap() {
+            match stream.recv().unwrap() {
                 Message::Activations { data, labels, .. } => {
                     let batch = labels.len();
                     let feat = data.len() / batch;
@@ -189,7 +185,8 @@ async fn fast_agent(listener: TcpListener) -> (Vec<f32>, f32) {
                     // Interleave one batch of own training, as §III-B's
                     // "simultaneously, each faster agent also performs the
                     // model training using its local dataset".
-                    let idx: Vec<usize> = (0..BATCH).map(|i| (batches * BATCH + i) % own_data.len()).collect();
+                    let idx: Vec<usize> =
+                        (0..BATCH).map(|i| (batches * BATCH + i) % own_data.len()).collect();
                     let (ox, oy) = own_data.batch(&idx);
                     own.step(&ox, &oy).unwrap();
                 }
@@ -200,19 +197,15 @@ async fn fast_agent(listener: TcpListener) -> (Vec<f32>, f32) {
         fast_losses.push(round_loss / batches.max(1) as f32);
 
         // Ship the trained suffix home.
-        stream
-            .send(&Message::SuffixParams { data: flatten(&suffix.parameters()) })
-            .await
-            .unwrap();
+        stream.send(&Message::SuffixParams { data: flatten(&suffix.parameters()) }).unwrap();
 
         // Aggregation exchange (the fast agent contributes its own model).
         let own_full = flatten(&own.model().parameters());
-        let Message::ModelChunk { data: theirs, step } =
-            stream.expect("ModelChunk").await.unwrap()
+        let Message::ModelChunk { data: theirs, step } = stream.expect("ModelChunk").unwrap()
         else {
             unreachable!("expect checked")
         };
-        stream.send(&Message::ModelChunk { step, data: own_full.clone() }).await.unwrap();
+        stream.send(&Message::ModelChunk { step, data: own_full.clone() }).unwrap();
         let averaged: Vec<f32> =
             own_full.iter().zip(theirs.iter()).map(|(a, b)| 0.5 * (a + b)).collect();
         let shapes: Vec<Vec<usize>> =
@@ -222,11 +215,10 @@ async fn fast_agent(listener: TcpListener) -> (Vec<f32>, f32) {
         // Keep the guest suffix in sync with the aggregated global model.
         let suffix_shapes: Vec<Vec<usize>> =
             suffix.parameters().iter().map(|p| p.shape().to_vec()).collect();
-        let new_suffix =
-            ParamVec::from_parts(averaged[n_prefix_scalars..].to_vec(), suffix_shapes)
-                .unwrap()
-                .unflatten()
-                .unwrap();
+        let new_suffix = ParamVec::from_parts(averaged[n_prefix_scalars..].to_vec(), suffix_shapes)
+            .unwrap()
+            .unflatten()
+            .unwrap();
         suffix.set_parameters(&new_suffix).unwrap();
     }
 
@@ -237,16 +229,16 @@ async fn fast_agent(listener: TcpListener) -> (Vec<f32>, f32) {
     (flatten(&own.model().parameters()), *fast_losses.last().unwrap())
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn full_comdml_round_over_tcp() {
-    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+#[test]
+fn full_comdml_round_over_tcp() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
 
-    let fast = tokio::spawn(fast_agent(listener));
-    let slow = tokio::spawn(slow_agent(addr));
+    let fast = std::thread::spawn(move || fast_agent(listener));
+    let slow = std::thread::spawn(move || slow_agent(addr));
 
-    let (slow_model, slow_loss, _prefix) = slow.await.unwrap();
-    let (fast_model, fast_loss) = fast.await.unwrap();
+    let (slow_model, slow_loss, _prefix) = slow.join().unwrap();
+    let (fast_model, fast_loss) = fast.join().unwrap();
     assert!(slow_loss.is_finite() && fast_loss.is_finite());
 
     // After the final aggregation both agents hold the same global model.

@@ -26,19 +26,13 @@ fn offload_depth_does_not_wreck_accuracy() {
     // The paper's claim: workload balancing preserves model accuracy.
     let mut accs = Vec::new();
     for offload in [0usize, 2, 4] {
-        let mut fleet = RealSplitFleet::new(RealFleetConfig {
-            offload,
-            seed: 5,
-            ..RealFleetConfig::default()
-        });
+        let mut fleet =
+            RealSplitFleet::new(RealFleetConfig { offload, seed: 5, ..RealFleetConfig::default() });
         accs.push(fleet.run(8).final_accuracy());
     }
     let min = accs.iter().cloned().fold(f32::INFINITY, f32::min);
     let max = accs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    assert!(
-        max - min < 0.15,
-        "accuracy should be stable across offload depths: {accs:?}"
-    );
+    assert!(max - min < 0.15, "accuracy should be stable across offload depths: {accs:?}");
 }
 
 #[test]
@@ -83,9 +77,7 @@ fn activation_noise_reduces_leakage() {
     protected.run(3);
     let (x2, z2) = protected.leakage_probe(96).expect("split agents exist");
     let mut rng = StdRng::seed_from_u64(3);
-    let observed = z2
-        .add(&comdml::tensor::Tensor::randn(z2.shape(), 1.5, &mut rng))
-        .unwrap();
+    let observed = z2.add(&comdml::tensor::Tensor::randn(z2.shape(), 1.5, &mut rng)).unwrap();
     let protected_dcor = distance_correlation(&x2, &observed).unwrap();
     assert!(
         protected_dcor < open_dcor - 0.1,
@@ -95,7 +87,8 @@ fn activation_noise_reduces_leakage() {
 
 #[test]
 fn non_iid_converges_slower_but_converges() {
-    let mut iid = RealSplitFleet::new(RealFleetConfig { seed: 21, iid: true, ..Default::default() });
+    let mut iid =
+        RealSplitFleet::new(RealFleetConfig { seed: 21, iid: true, ..Default::default() });
     let mut non = RealSplitFleet::new(RealFleetConfig {
         seed: 21,
         iid: false,

@@ -135,9 +135,7 @@ fn sparse_topologies_degrade_gracefully() {
 fn disconnected_world_trains_independently() {
     // p = 0: no links at all. Everybody trains alone; no offloads, no
     // aggregation — and nothing hangs or divides by zero.
-    let world = WorldConfig::heterogeneous(8, 9)
-        .topology(Topology::random(0.0))
-        .build();
+    let world = WorldConfig::heterogeneous(8, 9).topology(Topology::random(0.0)).build();
     let mut comdml = ComDml::new(no_churn_comdml());
     let mut w = world.clone();
     let outcome = comdml.run_round(&mut w, 0);
@@ -159,10 +157,7 @@ fn resnet110_takes_longer_than_resnet56() {
     });
     let t56 = time_to_accuracy(&mut c56, &world, &curve56, 0.80).total_time_s;
     let t110 = time_to_accuracy(&mut c110, &world, &curve110, 0.80).total_time_s;
-    assert!(
-        t110 > 1.5 * t56,
-        "the deeper model should cost clearly more: {t110:.0} vs {t56:.0}"
-    );
+    assert!(t110 > 1.5 * t56, "the deeper model should cost clearly more: {t110:.0} vs {t56:.0}");
 }
 
 #[test]

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark a small fixed number of iterations and prints the
+//! mean wall-clock time — enough for `cargo bench` to compile, run, and
+//! give rough numbers without the crates.io dependency. The statistical
+//! machinery (outlier rejection, HTML reports) is intentionally absent.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-exported for `std::hint::black_box` semantics.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup.
+    SmallInput,
+    /// Large per-iteration setup.
+    LargeInput,
+    /// One setup per batch.
+    PerIteration,
+}
+
+/// Throughput annotation (accepted, reported as-is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measures closures handed to `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self { iters: 10, mean: None }
+    }
+
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up, then the timed iterations.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.iters);
+    }
+
+    /// Times `routine` with a fresh `setup` product per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = Some(total / self.iters);
+    }
+}
+
+fn report(id: &str, mean: Option<Duration>) {
+    match mean {
+        Some(m) => println!("bench {id:<50} {m:>12.3?}/iter"),
+        None => println!("bench {id:<50} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(id, b.mean);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.mean);
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.mean);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

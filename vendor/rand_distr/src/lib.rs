@@ -1,0 +1,162 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements the two distributions the workspace uses — [`Normal`]
+//! (Box–Muller) and [`Dirichlet`] (normalized Marsaglia–Tsang gamma draws) —
+//! against the vendored `rand` crate's [`Distribution`] trait.
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Parameter errors from distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A scale/concentration parameter was non-positive or non-finite.
+    BadParameter,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameter`] when `std_dev` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::BadParameter);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(1e-300);
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.std_dev * r * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Samples `Gamma(alpha, 1)` via Marsaglia–Tsang, with the `alpha < 1`
+/// boosting trick.
+fn sample_gamma<R: RngCore + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
+    if alpha < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        return sample_gamma(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    let normal = Normal { mean: 0.0, std_dev: 1.0 };
+    loop {
+        let x = normal.sample(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Symmetric Dirichlet distribution over `k` categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Symmetric `Dirichlet(alpha)` over `size` categories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameter`] when `alpha` is not positive-finite
+    /// or `size < 2`.
+    pub fn new_with_size(alpha: f64, size: usize) -> Result<Self, Error> {
+        if alpha <= 0.0 || !alpha.is_finite() || size < 2 {
+            return Err(Error::BadParameter);
+        }
+        Ok(Self { alpha: vec![alpha; size] })
+    }
+
+    /// General (possibly asymmetric) concentration vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameter`] on any non-positive entry or fewer
+    /// than two categories.
+    pub fn new(alpha: &[f64]) -> Result<Self, Error> {
+        if alpha.len() < 2 || alpha.iter().any(|&a| a <= 0.0 || !a.is_finite()) {
+            return Err(Error::BadParameter);
+        }
+        Ok(Self { alpha: alpha.to_vec() })
+    }
+}
+
+impl Distribution<Vec<f64>> for Dirichlet {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut draws: Vec<f64> =
+            self.alpha.iter().map(|&a| sample_gamma(a, rng).max(1e-300)).collect();
+        let sum: f64 = draws.iter().sum();
+        for d in &mut draws {
+            *d /= sum;
+        }
+        draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Dirichlet::new_with_size(0.5, 7).unwrap();
+        for _ in 0..100 {
+            let v = d.sample(&mut rng);
+            assert_eq!(v.len(), 7);
+            let s: f64 = v.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Dirichlet::new_with_size(0.0, 5).is_err());
+        assert!(Dirichlet::new_with_size(0.5, 1).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report and config
+//! types but never actually drives a serializer (reports are written as CSV
+//! by `comdml-bench`). This crate therefore provides the two traits as
+//! markers plus inert derive macros, which is enough for every call site to
+//! compile offline. Swapping in the real serde later requires no source
+//! changes outside the manifests.
+
+/// Marker for types that would be serializable with the real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with the real serde.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Inert `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline `serde` stand-in only needs the derives to parse; no impls
+//! are generated because nothing in the workspace invokes a serializer.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: the stand-in `Serialize` trait is a pure marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: the stand-in `Deserialize` trait is a pure marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
