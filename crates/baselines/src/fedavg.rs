@@ -20,6 +20,24 @@ impl FedAvg {
     pub fn new(cfg: BaselineConfig) -> Self {
         Self { cfg }
     }
+
+    /// Round time for an externally chosen participant set — used by the
+    /// elastic-fleet benchmark to drive FedAvg under the *same* membership
+    /// process as ComDML (apples-to-apples churn comparison).
+    pub fn round_time_for(&self, world: &World, participants: &[comdml_simnet::AgentId]) -> f64 {
+        if participants.is_empty() {
+            return 0.0;
+        }
+        let times = self.cfg.per_agent_times(world, participants);
+        let b = self.cfg.model.model_bytes() as u64;
+        // Slowest client link carries the model down and back up.
+        let min_link = self.cfg.min_link_mbps(world, participants);
+        let client_comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
+        // The server moves 2·P·b bytes through its own pipe.
+        let server_bytes = 2 * participants.len() as u64 * b;
+        let server_comm = self.cfg.calibration.transfer_time_s(server_bytes, self.cfg.server_mbps);
+        comdml_core::barrier_round_s(&times, client_comm.max(server_comm))
+    }
 }
 
 impl RoundEngine for FedAvg {
@@ -29,15 +47,7 @@ impl RoundEngine for FedAvg {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
-        let times = self.cfg.per_agent_times(world, &participants);
-        let b = self.cfg.model.model_bytes() as u64;
-        // Slowest client link carries the model down and back up.
-        let min_link = self.cfg.min_link_mbps(world, &participants);
-        let client_comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
-        // The server moves 2·P·b bytes through its own pipe.
-        let server_bytes = 2 * participants.len() as u64 * b;
-        let server_comm = self.cfg.calibration.transfer_time_s(server_bytes, self.cfg.server_mbps);
-        comdml_core::barrier_round_s(&times, client_comm.max(server_comm))
+        self.round_time_for(world, &participants)
     }
 }
 

@@ -1,0 +1,172 @@
+//! CI perf-regression gate: compares freshly produced `BENCH_*.json`
+//! records against the committed baselines and fails (exit code 1) when any
+//! configuration's wall clock regressed beyond the tolerance.
+//!
+//! ```sh
+//! cargo run --release --bin bench_gate -- \
+//!     --baseline ci/bench-baselines --current target/experiments \
+//!     --tolerance 0.25
+//! ```
+//!
+//! The tolerance is a relative bound on wall-clock growth (0.25 = fail
+//! above +25%); it can also come from the `BENCH_TOLERANCE` environment
+//! variable, which is how the CI workflow makes it configurable without
+//! editing this binary. Wall clock is compared per `(bench, mode)` entry.
+//! Simulated seconds must agree closely (they are deterministic given the
+//! seed, so drift means the simulation changed, not the machine); event
+//! counts and peak agents are reported for context but only warn, since
+//! legitimate engine changes move them.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use comdml_bench::BenchRecord;
+
+struct Args {
+    baseline_dir: PathBuf,
+    current_dir: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline_dir = PathBuf::from("ci/bench-baselines");
+    let mut current_dir = PathBuf::from("target/experiments");
+    let mut tolerance: Option<f64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--baseline" => baseline_dir = PathBuf::from(grab("--baseline")?),
+            "--current" => current_dir = PathBuf::from(grab("--current")?),
+            "--tolerance" => {
+                tolerance =
+                    Some(grab("--tolerance")?.parse().map_err(|e| format!("bad tolerance: {e}"))?)
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let tolerance = match tolerance {
+        Some(t) => t,
+        None => match std::env::var("BENCH_TOLERANCE") {
+            Ok(v) => v.parse().map_err(|e| format!("bad BENCH_TOLERANCE: {e}"))?,
+            Err(_) => 0.25,
+        },
+    };
+    if tolerance < 0.0 {
+        return Err(format!("tolerance must be non-negative, got {tolerance}"));
+    }
+    Ok(Args { baseline_dir, current_dir, tolerance })
+}
+
+fn load(path: &Path) -> Result<BenchRecord, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    BenchRecord::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match std::fs::read_dir(&args.baseline_dir) {
+        Ok(rd) => rd,
+        Err(e) => {
+            eprintln!("bench_gate: read_dir {}: {e}", args.baseline_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut baselines: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    baselines.sort();
+    if baselines.is_empty() {
+        eprintln!("bench_gate: no BENCH_*.json baselines in {}", args.baseline_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "bench_gate: tolerance +{:.0}% against {}\n",
+        args.tolerance * 100.0,
+        args.baseline_dir.display()
+    );
+    println!(
+        "{:<14} {:<16} {:>12} {:>12} {:>8}  verdict",
+        "bench", "mode", "base ms", "now ms", "ratio"
+    );
+    let mut failed = false;
+    for base_path in baselines {
+        let file_name = base_path.file_name().expect("filtered above").to_os_string();
+        let base = match load(&base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let cur_path = args.current_dir.join(&file_name);
+        let cur = match load(&cur_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_gate: {e} (did the benchmark run?)");
+                failed = true;
+                continue;
+            }
+        };
+        for be in &base.entries {
+            let Some(ce) = cur.entries.iter().find(|c| c.mode == be.mode) else {
+                eprintln!("bench_gate: {} lost mode {:?}", cur_path.display(), be.mode);
+                failed = true;
+                continue;
+            };
+            let ratio = ce.wall_ms / be.wall_ms.max(1e-9);
+            let over = ratio > 1.0 + args.tolerance;
+            println!(
+                "{:<14} {:<16} {:>12.1} {:>12.1} {:>7.2}x  {}",
+                base.bench,
+                be.mode,
+                be.wall_ms,
+                ce.wall_ms,
+                ratio,
+                if over { "REGRESSION" } else { "ok" }
+            );
+            if over {
+                failed = true;
+            }
+            // Context-only drift notes: deterministic quantities moving
+            // means the *simulation* changed, which is worth a look but is
+            // not a perf regression.
+            if ce.rounds == be.rounds {
+                if (ce.sim_total_s - be.sim_total_s).abs() > 1e-6 * be.sim_total_s.abs().max(1.0) {
+                    println!(
+                        "  note: {}::{} simulated seconds drifted {:.3} -> {:.3}",
+                        base.bench, be.mode, be.sim_total_s, ce.sim_total_s
+                    );
+                }
+                if ce.events_processed != be.events_processed {
+                    println!(
+                        "  note: {}::{} events {} -> {}",
+                        base.bench, be.mode, be.events_processed, ce.events_processed
+                    );
+                }
+            }
+        }
+    }
+    if failed {
+        eprintln!("\nbench_gate: FAILED (wall-clock regression beyond tolerance, or missing data)");
+        ExitCode::FAILURE
+    } else {
+        println!("\nbench_gate: ok");
+        ExitCode::SUCCESS
+    }
+}

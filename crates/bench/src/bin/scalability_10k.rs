@@ -9,7 +9,9 @@
 //! * the round executes as typed events on a shared clock, so the same code
 //!   path drives synchronous, semi-synchronous and asynchronous aggregation.
 //!
-//! Results land in `target/experiments/scalability_10k.csv`.
+//! Results land in `target/experiments/scalability_10k.csv`, with the
+//! machine-readable `target/experiments/BENCH_scalability.json` feeding the
+//! CI perf-regression gate (see `ci/bench-baselines/`).
 //!
 //! ```sh
 //! cargo run --release --bin scalability_10k
@@ -17,7 +19,7 @@
 
 use std::time::Instant;
 
-use comdml_bench::Report;
+use comdml_bench::{BenchEntry, BenchRecord, Report};
 use comdml_core::{AggregationMode, ComDml, ComDmlConfig};
 use comdml_simnet::WorldConfig;
 
@@ -40,6 +42,7 @@ fn main() {
         "scalability_10k",
         &["mode", "agents", "rounds", "sim_total_s", "mean_offloads", "wall_clock_s"],
     );
+    let mut record = BenchRecord::new("scalability", AGENTS, ROUNDS);
 
     for (name, mode) in [
         ("synchronous", AggregationMode::Synchronous),
@@ -59,10 +62,12 @@ fn main() {
         let start = Instant::now();
         let mut sim_total = 0.0;
         let mut offloads = 0usize;
+        let mut events = 0u64;
         for r in 0..ROUNDS {
             let outcome = engine.run_round(&mut w, r);
             sim_total += outcome.round_s();
             offloads += outcome.num_offloads;
+            events += engine.last_report().map_or(0, |rep| rep.events_processed);
         }
         let wall = start.elapsed().as_secs_f64();
         println!(
@@ -78,10 +83,22 @@ fn main() {
             format!("{:.1}", offloads as f64 / ROUNDS as f64),
             format!("{wall:.3}"),
         ]);
+        record.push(BenchEntry {
+            mode: name.to_string(),
+            wall_ms: wall * 1e3,
+            events_processed: events,
+            peak_agents: AGENTS,
+            sim_total_s: sim_total,
+            rounds: ROUNDS,
+        });
     }
 
     match report.write_default() {
         Ok(path) => println!("\nreport written to {}", path.display()),
         Err(e) => eprintln!("\nfailed to write report: {e}"),
+    }
+    match record.write_default() {
+        Ok(path) => println!("bench record written to {}", path.display()),
+        Err(e) => eprintln!("failed to write bench record: {e}"),
     }
 }

@@ -1,0 +1,281 @@
+//! Machine-readable benchmark records (`BENCH_*.json`).
+//!
+//! The CI perf-regression gate compares a freshly produced record against a
+//! baseline committed under `ci/bench-baselines/`, so the format must be
+//! writable *and* parseable without a JSON dependency (the build runs
+//! offline). The schema is deliberately flat: one record per benchmark
+//! binary, one entry per measured configuration, numbers only.
+//!
+//! # Example
+//!
+//! ```
+//! use comdml_bench::{BenchEntry, BenchRecord};
+//!
+//! let mut rec = BenchRecord::new("fleet_churn", 10_000, 1_000);
+//! rec.push(BenchEntry {
+//!     mode: "semi_sync".into(),
+//!     wall_ms: 1234.5,
+//!     events_processed: 42,
+//!     peak_agents: 10_100,
+//!     sim_total_s: 9.9,
+//!     rounds: 1_000,
+//! });
+//! let json = rec.to_json();
+//! let back = BenchRecord::parse(&json).unwrap();
+//! assert_eq!(back, rec);
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One measured configuration (typically an aggregation mode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Configuration label (e.g. `synchronous`).
+    pub mode: String,
+    /// Wall-clock milliseconds the configuration took.
+    pub wall_ms: f64,
+    /// Simulation events executed.
+    pub events_processed: u64,
+    /// Largest concurrent fleet membership observed.
+    pub peak_agents: usize,
+    /// Total simulated seconds produced.
+    pub sim_total_s: f64,
+    /// Rounds simulated in this configuration.
+    pub rounds: usize,
+}
+
+/// A benchmark run: identity plus one [`BenchEntry`] per configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name (the `BENCH_<name>.json` file stem suffix).
+    pub bench: String,
+    /// Agents at fleet construction.
+    pub agents: usize,
+    /// Nominal rounds per configuration.
+    pub rounds: usize,
+    /// Measured configurations.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchRecord {
+    /// Starts an empty record.
+    pub fn new(bench: &str, agents: usize, rounds: usize) -> Self {
+        Self { bench: bench.to_string(), agents, rounds, entries: Vec::new() }
+    }
+
+    /// Appends one configuration's measurements.
+    pub fn push(&mut self, entry: BenchEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Renders the record as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str(&format!("  \"agents\": {},\n", self.agents));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"mode\": \"{}\", ", escape(&e.mode)));
+            out.push_str(&format!("\"wall_ms\": {:.3}, ", e.wall_ms));
+            out.push_str(&format!("\"events_processed\": {}, ", e.events_processed));
+            out.push_str(&format!("\"peak_agents\": {}, ", e.peak_agents));
+            out.push_str(&format!("\"sim_total_s\": {:.3}, ", e.sim_total_s));
+            out.push_str(&format!("\"rounds\": {}", e.rounds));
+            out.push_str(if i + 1 < self.entries.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a record previously produced by [`BenchRecord::to_json`].
+    ///
+    /// The parser is a minimal scanner for this module's own output plus
+    /// whitespace variations — not a general JSON parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let bench = find_string(s, "bench").ok_or("missing \"bench\"")?;
+        let agents = find_number(s, "agents").ok_or("missing \"agents\"")? as usize;
+        // The top-level "rounds" is the first occurrence; per-entry rounds
+        // are parsed inside each braces group below.
+        let rounds = find_number(s, "rounds").ok_or("missing \"rounds\"")? as usize;
+        let list_start = s.find("\"entries\"").ok_or("missing \"entries\"")?;
+        let mut entries = Vec::new();
+        let mut rest = &s[list_start..];
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..].find('}').ok_or("unbalanced entry braces")? + open;
+            let obj = &rest[open..=close];
+            entries.push(BenchEntry {
+                mode: find_string(obj, "mode").ok_or("entry missing \"mode\"")?,
+                wall_ms: find_number(obj, "wall_ms").ok_or("entry missing \"wall_ms\"")?,
+                events_processed: find_number(obj, "events_processed")
+                    .ok_or("entry missing \"events_processed\"")?
+                    as u64,
+                peak_agents: find_number(obj, "peak_agents")
+                    .ok_or("entry missing \"peak_agents\"")? as usize,
+                sim_total_s: find_number(obj, "sim_total_s")
+                    .ok_or("entry missing \"sim_total_s\"")?,
+                rounds: find_number(obj, "rounds").ok_or("entry missing \"rounds\"")? as usize,
+            });
+            rest = &rest[close + 1..];
+        }
+        Ok(Self { bench, agents, rounds, entries })
+    }
+
+    /// Writes `<dir>/BENCH_<bench>.json`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes to the workspace default, `target/experiments/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_default(&self) -> std::io::Result<PathBuf> {
+        self.write_to(Path::new("target").join("experiments"))
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Finds `"key": "value"` and returns the unescaped value, honouring the
+/// backslash escapes [`escape`] emits (`\"` and `\\`).
+fn find_string(s: &str, k: &str) -> Option<String> {
+    let rest = after_key(s, k)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            },
+            other => out.push(other),
+        }
+    }
+    None // unterminated string
+}
+
+/// Finds `"key": <number>` and parses the number.
+fn find_number(s: &str, k: &str) -> Option<f64> {
+    let rest = after_key(s, k)?;
+    let end = rest
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Returns the slice just past `"key":` and any whitespace.
+fn after_key<'a>(s: &'a str, k: &str) -> Option<&'a str> {
+    let pat = format!("\"{k}\"");
+    let at = s.find(&pat)? + pat.len();
+    let rest = s[at..].trim_start();
+    let rest = rest.strip_prefix(':')?;
+    Some(rest.trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        let mut r = BenchRecord::new("demo", 100, 10);
+        r.push(BenchEntry {
+            mode: "synchronous".into(),
+            wall_ms: 12.5,
+            events_processed: 999,
+            peak_agents: 105,
+            sim_total_s: 345.678,
+            rounds: 10,
+        });
+        r.push(BenchEntry {
+            mode: "asynchronous".into(),
+            wall_ms: 7.25,
+            events_processed: 123,
+            peak_agents: 101,
+            sim_total_s: 2.0,
+            rounds: 10,
+        });
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        assert_eq!(BenchRecord::parse(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_variations() {
+        let loose = "{ \"bench\" :\"x\", \"agents\": 5, \"rounds\":2,\n\
+                     \"entries\": [ { \"mode\":\"m\", \"wall_ms\": 1.5,\n\
+                     \"events_processed\": 7, \"peak_agents\": 5,\n\
+                     \"sim_total_s\": 0.25, \"rounds\": 2 } ] }";
+        let r = BenchRecord::parse(loose).unwrap();
+        assert_eq!(r.bench, "x");
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.entries[0].events_processed, 7);
+        assert_eq!(r.entries[0].wall_ms, 1.5);
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        assert!(BenchRecord::parse("{}").is_err());
+        assert!(BenchRecord::parse("{\"bench\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let r = sample();
+        let dir = std::env::temp_dir().join("comdml_bench_json_test");
+        let path = r.write_to(&dir).unwrap();
+        assert!(path.ends_with("BENCH_demo.json"));
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(BenchRecord::parse(&content).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_entries_round_trip() {
+        let r = BenchRecord::new("empty", 0, 0);
+        assert_eq!(BenchRecord::parse(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn names_with_quotes_and_backslashes_round_trip() {
+        let mut r = BenchRecord::new("we\"ird\\name", 1, 1);
+        r.push(BenchEntry {
+            mode: "mo\"de\\x".into(),
+            wall_ms: 1.0,
+            events_processed: 1,
+            peak_agents: 1,
+            sim_total_s: 1.0,
+            rounds: 1,
+        });
+        assert_eq!(BenchRecord::parse(&r.to_json()).unwrap(), r);
+    }
+}

@@ -2,8 +2,10 @@
 //! and figure of the ComDML paper. See DESIGN.md for the experiment index
 //! and EXPERIMENTS.md for paper-vs-measured results.
 
+mod json;
 mod report;
 
+pub use json::{BenchEntry, BenchRecord};
 pub use report::Report;
 
 use comdml_baselines::{AllReduceDml, BaselineConfig, BrainTorrent, FedAvg, GossipLearning};

@@ -6,8 +6,8 @@ use comdml_simnet::{AgentId, World};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AggregationMode, EventRound, EventRoundReport, LearningCurve, PairingScheduler, RoundOutcome,
-    TrainingTimeEstimator,
+    AggregationMode, EventGranularity, EventRound, EventRoundReport, LearningCurve,
+    PairingScheduler, RoundOutcome, TrainingTimeEstimator,
 };
 
 /// Dynamic-environment policy: re-roll a fraction of agent profiles every
@@ -51,6 +51,16 @@ pub struct ComDmlConfig {
     /// non-synchronous modes carry stragglers' unfinished work into the
     /// next round instead of waiting for them.
     pub aggregation: AggregationMode,
+    /// FedBuff-style staleness decay exponent: updates arriving `s` rounds
+    /// after their aggregation contribute `(1 + s)^(-staleness_decay)`
+    /// learning progress ([`crate::staleness_weight`]). Zero ignores
+    /// staleness; the default 0.5 is the literature's common square-root
+    /// discount. Only the non-synchronous modes produce stale updates.
+    pub staleness_decay: f64,
+    /// Event granularity of the round engine: exact per-batch events, or
+    /// closed-form coarse events for undisrupted pairings (the fleet-scale
+    /// default; see [`EventGranularity`]).
+    pub granularity: EventGranularity,
 }
 
 impl Default for ComDmlConfig {
@@ -65,6 +75,8 @@ impl Default for ComDmlConfig {
             curve: LearningCurve::cifar10(true),
             batch_size: 100,
             aggregation: AggregationMode::Synchronous,
+            staleness_decay: 0.5,
+            granularity: EventGranularity::Fine,
         }
     }
 }
@@ -155,6 +167,10 @@ pub struct ComDml {
     /// Per-agent head starts carried between rounds by the semi-sync and
     /// async aggregation modes (empty under the synchronous barrier).
     ready_at: HashMap<AgentId, f64>,
+    /// Sum of per-round staleness-weighted efficiencies (see
+    /// [`EventRoundReport::efficiency`]) over `rounds_seen` rounds.
+    efficiency_sum: f64,
+    rounds_seen: usize,
 }
 
 impl ComDml {
@@ -173,6 +189,8 @@ impl ComDml {
             last_outcome: None,
             last_report: None,
             ready_at: HashMap::new(),
+            efficiency_sum: 0.0,
+            rounds_seen: 0,
         }
     }
 
@@ -226,6 +244,7 @@ impl ComDml {
             self.config.algorithm,
         )
         .mode(self.config.aggregation)
+        .granularity(self.config.granularity)
         .ready_at(std::mem::take(&mut self.ready_at))
         .run();
         self.ready_at = report
@@ -235,6 +254,8 @@ impl ComDml {
             .filter(|&(_, &s)| s > 0.0)
             .map(|(i, &s)| (AgentId(i), s))
             .collect();
+        self.efficiency_sum += report.efficiency(self.config.staleness_decay);
+        self.rounds_seen += 1;
         let outcome = report.outcome.clone();
         self.last_report = Some(report);
         self.last_outcome = Some(outcome.clone());
@@ -243,28 +264,41 @@ impl ComDml {
 
     /// Runs to `target` accuracy on a clone of `world` and reports totals.
     ///
+    /// Rounds accumulate staleness-weighted *effective* progress
+    /// ([`EventRoundReport::efficiency`]): under the synchronous barrier
+    /// every round counts fully and the round count matches the curve's
+    /// prediction exactly; semi-synchronous and asynchronous runs need more
+    /// wall rounds because stale updates advance the curve less. A safety
+    /// cap of 20× the nominal round count bounds pathological configs.
+    ///
     /// # Panics
     ///
     /// Panics if `target` exceeds the configured curve's asymptote.
     pub fn run(&mut self, world: &World, target: f64) -> ComDmlReport {
-        let rounds = self.config.curve.rounds_to(target, self.rounds_factor());
+        let needed = self.config.curve.rounds_to(target, 1.0) as f64;
+        let cap = (needed * 20.0).ceil() as usize;
         let mut world = world.clone();
         let mut total = 0.0;
         let mut idle = 0.0;
         let mut comm = 0.0;
         let mut offloads = 0usize;
-        for r in 0..rounds {
-            let outcome = self.run_round(&mut world, r);
+        let mut effective = 0.0;
+        let mut rounds = 0usize;
+        while effective + 1e-9 < needed && rounds < cap {
+            let before = self.efficiency_sum;
+            let outcome = self.run_round(&mut world, rounds);
+            effective += self.efficiency_sum - before;
             total += outcome.round_s();
             idle += outcome.total_idle_s();
             comm += outcome.total_comm_s();
             offloads += outcome.num_offloads;
+            rounds += 1;
         }
         ComDmlReport {
             rounds,
             total_time_s: total,
-            mean_round_s: total / rounds as f64,
-            mean_offloads: offloads as f64 / rounds as f64,
+            mean_round_s: total / rounds.max(1) as f64,
+            mean_offloads: offloads as f64 / rounds.max(1) as f64,
             total_idle_s: idle,
             total_comm_s: comm,
         }
@@ -274,6 +308,17 @@ impl ComDml {
 impl RoundEngine for ComDml {
     fn name(&self) -> &'static str {
         "ComDML"
+    }
+
+    /// Running mean of the staleness-weighted per-round efficiency: 1.0
+    /// before any round ran (and always, under the synchronous barrier);
+    /// below 1.0 once semi-sync or async rounds produced stale updates.
+    fn rounds_factor(&self) -> f64 {
+        if self.rounds_seen == 0 {
+            1.0
+        } else {
+            self.efficiency_sum / self.rounds_seen as f64
+        }
     }
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {

@@ -1,0 +1,372 @@
+//! Multi-round ComDML over an elastic fleet.
+//!
+//! [`FleetSim`] marries the membership process of
+//! [`comdml_simnet::FleetDriver`] to the discrete-event round engine
+//! ([`crate::EventRound`]): every round it asks the driver for the current
+//! membership and the arrivals/departures expected inside a planning
+//! horizon, runs pairing + the event round with those changes injected as
+//! mid-round join/leave disruptions, then reports the realized round
+//! duration back so the fleet clock (and with it the churn process)
+//! advances exactly as fast as the simulation does.
+//!
+//! Per-agent carry-over (`ready_at` head starts from semi-sync/async
+//! spill) survives membership changes: it is kept for agents that remain
+//! active and dropped the moment an agent departs, so no round ever
+//! schedules work for a ghost (the proptests in `tests/fleet_churn.rs`
+//! hold this invariant under arbitrary churn).
+//!
+//! # Example
+//!
+//! ```
+//! use comdml_core::{ComDmlConfig, EventGranularity, FleetSim};
+//! use comdml_simnet::{ArrivalProcess, FleetConfig, SessionLifetime};
+//!
+//! let fleet = FleetConfig::new(12, 7)
+//!     .arrivals(ArrivalProcess::Poisson { rate_per_s: 0.001 })
+//!     .lifetime(SessionLifetime::Exponential { mean_s: 20_000.0 });
+//! let config = ComDmlConfig {
+//!     churn: None,
+//!     granularity: EventGranularity::Coarse,
+//!     ..ComDmlConfig::default()
+//! };
+//! let mut sim = FleetSim::new(fleet, config);
+//! let report = sim.run(5);
+//! assert_eq!(report.rounds, 5);
+//! assert!(report.total_sim_s > 0.0);
+//! ```
+
+use std::collections::HashMap;
+
+use comdml_cost::SplitProfile;
+use comdml_simnet::{AgentId, FleetConfig, FleetDriver, MembershipChange};
+use serde::{Deserialize, Serialize};
+
+use crate::{ComDmlConfig, Disruption, EventRound, PairingScheduler, TrainingTimeEstimator};
+
+/// What one elastic-fleet round produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetRoundSummary {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Participants at the round start.
+    pub participants: usize,
+    /// Agents whose update made the aggregation cohort.
+    pub cohort: usize,
+    /// Mid-round joins handed to the round.
+    pub joins: usize,
+    /// Mid-round leaves handed to the round.
+    pub leaves: usize,
+    /// Successful helper re-pairings after departures.
+    pub repairs: usize,
+    /// Simulated seconds this round took.
+    pub round_s: f64,
+    /// Staleness-weighted learning efficiency of the round (1 = a fully
+    /// fresh synchronous round).
+    pub efficiency: f64,
+    /// Events the round engine executed.
+    pub events_processed: u64,
+}
+
+/// Aggregate report of a [`FleetSim::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total simulated seconds.
+    pub total_sim_s: f64,
+    /// Sum of per-round efficiencies — the learning-curve progress the run
+    /// achieved, in equivalent fresh synchronous rounds.
+    pub effective_rounds: f64,
+    /// Mean per-round efficiency (the run's realized rounds factor).
+    pub rounds_factor: f64,
+    /// Total events the round engines executed.
+    pub events_processed: u64,
+    /// Largest concurrent active membership observed.
+    pub peak_agents: usize,
+    /// Arrivals activated over the run.
+    pub arrivals: usize,
+    /// Departures committed over the run.
+    pub departures: usize,
+    /// Active members when the run ended.
+    pub final_active: usize,
+}
+
+/// ComDML driven across rounds on an elastic fleet. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    fleet: FleetDriver,
+    config: ComDmlConfig,
+    profile: SplitProfile,
+    scheduler: PairingScheduler,
+    ready_at: HashMap<AgentId, f64>,
+    last_round_s: f64,
+    rounds_run: usize,
+    total_sim_s: f64,
+    effective_rounds: f64,
+    events_processed: u64,
+}
+
+impl FleetSim {
+    /// Horizon multiplier over the previous round's duration: generous
+    /// enough that most membership events become mid-round disruptions
+    /// rather than boundary commits, tight enough that far-future events
+    /// are not dragged into the current round.
+    const HORIZON_FACTOR: f64 = 2.0;
+
+    /// Builds the simulation: profiles candidate splits up front (like
+    /// [`crate::ComDml::new`]) and materializes the fleet.
+    pub fn new(fleet: FleetConfig, config: ComDmlConfig) -> Self {
+        let full = SplitProfile::new(&config.model, config.batch_size);
+        let profile = match &config.candidate_offloads {
+            Some(c) => full.restrict_to(c),
+            None => full,
+        };
+        Self {
+            fleet: fleet.build(),
+            config,
+            profile,
+            scheduler: PairingScheduler::new(),
+            ready_at: HashMap::new(),
+            last_round_s: 0.0,
+            rounds_run: 0,
+            total_sim_s: 0.0,
+            effective_rounds: 0.0,
+            events_processed: 0,
+        }
+    }
+
+    /// The underlying fleet driver (membership state, clock, counters).
+    pub fn fleet(&self) -> &FleetDriver {
+        &self.fleet
+    }
+
+    /// Per-agent head starts carried into the next round — only ever for
+    /// agents that are still active members.
+    pub fn carry_over(&self) -> &HashMap<AgentId, f64> {
+        &self.ready_at
+    }
+
+    /// Executes one round and returns its summary.
+    pub fn step(&mut self) -> FleetRoundSummary {
+        // The paper's dynamic-environment profile churn applies between
+        // rounds, exactly as in `ComDml::run_round`.
+        let round = self.fleet.round();
+        if let Some(churn) = self.config.churn {
+            if churn.interval > 0 && round > 0 && round.is_multiple_of(churn.interval) {
+                self.fleet.world_mut().churn_profiles(churn.fraction);
+            }
+        }
+        let horizon = if self.last_round_s > 0.0 {
+            self.last_round_s * Self::HORIZON_FACTOR
+        } else {
+            // First round: bound the window by the slowest possible solo
+            // task so departures cannot land past the round's event drain.
+            let estimator = TrainingTimeEstimator::new(
+                &self.config.model,
+                &self.profile,
+                &self.config.calibration,
+            );
+            self.fleet
+                .world()
+                .agents()
+                .iter()
+                .map(|a| estimator.solo_time_s(a))
+                .fold(0.0f64, f64::max)
+        };
+        let plan = self.fleet.begin_round(horizon);
+        // Carry-over hygiene: drop head starts of agents that departed.
+        self.ready_at.retain(|id, _| plan.participants.binary_search(id).is_ok());
+
+        let estimator =
+            TrainingTimeEstimator::new(&self.config.model, &self.profile, &self.config.calibration);
+        let pairings = self.scheduler.pair(self.fleet.world(), &plan.participants, &estimator);
+        let disruptions: Vec<Disruption> = plan
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                MembershipChange::Join => Disruption::Join { agent: e.agent, at_s: e.at_s },
+                MembershipChange::Leave => Disruption::Leave { agent: e.agent, at_s: e.at_s },
+            })
+            .collect();
+        let joins = plan.events.iter().filter(|e| e.kind == MembershipChange::Join).count();
+        let leaves = plan.events.len() - joins;
+
+        let report = EventRound::new(
+            self.fleet.world(),
+            &pairings,
+            &estimator,
+            &self.config.calibration,
+            self.config.algorithm,
+        )
+        .mode(self.config.aggregation)
+        .granularity(self.config.granularity)
+        .disruptions(disruptions)
+        .ready_at(std::mem::take(&mut self.ready_at))
+        .run();
+
+        let mut round_s = report.round_end_s.max(0.0);
+        let efficiency = report.efficiency(self.config.staleness_decay);
+        if round_s <= 0.0 {
+            // An extinct (or instantaneous) round must still advance the
+            // fleet clock, or pending arrivals could never activate and the
+            // simulation would livelock on zero-second rounds. Fast-forward
+            // to the next membership event instead.
+            round_s = self.fleet.seconds_to_next_event().unwrap_or(0.0);
+        }
+        self.fleet.end_round(round_s);
+        // New carry-over: spill of agents that are still active members.
+        self.ready_at = report
+            .spill_s
+            .iter()
+            .enumerate()
+            .filter(|&(i, &s)| s > 0.0 && self.fleet.is_active(AgentId(i)))
+            .map(|(i, &s)| (AgentId(i), s))
+            .collect();
+
+        // An empty round's duration is a fast-forward jump, not a round
+        // time; don't let it inflate the next planning horizon.
+        self.last_round_s = if plan.participants.is_empty() { 0.0 } else { round_s };
+        self.rounds_run += 1;
+        self.total_sim_s += round_s;
+        self.effective_rounds += efficiency;
+        self.events_processed += report.events_processed;
+        FleetRoundSummary {
+            round,
+            participants: plan.participants.len(),
+            cohort: report.cohort.len(),
+            joins,
+            leaves,
+            repairs: report.repairs,
+            round_s,
+            efficiency,
+            events_processed: report.events_processed,
+        }
+    }
+
+    /// Runs `rounds` rounds and reports aggregates.
+    pub fn run(&mut self, rounds: usize) -> FleetReport {
+        for _ in 0..rounds {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Aggregates over everything run so far.
+    pub fn report(&self) -> FleetReport {
+        FleetReport {
+            rounds: self.rounds_run,
+            total_sim_s: self.total_sim_s,
+            effective_rounds: self.effective_rounds,
+            rounds_factor: if self.rounds_run == 0 {
+                1.0
+            } else {
+                self.effective_rounds / self.rounds_run as f64
+            },
+            events_processed: self.events_processed,
+            peak_agents: self.fleet.peak_active(),
+            arrivals: self.fleet.arrivals_total(),
+            departures: self.fleet.departures_total(),
+            final_active: self.fleet.active_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggregationMode, EventGranularity};
+    use comdml_simnet::{ArrivalProcess, SessionLifetime};
+
+    fn churny_fleet(seed: u64) -> FleetConfig {
+        FleetConfig::new(16, seed)
+            .arrivals(ArrivalProcess::Poisson { rate_per_s: 0.002 })
+            .lifetime(SessionLifetime::Exponential { mean_s: 5_000.0 })
+            .samples_per_agent(500)
+    }
+
+    fn quick_config() -> ComDmlConfig {
+        ComDmlConfig {
+            churn: None,
+            candidate_offloads: Some(vec![8, 16, 24, 32, 40, 48]),
+            granularity: EventGranularity::Coarse,
+            ..ComDmlConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_sim_runs_under_churn() {
+        let mut sim = FleetSim::new(churny_fleet(5), quick_config());
+        let report = sim.run(30);
+        assert_eq!(report.rounds, 30);
+        assert!(report.total_sim_s > 0.0);
+        assert!(report.events_processed > 0);
+        assert!(
+            report.arrivals + report.departures > 0,
+            "5k-second sessions over 30 rounds should churn"
+        );
+        assert!(report.final_active > 0);
+    }
+
+    #[test]
+    fn synchronous_rounds_are_fully_efficient() {
+        let mut sim = FleetSim::new(FleetConfig::new(10, 3), quick_config());
+        let report = sim.run(5);
+        assert!((report.rounds_factor - 1.0).abs() < 1e-12, "static sync fleet stays fresh");
+        assert_eq!(report.arrivals, 0);
+    }
+
+    #[test]
+    fn semi_sync_fleet_degrades_rounds_factor() {
+        let cfg = ComDmlConfig {
+            aggregation: AggregationMode::SemiSynchronous { quorum: 0.5, staleness_s: f64::MAX },
+            ..quick_config()
+        };
+        let mut sim = FleetSim::new(FleetConfig::new(16, 3), cfg);
+        let report = sim.run(10);
+        assert!(
+            report.rounds_factor < 1.0,
+            "stragglers past the quorum must cost efficiency, got {}",
+            report.rounds_factor
+        );
+        assert!(report.rounds_factor > 0.0);
+    }
+
+    #[test]
+    fn extinct_fleet_recovers_via_arrivals() {
+        // Everyone departs early; a much later trace arrival must still
+        // activate (the empty rounds fast-forward the clock instead of
+        // livelocking at zero-second rounds), and the dead stretch must not
+        // be credited with learning progress.
+        let fleet = FleetConfig::new(4, 1)
+            .lifetime(SessionLifetime::Fixed { duration_s: 1.0 })
+            .arrivals(ArrivalProcess::Trace(vec![50_000.0, 50_001.0]));
+        let mut sim = FleetSim::new(fleet, quick_config());
+        let report = sim.run(6);
+        assert!(report.departures >= 4, "fixed 1s sessions all end in round 0");
+        assert_eq!(report.arrivals, 2, "the trace arrivals must activate");
+        // The newcomers inherit the 1 s fixed lifetime and depart again;
+        // what matters is that the clock crossed the 50 000 s dead stretch.
+        assert!(sim.fleet().clock_s() > 50_000.0, "clock {}", sim.fleet().clock_s());
+        assert!(
+            report.effective_rounds < report.rounds as f64 - 1.0,
+            "empty rounds must not count as learning progress: {} of {}",
+            report.effective_rounds,
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn carry_over_only_names_active_agents() {
+        let cfg = ComDmlConfig {
+            aggregation: AggregationMode::SemiSynchronous { quorum: 0.6, staleness_s: f64::MAX },
+            ..quick_config()
+        };
+        let mut sim = FleetSim::new(churny_fleet(11), cfg);
+        for _ in 0..25 {
+            sim.step();
+            for id in sim.carry_over().keys() {
+                assert!(sim.fleet().is_active(*id), "carry-over for departed {id}");
+            }
+        }
+    }
+}

@@ -1,5 +1,29 @@
 use serde::{Deserialize, Serialize};
 
+/// FedBuff-style polynomial staleness discount: the contribution weight of
+/// an update that arrives `staleness` rounds after the aggregation it was
+/// computed for, `w(s) = (1 + s)^(-decay)`.
+///
+/// `decay = 0` ignores staleness entirely (every late update counts fully);
+/// larger decays discount late updates harder. The weight is 1 at zero
+/// staleness and strictly decreasing in `staleness` for positive decay —
+/// the monotonicity the aggregation-mode comparisons rely on (semi-sync
+/// stragglers and async late finishers contribute less learning progress
+/// per round than the synchronous barrier's always-fresh cohort).
+///
+/// # Example
+///
+/// ```
+/// use comdml_core::staleness_weight;
+///
+/// assert_eq!(staleness_weight(0.0, 0.5), 1.0);
+/// assert!(staleness_weight(1.0, 0.5) < 1.0);
+/// assert!(staleness_weight(2.0, 0.5) < staleness_weight(1.0, 0.5));
+/// ```
+pub fn staleness_weight(staleness: f64, decay: f64) -> f64 {
+    (1.0 + staleness.max(0.0)).powf(-decay.max(0.0))
+}
+
 /// A saturating-exponential accuracy model:
 /// `acc(r) = a_max · (1 − exp(−r / τ))`.
 ///
@@ -237,6 +261,31 @@ mod tests {
         for r in [35.0f64, 50.0] {
             assert!((fitted.accuracy_at(r) - truth.accuracy_at(r)).abs() < 0.04);
         }
+    }
+
+    #[test]
+    fn staleness_weight_is_monotone_decreasing() {
+        let mut prev = staleness_weight(0.0, 0.5);
+        assert_eq!(prev, 1.0);
+        for s in 1..50 {
+            let w = staleness_weight(s as f64 * 0.25, 0.5);
+            assert!(w < prev, "weight must strictly decrease: {w} vs {prev}");
+            assert!(w > 0.0);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn staleness_weight_decay_zero_ignores_staleness() {
+        for s in [0.0, 1.0, 10.0, 1e6] {
+            assert_eq!(staleness_weight(s, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn staleness_weight_larger_decay_discounts_harder() {
+        assert!(staleness_weight(3.0, 1.0) < staleness_weight(3.0, 0.5));
+        assert!(staleness_weight(3.0, 0.5) < staleness_weight(3.0, 0.1));
     }
 
     #[test]

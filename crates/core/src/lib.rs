@@ -38,6 +38,7 @@
 mod comdml;
 mod estimator;
 mod event_round;
+mod fleet;
 mod learning_curve;
 mod multi;
 mod real_fleet;
@@ -50,9 +51,11 @@ pub use comdml::{
 };
 pub use estimator::{SplitDecision, TrainingTimeEstimator};
 pub use event_round::{
-    barrier_round_s, mean_round_s, AggregationMode, Disruption, EventRound, EventRoundReport,
+    barrier_round_s, mean_round_s, AggregationMode, Disruption, EventGranularity, EventRound,
+    EventRoundReport,
 };
-pub use learning_curve::LearningCurve;
+pub use fleet::{FleetReport, FleetRoundSummary, FleetSim};
+pub use learning_curve::{staleness_weight, LearningCurve};
 pub use multi::{helper_completion_s, pair_with_capacity, MultiPairing};
 pub use real_fleet::{InputHook, ParamHook, RealFleetConfig, RealFleetReport, RealSplitFleet};
 pub use round::{simulate_round, AgentRoundStats, PairRoundSim, RoundOutcome};

@@ -26,6 +26,17 @@ pub type MultiPairing = Pairing;
 /// `capacity = 1` reproduces [`crate::PairingScheduler::pair`]'s matching
 /// semantics.
 ///
+/// # Scaling
+///
+/// Candidates live in an ordered set keyed by their current *loaded* solo
+/// time (re-keyed when a helper accepts a guest), scanned ascending with
+/// the same exact prune as [`crate::PairingScheduler`]: the fast arm of the
+/// estimate is bounded below by the candidate's loaded solo time `τ̂ⱼ`, so
+/// the scan stops the moment `τ̂ⱼ` reaches the best estimate found — the
+/// seed's O(n²) full scan with O(n) `contains` checks becomes an
+/// O(log n) set walk that typically inspects a handful of candidates.
+/// Ties break on `(est, τ̂ⱼ, id)` exactly like the single-guest scheduler.
+///
 /// # Panics
 ///
 /// Panics if `capacity` is zero.
@@ -40,60 +51,70 @@ pub fn pair_with_capacity(
         participants.iter().map(|&id| (id, estimator.solo_time_s(world.agent(id)))).collect();
     order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
-    // Helpers accumulate load; slow agents are consumed.
-    let mut consumed: Vec<AgentId> = Vec::new();
-    let mut guest_count: Vec<(AgentId, usize)> = Vec::new();
-    let mut helper_load: Vec<(AgentId, f64)> = Vec::new();
-    let mut out = Vec::new();
-
-    let load_of = |helper_load: &[(AgentId, f64)], id: AgentId, base: f64| {
-        helper_load.iter().find(|(h, _)| *h == id).map_or(base, |&(_, l)| l)
-    };
+    let k = world.num_agents();
+    // Indexed per-agent state instead of linear Vec scans.
+    let mut consumed = vec![false; k];
+    let mut guest_count = vec![0usize; k];
+    let mut loaded_solo = vec![f64::INFINITY; k];
+    for &(id, solo) in &order {
+        loaded_solo[id.0] = solo;
+    }
+    // Candidate pool ordered by (loaded solo, id). Positive finite f64s
+    // order identically to their IEEE-754 bit patterns, so the set key is
+    // the raw bits — no wrapper type needed.
+    let key = |solo: f64, id: AgentId| (solo.to_bits(), id);
+    let mut candidates: std::collections::BTreeSet<(u64, AgentId)> =
+        order.iter().map(|&(id, solo)| key(solo, id)).collect();
+    let mut out = Vec::with_capacity(order.len());
 
     for &(i, solo_i) in &order {
-        if consumed.contains(&i) {
+        if consumed[i.0] {
             continue;
         }
         let slow_state = world.agent(i);
         let mut best: Option<(AgentId, crate::SplitDecision)> = None;
-        for &(j, solo_j) in &order {
-            if j == i || consumed.contains(&j) {
-                continue;
+        let mut best_key = (solo_i, f64::INFINITY, usize::MAX);
+        for &(bits, j) in candidates.iter() {
+            let solo_j = f64::from_bits(bits);
+            // Exact prune: the estimate's fast arm strictly exceeds the
+            // helper's loaded solo time, so once that crosses the best
+            // estimate no later candidate can win.
+            if solo_j >= best_key.0 {
+                break;
             }
-            let guests = guest_count.iter().find(|(h, _)| *h == j).map_or(0, |&(_, c)| c);
-            if guests >= capacity {
+            if j == i {
                 continue;
             }
             let link = world.link_mbps(i, j);
             if link <= 0.0 {
                 continue;
             }
-            let loaded_solo = load_of(&helper_load, j, solo_j);
-            let d = estimator.estimate(slow_state, world.agent(j), loaded_solo, link);
-            if d.offload == 0 {
+            let d = estimator.estimate(slow_state, world.agent(j), solo_j, link);
+            if d.offload == 0 || d.est_time_s >= solo_i {
                 continue;
             }
-            if best.is_none_or(|(_, cur)| d.est_time_s < cur.est_time_s) {
+            let cand_key = (d.est_time_s, solo_j, j.0);
+            if cand_key < best_key {
+                best_key = cand_key;
                 best = Some((j, d));
             }
         }
         match best {
-            Some((j, d)) if d.est_time_s < solo_i => {
-                consumed.push(i);
-                match guest_count.iter_mut().find(|(h, _)| *h == j) {
-                    Some((_, c)) => *c += 1,
-                    None => guest_count.push((j, 1)),
-                }
-                // A helper that accepted a guest is "busy until" the pair's
-                // estimated completion; later guests queue behind it.
-                match helper_load.iter_mut().find(|(h, _)| *h == j) {
-                    Some((_, l)) => *l = d.est_time_s,
-                    None => helper_load.push((j, d.est_time_s)),
-                }
-                // Once a helper reaches capacity it can no longer train solo
-                // entries of its own — mark consumed at capacity.
-                if guest_count.iter().any(|&(h, c)| h == j && c >= capacity) {
-                    consumed.push(j);
+            // `best` already satisfies est < solo_i via the initial key.
+            Some((j, d)) => {
+                consumed[i.0] = true;
+                candidates.remove(&key(loaded_solo[i.0], i));
+                // The helper is "busy until" the pair's estimated
+                // completion; re-key it so later guests queue behind.
+                candidates.remove(&key(loaded_solo[j.0], j));
+                loaded_solo[j.0] = d.est_time_s;
+                guest_count[j.0] += 1;
+                if guest_count[j.0] >= capacity {
+                    // A helper at capacity can no longer host guests or
+                    // train a solo entry of its own.
+                    consumed[j.0] = true;
+                } else {
+                    candidates.insert(key(loaded_solo[j.0], j));
                 }
                 out.push(Pairing {
                     slow: i,
@@ -102,8 +123,9 @@ pub fn pair_with_capacity(
                     est_time_s: d.est_time_s,
                 });
             }
-            _ => {
-                consumed.push(i);
+            None => {
+                consumed[i.0] = true;
+                candidates.remove(&key(loaded_solo[i.0], i));
                 out.push(Pairing { slow: i, fast: None, offload: 0, est_time_s: solo_i });
             }
         }

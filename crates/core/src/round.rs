@@ -71,6 +71,40 @@ impl PairRoundSim {
         guest_done
     }
 
+    /// O(1) closed form of [`PairRoundSim::completion_from`].
+    ///
+    /// The per-batch recurrence is max-plus linear with constant service
+    /// times, so the completion is the max over the pipeline's possible
+    /// bottlenecks: the helper's own task, the first batch followed by
+    /// guest-rate-bound training, production-bound arrival of the last
+    /// batch, and link-bound arrival of the last batch. Each candidate uses
+    /// the same products as the event engine's multiplicative anchoring, so
+    /// the coarse event granularity matches the fine one to within normal
+    /// floating-point summation error (≪ 1e-9 relative).
+    pub(crate) fn completion_closed_form(
+        &self,
+        transfer_s: f64,
+        slow_start: f64,
+        fast_start: f64,
+    ) -> f64 {
+        let n = self.n_slow_batches;
+        let own_done = fast_start + self.n_fast_batches as f64 * self.fast_own_batch_s;
+        if n == 0 {
+            return own_done;
+        }
+        let nf = n as f64;
+        let a = self.slow_batch_s;
+        let c = transfer_s;
+        let g = self.fast_guest_batch_s;
+        // guest_done(n) = max(own_done + n·g, max_b send_done(b) + (n−b+1)·g)
+        // and send_done(b) = slow_start + max(a + b·c, b·a + c); the inner
+        // expression is convex in b, so only b = 1 and b = n can win.
+        (own_done + nf * g)
+            .max(slow_start + a + c + nf * g)
+            .max(slow_start + a + nf * c + g)
+            .max(slow_start + nf * a + c + g)
+    }
+
     /// Runs the pipeline and returns the timing breakdown.
     ///
     /// The communication column is *counterfactual*: the extra critical-path
@@ -276,6 +310,56 @@ mod tests {
         let t = sim.run();
         assert_eq!(t.pair_done_s, 10.0);
         assert_eq!(t.slow_busy_s, 0.0);
+    }
+
+    #[test]
+    fn closed_form_matches_batch_loop() {
+        // Sweep bottleneck regimes: production-bound, link-bound,
+        // guest-rate-bound, own-task-bound, plus carry-over offsets.
+        let mut checked = 0usize;
+        for &n in &[1usize, 2, 7, 500] {
+            for &a in &[0.01, 0.5, 2.0] {
+                for &c in &[0.0, 0.05, 1.0, 3.0] {
+                    for &g in &[0.02, 0.4, 2.5] {
+                        for &(own, slow_start, fast_start) in
+                            &[(0.0, 0.0, 0.0), (40.0, 0.0, 0.0), (3.0, 1.5, 0.25)]
+                        {
+                            let sim = PairRoundSim {
+                                n_slow_batches: n,
+                                n_fast_batches: 1,
+                                slow_batch_s: a,
+                                fast_own_batch_s: own,
+                                fast_guest_batch_s: g,
+                                transfer_s: c,
+                                suffix_return_s: 0.1,
+                            };
+                            let loop_t = sim.completion_from(c, slow_start, fast_start);
+                            let closed = sim.completion_closed_form(c, slow_start, fast_start);
+                            assert!(
+                                (loop_t - closed).abs() <= 1e-9 * loop_t.max(1.0),
+                                "n={n} a={a} c={c} g={g} own={own}: {loop_t} vs {closed}"
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn closed_form_zero_guests_is_own_task() {
+        let sim = PairRoundSim {
+            n_slow_batches: 0,
+            n_fast_batches: 4,
+            slow_batch_s: 1.0,
+            fast_own_batch_s: 2.0,
+            fast_guest_batch_s: 1.0,
+            transfer_s: 1.0,
+            suffix_return_s: 0.0,
+        };
+        assert_eq!(sim.completion_closed_form(1.0, 0.0, 3.0), 11.0);
     }
 
     #[test]

@@ -32,6 +32,15 @@ pub enum SimEvent {
         /// Pairing index within the round.
         pair: usize,
     },
+    /// Coarse-granularity completion of pairing `pair`: the whole
+    /// produce/transfer/train/return pipeline collapsed into one event
+    /// scheduled from the closed-form completion time. Emitted instead of
+    /// the per-batch `BatchProduced`/`TransferComplete`/`SuffixReturn`
+    /// cascade when the pair has no pending disruption.
+    PairDone {
+        /// Pairing index within the round.
+        pair: usize,
+    },
     /// `agent` finished its round task (solo epoch or its half of a pair).
     AgentDone {
         /// The finishing agent.
@@ -107,6 +116,7 @@ pub struct SimDriver {
     queue: EventQueue<SimEvent>,
     now: f64,
     timelines: Vec<AgentTimeline>,
+    processed: u64,
 }
 
 impl SimDriver {
@@ -116,12 +126,20 @@ impl SimDriver {
             queue: EventQueue::new(),
             now: 0.0,
             timelines: vec![AgentTimeline::default(); num_agents],
+            processed: 0,
         }
     }
 
     /// The current simulated time in seconds.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Number of events executed by [`SimDriver::next`] so far — the
+    /// cost metric the benchmark JSON reports, and what the coarse event
+    /// granularity shrinks.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
     }
 
     /// Number of events still pending.
@@ -159,6 +177,7 @@ impl SimDriver {
     pub fn next(&mut self) -> Option<(f64, SimEvent)> {
         let (t, ev) = self.queue.pop()?;
         self.now = t;
+        self.processed += 1;
         Some((t, ev))
     }
 

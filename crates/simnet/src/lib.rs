@@ -17,6 +17,13 @@
 //! round engine in `comdml-core` builds every simulation — ComDML and all
 //! baselines — on this driver.
 //!
+//! On top of the single-round substrate, [`FleetDriver`] makes membership a
+//! *process*: Poisson or trace-driven [`ArrivalProcess`] arrivals,
+//! [`SessionLifetime`] departures (exponential/Weibull/fixed), elastic
+//! [`World`] growth, and a begin/end-round handshake that hands each round
+//! its mid-round joins and leaves — deterministic per seed regardless of how
+//! rounds discretize time.
+//!
 //! # Example
 //!
 //! ```
@@ -31,6 +38,7 @@
 mod agent;
 mod driver;
 mod events;
+mod fleet;
 mod profile;
 mod topology;
 mod world;
@@ -38,6 +46,10 @@ mod world;
 pub use agent::{AgentId, AgentState};
 pub use driver::{AgentTimeline, SimDriver, SimEvent};
 pub use events::EventQueue;
+pub use fleet::{
+    ArrivalProcess, FleetConfig, FleetDriver, FleetRoundPlan, MembershipChange, MembershipEvent,
+    SessionLifetime,
+};
 pub use profile::{AgentProfile, CPU_PROFILES, LINK_PROFILES_MBPS};
 pub use topology::{Adjacency, Topology};
 pub use world::{World, WorldConfig};

@@ -168,6 +168,25 @@ impl Adjacency {
         }
     }
 
+    /// Grows the graph by one agent that is connected to every existing
+    /// agent — the elastic-fleet join policy: a newcomer announces itself on
+    /// the overlay and can reach anyone. An implicit full mesh stays
+    /// implicit (O(1)); a matrix gains a fully-true row/column.
+    pub fn grow(&mut self) {
+        match self {
+            Adjacency::Full { k } => *k += 1,
+            Adjacency::Matrix { matrix } => {
+                for row in matrix.iter_mut() {
+                    row.push(true);
+                }
+                let k = matrix.len() + 1;
+                let mut row = vec![true; k];
+                row[k - 1] = false; // no self-loop
+                matrix.push(row);
+            }
+        }
+    }
+
     /// Fraction of possible edges present.
     pub fn density(&self) -> f64 {
         let k = self.len();

@@ -173,6 +173,24 @@ impl World {
         &self.adjacency
     }
 
+    /// Appends a new agent to the world (elastic-fleet arrivals), connected
+    /// to every existing agent via [`Adjacency::grow`], and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn push_agent(
+        &mut self,
+        profile: AgentProfile,
+        num_samples: usize,
+        batch_size: usize,
+    ) -> AgentId {
+        let id = AgentId(self.agents.len());
+        self.agents.push(AgentState::new(id, profile, num_samples, batch_size));
+        self.adjacency.grow();
+        id
+    }
+
     /// Effective link speed between two agents in Mbps: the minimum of the
     /// endpoints' profiles, or 0 if the topology has no edge or either agent
     /// is disconnected.

@@ -17,13 +17,17 @@
 //! * [`nn`] — layers, losses, sequential models and local-loss split training.
 //! * [`data`] — synthetic datasets and Dirichlet non-I.I.D. partitioning.
 //! * [`cost`] — analytic ResNet-56/110 cost models and split profiles.
-//! * [`simnet`] — heterogeneous agents, links, topologies, and the
+//! * [`simnet`] — heterogeneous agents, links, topologies, the
 //!   discrete-event driver (`SimDriver` / `SimEvent`) every simulation runs
-//!   on.
+//!   on, and the elastic fleet driver (`FleetDriver`): Poisson/trace
+//!   arrivals, session-lifetime departures, membership as a process.
 //! * [`collective`] — AllReduce, gossip and quantization.
 //! * [`core`] — the ComDML scheduler, estimator and the event-driven round
 //!   engine (`EventRound`): synchronous, semi-synchronous and asynchronous
-//!   aggregation, mid-round failure re-pairing, per-agent carry-over.
+//!   aggregation with FedBuff-style staleness-weighted learning progress,
+//!   mid-round failure re-pairing, per-agent carry-over, coarse
+//!   closed-form event granularity for fleet scale, and `FleetSim` driving
+//!   whole multi-round runs over a churning fleet.
 //! * [`baselines`] — FedAvg, Gossip Learning, BrainTorrent, AllReduce DML —
 //!   all executing on the same shared simulated clock.
 //! * [`privacy`] — differential privacy, patch shuffling, distance correlation.

@@ -144,7 +144,7 @@ pub mod prop {
         use rand::Rng;
         use std::ops::Range;
 
-        /// Length specification for [`vec`]: exact or ranged.
+        /// Length specification for [`vec()`]: exact or ranged.
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
