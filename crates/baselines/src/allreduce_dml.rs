@@ -1,6 +1,6 @@
 use comdml_collective::{AllReduceAlgorithm, CollectiveCost};
 use comdml_core::RoundEngine;
-use comdml_simnet::World;
+use comdml_simnet::{AgentId, World};
 
 use crate::BaselineConfig;
 
@@ -36,8 +36,15 @@ impl RoundEngine for AllReduceDml {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
-        let times = self.cfg.per_agent_times(world, &participants);
-        let min_link = self.cfg.min_link_mbps(world, &participants);
+        self.round_time_for(world, round, &participants)
+    }
+
+    fn round_time_for(&mut self, world: &World, _round: usize, participants: &[AgentId]) -> f64 {
+        if participants.is_empty() {
+            return 0.0;
+        }
+        let times = self.cfg.per_agent_times(world, participants);
+        let min_link = self.cfg.min_link_mbps(world, participants);
         let cost = CollectiveCost::new(
             self.algorithm,
             participants.len().max(1),

@@ -1,5 +1,5 @@
 use comdml_core::RoundEngine;
-use comdml_simnet::World;
+use comdml_simnet::{AgentId, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,7 +38,11 @@ impl RoundEngine for BrainTorrent {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
-        let times = self.cfg.per_agent_times(world, &participants);
+        self.round_time_for(world, round, &participants)
+    }
+
+    fn round_time_for(&mut self, world: &World, _round: usize, participants: &[AgentId]) -> f64 {
+        let times = self.cfg.per_agent_times(world, participants);
         if participants.len() < 2 {
             return comdml_core::barrier_round_s(&times, 0.0);
         }

@@ -45,6 +45,13 @@ impl RoundEngine for DropStragglers {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
+        self.round_time_for(world, round, &participants)
+    }
+
+    fn round_time_for(&mut self, world: &World, _round: usize, participants: &[AgentId]) -> f64 {
+        if participants.is_empty() {
+            return 0.0;
+        }
         let mut by_speed: Vec<(AgentId, f64)> =
             participants.iter().map(|&id| (id, self.cfg.solo_time_s(world.agent(id)))).collect();
         by_speed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));

@@ -1,5 +1,5 @@
 use comdml_core::RoundEngine;
-use comdml_simnet::World;
+use comdml_simnet::{AgentId, World};
 
 use crate::BaselineConfig;
 
@@ -20,11 +20,22 @@ impl FedAvg {
     pub fn new(cfg: BaselineConfig) -> Self {
         Self { cfg }
     }
+}
+
+impl RoundEngine for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
+        let participants = self.cfg.participants(world, round);
+        self.round_time_for(world, round, &participants)
+    }
 
     /// Round time for an externally chosen participant set — used by the
-    /// elastic-fleet benchmark to drive FedAvg under the *same* membership
-    /// process as ComDML (apples-to-apples churn comparison).
-    pub fn round_time_for(&self, world: &World, participants: &[comdml_simnet::AgentId]) -> f64 {
+    /// elastic-fleet and sweep harnesses to drive FedAvg under the *same*
+    /// membership process as ComDML (apples-to-apples churn comparison).
+    fn round_time_for(&mut self, world: &World, _round: usize, participants: &[AgentId]) -> f64 {
         if participants.is_empty() {
             return 0.0;
         }
@@ -37,17 +48,6 @@ impl FedAvg {
         let server_bytes = 2 * participants.len() as u64 * b;
         let server_comm = self.cfg.calibration.transfer_time_s(server_bytes, self.cfg.server_mbps);
         comdml_core::barrier_round_s(&times, client_comm.max(server_comm))
-    }
-}
-
-impl RoundEngine for FedAvg {
-    fn name(&self) -> &'static str {
-        "FedAvg"
-    }
-
-    fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
-        let participants = self.cfg.participants(world, round);
-        self.round_time_for(world, &participants)
     }
 }
 

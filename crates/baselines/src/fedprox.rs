@@ -1,5 +1,5 @@
 use comdml_core::RoundEngine;
-use comdml_simnet::World;
+use comdml_simnet::{AgentId, World};
 
 use crate::BaselineConfig;
 
@@ -44,6 +44,13 @@ impl RoundEngine for FedProx {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
+        self.round_time_for(world, round, &participants)
+    }
+
+    fn round_time_for(&mut self, world: &World, _round: usize, participants: &[AgentId]) -> f64 {
+        if participants.is_empty() {
+            return 0.0;
+        }
         // Reference pace: the median agent trains a full epoch; faster
         // agents too; slower agents scale their work down to match, floored.
         let mut solos: Vec<f64> =
@@ -59,7 +66,7 @@ impl RoundEngine for FedProx {
             })
             .collect();
         let b = self.cfg.model.model_bytes() as u64;
-        let min_link = self.cfg.min_link_mbps(world, &participants);
+        let min_link = self.cfg.min_link_mbps(world, participants);
         let comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
         comdml_core::barrier_round_s(&times, comm)
     }

@@ -1,5 +1,5 @@
 use comdml_core::RoundEngine;
-use comdml_simnet::World;
+use comdml_simnet::{AgentId, World};
 
 use crate::BaselineConfig;
 
@@ -62,6 +62,10 @@ impl RoundEngine for GossipLearning {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
+        self.round_time_for(world, round, &participants)
+    }
+
+    fn round_time_for(&mut self, world: &World, _round: usize, participants: &[AgentId]) -> f64 {
         let b = self.cfg.model.model_bytes() as u64;
         // No barrier: the fleet progresses at its mean pace, each agent
         // paying its own compute plus one model exchange over its own link.

@@ -1,6 +1,6 @@
 use comdml_core::RoundEngine;
 use comdml_cost::SplitProfile;
-use comdml_simnet::World;
+use comdml_simnet::{AgentId, World};
 
 use crate::BaselineConfig;
 
@@ -56,6 +56,10 @@ impl RoundEngine for ClassicSplitLearning {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
+        self.round_time_for(world, round, &participants)
+    }
+
+    fn round_time_for(&mut self, world: &World, _round: usize, participants: &[AgentId]) -> f64 {
         let offload = self.cfg.model.num_weighted_layers() - self.agent_layers;
         let e = self.profile.entry(offload).expect("valid split");
         // Per batch, the agent computes its prefix, ships the activation,

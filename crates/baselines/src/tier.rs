@@ -60,7 +60,14 @@ impl RoundEngine for TierBased {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         let participants = self.cfg.participants(world, round);
-        let tiers = self.tiers(world, &participants);
+        self.round_time_for(world, round, &participants)
+    }
+
+    fn round_time_for(&mut self, world: &World, round: usize, participants: &[AgentId]) -> f64 {
+        if participants.is_empty() {
+            return 0.0;
+        }
+        let tiers = self.tiers(world, participants);
         let tier = &tiers[round % tiers.len()];
         if tier.is_empty() {
             return 0.0;

@@ -12,26 +12,47 @@
 //! above +25%); it can also come from the `BENCH_TOLERANCE` environment
 //! variable, which is how the CI workflow makes it configurable without
 //! editing this binary. Wall clock is compared per `(bench, mode)` entry.
-//! Simulated seconds must agree closely (they are deterministic given the
-//! seed, so drift means the simulation changed, not the machine); event
-//! counts and peak agents are reported for context but only warn, since
-//! legitimate engine changes move them.
+//!
+//! # Runner-normalized mode
+//!
+//! Committed baselines carry wall clocks from one machine; CI runners are
+//! another. `--normalized` (or `BENCH_GATE_MODE=normalized`) divides every
+//! entry's wall-clock growth by the *geometric mean growth across all
+//! entries* — a single runner-speed scale — and gates on the residual. A
+//! uniformly slower runner then passes untouched, while one configuration
+//! regressing relative to the rest still fails. The trade-off is explicit:
+//! a change that slows every benchmark by the same factor is invisible to
+//! the normalized gate, which is why the absolute mode stays the default
+//! for same-machine comparisons.
+//!
+//! Simulated seconds must agree closely in either mode (they are
+//! deterministic given the seed, so drift means the simulation changed,
+//! not the machine); event counts and peak agents are reported for context
+//! but only warn, since legitimate engine changes move them.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use comdml_bench::BenchRecord;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateMode {
+    Absolute,
+    Normalized,
+}
+
 struct Args {
     baseline_dir: PathBuf,
     current_dir: PathBuf,
     tolerance: f64,
+    mode: GateMode,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut baseline_dir = PathBuf::from("ci/bench-baselines");
     let mut current_dir = PathBuf::from("target/experiments");
     let mut tolerance: Option<f64> = None;
+    let mut mode: Option<GateMode> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut grab = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -42,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
                 tolerance =
                     Some(grab("--tolerance")?.parse().map_err(|e| format!("bad tolerance: {e}"))?)
             }
+            "--normalized" => mode = Some(GateMode::Normalized),
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -55,13 +77,31 @@ fn parse_args() -> Result<Args, String> {
     if tolerance < 0.0 {
         return Err(format!("tolerance must be non-negative, got {tolerance}"));
     }
-    Ok(Args { baseline_dir, current_dir, tolerance })
+    let mode = match mode {
+        Some(m) => m,
+        None => match std::env::var("BENCH_GATE_MODE").as_deref() {
+            Ok("normalized") => GateMode::Normalized,
+            Ok("absolute") | Err(_) => GateMode::Absolute,
+            Ok(other) => return Err(format!("bad BENCH_GATE_MODE {other:?}")),
+        },
+    };
+    Ok(Args { baseline_dir, current_dir, tolerance, mode })
 }
 
 fn load(path: &Path) -> Result<BenchRecord, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     BenchRecord::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// One matched `(bench, mode)` measurement pair.
+struct Matched {
+    bench: String,
+    mode: String,
+    base_wall_ms: f64,
+    cur_wall_ms: f64,
+    sim_drifted: Option<(f64, f64)>,
+    events_moved: Option<(u64, u64)>,
 }
 
 fn main() -> ExitCode {
@@ -94,15 +134,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    println!(
-        "bench_gate: tolerance +{:.0}% against {}\n",
-        args.tolerance * 100.0,
-        args.baseline_dir.display()
-    );
-    println!(
-        "{:<14} {:<16} {:>12} {:>12} {:>8}  verdict",
-        "bench", "mode", "base ms", "now ms", "ratio"
-    );
+    // Pass 1: load and match every (bench, mode) pair across all records,
+    // so the normalized mode can see the whole population at once.
+    let mut matched: Vec<Matched> = Vec::new();
     let mut failed = false;
     for base_path in baselines {
         let file_name = base_path.file_name().expect("filtered above").to_os_string();
@@ -129,37 +163,82 @@ fn main() -> ExitCode {
                 failed = true;
                 continue;
             };
-            let ratio = ce.wall_ms / be.wall_ms.max(1e-9);
-            let over = ratio > 1.0 + args.tolerance;
+            let same_rounds = ce.rounds == be.rounds;
+            matched.push(Matched {
+                bench: base.bench.clone(),
+                mode: be.mode.clone(),
+                base_wall_ms: be.wall_ms,
+                cur_wall_ms: ce.wall_ms,
+                sim_drifted: (same_rounds
+                    && (ce.sim_total_s - be.sim_total_s).abs()
+                        > 1e-6 * be.sim_total_s.abs().max(1.0))
+                .then_some((be.sim_total_s, ce.sim_total_s)),
+                events_moved: (same_rounds && ce.events_processed != be.events_processed)
+                    .then_some((be.events_processed, ce.events_processed)),
+            });
+        }
+    }
+
+    // The runner-speed scale: geometric mean of wall-clock growth across
+    // every matched entry (1.0 in absolute mode).
+    let scale = match args.mode {
+        GateMode::Absolute => 1.0,
+        GateMode::Normalized => {
+            if matched.is_empty() {
+                1.0
+            } else {
+                let log_sum: f64 = matched
+                    .iter()
+                    .map(|m| (m.cur_wall_ms / m.base_wall_ms.max(1e-9)).max(1e-9).ln())
+                    .sum();
+                (log_sum / matched.len() as f64).exp()
+            }
+        }
+    };
+
+    match args.mode {
+        GateMode::Absolute => println!(
+            "bench_gate: tolerance +{:.0}% against {}\n",
+            args.tolerance * 100.0,
+            args.baseline_dir.display()
+        ),
+        GateMode::Normalized => println!(
+            "bench_gate: tolerance +{:.0}% against {}, runner-normalized \
+             (speed scale {scale:.3}x)\n",
+            args.tolerance * 100.0,
+            args.baseline_dir.display()
+        ),
+    }
+    println!(
+        "{:<14} {:<16} {:>12} {:>12} {:>8}  verdict",
+        "bench", "mode", "base ms", "now ms", "ratio"
+    );
+    for m in &matched {
+        let ratio = m.cur_wall_ms / m.base_wall_ms.max(1e-9) / scale;
+        let over = ratio > 1.0 + args.tolerance;
+        println!(
+            "{:<14} {:<16} {:>12.1} {:>12.1} {:>7.2}x  {}",
+            m.bench,
+            m.mode,
+            m.base_wall_ms,
+            m.cur_wall_ms,
+            ratio,
+            if over { "REGRESSION" } else { "ok" }
+        );
+        if over {
+            failed = true;
+        }
+        // Context-only drift notes: deterministic quantities moving means
+        // the *simulation* changed, which is worth a look but is not a
+        // perf regression.
+        if let Some((b, c)) = m.sim_drifted {
             println!(
-                "{:<14} {:<16} {:>12.1} {:>12.1} {:>7.2}x  {}",
-                base.bench,
-                be.mode,
-                be.wall_ms,
-                ce.wall_ms,
-                ratio,
-                if over { "REGRESSION" } else { "ok" }
+                "  note: {}::{} simulated seconds drifted {:.3} -> {:.3}",
+                m.bench, m.mode, b, c
             );
-            if over {
-                failed = true;
-            }
-            // Context-only drift notes: deterministic quantities moving
-            // means the *simulation* changed, which is worth a look but is
-            // not a perf regression.
-            if ce.rounds == be.rounds {
-                if (ce.sim_total_s - be.sim_total_s).abs() > 1e-6 * be.sim_total_s.abs().max(1.0) {
-                    println!(
-                        "  note: {}::{} simulated seconds drifted {:.3} -> {:.3}",
-                        base.bench, be.mode, be.sim_total_s, ce.sim_total_s
-                    );
-                }
-                if ce.events_processed != be.events_processed {
-                    println!(
-                        "  note: {}::{} events {} -> {}",
-                        base.bench, be.mode, be.events_processed, ce.events_processed
-                    );
-                }
-            }
+        }
+        if let Some((b, c)) = m.events_moved {
+            println!("  note: {}::{} events {} -> {}", m.bench, m.mode, b, c);
         }
     }
     if failed {

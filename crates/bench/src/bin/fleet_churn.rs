@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use comdml_baselines::{BaselineConfig, FedAvg};
 use comdml_bench::{BenchEntry, BenchRecord};
-use comdml_core::{AggregationMode, ComDmlConfig, EventGranularity, FleetSim};
+use comdml_core::{AggregationMode, ComDmlConfig, EventGranularity, FleetSim, RoundEngine};
 use comdml_simnet::{ArrivalProcess, FleetConfig, SessionLifetime};
 
 const AGENTS: usize = 10_000;
@@ -122,28 +122,34 @@ fn main() {
 
     // FedAvg barrier under the *same* membership process: same seed, same
     // arrival/departure timeline, round boundaries at FedAvg's own pace.
+    // Slot recycling keeps the 1000-round barrier run from saturating
+    // `max_agents` and silently dropping arrivals (FedAvg rounds are far
+    // longer than ComDML's, so its world sees many more sessions).
     {
-        let fa = FedAvg::new(BaselineConfig { churn: None, ..BaselineConfig::default() });
-        let mut driver = fleet(AGENTS).build();
+        let mut fa = FedAvg::new(BaselineConfig { churn: None, ..BaselineConfig::default() });
+        let mut driver = fleet(AGENTS).recycle_slots(true).build();
         let rounds = ROUNDS / 4;
         let start = Instant::now();
         let mut sim_total = 0.0f64;
         let mut horizon = 30.0;
-        for _ in 0..rounds {
+        for r in 0..rounds {
             let plan = driver.begin_round(horizon);
-            let t = fa.round_time_for(driver.world(), &plan.participants);
+            let t = fa.round_time_for(driver.world(), r, &plan.participants);
             driver.end_round(t);
             sim_total += t;
             horizon = (t * 2.0).max(1.0);
         }
         let wall = start.elapsed();
         println!(
-            "{:<16} {rounds:>4} rounds: sim {:>9.1}s, peak {} agents, +{}/-{} churn, wall {:.2}s",
+            "{:<16} {rounds:>4} rounds: sim {:>9.1}s, peak {} agents, +{}/-{} churn, \
+             {} slots recycled, {} arrivals dropped, wall {:.2}s",
             "fedavg_barrier",
             sim_total,
             driver.peak_active(),
             driver.arrivals_total(),
             driver.departures_total(),
+            driver.slots_recycled(),
+            driver.arrivals_dropped(),
             wall.as_secs_f64()
         );
         record.push(BenchEntry {

@@ -5,7 +5,7 @@
 mod json;
 mod report;
 
-pub use json::{BenchEntry, BenchRecord};
+pub use json::{BenchEntry, BenchRecord, Value};
 pub use report::Report;
 
 use comdml_baselines::{AllReduceDml, BaselineConfig, BrainTorrent, FedAvg, GossipLearning};

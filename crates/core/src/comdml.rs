@@ -97,6 +97,14 @@ pub trait RoundEngine {
     /// Simulated seconds consumed by round `round` (mutating `world` for
     /// churn/sampling effects).
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64;
+
+    /// Simulated seconds for round `round` over an *externally chosen*
+    /// participant set: the uniform entry point the elastic-fleet and sweep
+    /// harnesses drive every method through. The harness owns membership,
+    /// profile churn and participation sampling, so engines must price
+    /// exactly the given participants and must not re-apply their own
+    /// policies here.
+    fn round_time_for(&mut self, world: &World, round: usize, participants: &[AgentId]) -> f64;
 }
 
 /// Result of driving a [`RoundEngine`] to a target accuracy.
@@ -233,9 +241,17 @@ impl ComDml {
         } else {
             world.agents().iter().map(|a| a.id).collect()
         };
+        self.run_round_with(world, &participants)
+    }
+
+    /// Simulates one round over an externally chosen participant set —
+    /// churn and sampling are the caller's business (the elastic-fleet and
+    /// sweep harnesses pick membership themselves; [`ComDml::run_round`]
+    /// applies this config's policies and delegates here).
+    pub fn run_round_with(&mut self, world: &World, participants: &[AgentId]) -> RoundOutcome {
         let estimator =
             TrainingTimeEstimator::new(&self.config.model, &self.profile, &self.config.calibration);
-        let pairings = self.scheduler.pair(world, &participants, &estimator);
+        let pairings = self.scheduler.pair(world, participants, &estimator);
         let report = EventRound::new(
             world,
             &pairings,
@@ -323,6 +339,10 @@ impl RoundEngine for ComDml {
 
     fn round_time_s(&mut self, world: &mut World, round: usize) -> f64 {
         self.run_round(world, round).round_s()
+    }
+
+    fn round_time_for(&mut self, world: &World, _round: usize, participants: &[AgentId]) -> f64 {
+        self.run_round_with(world, participants).round_s()
     }
 }
 

@@ -48,8 +48,11 @@ use crate::{ComDmlConfig, Disruption, EventRound, PairingScheduler, TrainingTime
 pub struct FleetRoundSummary {
     /// Zero-based round index.
     pub round: usize,
-    /// Participants at the round start.
+    /// Active members at the round start.
     pub participants: usize,
+    /// Members the participation sampler admitted to the round (equals
+    /// `participants` at `sampling_rate = 1.0`).
+    pub sampled: usize,
     /// Agents whose update made the aggregation cohort.
     pub cohort: usize,
     /// Mid-round joins handed to the round.
@@ -177,19 +180,53 @@ impl FleetSim {
         // Carry-over hygiene: drop head starts of agents that departed.
         self.ready_at.retain(|id, _| plan.participants.binary_search(id).is_ok());
 
+        // Table III-style per-round participation sampling composed on top
+        // of elastic membership: the round runs over a sampled subset of
+        // the *active* members. At rate 1.0 the participation stream is
+        // never touched, so enabling the knob cannot perturb existing runs.
+        let participants: Vec<AgentId> = if self.config.sampling_rate < 1.0 {
+            self.fleet
+                .world_mut()
+                .sample_participants_among(&plan.participants, self.config.sampling_rate)
+        } else {
+            plan.participants.clone()
+        };
+        // Carry-over of active-but-unsampled agents is *held*, not lost:
+        // they re-enter a later round with their head start intact.
+        let mut round_carry = std::mem::take(&mut self.ready_at);
+        let held: HashMap<AgentId, f64> = if participants.len() < plan.participants.len() {
+            let (held, kept) = round_carry
+                .into_iter()
+                .partition(|(id, _)| participants.binary_search(id).is_err());
+            round_carry = kept;
+            held
+        } else {
+            HashMap::new()
+        };
+
         let estimator =
             TrainingTimeEstimator::new(&self.config.model, &self.profile, &self.config.calibration);
-        let pairings = self.scheduler.pair(self.fleet.world(), &plan.participants, &estimator);
+        let pairings = self.scheduler.pair(self.fleet.world(), &participants, &estimator);
         let disruptions: Vec<Disruption> = plan
             .events
             .iter()
-            .map(|e| match e.kind {
-                MembershipChange::Join => Disruption::Join { agent: e.agent, at_s: e.at_s },
-                MembershipChange::Leave => Disruption::Leave { agent: e.agent, at_s: e.at_s },
+            .filter_map(|e| match e.kind {
+                // Joiners are not cohort members — the round engine only
+                // considers them as replacement helpers for repairs — so
+                // participation sampling (which gates who *trains and
+                // aggregates*) deliberately does not apply to them.
+                MembershipChange::Join => Some(Disruption::Join { agent: e.agent, at_s: e.at_s }),
+                // A departure only disrupts the round if the departing
+                // agent is actually in it; unsampled members leave the
+                // fleet without touching the round.
+                MembershipChange::Leave => participants
+                    .binary_search(&e.agent)
+                    .is_ok()
+                    .then_some(Disruption::Leave { agent: e.agent, at_s: e.at_s }),
             })
             .collect();
         let joins = plan.events.iter().filter(|e| e.kind == MembershipChange::Join).count();
-        let leaves = plan.events.len() - joins;
+        let leaves = disruptions.len() - joins;
 
         let report = EventRound::new(
             self.fleet.world(),
@@ -201,7 +238,7 @@ impl FleetSim {
         .mode(self.config.aggregation)
         .granularity(self.config.granularity)
         .disruptions(disruptions)
-        .ready_at(std::mem::take(&mut self.ready_at))
+        .ready_at(round_carry)
         .run();
 
         let mut round_s = report.round_end_s.max(0.0);
@@ -214,7 +251,8 @@ impl FleetSim {
             round_s = self.fleet.seconds_to_next_event().unwrap_or(0.0);
         }
         self.fleet.end_round(round_s);
-        // New carry-over: spill of agents that are still active members.
+        // New carry-over: spill of agents that are still active members,
+        // plus the held head starts of active-but-unsampled agents.
         self.ready_at = report
             .spill_s
             .iter()
@@ -222,6 +260,11 @@ impl FleetSim {
             .filter(|&(i, &s)| s > 0.0 && self.fleet.is_active(AgentId(i)))
             .map(|(i, &s)| (AgentId(i), s))
             .collect();
+        for (id, s) in held {
+            if self.fleet.is_active(id) {
+                self.ready_at.insert(id, s);
+            }
+        }
 
         // An empty round's duration is a fast-forward jump, not a round
         // time; don't let it inflate the next planning horizon.
@@ -233,6 +276,7 @@ impl FleetSim {
         FleetRoundSummary {
             round,
             participants: plan.participants.len(),
+            sampled: participants.len(),
             cohort: report.cohort.len(),
             joins,
             leaves,
@@ -353,6 +397,113 @@ mod tests {
             report.effective_rounds,
             report.rounds
         );
+    }
+
+    /// Order-sensitive digest over everything a fleet run produces, using
+    /// only fields that existed before participation sampling landed (so
+    /// the constants below, captured from the pre-sampling HEAD, stay
+    /// comparable).
+    fn digest(fleet: FleetConfig, config: ComDmlConfig, rounds: usize) -> u64 {
+        let mut sim = FleetSim::new(fleet, config);
+        let mut d = 0xcbf2_9ce4_8422_2325u64;
+        for _ in 0..rounds {
+            let s = sim.step();
+            for v in [
+                s.round_s.to_bits(),
+                s.efficiency.to_bits(),
+                s.participants as u64,
+                s.cohort as u64,
+                s.joins as u64,
+                s.leaves as u64,
+                s.repairs as u64,
+                s.events_processed,
+            ] {
+                d = (d ^ v).wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        let r = sim.report();
+        for v in [r.total_sim_s.to_bits(), r.effective_rounds.to_bits(), r.events_processed] {
+            d = (d ^ v).wrapping_mul(0x1000_0000_01b3);
+        }
+        d
+    }
+
+    #[test]
+    fn sampling_rate_one_reproduces_presampling_digests() {
+        // Captured from the commit *before* `FleetSim` honored
+        // `sampling_rate` (25 churny rounds, coarse granularity): a run at
+        // the default rate of 1.0 must reproduce the old behavior bit for
+        // bit — the sampler must not touch any RNG stream or code path
+        // unless the rate actually bites.
+        let semi = AggregationMode::SemiSynchronous { quorum: 0.6, staleness_s: f64::MAX };
+        for (seed, mode, expect) in [
+            (5u64, AggregationMode::Synchronous, 0x6d09_9d62_a159_60ea_u64),
+            (5, semi, 0x7567_8acc_555a_d961),
+            (11, AggregationMode::Synchronous, 0xee3f_df63_7cfb_356c),
+            (11, semi, 0x0d58_f41d_f6c9_b150),
+        ] {
+            let cfg = ComDmlConfig { aggregation: mode, ..quick_config() };
+            assert_eq!(
+                digest(churny_fleet(seed), cfg, 25),
+                expect,
+                "sampling_rate = 1.0 must reproduce the pre-sampling digest \
+                 (seed {seed}, {mode:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_thins_rounds_and_stays_deterministic() {
+        let cfg = ComDmlConfig { sampling_rate: 0.25, ..quick_config() };
+        let run = |cfg: ComDmlConfig| {
+            let mut sim = FleetSim::new(FleetConfig::new(16, 3), cfg);
+            let mut sampled = Vec::new();
+            for _ in 0..10 {
+                let s = sim.step();
+                assert_eq!(s.participants, 16, "membership is not thinned");
+                sampled.push(s.sampled);
+            }
+            (sampled, sim.report())
+        };
+        let (sampled_a, report_a) = run(cfg.clone());
+        let (sampled_b, report_b) = run(cfg);
+        assert_eq!(sampled_a, sampled_b, "sampling is deterministic per seed");
+        assert_eq!(report_a, report_b);
+        assert!(sampled_a.iter().all(|&s| s == 4), "16 agents at 0.25 -> 4 per round");
+        // Thinner rounds do strictly less event work than full rounds.
+        let full = FleetSim::new(FleetConfig::new(16, 3), quick_config()).run(10);
+        assert!(report_a.events_processed < full.events_processed);
+    }
+
+    #[test]
+    fn sampling_holds_carry_over_for_unsampled_agents() {
+        // Semi-sync spill of an agent that is not sampled next round must
+        // survive until the agent participates again, and must never name
+        // a departed agent.
+        let cfg = ComDmlConfig {
+            aggregation: AggregationMode::SemiSynchronous { quorum: 0.5, staleness_s: f64::MAX },
+            sampling_rate: 0.3,
+            ..quick_config()
+        };
+        let mut sim = FleetSim::new(churny_fleet(13), cfg);
+        let mut ever_held = false;
+        let mut prev: HashMap<AgentId, f64> = HashMap::new();
+        for _ in 0..25 {
+            let _ = sim.step();
+            for id in sim.carry_over().keys() {
+                assert!(sim.fleet().is_active(*id), "carry-over for departed {id}");
+            }
+            // A spilled agent that is re-sampled has its head start
+            // consumed and recomputed; a bit-identical value surviving a
+            // round means the agent sat out and its spill was held.
+            for (id, s) in sim.carry_over() {
+                if prev.get(id).is_some_and(|p| p.to_bits() == s.to_bits()) {
+                    ever_held = true;
+                }
+            }
+            prev = sim.carry_over().clone();
+        }
+        assert!(ever_held, "some unsampled agent should have held spill over 25 rounds");
     }
 
     #[test]

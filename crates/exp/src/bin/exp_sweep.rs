@@ -1,0 +1,133 @@
+//! Runs one sweep spec end to end: parse → job matrix → parallel execution
+//! → paper-style table + `BENCH_sweep_*.json` + CSV.
+//!
+//! ```sh
+//! cargo run --release --bin exp_sweep -- ci/specs/smoke.json
+//! cargo run --release --bin exp_sweep -- @table3 --seeds 5 --threads 8
+//! ```
+//!
+//! A `@name` argument resolves a built-in preset (`@table2`, `@table3`,
+//! `@smoke`) instead of reading a file; `--print-spec` renders the resolved
+//! spec (useful for turning a preset into an editable starting file).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use comdml_exp::{presets, SweepRunner, SweepSpec};
+
+struct Args {
+    spec: String,
+    threads: Option<usize>,
+    seeds: Option<usize>,
+    out_dir: PathBuf,
+    quiet: bool,
+    print_spec: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec: Option<String> = None;
+    let mut threads = None;
+    let mut seeds = None;
+    let mut out_dir = PathBuf::from("target/experiments");
+    let mut quiet = false;
+    let mut print_spec = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--threads" => {
+                threads =
+                    Some(grab("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?)
+            }
+            "--seeds" => {
+                seeds = Some(grab("--seeds")?.parse().map_err(|e| format!("bad --seeds: {e}"))?)
+            }
+            "--out" => out_dir = PathBuf::from(grab("--out")?),
+            "--quiet" => quiet = true,
+            "--print-spec" => print_spec = true,
+            other if other.starts_with("--") => return Err(format!("unknown argument {other}")),
+            other if spec.is_none() => spec = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    Ok(Args {
+        spec: spec.ok_or("usage: exp_sweep <spec.json | @preset> [--seeds N] [--threads N] [--out DIR] [--quiet] [--print-spec]")?,
+        threads,
+        seeds,
+        out_dir,
+        quiet,
+        print_spec,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("exp_sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = if let Some(preset) = args.spec.strip_prefix('@') {
+        match presets::by_name(preset, args.seeds.unwrap_or(5)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("exp_sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let text = match std::fs::read_to_string(&args.spec) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("exp_sweep: read {}: {e}", args.spec);
+                return ExitCode::FAILURE;
+            }
+        };
+        match SweepSpec::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("exp_sweep: parse {}: {e}", args.spec);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if let Some(n) = args.seeds {
+        spec.seeds.count = n;
+    }
+    if args.print_spec {
+        print!("{}", spec.render());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut runner = SweepRunner::new().progress(!args.quiet);
+    if let Some(n) = args.threads {
+        runner = runner.threads(n);
+    }
+    println!(
+        "sweep {}: {} scenarios x {} methods x {} seeds = {} jobs",
+        spec.name,
+        spec.scenarios.len(),
+        spec.methods.len(),
+        spec.seeds.count,
+        spec.num_jobs()
+    );
+    let report = match runner.run(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("exp_sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_table());
+    match report.write_to(&args.out_dir) {
+        Ok((json, csv)) => {
+            println!("report written to {} and {}", json.display(), csv.display())
+        }
+        Err(e) => {
+            eprintln!("exp_sweep: write report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

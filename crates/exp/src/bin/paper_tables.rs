@@ -1,0 +1,97 @@
+//! Regenerates the paper's Table II and Table III-style grids from one
+//! command: every baseline × every scenario × a seed range, executed on
+//! the parallel sweep engine, emitted as stdout tables plus
+//! `BENCH_sweep_table{2,3}.json` and CSV under `target/experiments/`.
+//!
+//! ```sh
+//! cargo run --release --bin paper_tables            # 5 seeds, all cores
+//! cargo run --release --bin paper_tables -- --seeds 10 --threads 4
+//! ```
+//!
+//! Before the full grids run, a determinism gate executes the smoke grid
+//! once on one worker and once on all workers and asserts the two reports
+//! are byte-identical — the sweep engine's core guarantee.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use comdml_exp::{presets, SweepRunner};
+
+fn parse_args() -> Result<(usize, Option<usize>), String> {
+    let mut seeds = 5usize;
+    let mut threads = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--seeds" => {
+                seeds = grab("--seeds")?.parse().map_err(|e| format!("bad --seeds: {e}"))?
+            }
+            "--threads" => {
+                threads =
+                    Some(grab("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?)
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if seeds == 0 {
+        return Err("--seeds must be positive".into());
+    }
+    Ok((seeds, threads))
+}
+
+fn main() -> ExitCode {
+    let (seeds, threads) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("paper_tables: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runner = |t: Option<usize>| {
+        let mut r = SweepRunner::new().progress(true);
+        if let Some(n) = t {
+            r = r.threads(n);
+        }
+        r
+    };
+
+    // Determinism gate: the report must not depend on the worker count.
+    let gate = presets::smoke();
+    let single = runner(Some(1)).progress(false).run(&gate).expect("smoke sweep runs");
+    let many = runner(threads).run(&gate).expect("smoke sweep runs");
+    assert_eq!(
+        single.to_value().render(),
+        many.to_value().render(),
+        "multi-threaded sweep must be byte-identical to single-threaded"
+    );
+    let workers = threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!("determinism: ok (1 worker == {workers} workers, {} jobs)\n", gate.num_jobs());
+
+    for preset in ["table2", "table3"] {
+        let spec = presets::by_name(preset, seeds).expect("known preset");
+        println!(
+            "{}: {} scenarios x {} methods x {} seeds = {} jobs",
+            spec.name,
+            spec.scenarios.len(),
+            spec.methods.len(),
+            spec.seeds.count,
+            spec.num_jobs()
+        );
+        let start = Instant::now();
+        let report = runner(threads).run(&spec).expect("preset validates");
+        println!("({} jobs in {:.2}s wall)\n", spec.num_jobs(), start.elapsed().as_secs_f64());
+        print!("{}", report.render_table());
+        match report.write_default() {
+            Ok((json, csv)) => {
+                println!("report written to {} and {}\n", json.display(), csv.display())
+            }
+            Err(e) => {
+                eprintln!("paper_tables: write report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

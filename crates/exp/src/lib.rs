@@ -1,0 +1,48 @@
+//! `comdml-exp` — declarative scenario specs and the parallel sweep engine.
+//!
+//! The paper's headline results (Tables II/III: time-to-accuracy against
+//! FedAvg, AllReduce-DML, BrainTorrent and Gossip Learning under profile
+//! churn, participation sampling, sparse topologies and dropouts) are grids
+//! of scenario × method × seed runs. This crate makes those grids a
+//! first-class object:
+//!
+//! * [`ScenarioSpec`] / [`SweepSpec`] — a declarative model naming one
+//!   experimental condition (world, topology, membership churn,
+//!   aggregation, sampling, budget) and a whole grid, with builder-style
+//!   construction, named presets ([`presets`]) for the paper's tables, and
+//!   a dependency-free JSON file format that parse/render round-trips.
+//! * [`SweepRunner`] — expands the grid into a job matrix and executes it
+//!   on a `std::thread` worker pool stealing from a shared queue, with
+//!   deterministic per-job seeding: the assembled report is byte-identical
+//!   whatever the worker count.
+//! * [`SweepReport`] — per-cell mean/p50/p95 time-to-target, rounds
+//!   budgets, speedup-vs-FedAvg, emitted as `BENCH_sweep_*.json` + CSV and
+//!   paper-style stdout tables.
+//!
+//! Two binaries front the engine: `exp_sweep <spec.json>` runs any spec
+//! file (or `@table2`-style preset), and `paper_tables` regenerates the
+//! Table II/III grids from one command.
+//!
+//! # Example
+//!
+//! ```
+//! use comdml_exp::{Method, ScenarioSpec, SweepRunner, SweepSpec};
+//!
+//! let spec = SweepSpec::new("doc")
+//!     .seeds(1, 2)
+//!     .method(Method::ComDml)
+//!     .method(Method::FedAvg)
+//!     .scenario(ScenarioSpec::new("tiny").agents(6).rounds(3));
+//! let report = SweepRunner::new().progress(false).run(&spec).unwrap();
+//! assert_eq!(report.jobs.len(), 4);
+//! assert!(report.cells.iter().all(|c| c.mean_time_s > 0.0));
+//! ```
+
+pub mod presets;
+mod report;
+mod runner;
+mod spec;
+
+pub use report::{SweepCell, SweepReport};
+pub use runner::{run_job, JobResult, JobSpec, SweepRunner};
+pub use spec::{Method, ScenarioSpec, SeedRange, SweepSpec};

@@ -1,0 +1,268 @@
+//! Sweep aggregation: per-cell statistics, paper-style tables, and the
+//! deterministic `BENCH_sweep_*.json` / CSV artifacts.
+
+use std::path::{Path, PathBuf};
+
+use comdml_bench::{Report, Value};
+
+use crate::{JobResult, Method, SweepSpec};
+
+/// Statistics of one (scenario, method) cell over the sweep's seeds. Time
+/// quantities are *simulated* seconds, so every field is deterministic and
+/// the rendered report is byte-comparable across machines and worker
+/// counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Method run.
+    pub method: Method,
+    /// Seeds aggregated.
+    pub seeds: usize,
+    /// Mean projected time-to-target-accuracy (simulated seconds).
+    pub mean_time_s: f64,
+    /// Median projected time-to-target.
+    pub p50_time_s: f64,
+    /// 95th-percentile projected time-to-target.
+    pub p95_time_s: f64,
+    /// Mean simulated seconds per measured round.
+    pub mean_round_s: f64,
+    /// Mean learning efficiency per round.
+    pub mean_rounds_factor: f64,
+    /// Mean rounds-to-target demanded by the learning curve.
+    pub mean_rounds_to_target: f64,
+    /// Mean time of the same scenario's FedAvg cell divided by this cell's
+    /// mean time (>1 = faster than FedAvg); `None` when FedAvg is not in
+    /// the sweep.
+    pub speedup_vs_fedavg: Option<f64>,
+    /// Events executed across all seeds.
+    pub events_processed: u64,
+    /// Largest peak membership any seed observed.
+    pub peak_agents: usize,
+}
+
+/// Everything a sweep produced: the raw job results in deterministic order
+/// plus the per-cell aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Sweep name (output file stem).
+    pub name: String,
+    /// Scenario names in spec order.
+    pub scenarios: Vec<String>,
+    /// Methods in spec order.
+    pub methods: Vec<Method>,
+    /// One result per job, scenario-major, then method, then seed.
+    pub jobs: Vec<JobResult>,
+    /// One cell per (scenario, method), same ordering.
+    pub cells: Vec<SweepCell>,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+impl SweepReport {
+    /// Aggregates job results (in [`crate::SweepRunner::jobs`] order) into
+    /// cells.
+    pub fn assemble(spec: &SweepSpec, jobs: Vec<JobResult>) -> Self {
+        assert_eq!(jobs.len(), spec.num_jobs(), "one result per job");
+        let seeds = spec.seeds.count;
+        let mut cells = Vec::with_capacity(spec.scenarios.len() * spec.methods.len());
+        for (si, scenario) in spec.scenarios.iter().enumerate() {
+            for (mi, &method) in spec.methods.iter().enumerate() {
+                let start = (si * spec.methods.len() + mi) * seeds;
+                let slice = &jobs[start..start + seeds];
+                debug_assert!(slice
+                    .iter()
+                    .all(|j| j.method == method && j.scenario == scenario.name));
+                let mut times: Vec<f64> = slice.iter().map(|j| j.time_to_target_s).collect();
+                times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let n = seeds as f64;
+                cells.push(SweepCell {
+                    scenario: scenario.name.clone(),
+                    method,
+                    seeds,
+                    mean_time_s: times.iter().sum::<f64>() / n,
+                    p50_time_s: percentile(&times, 0.50),
+                    p95_time_s: percentile(&times, 0.95),
+                    mean_round_s: slice.iter().map(|j| j.mean_round_s).sum::<f64>() / n,
+                    mean_rounds_factor: slice.iter().map(|j| j.rounds_factor).sum::<f64>() / n,
+                    mean_rounds_to_target: slice
+                        .iter()
+                        .map(|j| j.rounds_to_target as f64)
+                        .sum::<f64>()
+                        / n,
+                    speedup_vs_fedavg: None, // filled below
+                    events_processed: slice.iter().map(|j| j.events_processed).sum(),
+                    peak_agents: slice.iter().map(|j| j.peak_agents).max().unwrap_or(0),
+                });
+            }
+        }
+        // Second pass: speedup vs the same scenario's FedAvg cell.
+        let methods = spec.methods.clone();
+        if let Some(fi) = methods.iter().position(|&m| m == Method::FedAvg) {
+            for si in 0..spec.scenarios.len() {
+                let fedavg_mean = cells[si * methods.len() + fi].mean_time_s;
+                for mi in 0..methods.len() {
+                    let cell = &mut cells[si * methods.len() + mi];
+                    cell.speedup_vs_fedavg = Some(fedavg_mean / cell.mean_time_s.max(1e-12));
+                }
+            }
+        }
+        Self {
+            name: spec.name.clone(),
+            scenarios: spec.scenarios.iter().map(|s| s.name.clone()).collect(),
+            methods,
+            jobs,
+            cells,
+        }
+    }
+
+    /// The deterministic JSON artifact. Byte-identical for byte-identical
+    /// sweeps — this is the document the cross-thread-count identity tests
+    /// compare.
+    pub fn to_value(&self) -> Value {
+        let cell_v = |c: &SweepCell| {
+            let mut f = vec![
+                ("scenario".into(), Value::Str(c.scenario.clone())),
+                ("method".into(), Value::Str(c.method.token().into())),
+                ("seeds".into(), Value::Num(c.seeds as f64)),
+                ("mean_time_s".into(), Value::Num(c.mean_time_s)),
+                ("p50_time_s".into(), Value::Num(c.p50_time_s)),
+                ("p95_time_s".into(), Value::Num(c.p95_time_s)),
+                ("mean_round_s".into(), Value::Num(c.mean_round_s)),
+                ("mean_rounds_factor".into(), Value::Num(c.mean_rounds_factor)),
+                ("mean_rounds_to_target".into(), Value::Num(c.mean_rounds_to_target)),
+                ("events_processed".into(), Value::Num(c.events_processed as f64)),
+                ("peak_agents".into(), Value::Num(c.peak_agents as f64)),
+            ];
+            if let Some(s) = c.speedup_vs_fedavg {
+                f.push(("speedup_vs_fedavg".into(), Value::Num(s)));
+            }
+            Value::Obj(f)
+        };
+        let job_v = |j: &JobResult| {
+            Value::Obj(vec![
+                ("scenario".into(), Value::Str(j.scenario.clone())),
+                ("method".into(), Value::Str(j.method.token().into())),
+                ("seed".into(), Value::Num(j.seed as f64)),
+                ("rounds_run".into(), Value::Num(j.rounds_run as f64)),
+                ("sim_s".into(), Value::Num(j.sim_s)),
+                ("mean_round_s".into(), Value::Num(j.mean_round_s)),
+                ("rounds_factor".into(), Value::Num(j.rounds_factor)),
+                ("rounds_to_target".into(), Value::Num(j.rounds_to_target as f64)),
+                ("time_to_target_s".into(), Value::Num(j.time_to_target_s)),
+                ("events_processed".into(), Value::Num(j.events_processed as f64)),
+                ("peak_agents".into(), Value::Num(j.peak_agents as f64)),
+                ("arrivals".into(), Value::Num(j.arrivals as f64)),
+                ("departures".into(), Value::Num(j.departures as f64)),
+            ])
+        };
+        Value::Obj(vec![
+            ("sweep".into(), Value::Str(self.name.clone())),
+            (
+                "scenarios".into(),
+                Value::Arr(self.scenarios.iter().map(|s| Value::Str(s.clone())).collect()),
+            ),
+            (
+                "methods".into(),
+                Value::Arr(self.methods.iter().map(|m| Value::Str(m.token().into())).collect()),
+            ),
+            ("cells".into(), Value::Arr(self.cells.iter().map(cell_v).collect())),
+            ("jobs".into(), Value::Arr(self.jobs.iter().map(job_v).collect())),
+        ])
+    }
+
+    /// The per-cell CSV companion.
+    pub fn to_csv(&self) -> Report {
+        let mut report = Report::new(
+            &format!("sweep_{}", self.name),
+            &[
+                "scenario",
+                "method",
+                "seeds",
+                "mean_time_s",
+                "p50_time_s",
+                "p95_time_s",
+                "mean_round_s",
+                "mean_rounds_factor",
+                "mean_rounds_to_target",
+                "speedup_vs_fedavg",
+                "events_processed",
+                "peak_agents",
+            ],
+        );
+        for c in &self.cells {
+            report.row(&[
+                c.scenario.clone(),
+                c.method.token().to_string(),
+                c.seeds.to_string(),
+                format!("{:.3}", c.mean_time_s),
+                format!("{:.3}", c.p50_time_s),
+                format!("{:.3}", c.p95_time_s),
+                format!("{:.3}", c.mean_round_s),
+                format!("{:.4}", c.mean_rounds_factor),
+                format!("{:.1}", c.mean_rounds_to_target),
+                c.speedup_vs_fedavg.map(|s| format!("{s:.2}")).unwrap_or_default(),
+                c.events_processed.to_string(),
+                c.peak_agents.to_string(),
+            ]);
+        }
+        report
+    }
+
+    /// Writes `BENCH_sweep_<name>.json` and `sweep_<name>.csv` under `dir`,
+    /// returning both paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> std::io::Result<(PathBuf, PathBuf)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("BENCH_sweep_{}.json", self.name));
+        std::fs::write(&json_path, self.to_value().render())?;
+        let csv_path = self.to_csv().write_to(dir)?;
+        Ok((json_path, csv_path))
+    }
+
+    /// Writes to the workspace default, `target/experiments/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_default(&self) -> std::io::Result<(PathBuf, PathBuf)> {
+        self.write_to(Path::new("target").join("experiments"))
+    }
+
+    /// Renders the paper-style table: one block per scenario, one row per
+    /// method, time-to-target with spread and the speedup-vs-FedAvg column.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let fmt = |v: f64| comdml_bench::fmt_s(v);
+        for scenario in &self.scenarios {
+            out.push_str(&format!("── {scenario} ──\n"));
+            out.push_str(&format!(
+                "{:<16} {:>12} {:>12} {:>12} {:>8} {:>10}\n",
+                "method", "mean ttx (s)", "p50 (s)", "p95 (s)", "rounds", "vs FedAvg"
+            ));
+            for c in self.cells.iter().filter(|c| &c.scenario == scenario) {
+                out.push_str(&format!(
+                    "{:<16} {:>12} {:>12} {:>12} {:>8.0} {:>10}\n",
+                    c.method.display(),
+                    fmt(c.mean_time_s),
+                    fmt(c.p50_time_s),
+                    fmt(c.p95_time_s),
+                    c.mean_rounds_to_target,
+                    c.speedup_vs_fedavg.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "-".into()),
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}

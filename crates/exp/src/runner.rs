@@ -1,0 +1,305 @@
+//! The parallel sweep engine.
+//!
+//! [`SweepRunner`] expands a [`SweepSpec`] into its scenario × method ×
+//! seed job matrix and burns through it on a `std::thread` worker pool:
+//! the job list is a shared queue (an atomic cursor), and every idle
+//! worker steals the next unclaimed job, so stragglers never serialize the
+//! sweep. Each job is a *pure function* of its `(scenario, method, seed)`
+//! coordinates — all randomness flows from the per-job seed through the
+//! deterministic simulation stack — and results land in the job's own
+//! pre-assigned slot, so the assembled [`SweepReport`] is byte-identical
+//! whatever the worker count or completion order (proven by the property
+//! tests in `tests/sweep.rs`).
+//!
+//! Per job, the harness owns the experiment policies: it drives membership
+//! through [`FleetDriver`]/[`FleetSim`], applies profile churn between
+//! rounds and participation sampling at the round boundary, and hands every
+//! method the *same* participant set through
+//! [`comdml_core::RoundEngine::round_time_for`] — which is what makes the
+//! per-cell comparisons apples-to-apples.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use comdml_baselines::{
+    AllReduceDml, BaselineConfig, BrainTorrent, DropStragglers, FedAvg, FedProx, GossipLearning,
+    TierBased,
+};
+use comdml_bench::rounds_with_sampling;
+use comdml_core::{ComDmlConfig, FleetSim, LearningCurve, RoundEngine};
+use comdml_simnet::{FleetConfig, FleetDriver};
+
+use crate::{Method, ScenarioSpec, SweepReport, SweepSpec};
+
+/// One cell-replication of the sweep matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Index into the sweep's scenario list.
+    pub scenario: usize,
+    /// The method to run.
+    pub method: Method,
+    /// The world/fleet seed.
+    pub seed: u64,
+}
+
+/// What one job measured. Every field is a deterministic function of the
+/// job's coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Method run.
+    pub method: Method,
+    /// Seed used.
+    pub seed: u64,
+    /// Measured rounds executed.
+    pub rounds_run: usize,
+    /// Total simulated seconds over the measured rounds.
+    pub sim_s: f64,
+    /// Mean simulated seconds per round.
+    pub mean_round_s: f64,
+    /// Learning efficiency per round (ComDML: realized staleness-weighted
+    /// efficiency; baselines: their analytic factor).
+    pub rounds_factor: f64,
+    /// Rounds the learning curve demands at this efficiency and sampling
+    /// rate to hit the scenario's target accuracy.
+    pub rounds_to_target: usize,
+    /// Projected time to target accuracy: `mean_round_s · rounds_to_target`
+    /// — the paper's Table II quantity.
+    pub time_to_target_s: f64,
+    /// Simulation events executed (0 for closed-form baselines).
+    pub events_processed: u64,
+    /// Peak concurrent fleet membership.
+    pub peak_agents: usize,
+    /// Arrivals activated during the measured rounds.
+    pub arrivals: usize,
+    /// Departures committed during the measured rounds.
+    pub departures: usize,
+}
+
+impl ScenarioSpec {
+    /// The fleet configuration of this scenario under `seed`.
+    pub fn fleet_config(&self, seed: u64) -> FleetConfig {
+        let mut cfg = FleetConfig::new(self.agents, seed)
+            .samples_per_agent(self.samples_per_agent)
+            .batch_size(self.batch_size)
+            .topology(self.topology)
+            .arrivals(self.arrivals.clone())
+            .lifetime(self.lifetime)
+            .recycle_slots(self.recycle_slots);
+        if let Some(j) = self.join_topology {
+            cfg = cfg.join_topology(j);
+        }
+        if let Some(m) = self.max_agents {
+            cfg = cfg.max_agents(m);
+        }
+        cfg
+    }
+
+    /// The learning curve this scenario projects time-to-accuracy with.
+    pub fn curve(&self) -> LearningCurve {
+        LearningCurve::for_dataset(&self.dataset, self.iid)
+    }
+
+    /// The ComDML configuration of this scenario.
+    pub fn comdml_config(&self) -> ComDmlConfig {
+        ComDmlConfig {
+            churn: self.churn,
+            sampling_rate: self.sampling_rate,
+            aggregation: self.aggregation,
+            granularity: self.granularity,
+            curve: self.curve(),
+            batch_size: self.batch_size,
+            ..ComDmlConfig::default()
+        }
+    }
+}
+
+/// Builds the baseline engine for a job. Policies (churn, sampling) are
+/// stripped: the harness applies them and feeds explicit participant sets.
+fn baseline_engine(method: Method, seed: u64, density: f64) -> Box<dyn RoundEngine> {
+    let base = BaselineConfig { sampling_rate: 1.0, churn: None, ..BaselineConfig::default() };
+    match method {
+        Method::ComDml => unreachable!("ComDML runs through FleetSim"),
+        Method::FedAvg => Box::new(FedAvg::new(base)),
+        Method::AllReduce => Box::new(AllReduceDml::new(base)),
+        Method::BrainTorrent => Box::new(BrainTorrent::new(base).with_seed(seed ^ 0x000b_7a10)),
+        Method::Gossip => {
+            Box::new(GossipLearning::new(base).with_topology_density(density.clamp(0.01, 1.0)))
+        }
+        Method::FedProx => Box::new(FedProx::new(base, 0.5)),
+        Method::DropStragglers => Box::new(DropStragglers::new(base, 0.3)),
+        Method::Tiered => Box::new(TierBased::new(base, 5)),
+    }
+}
+
+/// Runs one job to completion. Pure in `(scenario, method, seed)`.
+pub fn run_job(scenario: &ScenarioSpec, method: Method, seed: u64) -> JobResult {
+    let (rounds_run, sim_s, rounds_factor, events, peak, arrivals, departures) =
+        if method == Method::ComDml {
+            let mut sim = FleetSim::new(scenario.fleet_config(seed), scenario.comdml_config());
+            let r = sim.run(scenario.rounds);
+            (
+                r.rounds,
+                r.total_sim_s,
+                r.rounds_factor,
+                r.events_processed,
+                r.peak_agents,
+                r.arrivals,
+                r.departures,
+            )
+        } else {
+            let mut driver: FleetDriver = scenario.fleet_config(seed).build();
+            let density = driver.world().adjacency().density();
+            let mut engine = baseline_engine(method, seed, density);
+            let mut sim_s = 0.0f64;
+            let mut horizon = 30.0f64;
+            for r in 0..scenario.rounds {
+                if let Some(churn) = scenario.churn {
+                    if churn.interval > 0 && r > 0 && r % churn.interval == 0 {
+                        driver.world_mut().churn_profiles(churn.fraction);
+                    }
+                }
+                let plan = driver.begin_round(horizon);
+                let empty_round = plan.participants.is_empty();
+                let participants = if scenario.sampling_rate < 1.0 {
+                    driver
+                        .world_mut()
+                        .sample_participants_among(&plan.participants, scenario.sampling_rate)
+                } else {
+                    plan.participants
+                };
+                let mut t = engine.round_time_for(driver.world(), r, &participants);
+                if t <= 0.0 {
+                    // An extinct round must still advance the fleet clock
+                    // so pending arrivals can activate (same fast-forward
+                    // rule as `FleetSim`).
+                    t = driver.seconds_to_next_event().unwrap_or(0.0);
+                }
+                driver.end_round(t);
+                sim_s += t;
+                // An empty round's duration is a fast-forward jump, not a
+                // round time; don't let it inflate the planning horizon
+                // (`FleetSim` applies the same rule).
+                horizon = if empty_round { 30.0 } else { (t * 2.0).max(1.0) };
+            }
+            (
+                scenario.rounds,
+                sim_s,
+                engine.rounds_factor(),
+                0,
+                driver.peak_active(),
+                driver.arrivals_total(),
+                driver.departures_total(),
+            )
+        };
+    let mean_round_s = sim_s / rounds_run.max(1) as f64;
+    let rounds_to_target = rounds_with_sampling(
+        &scenario.curve(),
+        scenario.target_accuracy,
+        rounds_factor.max(1e-6),
+        scenario.sampling_rate,
+    );
+    JobResult {
+        scenario: scenario.name.clone(),
+        method,
+        seed,
+        rounds_run,
+        sim_s,
+        mean_round_s,
+        rounds_factor,
+        rounds_to_target,
+        time_to_target_s: mean_round_s * rounds_to_target as f64,
+        events_processed: events,
+        peak_agents: peak,
+        arrivals,
+        departures,
+    }
+}
+
+/// The parallel sweep executor. See the module docs for the determinism
+/// contract.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    progress: bool,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using every available core, with progress reporting on.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { threads, progress: true }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Enables or disables the stderr progress line.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Expands the spec's job matrix in report order (scenario-major, then
+    /// method, then seed).
+    pub fn jobs(spec: &SweepSpec) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(spec.num_jobs());
+        for (si, _) in spec.scenarios.iter().enumerate() {
+            for &method in &spec.methods {
+                for seed in spec.seeds.iter() {
+                    jobs.push(JobSpec { scenario: si, method, seed });
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Runs the whole sweep and aggregates the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's validation error, if any.
+    pub fn run(&self, spec: &SweepSpec) -> Result<SweepReport, String> {
+        spec.validate()?;
+        let jobs = Self::jobs(spec);
+        let total = jobs.len();
+        let results: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let workers = self.threads.min(total.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // The shared queue: an idle worker steals the next
+                    // unclaimed job index.
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let result = run_job(&spec.scenarios[job.scenario], job.method, job.seed);
+                    *results[i].lock().expect("no poisoned result slot") = Some(result);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if self.progress {
+                        eprint!("\rsweep {}: {finished}/{total} jobs", spec.name);
+                        if finished == total {
+                            eprintln!();
+                        }
+                    }
+                });
+            }
+        });
+        let results: Vec<JobResult> = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("no poisoned slot").expect("every job ran"))
+            .collect();
+        Ok(SweepReport::assemble(spec, results))
+    }
+}

@@ -1,0 +1,872 @@
+//! The declarative scenario model.
+//!
+//! A [`ScenarioSpec`] names one experimental condition by composing
+//! everything the stack exposes — world size and topology,
+//! [`ArrivalProcess`]/[`SessionLifetime`] membership churn, profile churn,
+//! aggregation mode, event granularity, participation sampling, and the
+//! round/accuracy budget. A [`SweepSpec`] is a grid: scenarios × methods ×
+//! a seed range, exactly the shape of the paper's Tables II/III.
+//!
+//! Specs are plain JSON (parsed with the dependency-free
+//! [`comdml_bench::Value`] model) with builder-style programmatic
+//! construction, and `parse` ∘ `render` round-trips exactly — the property
+//! tests in `tests/sweep.rs` hold this for arbitrary specs.
+//!
+//! # Spec file format
+//!
+//! ```json
+//! {
+//!   "name": "smoke",
+//!   "seeds": { "base": 1, "count": 5 },
+//!   "methods": ["comdml", "gossip", "allreduce", "fedavg"],
+//!   "scenarios": [
+//!     {
+//!       "name": "churny_er20",
+//!       "agents": 24,
+//!       "rounds": 30,
+//!       "topology": { "kind": "random", "p": 0.2 },
+//!       "arrivals": { "kind": "poisson", "rate_per_s": 0.005 },
+//!       "lifetime": { "kind": "exponential", "mean_s": 4000 },
+//!       "aggregation": { "kind": "semi_synchronous", "quorum": 0.8 },
+//!       "sampling_rate": 0.5,
+//!       "dataset": "cifar10",
+//!       "iid": true,
+//!       "target_accuracy": 0.8
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Every scenario field except `name` has a default (see
+//! [`ScenarioSpec::new`]), so terse specs stay terse.
+
+use comdml_bench::Value;
+use comdml_core::{AggregationMode, ChurnPolicy, EventGranularity};
+use comdml_simnet::{ArrivalProcess, JoinTopology, SessionLifetime, Topology};
+
+/// The methods a sweep can run, by their paper-table identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's contribution: pairing + split training + AllReduce.
+    ComDml,
+    /// Server-coordinated federated averaging \[1\].
+    FedAvg,
+    /// Decentralized AllReduce DML \[34\].
+    AllReduce,
+    /// Rotating-aggregator peer-to-peer \[10\].
+    BrainTorrent,
+    /// Pairwise gossip averaging \[11\].
+    Gossip,
+    /// Heterogeneity-aware partial local work \[27\].
+    FedProx,
+    /// Drop the slowest 30% each round \[26\].
+    DropStragglers,
+    /// TiFL-style speed tiers \[5\].
+    Tiered,
+}
+
+impl Method {
+    /// Every method the harness can run, in table order.
+    pub const ALL: [Method; 8] = [
+        Method::ComDml,
+        Method::Gossip,
+        Method::BrainTorrent,
+        Method::AllReduce,
+        Method::FedAvg,
+        Method::FedProx,
+        Method::DropStragglers,
+        Method::Tiered,
+    ];
+
+    /// The spec-file token (`"comdml"`, `"fedavg"`, …).
+    pub fn token(&self) -> &'static str {
+        match self {
+            Method::ComDml => "comdml",
+            Method::FedAvg => "fedavg",
+            Method::AllReduce => "allreduce",
+            Method::BrainTorrent => "braintorrent",
+            Method::Gossip => "gossip",
+            Method::FedProx => "fedprox",
+            Method::DropStragglers => "drop_stragglers",
+            Method::Tiered => "tiered",
+        }
+    }
+
+    /// The display name used in the paper's tables.
+    pub fn display(&self) -> &'static str {
+        match self {
+            Method::ComDml => "ComDML",
+            Method::FedAvg => "FedAvg",
+            Method::AllReduce => "AllReduce",
+            Method::BrainTorrent => "BrainTorrent",
+            Method::Gossip => "Gossip Learning",
+            Method::FedProx => "FedProx",
+            Method::DropStragglers => "Drop-30%",
+            Method::Tiered => "TiFL (tiers)",
+        }
+    }
+
+    /// Parses a spec-file token.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown token.
+    pub fn from_token(s: &str) -> Result<Self, String> {
+        Method::ALL
+            .into_iter()
+            .find(|m| m.token() == s)
+            .ok_or_else(|| format!("unknown method {s:?}"))
+    }
+}
+
+/// The seeds of a sweep: `base, base+1, …, base+count-1`. Each seed is a
+/// complete replication of the scenario grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedRange {
+    /// First seed.
+    pub base: u64,
+    /// Number of consecutive seeds.
+    pub count: usize,
+}
+
+impl SeedRange {
+    /// The seeds in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count as u64).map(move |i| self.base + i)
+    }
+}
+
+/// One named experimental condition. See the module docs for the file
+/// format; [`ScenarioSpec::new`] documents the defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (table row/column label).
+    pub name: String,
+    /// Initial fleet size.
+    pub agents: usize,
+    /// Local dataset size per agent.
+    pub samples_per_agent: usize,
+    /// Local mini-batch size.
+    pub batch_size: usize,
+    /// Construction-time link topology.
+    pub topology: Topology,
+    /// How arrivals wire in (`None` = the policy matching `topology`).
+    pub join_topology: Option<JoinTopology>,
+    /// Membership arrivals.
+    pub arrivals: ArrivalProcess,
+    /// Session lifetimes (departures).
+    pub lifetime: SessionLifetime,
+    /// World-slot capacity (`None` = the fleet default of 4× agents).
+    pub max_agents: Option<usize>,
+    /// Reuse departed agents' world slots (default on: sweeps run long).
+    pub recycle_slots: bool,
+    /// Round aggregation trigger.
+    pub aggregation: AggregationMode,
+    /// Event engine granularity (default coarse — fleet-scale sweeps).
+    pub granularity: EventGranularity,
+    /// Per-round participation sampling rate (Table III uses 0.2).
+    pub sampling_rate: f64,
+    /// Profile churn policy (`None` = static profiles).
+    pub churn: Option<ChurnPolicy>,
+    /// Measured rounds per job.
+    pub rounds: usize,
+    /// Learning-curve dataset: `cifar10`, `cifar100` or `cinic10`.
+    pub dataset: String,
+    /// I.I.D. or Dirichlet-skewed data distribution (curve selection).
+    pub iid: bool,
+    /// Accuracy the time-to-accuracy projection targets.
+    pub target_accuracy: f64,
+}
+
+impl ScenarioSpec {
+    /// A scenario with the paper's defaults: 10 agents, full mesh, static
+    /// membership and profiles, synchronous aggregation, coarse events, no
+    /// sampling, 30 measured rounds, CIFAR-10 I.I.D. at 80% target.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            agents: 10,
+            samples_per_agent: 500,
+            batch_size: 100,
+            topology: Topology::Full,
+            join_topology: None,
+            arrivals: ArrivalProcess::None,
+            lifetime: SessionLifetime::Infinite,
+            max_agents: None,
+            recycle_slots: true,
+            aggregation: AggregationMode::Synchronous,
+            granularity: EventGranularity::Coarse,
+            sampling_rate: 1.0,
+            churn: None,
+            rounds: 30,
+            dataset: "cifar10".to_string(),
+            iid: true,
+            target_accuracy: 0.8,
+        }
+    }
+
+    /// Sets the initial fleet size.
+    pub fn agents(mut self, k: usize) -> Self {
+        self.agents = k;
+        self
+    }
+
+    /// Sets the topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn arrivals(mut self, a: ArrivalProcess) -> Self {
+        self.arrivals = a;
+        self
+    }
+
+    /// Sets the session-lifetime distribution.
+    pub fn lifetime(mut self, l: SessionLifetime) -> Self {
+        self.lifetime = l;
+        self
+    }
+
+    /// Sets the aggregation mode.
+    pub fn aggregation(mut self, m: AggregationMode) -> Self {
+        self.aggregation = m;
+        self
+    }
+
+    /// Sets the participation sampling rate.
+    pub fn sampling_rate(mut self, r: f64) -> Self {
+        self.sampling_rate = r;
+        self
+    }
+
+    /// Sets the profile-churn policy.
+    pub fn churn(mut self, c: ChurnPolicy) -> Self {
+        self.churn = Some(c);
+        self
+    }
+
+    /// Sets the measured round budget.
+    pub fn rounds(mut self, r: usize) -> Self {
+        self.rounds = r;
+        self
+    }
+
+    /// Sets the learning-curve dataset and distribution.
+    pub fn dataset(mut self, name: &str, iid: bool) -> Self {
+        self.dataset = name.to_string();
+        self.iid = iid;
+        self
+    }
+
+    /// Sets the target accuracy.
+    pub fn target(mut self, a: f64) -> Self {
+        self.target_accuracy = a;
+        self
+    }
+
+    /// Validates ranges that the execution layer assumes.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        let ctx = &self.name;
+        if self.name.is_empty() {
+            return Err("scenario name must not be empty".into());
+        }
+        if self.agents == 0 {
+            return Err(format!("{ctx}: agents must be positive"));
+        }
+        if self.batch_size == 0 {
+            return Err(format!("{ctx}: batch_size must be positive"));
+        }
+        if self.rounds == 0 {
+            return Err(format!("{ctx}: rounds must be positive"));
+        }
+        if !(self.sampling_rate > 0.0 && self.sampling_rate <= 1.0) {
+            return Err(format!("{ctx}: sampling_rate must be in (0, 1]"));
+        }
+        if !(self.target_accuracy > 0.0 && self.target_accuracy < 1.0) {
+            return Err(format!("{ctx}: target_accuracy must be in (0, 1)"));
+        }
+        if !matches!(self.dataset.as_str(), "cifar10" | "cifar100" | "cinic10") {
+            return Err(format!("{ctx}: unknown dataset {:?}", self.dataset));
+        }
+        if let AggregationMode::SemiSynchronous { quorum, .. } = self.aggregation {
+            if !(quorum > 0.0 && quorum <= 1.0) {
+                return Err(format!("{ctx}: semi-sync quorum must be in (0, 1]"));
+            }
+        }
+        // Probabilities and distribution parameters the simulation layer
+        // asserts on (a bad spec must fail here, not panic in a worker).
+        if let Topology::Random { p } = self.topology {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{ctx}: topology p must be in [0, 1]"));
+            }
+        }
+        if let Some(JoinTopology::ErdosRenyi { p }) = self.join_topology {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{ctx}: join_topology p must be in [0, 1]"));
+            }
+        }
+        match &self.arrivals {
+            ArrivalProcess::Poisson { rate_per_s } if rate_per_s.is_nan() || *rate_per_s < 0.0 => {
+                return Err(format!("{ctx}: arrival rate must be non-negative"));
+            }
+            ArrivalProcess::Trace(times)
+                if times.iter().any(|t| !t.is_finite() || *t < 0.0)
+                    || times.windows(2).any(|w| w[0] > w[1]) =>
+            {
+                return Err(format!("{ctx}: trace times must be non-negative and ascending"));
+            }
+            _ => {}
+        }
+        // `is_positive` form rejects NaN alongside zero/negative values.
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        match self.lifetime {
+            SessionLifetime::Exponential { mean_s } if !positive(mean_s) => {
+                return Err(format!("{ctx}: lifetime mean_s must be positive"));
+            }
+            SessionLifetime::Weibull { scale_s, shape }
+                if !positive(scale_s) || !positive(shape) =>
+            {
+                return Err(format!("{ctx}: weibull scale_s and shape must be positive"));
+            }
+            SessionLifetime::Fixed { duration_s } if !positive(duration_s) => {
+                return Err(format!("{ctx}: lifetime duration_s must be positive"));
+            }
+            _ => {}
+        }
+        if let Some(churn) = self.churn {
+            if !(0.0..=1.0).contains(&churn.fraction) {
+                return Err(format!("{ctx}: churn fraction must be in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A full sweep: scenarios × methods × seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (output file stem).
+    pub name: String,
+    /// The seed range; every (scenario, method) cell runs once per seed.
+    pub seeds: SeedRange,
+    /// Methods to run, in table order.
+    pub methods: Vec<Method>,
+    /// Scenarios to run.
+    pub scenarios: Vec<ScenarioSpec>,
+}
+
+impl SweepSpec {
+    /// An empty sweep with 5 seeds from 1.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            seeds: SeedRange { base: 1, count: 5 },
+            methods: Vec::new(),
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Sets the seed range.
+    pub fn seeds(mut self, base: u64, count: usize) -> Self {
+        self.seeds = SeedRange { base, count };
+        self
+    }
+
+    /// Adds a method.
+    pub fn method(mut self, m: Method) -> Self {
+        self.methods.push(m);
+        self
+    }
+
+    /// Adds a scenario.
+    pub fn scenario(mut self, s: ScenarioSpec) -> Self {
+        self.scenarios.push(s);
+        self
+    }
+
+    /// Total jobs the sweep expands to.
+    pub fn num_jobs(&self) -> usize {
+        self.scenarios.len() * self.methods.len() * self.seeds.count
+    }
+
+    /// Validates the sweep and every scenario.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("sweep name must not be empty".into());
+        }
+        if self.seeds.count == 0 {
+            return Err("seed count must be positive".into());
+        }
+        if self.methods.is_empty() {
+            return Err("at least one method is required".into());
+        }
+        if self.scenarios.is_empty() {
+            return Err("at least one scenario is required".into());
+        }
+        let mut names: Vec<&str> = self.scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err("scenario names must be unique".into());
+        }
+        let mut methods = self.methods.clone();
+        methods.sort_unstable_by_key(Method::token);
+        if methods.windows(2).any(|w| w[0] == w[1]) {
+            return Err("methods must be unique".into());
+        }
+        for s in &self.scenarios {
+            s.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Parses a spec file.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first syntax or validation problem.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Value::parse(text)?;
+        let spec = Self::from_value(&v)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Renders the spec as a JSON document (the exact input format of
+    /// [`SweepSpec::parse`]; round-trips losslessly).
+    pub fn render(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Builds the spec from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or ill-typed field.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let name = req_str(v, "name")?;
+        let seeds_v = v.get("seeds").ok_or("missing \"seeds\"")?;
+        let seeds = SeedRange {
+            base: seeds_v.get("base").and_then(Value::as_u64).ok_or("seeds.base must be a u64")?,
+            count: seeds_v
+                .get("count")
+                .and_then(Value::as_usize)
+                .ok_or("seeds.count must be a usize")?,
+        };
+        let methods = v
+            .get("methods")
+            .and_then(Value::as_array)
+            .ok_or("missing \"methods\" array")?
+            .iter()
+            .map(|m| {
+                m.as_str().ok_or("methods must be strings".to_string()).and_then(Method::from_token)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let scenarios = v
+            .get("scenarios")
+            .and_then(Value::as_array)
+            .ok_or("missing \"scenarios\" array")?
+            .iter()
+            .map(scenario_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { name, seeds, methods, scenarios })
+    }
+
+    /// The JSON value form of the spec.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            (
+                "seeds".into(),
+                Value::Obj(vec![
+                    ("base".into(), Value::Num(self.seeds.base as f64)),
+                    ("count".into(), Value::Num(self.seeds.count as f64)),
+                ]),
+            ),
+            (
+                "methods".into(),
+                Value::Arr(self.methods.iter().map(|m| Value::Str(m.token().into())).collect()),
+            ),
+            (
+                "scenarios".into(),
+                Value::Arr(self.scenarios.iter().map(scenario_to_value).collect()),
+            ),
+        ])
+    }
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn kind_of(v: &Value) -> Result<&str, String> {
+    v.get("kind").and_then(Value::as_str).ok_or_else(|| "missing \"kind\"".to_string())
+}
+
+fn req_f64(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("{ctx}: missing number {key:?}"))
+}
+
+fn scenario_from_value(v: &Value) -> Result<ScenarioSpec, String> {
+    let mut s = ScenarioSpec::new(&req_str(v, "name")?);
+    if let Some(n) = v.get("agents") {
+        s.agents = n.as_usize().ok_or("agents must be a usize")?;
+    }
+    if let Some(n) = v.get("samples_per_agent") {
+        s.samples_per_agent = n.as_usize().ok_or("samples_per_agent must be a usize")?;
+    }
+    if let Some(n) = v.get("batch_size") {
+        s.batch_size = n.as_usize().ok_or("batch_size must be a usize")?;
+    }
+    if let Some(t) = v.get("topology") {
+        s.topology = match kind_of(t)? {
+            "full" => Topology::Full,
+            "ring" => Topology::Ring,
+            "random" => Topology::Random { p: req_f64(t, "p", "topology")? },
+            other => return Err(format!("unknown topology kind {other:?}")),
+        };
+    }
+    if let Some(j) = v.get("join_topology") {
+        s.join_topology = Some(match kind_of(j)? {
+            "full_mesh" => JoinTopology::FullMesh,
+            "erdos_renyi" => JoinTopology::ErdosRenyi { p: req_f64(j, "p", "join_topology")? },
+            other => return Err(format!("unknown join_topology kind {other:?}")),
+        });
+    }
+    if let Some(a) = v.get("arrivals") {
+        s.arrivals = match kind_of(a)? {
+            "none" => ArrivalProcess::None,
+            "poisson" => {
+                ArrivalProcess::Poisson { rate_per_s: req_f64(a, "rate_per_s", "arrivals")? }
+            }
+            "trace" => ArrivalProcess::Trace(
+                a.get("times")
+                    .and_then(Value::as_array)
+                    .ok_or("arrivals.times must be an array")?
+                    .iter()
+                    .map(|t| t.as_f64().ok_or("arrival times must be numbers".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            other => return Err(format!("unknown arrivals kind {other:?}")),
+        };
+    }
+    if let Some(l) = v.get("lifetime") {
+        s.lifetime = match kind_of(l)? {
+            "infinite" => SessionLifetime::Infinite,
+            "exponential" => {
+                SessionLifetime::Exponential { mean_s: req_f64(l, "mean_s", "lifetime")? }
+            }
+            "weibull" => SessionLifetime::Weibull {
+                scale_s: req_f64(l, "scale_s", "lifetime")?,
+                shape: req_f64(l, "shape", "lifetime")?,
+            },
+            "fixed" => SessionLifetime::Fixed { duration_s: req_f64(l, "duration_s", "lifetime")? },
+            other => return Err(format!("unknown lifetime kind {other:?}")),
+        };
+    }
+    if let Some(n) = v.get("max_agents") {
+        s.max_agents = Some(n.as_usize().ok_or("max_agents must be a usize")?);
+    }
+    if let Some(b) = v.get("recycle_slots") {
+        s.recycle_slots = b.as_bool().ok_or("recycle_slots must be a bool")?;
+    }
+    if let Some(m) = v.get("aggregation") {
+        s.aggregation = match kind_of(m)? {
+            "synchronous" => AggregationMode::Synchronous,
+            "semi_synchronous" => AggregationMode::SemiSynchronous {
+                quorum: req_f64(m, "quorum", "aggregation")?,
+                // Absent = no staleness bound, the common configuration
+                // (infinity is not representable in JSON).
+                staleness_s: m.get("staleness_s").and_then(Value::as_f64).unwrap_or(f64::MAX),
+            },
+            "asynchronous" => AggregationMode::Asynchronous,
+            other => return Err(format!("unknown aggregation kind {other:?}")),
+        };
+    }
+    if let Some(g) = v.get("granularity") {
+        s.granularity = match g.as_str() {
+            Some("fine") => EventGranularity::Fine,
+            Some("coarse") => EventGranularity::Coarse,
+            other => return Err(format!("unknown granularity {other:?}")),
+        };
+    }
+    if let Some(r) = v.get("sampling_rate") {
+        s.sampling_rate = r.as_f64().ok_or("sampling_rate must be a number")?;
+    }
+    if let Some(c) = v.get("churn") {
+        s.churn = Some(ChurnPolicy {
+            interval: c.get("interval").and_then(Value::as_usize).ok_or("churn.interval")?,
+            fraction: req_f64(c, "fraction", "churn")?,
+        });
+    }
+    if let Some(r) = v.get("rounds") {
+        s.rounds = r.as_usize().ok_or("rounds must be a usize")?;
+    }
+    if let Some(d) = v.get("dataset") {
+        s.dataset = d.as_str().ok_or("dataset must be a string")?.to_string();
+    }
+    if let Some(i) = v.get("iid") {
+        s.iid = i.as_bool().ok_or("iid must be a bool")?;
+    }
+    if let Some(t) = v.get("target_accuracy") {
+        s.target_accuracy = t.as_f64().ok_or("target_accuracy must be a number")?;
+    }
+    Ok(s)
+}
+
+fn scenario_to_value(s: &ScenarioSpec) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("name".into(), Value::Str(s.name.clone())),
+        ("agents".into(), Value::Num(s.agents as f64)),
+        ("samples_per_agent".into(), Value::Num(s.samples_per_agent as f64)),
+        ("batch_size".into(), Value::Num(s.batch_size as f64)),
+    ];
+    fields.push((
+        "topology".into(),
+        match s.topology {
+            Topology::Full => Value::Obj(vec![("kind".into(), Value::Str("full".into()))]),
+            Topology::Ring => Value::Obj(vec![("kind".into(), Value::Str("ring".into()))]),
+            Topology::Random { p } => Value::Obj(vec![
+                ("kind".into(), Value::Str("random".into())),
+                ("p".into(), Value::Num(p)),
+            ]),
+        },
+    ));
+    if let Some(j) = s.join_topology {
+        fields.push((
+            "join_topology".into(),
+            match j {
+                JoinTopology::FullMesh => {
+                    Value::Obj(vec![("kind".into(), Value::Str("full_mesh".into()))])
+                }
+                JoinTopology::ErdosRenyi { p } => Value::Obj(vec![
+                    ("kind".into(), Value::Str("erdos_renyi".into())),
+                    ("p".into(), Value::Num(p)),
+                ]),
+            },
+        ));
+    }
+    fields.push((
+        "arrivals".into(),
+        match &s.arrivals {
+            ArrivalProcess::None => Value::Obj(vec![("kind".into(), Value::Str("none".into()))]),
+            ArrivalProcess::Poisson { rate_per_s } => Value::Obj(vec![
+                ("kind".into(), Value::Str("poisson".into())),
+                ("rate_per_s".into(), Value::Num(*rate_per_s)),
+            ]),
+            ArrivalProcess::Trace(times) => Value::Obj(vec![
+                ("kind".into(), Value::Str("trace".into())),
+                ("times".into(), Value::Arr(times.iter().map(|&t| Value::Num(t)).collect())),
+            ]),
+        },
+    ));
+    fields.push((
+        "lifetime".into(),
+        match s.lifetime {
+            SessionLifetime::Infinite => {
+                Value::Obj(vec![("kind".into(), Value::Str("infinite".into()))])
+            }
+            SessionLifetime::Exponential { mean_s } => Value::Obj(vec![
+                ("kind".into(), Value::Str("exponential".into())),
+                ("mean_s".into(), Value::Num(mean_s)),
+            ]),
+            SessionLifetime::Weibull { scale_s, shape } => Value::Obj(vec![
+                ("kind".into(), Value::Str("weibull".into())),
+                ("scale_s".into(), Value::Num(scale_s)),
+                ("shape".into(), Value::Num(shape)),
+            ]),
+            SessionLifetime::Fixed { duration_s } => Value::Obj(vec![
+                ("kind".into(), Value::Str("fixed".into())),
+                ("duration_s".into(), Value::Num(duration_s)),
+            ]),
+        },
+    ));
+    if let Some(m) = s.max_agents {
+        fields.push(("max_agents".into(), Value::Num(m as f64)));
+    }
+    fields.push(("recycle_slots".into(), Value::Bool(s.recycle_slots)));
+    fields.push((
+        "aggregation".into(),
+        match s.aggregation {
+            AggregationMode::Synchronous => {
+                Value::Obj(vec![("kind".into(), Value::Str("synchronous".into()))])
+            }
+            AggregationMode::SemiSynchronous { quorum, staleness_s } => {
+                let mut f = vec![
+                    ("kind".into(), Value::Str("semi_synchronous".into())),
+                    ("quorum".into(), Value::Num(quorum)),
+                ];
+                if staleness_s.is_finite() && staleness_s != f64::MAX {
+                    f.push(("staleness_s".into(), Value::Num(staleness_s)));
+                }
+                Value::Obj(f)
+            }
+            AggregationMode::Asynchronous => {
+                Value::Obj(vec![("kind".into(), Value::Str("asynchronous".into()))])
+            }
+        },
+    ));
+    fields.push((
+        "granularity".into(),
+        Value::Str(match s.granularity {
+            EventGranularity::Fine => "fine".into(),
+            EventGranularity::Coarse => "coarse".into(),
+        }),
+    ));
+    fields.push(("sampling_rate".into(), Value::Num(s.sampling_rate)));
+    if let Some(c) = s.churn {
+        fields.push((
+            "churn".into(),
+            Value::Obj(vec![
+                ("interval".into(), Value::Num(c.interval as f64)),
+                ("fraction".into(), Value::Num(c.fraction)),
+            ]),
+        ));
+    }
+    fields.push(("rounds".into(), Value::Num(s.rounds as f64)));
+    fields.push(("dataset".into(), Value::Str(s.dataset.clone())));
+    fields.push(("iid".into(), Value::Bool(s.iid)));
+    fields.push(("target_accuracy".into(), Value::Num(s.target_accuracy)));
+    Value::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_spec() -> SweepSpec {
+        SweepSpec::new("demo")
+            .seeds(7, 3)
+            .method(Method::ComDml)
+            .method(Method::FedAvg)
+            .scenario(ScenarioSpec::new("static"))
+            .scenario(
+                ScenarioSpec::new("churny")
+                    .agents(24)
+                    .topology(Topology::random(0.2))
+                    .arrivals(ArrivalProcess::Poisson { rate_per_s: 0.01 })
+                    .lifetime(SessionLifetime::Weibull { scale_s: 900.0, shape: 0.7 })
+                    .aggregation(AggregationMode::SemiSynchronous {
+                        quorum: 0.8,
+                        staleness_s: f64::MAX,
+                    })
+                    .sampling_rate(0.2)
+                    .churn(ChurnPolicy { interval: 10, fraction: 0.2 })
+                    .rounds(12)
+                    .dataset("cifar100", false)
+                    .target(0.6),
+            )
+    }
+
+    #[test]
+    fn spec_round_trips_through_text() {
+        let spec = full_spec();
+        let text = spec.render();
+        let back = SweepSpec::parse(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.render(), text, "render is deterministic");
+    }
+
+    #[test]
+    fn terse_specs_fill_defaults() {
+        let text = r#"{
+            "name": "t",
+            "seeds": {"base": 1, "count": 2},
+            "methods": ["comdml"],
+            "scenarios": [{"name": "s"}]
+        }"#;
+        let spec = SweepSpec::parse(text).unwrap();
+        assert_eq!(spec.scenarios[0], ScenarioSpec::new("s"));
+        assert_eq!(spec.num_jobs(), 2);
+    }
+
+    #[test]
+    fn trace_arrivals_round_trip() {
+        let spec = SweepSpec::new("t").seeds(1, 1).method(Method::Gossip).scenario(
+            ScenarioSpec::new("traced")
+                .arrivals(ArrivalProcess::Trace(vec![5.0, 10.5, 400.0]))
+                .lifetime(SessionLifetime::Fixed { duration_s: 60.0 }),
+        );
+        assert_eq!(SweepSpec::parse(&spec.render()).unwrap(), spec);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(SweepSpec::new("x").validate().is_err(), "no methods/scenarios");
+        let dup = SweepSpec::new("x")
+            .method(Method::ComDml)
+            .scenario(ScenarioSpec::new("a"))
+            .scenario(ScenarioSpec::new("a"));
+        assert!(dup.validate().unwrap_err().contains("unique"));
+        let bad_rate = SweepSpec::new("x")
+            .method(Method::ComDml)
+            .scenario(ScenarioSpec::new("a").sampling_rate(0.0));
+        assert!(bad_rate.validate().is_err());
+        let bad_dataset = SweepSpec::new("x")
+            .method(Method::ComDml)
+            .scenario(ScenarioSpec::new("a").dataset("mnist", true));
+        assert!(bad_dataset.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_distribution_parameters() {
+        let wrap = |s: ScenarioSpec| SweepSpec::new("x").method(Method::ComDml).scenario(s);
+        // A struct-literal Random { p } bypasses Topology::random's assert,
+        // so validate() must catch it before a worker thread panics.
+        let bad_p = wrap(ScenarioSpec::new("a").topology(Topology::Random { p: 1.5 }));
+        assert!(bad_p.validate().unwrap_err().contains("topology p"));
+        let mut s = ScenarioSpec::new("a");
+        s.join_topology = Some(JoinTopology::ErdosRenyi { p: -0.1 });
+        assert!(wrap(s).validate().unwrap_err().contains("join_topology"));
+        let bad_life =
+            wrap(ScenarioSpec::new("a").lifetime(SessionLifetime::Exponential { mean_s: 0.0 }));
+        assert!(bad_life.validate().unwrap_err().contains("mean_s"));
+        let bad_trace =
+            wrap(ScenarioSpec::new("a").arrivals(ArrivalProcess::Trace(vec![5.0, 1.0])));
+        assert!(bad_trace.validate().unwrap_err().contains("ascending"));
+        let bad_churn =
+            wrap(ScenarioSpec::new("a").churn(ChurnPolicy { interval: 5, fraction: 1.5 }));
+        assert!(bad_churn.validate().unwrap_err().contains("churn"));
+        let bad_rate =
+            wrap(ScenarioSpec::new("a").arrivals(ArrivalProcess::Poisson { rate_per_s: f64::NAN }));
+        assert!(bad_rate.validate().unwrap_err().contains("arrival rate"));
+    }
+
+    #[test]
+    fn unknown_fields_and_tokens_error() {
+        assert!(Method::from_token("sgd").is_err());
+        let bad = r#"{"name":"t","seeds":{"base":1,"count":1},"methods":["comdml"],
+                      "scenarios":[{"name":"s","topology":{"kind":"torus"}}]}"#;
+        assert!(SweepSpec::parse(bad).unwrap_err().contains("torus"));
+    }
+
+    #[test]
+    fn method_tokens_are_bijective() {
+        for m in Method::ALL {
+            assert_eq!(Method::from_token(m.token()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn semi_sync_staleness_defaults_to_unbounded() {
+        let text = r#"{"name":"t","seeds":{"base":1,"count":1},"methods":["comdml"],
+            "scenarios":[{"name":"s","aggregation":{"kind":"semi_synchronous","quorum":0.5}}]}"#;
+        let spec = SweepSpec::parse(text).unwrap();
+        assert_eq!(
+            spec.scenarios[0].aggregation,
+            AggregationMode::SemiSynchronous { quorum: 0.5, staleness_s: f64::MAX }
+        );
+    }
+}

@@ -48,7 +48,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{AgentId, AgentProfile, Topology, World, WorldConfig};
+use crate::{AgentId, AgentProfile, JoinTopology, Topology, World, WorldConfig};
 
 /// How new agents arrive into the fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -152,9 +152,11 @@ pub struct FleetConfig {
     samples_per_agent: usize,
     batch_size: usize,
     topology: Topology,
+    join_topology: Option<JoinTopology>,
     arrivals: ArrivalProcess,
     lifetime: SessionLifetime,
     max_agents: usize,
+    recycle_slots: bool,
 }
 
 impl FleetConfig {
@@ -168,9 +170,11 @@ impl FleetConfig {
             samples_per_agent: 500,
             batch_size: 100,
             topology: Topology::Full,
+            join_topology: None,
             arrivals: ArrivalProcess::None,
             lifetime: SessionLifetime::Infinite,
             max_agents: 4 * k.max(1),
+            recycle_slots: false,
         }
     }
 
@@ -199,9 +203,19 @@ impl FleetConfig {
         self
     }
 
-    /// Sets the initial topology (arrivals connect to everyone).
+    /// Sets the initial topology. Unless overridden by
+    /// [`FleetConfig::join_topology`], arrivals wire in under
+    /// [`JoinTopology::matching`] — full-mesh worlds stay full mesh,
+    /// Erdős–Rényi worlds keep their edge probability under churn.
     pub fn topology(mut self, t: Topology) -> Self {
         self.topology = t;
+        self
+    }
+
+    /// Overrides how arrivals wire into the overlay (default: the policy
+    /// matching the construction topology).
+    pub fn join_topology(mut self, j: JoinTopology) -> Self {
+        self.join_topology = Some(j);
         self
     }
 
@@ -209,6 +223,21 @@ impl FleetConfig {
     /// RNG draws are still consumed, keeping the streams aligned).
     pub fn max_agents(mut self, cap: usize) -> Self {
         self.max_agents = cap;
+        self
+    }
+
+    /// Recycles departed agents' world slots through a free-list: an
+    /// arrival reuses the slot of an agent whose departure has already
+    /// committed instead of growing the world, so long-running fleets stop
+    /// saturating [`FleetConfig::max_agents`] and dropping arrivals (and
+    /// stop growing memory without bound).
+    ///
+    /// Off by default. Caveat: slot availability depends on when
+    /// departures *commit* (round boundaries), so at the capacity limit
+    /// the admit-or-drop decision — unlike the arrival/departure timeline
+    /// itself — is no longer independent of how rounds discretize time.
+    pub fn recycle_slots(mut self, on: bool) -> Self {
+        self.recycle_slots = on;
         self
     }
 
@@ -226,12 +255,15 @@ impl FleetConfig {
         let mut lifetime_rng = StdRng::seed_from_u64(self.seed ^ 0xc2b2_ae35);
         let arrival_rng = StdRng::seed_from_u64(self.seed ^ 0x27d4_eb2f);
         let profile_rng = StdRng::seed_from_u64(self.seed ^ 0x1656_67b1);
+        let topology_rng = StdRng::seed_from_u64(self.seed ^ 0x7f4a_7c15);
+        let join = self.join_topology.unwrap_or(JoinTopology::matching(&self.topology));
         let k = world.num_agents();
         // Initial agents draw their session lifetimes in id order.
         let depart_at: Vec<f64> = (0..k).map(|_| self.lifetime.sample(&mut lifetime_rng)).collect();
         FleetDriver {
             world,
             cfg: self,
+            join,
             clock_s: 0.0,
             round: 0,
             active: vec![true; k],
@@ -242,12 +274,15 @@ impl FleetConfig {
             arrival_rng,
             lifetime_rng,
             profile_rng,
+            topology_rng,
             pending_joins: Vec::new(),
+            free_slots: std::collections::VecDeque::new(),
             in_round: false,
             peak_active: k,
             arrivals_total: 0,
             departures_total: 0,
             arrivals_dropped: 0,
+            slots_recycled: 0,
         }
     }
 }
@@ -258,6 +293,8 @@ impl FleetConfig {
 pub struct FleetDriver {
     world: World,
     cfg: FleetConfig,
+    /// Resolved join policy (explicit knob, or matching the topology).
+    join: JoinTopology,
     clock_s: f64,
     round: usize,
     /// Whether each world agent is currently an active fleet member.
@@ -272,14 +309,21 @@ pub struct FleetDriver {
     arrival_rng: StdRng,
     lifetime_rng: StdRng,
     profile_rng: StdRng,
+    /// Draws Erdős–Rényi join edges — its own stream so enabling sparse
+    /// joins never perturbs profiles, lifetimes or arrivals under a seed.
+    topology_rng: StdRng,
     /// Agents admitted to the world whose arrival time has not yet passed
     /// the fleet clock: `(id, absolute arrival time)`.
     pending_joins: Vec<(AgentId, f64)>,
+    /// World slots of committed departures, available for reuse when
+    /// [`FleetConfig::recycle_slots`] is on (FIFO by departure commit).
+    free_slots: std::collections::VecDeque<AgentId>,
     in_round: bool,
     peak_active: usize,
     arrivals_total: usize,
     departures_total: usize,
     arrivals_dropped: usize,
+    slots_recycled: usize,
 }
 
 impl FleetDriver {
@@ -333,6 +377,17 @@ impl FleetDriver {
         self.arrivals_dropped
     }
 
+    /// Arrivals that reused a departed agent's world slot
+    /// ([`FleetConfig::recycle_slots`]).
+    pub fn slots_recycled(&self) -> usize {
+        self.slots_recycled
+    }
+
+    /// The join policy in effect for arrivals.
+    pub fn join_topology(&self) -> JoinTopology {
+        self.join
+    }
+
     /// Seconds from the fleet clock to the next scheduled membership event
     /// (pending join, active agent's departure, or the next arrival), if
     /// any. An idle caller — a round with no participants takes zero
@@ -384,18 +439,42 @@ impl FleetDriver {
         self.next_arrival_s
     }
 
-    /// Admits one arrival at absolute time `at`: pushes a world agent (or
-    /// drops it at capacity), draws its lifetime, and returns the new id.
+    /// Admits one arrival at absolute time `at`: reuses a free slot (when
+    /// recycling is on and a committed departure left one), pushes a new
+    /// world agent, or drops the arrival at capacity. Draws the newcomer's
+    /// lifetime and returns the occupied id.
     fn admit_arrival(&mut self, at: f64) -> Option<AgentId> {
         // Draw profile and lifetime unconditionally so the streams stay
         // aligned whether or not the arrival is admitted.
         let profile = AgentProfile::sample(&mut self.profile_rng);
         let session = self.cfg.lifetime.sample(&mut self.lifetime_rng);
+        if self.cfg.recycle_slots {
+            if let Some(id) = self.free_slots.pop_front() {
+                self.world.recycle_agent(
+                    id,
+                    profile,
+                    self.cfg.samples_per_agent,
+                    self.cfg.batch_size,
+                    self.join,
+                    &mut self.topology_rng,
+                );
+                debug_assert!(!self.active[id.0], "free slot must be inactive");
+                self.depart_at[id.0] = at + session;
+                self.slots_recycled += 1;
+                return Some(id);
+            }
+        }
         if self.world.num_agents() >= self.cfg.max_agents {
             self.arrivals_dropped += 1;
             return None;
         }
-        let id = self.world.push_agent(profile, self.cfg.samples_per_agent, self.cfg.batch_size);
+        let id = self.world.push_agent_joined(
+            profile,
+            self.cfg.samples_per_agent,
+            self.cfg.batch_size,
+            self.join,
+            &mut self.topology_rng,
+        );
         self.active.push(false); // activated when the join commits
         self.depart_at.push(at + session);
         Some(id)
@@ -498,24 +577,58 @@ impl FleetDriver {
             self.active[id.0] = true;
             self.arrivals_total += 1;
         }
+        // Departures due this round, sorted by time: one O(world) scan,
+        // then a cursor interleaves them with the boundary arrivals so a
+        // recycled slot becomes available in absolute-time order (an
+        // arrival can reuse the slot of a session that ended earlier in
+        // the same boundary commit) without rescanning the world per
+        // arrival — `fedavg_barrier` commits hundreds of arrivals per
+        // 10k-agent boundary.
+        let mut due: Vec<(f64, usize)> = (0..self.world.num_agents())
+            .filter(|&i| self.active[i] && self.depart_at[i] <= clock)
+            .map(|i| (self.depart_at[i], i))
+            .collect();
+        due.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut cursor = 0usize;
         while let Some(t) = self.peek_next_arrival() {
             if t > self.clock_s {
                 break;
             }
             self.next_arrival_s = None;
+            while cursor < due.len() && due[cursor].0 <= t {
+                self.commit_departure(due[cursor].1);
+                cursor += 1;
+            }
             if let Some(id) = self.admit_arrival(t) {
                 self.active[id.0] = true;
                 self.arrivals_total += 1;
             }
         }
+        while cursor < due.len() {
+            self.commit_departure(due[cursor].1);
+            cursor += 1;
+        }
+        // Boundary arrivals admitted above may themselves have sessions
+        // ending inside this round; their departures commit here (their
+        // slots become reusable from the next boundary on).
         for i in 0..self.world.num_agents() {
-            if self.active[i] && self.depart_at[i] <= self.clock_s {
-                self.active[i] = false;
-                self.departures_total += 1;
+            if self.active[i] && self.depart_at[i] <= clock {
+                self.commit_departure(i);
             }
         }
         self.round += 1;
         self.peak_active = self.peak_active.max(self.active_count());
+    }
+
+    /// Deactivates one active agent, freeing its slot for reuse when
+    /// recycling is on.
+    fn commit_departure(&mut self, i: usize) {
+        debug_assert!(self.active[i]);
+        self.active[i] = false;
+        self.departures_total += 1;
+        if self.cfg.recycle_slots {
+            self.free_slots.push_back(AgentId(i));
+        }
     }
 }
 
@@ -663,6 +776,108 @@ mod tests {
         let mut f = FleetConfig::new(2, 1).build();
         let _ = f.begin_round(1.0);
         let _ = f.begin_round(1.0);
+    }
+
+    #[test]
+    fn recycling_reuses_slots_instead_of_dropping() {
+        // Two slots, sessions end at 5 s, arrivals at 10/20/30 s: without
+        // recycling only one arrival fits the cap of 3; with it, every
+        // arrival reuses a freed slot and the world never grows past 2.
+        let mk = |recycle: bool| {
+            FleetConfig::new(2, 17)
+                .lifetime(SessionLifetime::Fixed { duration_s: 5.0 })
+                .arrivals(ArrivalProcess::Trace(vec![10.0, 20.0, 30.0]))
+                .max_agents(3)
+                .recycle_slots(recycle)
+                .build()
+        };
+        let run = |mut f: FleetDriver| {
+            for _ in 0..5 {
+                let _ = f.begin_round(10.0);
+                f.end_round(10.0);
+            }
+            f
+        };
+        let plain = run(mk(false));
+        assert_eq!(plain.arrivals_dropped(), 2);
+        assert_eq!(plain.world().num_agents(), 3);
+
+        let recycled = run(mk(true));
+        assert_eq!(recycled.arrivals_dropped(), 0, "freed slots absorb every arrival");
+        assert_eq!(recycled.world().num_agents(), 2, "the world never grows");
+        assert_eq!(recycled.slots_recycled(), 3);
+        assert_eq!(recycled.arrivals_total(), 3);
+        assert_eq!(recycled.departures_total(), plain.departures_total() + 2);
+    }
+
+    #[test]
+    fn recycled_slot_carries_the_newcomers_profile_and_lifetime() {
+        let mut f = FleetConfig::new(1, 23)
+            .lifetime(SessionLifetime::Fixed { duration_s: 5.0 })
+            .arrivals(ArrivalProcess::Trace(vec![20.0]))
+            .max_agents(1)
+            .recycle_slots(true)
+            .build();
+        // Round 0 ends at 10 s: the original occupant (session ended at
+        // 5 s) has departed and freed slot 0.
+        let _ = f.begin_round(10.0);
+        f.end_round(10.0);
+        assert!(!f.is_active(AgentId(0)));
+        assert_eq!(f.departures_total(), 1);
+        // Round 1 ends at 20 s: the trace arrival reuses slot 0 and is
+        // active with a fresh lifetime drawn from its own arrival time.
+        let _ = f.begin_round(10.0);
+        f.end_round(10.0);
+        assert_eq!(f.slots_recycled(), 1);
+        assert!(f.is_active(AgentId(0)), "newcomer occupies slot 0");
+        assert_eq!(f.arrivals_total(), 1);
+        // Round 2 ends at 30 s: the newcomer's own 5 s session (20→25 s)
+        // has ended — its departure is rescheduled from the arrival time,
+        // not inherited from the previous occupant.
+        let _ = f.begin_round(10.0);
+        f.end_round(10.0);
+        assert!(!f.is_active(AgentId(0)));
+        assert_eq!(f.departures_total(), 2);
+    }
+
+    #[test]
+    fn recycling_off_by_default_preserves_growth_behavior() {
+        let f = FleetConfig::new(4, 1).build();
+        assert_eq!(f.slots_recycled(), 0);
+        let g = poisson_fleet(3);
+        assert_eq!(g.slots_recycled(), 0);
+    }
+
+    #[test]
+    fn er_joins_follow_a_random_topology_by_default() {
+        use crate::{JoinTopology, Topology};
+        let f = FleetConfig::new(10, 5).topology(Topology::random(0.2)).build();
+        assert_eq!(f.join_topology(), JoinTopology::ErdosRenyi { p: 0.2 });
+        let g = FleetConfig::new(10, 5).build();
+        assert_eq!(g.join_topology(), JoinTopology::FullMesh);
+        let h = FleetConfig::new(10, 5)
+            .topology(Topology::random(0.2))
+            .join_topology(JoinTopology::FullMesh)
+            .build();
+        assert_eq!(h.join_topology(), JoinTopology::FullMesh);
+    }
+
+    #[test]
+    fn er_joins_keep_density_under_churn() {
+        use crate::Topology;
+        let mut f = FleetConfig::new(40, 7)
+            .topology(Topology::random(0.2))
+            .arrivals(ArrivalProcess::Poisson { rate_per_s: 0.05 })
+            .lifetime(SessionLifetime::Exponential { mean_s: 400.0 })
+            .max_agents(400)
+            .build();
+        for _ in 0..40 {
+            let _ = f.begin_round(100.0);
+            f.end_round(100.0);
+        }
+        assert!(f.arrivals_total() > 20, "churn must actually fire");
+        let d = f.world().adjacency().density();
+        assert!((0.1..0.3).contains(&d), "density {d} must stay near 0.2 under ER joins");
     }
 
     #[test]

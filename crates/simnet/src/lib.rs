@@ -51,5 +51,5 @@ pub use fleet::{
     SessionLifetime,
 };
 pub use profile::{AgentProfile, CPU_PROFILES, LINK_PROFILES_MBPS};
-pub use topology::{Adjacency, Topology};
+pub use topology::{Adjacency, JoinTopology, Topology};
 pub use world::{World, WorldConfig};

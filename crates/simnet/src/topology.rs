@@ -64,6 +64,36 @@ impl Topology {
     }
 }
 
+/// How an agent arriving into an elastic fleet wires itself into the
+/// overlay — the join-time counterpart of [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JoinTopology {
+    /// The newcomer announces itself to everyone ([`Adjacency::grow`]):
+    /// cheap and keeps an implicit full mesh implicit, but densifies sparse
+    /// topologies over time.
+    FullMesh,
+    /// The newcomer links to each existing agent with probability `p`
+    /// ([`Adjacency::grow_er`]), preserving Erdős–Rényi density under
+    /// churn.
+    ErdosRenyi {
+        /// Probability of linking to each existing agent.
+        p: f64,
+    },
+}
+
+impl JoinTopology {
+    /// The join policy matching a construction-time [`Topology`]: random
+    /// topologies keep their edge probability, everything else joins
+    /// full-mesh (a ring has no canonical insertion point; the paper treats
+    /// non-random graphs as static).
+    pub fn matching(topology: &Topology) -> Self {
+        match *topology {
+            Topology::Random { p } => JoinTopology::ErdosRenyi { p },
+            Topology::Full | Topology::Ring => JoinTopology::FullMesh,
+        }
+    }
+}
+
 /// A symmetric link graph over agents: either an implicit full mesh (O(1)
 /// memory, the fleet-scale default) or an explicit adjacency matrix.
 ///
@@ -187,6 +217,81 @@ impl Adjacency {
         }
     }
 
+    /// Grows the graph by one agent with an Erdős–Rényi edge draw: each
+    /// existing agent is linked with probability `p`. This is the join
+    /// policy that preserves sparse-topology semantics under churn — a
+    /// fleet built from [`Topology::Random`] keeps its expected density as
+    /// newcomers arrive, instead of densifying toward a full mesh.
+    ///
+    /// An implicit full mesh is materialized into a matrix first (`p < 1`
+    /// breaks the all-pairs invariant), which costs O(k²) once; callers
+    /// that want to stay implicit should use [`Adjacency::grow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn grow_er<R: Rng>(&mut self, p: f64, rng: &mut R) {
+        assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+        self.materialize();
+        let Adjacency::Matrix { matrix } = self else { unreachable!("materialized above") };
+        let k = matrix.len();
+        let mut row = vec![false; k + 1];
+        for (j, row_j) in matrix.iter_mut().enumerate() {
+            let linked = rng.gen_bool(p);
+            row_j.push(linked);
+            row[j] = linked;
+        }
+        matrix.push(row);
+    }
+
+    /// Replaces agent `i`'s edges with a fresh Erdős–Rényi draw against
+    /// every other agent — the recycled-slot counterpart of
+    /// [`Adjacency::grow_er`]. Materializes an implicit full mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or `i` is out of range.
+    #[allow(clippy::needless_range_loop)] // symmetric writes need both indices
+    pub fn rewire_er<R: Rng>(&mut self, i: usize, p: f64, rng: &mut R) {
+        assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+        assert!(i < self.len(), "agent {i} out of range for {} agents", self.len());
+        self.materialize();
+        let Adjacency::Matrix { matrix } = self else { unreachable!("materialized above") };
+        for j in 0..matrix.len() {
+            let linked = j != i && rng.gen_bool(p);
+            matrix[i][j] = linked;
+            matrix[j][i] = linked;
+        }
+    }
+
+    /// Connects agent `i` to every other agent — the recycled-slot
+    /// counterpart of [`Adjacency::grow`]. An implicit full mesh is left
+    /// untouched (slot reuse cannot change an all-pairs graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[allow(clippy::needless_range_loop)] // symmetric writes need both indices
+    pub fn rewire_full(&mut self, i: usize) {
+        assert!(i < self.len(), "agent {i} out of range for {} agents", self.len());
+        if let Adjacency::Matrix { matrix } = self {
+            for j in 0..matrix.len() {
+                let linked = j != i;
+                matrix[i][j] = linked;
+                matrix[j][i] = linked;
+            }
+        }
+    }
+
+    /// Converts an implicit full mesh into an explicit matrix in place (a
+    /// matrix stays as is), so edge-level edits become possible.
+    fn materialize(&mut self) {
+        if let Adjacency::Full { k } = *self {
+            let matrix = (0..k).map(|i| (0..k).map(|j| i != j).collect()).collect();
+            *self = Adjacency::Matrix { matrix };
+        }
+    }
+
     /// Fraction of possible edges present.
     pub fn density(&self) -> f64 {
         let k = self.len();
@@ -280,6 +385,66 @@ mod tests {
                 assert!(!adj.connected(i, i));
             }
         }
+    }
+
+    #[test]
+    fn grow_er_keeps_expected_density() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut adj = Topology::random(0.2).build(40, &mut rng);
+        for _ in 0..40 {
+            adj.grow_er(0.2, &mut rng);
+        }
+        assert_eq!(adj.len(), 80);
+        let d = adj.density();
+        assert!((0.12..0.28).contains(&d), "ER joins should preserve density, got {d}");
+    }
+
+    #[test]
+    fn grow_er_materializes_a_full_mesh() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut adj = Adjacency::full(6);
+        adj.grow_er(0.5, &mut rng);
+        assert!(!adj.is_full_mesh());
+        assert_eq!(adj.len(), 7);
+        // Original all-pairs links survive materialization.
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(adj.connected(i, j), i != j);
+            }
+        }
+        assert!(!adj.connected(6, 6));
+    }
+
+    #[test]
+    fn grow_er_zero_p_isolates_the_newcomer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut adj = Topology::Ring.build(5, &mut rng);
+        adj.grow_er(0.0, &mut rng);
+        assert_eq!(adj.degree(5), 0);
+        for i in 0..5 {
+            assert_eq!(adj.degree(i), 2, "ring edges untouched");
+        }
+    }
+
+    #[test]
+    fn rewire_er_replaces_only_one_agents_edges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut adj = Topology::Ring.build(8, &mut rng);
+        adj.rewire_er(3, 1.0, &mut rng);
+        assert_eq!(adj.degree(3), 7, "p = 1 connects to everyone");
+        assert!(!adj.connected(3, 3));
+        // Edges not incident on 3 are untouched.
+        assert!(adj.connected(0, 1) && adj.connected(5, 6));
+    }
+
+    #[test]
+    fn rewire_full_on_matrix_connects_everyone() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut adj = Topology::random(0.0).build(5, &mut rng);
+        adj.rewire_full(2);
+        assert_eq!(adj.degree(2), 4);
+        assert!(adj.connected(2, 0) && adj.connected(4, 2));
+        assert!(!adj.connected(0, 1), "non-incident pairs stay unlinked");
     }
 
     #[test]

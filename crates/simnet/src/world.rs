@@ -4,7 +4,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::profile::assign_profiles;
-use crate::{Adjacency, AgentId, AgentProfile, AgentState, Topology};
+use crate::{Adjacency, AgentId, AgentProfile, AgentState, JoinTopology, Topology};
 
 /// Builder for a simulated world of heterogeneous agents.
 ///
@@ -191,6 +191,55 @@ impl World {
         id
     }
 
+    /// Appends a new agent wired in under the given [`JoinTopology`]
+    /// (full-mesh joins behave exactly like [`World::push_agent`];
+    /// Erdős–Rényi joins draw each edge from `rng`), and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn push_agent_joined<R: Rng>(
+        &mut self,
+        profile: AgentProfile,
+        num_samples: usize,
+        batch_size: usize,
+        join: JoinTopology,
+        rng: &mut R,
+    ) -> AgentId {
+        let id = AgentId(self.agents.len());
+        self.agents.push(AgentState::new(id, profile, num_samples, batch_size));
+        match join {
+            JoinTopology::FullMesh => self.adjacency.grow(),
+            JoinTopology::ErdosRenyi { p } => self.adjacency.grow_er(p, rng),
+        }
+        id
+    }
+
+    /// Reuses a departed agent's world slot for a newcomer: the agent state
+    /// is replaced wholesale and the slot's links are rewired under the
+    /// given [`JoinTopology`]. The caller (the fleet driver's free-list) is
+    /// responsible for only recycling slots whose occupant has actually
+    /// departed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or `batch_size` is zero.
+    pub fn recycle_agent<R: Rng>(
+        &mut self,
+        id: AgentId,
+        profile: AgentProfile,
+        num_samples: usize,
+        batch_size: usize,
+        join: JoinTopology,
+        rng: &mut R,
+    ) {
+        self.agents[id.0] = AgentState::new(id, profile, num_samples, batch_size);
+        match join {
+            JoinTopology::FullMesh => self.adjacency.rewire_full(id.0),
+            JoinTopology::ErdosRenyi { p } => self.adjacency.rewire_er(id.0, p, rng),
+        }
+    }
+
     /// Effective link speed between two agents in Mbps: the minimum of the
     /// endpoints' profiles, or 0 if the topology has no edge or either agent
     /// is disconnected.
@@ -230,13 +279,28 @@ impl World {
     /// Draws from a dedicated RNG stream: toggling sampling on or off does
     /// not change which profiles churn re-rolls, and vice versa.
     pub fn sample_participants(&mut self, rate: f64) -> Vec<AgentId> {
-        let k = self.agents.len();
+        let all: Vec<AgentId> = (0..self.agents.len()).map(AgentId).collect();
+        self.sample_participants_among(&all, rate)
+    }
+
+    /// Samples a participation subset of the given rate from an explicit
+    /// candidate set — the elastic-fleet variant of
+    /// [`World::sample_participants`], where the candidates are the
+    /// currently *active* members rather than every agent ever seen.
+    /// Returns at least one agent (unless `candidates` is empty) in
+    /// ascending id order, drawing from the same dedicated participation
+    /// stream.
+    pub fn sample_participants_among(&mut self, candidates: &[AgentId], rate: f64) -> Vec<AgentId> {
+        let k = candidates.len();
+        if k == 0 {
+            return Vec::new();
+        }
         let n = ((k as f64 * rate).round() as usize).clamp(1, k);
-        let mut ids: Vec<usize> = (0..k).collect();
+        let mut ids: Vec<AgentId> = candidates.to_vec();
         ids.shuffle(&mut self.participation_rng);
-        let mut out: Vec<AgentId> = ids.into_iter().take(n).map(AgentId).collect();
-        out.sort();
-        out
+        ids.truncate(n);
+        ids.sort();
+        ids
     }
 
     /// The slowest agent's solo round time given per-batch seconds computed
@@ -370,6 +434,59 @@ mod tests {
         let mut churned = WorldConfig::heterogeneous(20, 13).build();
         churned.churn_profiles(0.5);
         assert_eq!(plain.sample_participants(0.3), churned.sample_participants(0.3));
+    }
+
+    #[test]
+    fn sample_among_respects_candidates_and_rate() {
+        let mut w = WorldConfig::heterogeneous(40, 29).build();
+        let candidates: Vec<AgentId> = (10..30).map(AgentId).collect();
+        let s = w.sample_participants_among(&candidates, 0.5);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|id| candidates.contains(id)));
+        assert!(s.windows(2).all(|p| p[0] < p[1]), "ascending ids");
+        assert!(w.sample_participants_among(&[], 0.5).is_empty());
+        assert_eq!(w.sample_participants_among(&candidates, 1e-9).len(), 1);
+    }
+
+    #[test]
+    fn er_joins_preserve_sparse_topology() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut w = WorldConfig::heterogeneous(30, 31).topology(Topology::random(0.2)).build();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            w.push_agent_joined(
+                AgentProfile::new(1.0, 50.0),
+                100,
+                10,
+                JoinTopology::ErdosRenyi { p: 0.2 },
+                &mut rng,
+            );
+        }
+        let d = w.adjacency().density();
+        assert!((0.1..0.3).contains(&d), "density {d} should stay near 0.2");
+    }
+
+    #[test]
+    fn recycled_slot_takes_over_state_and_links() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut w = WorldConfig::heterogeneous(6, 37).topology(Topology::random(0.3)).build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let target = AgentId(2);
+        w.recycle_agent(
+            target,
+            AgentProfile::new(4.0, 100.0),
+            777,
+            7,
+            JoinTopology::FullMesh,
+            &mut rng,
+        );
+        let a = w.agent(target);
+        assert_eq!(a.profile, AgentProfile::new(4.0, 100.0));
+        assert_eq!(a.num_samples, 777);
+        assert_eq!(a.batch_size, 7);
+        assert_eq!(w.adjacency().degree(target.0), 5, "full-mesh rewire links everyone");
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //!   whole multi-round runs over a churning fleet.
 //! * [`baselines`] — FedAvg, Gossip Learning, BrainTorrent, AllReduce DML —
 //!   all executing on the same shared simulated clock.
+//! * [`exp`] — declarative scenario specs (`ScenarioSpec`/`SweepSpec`) and
+//!   the parallel `SweepRunner` regenerating the paper's Table II/III grids
+//!   (`exp_sweep`, `paper_tables`) with byte-deterministic reports.
 //! * [`privacy`] — differential privacy, patch shuffling, distance correlation.
 //! * [`net`] — threaded `std::net` peer-to-peer transport for the protocol.
 //!
@@ -58,6 +61,7 @@ pub use comdml_collective as collective;
 pub use comdml_core as core;
 pub use comdml_cost as cost;
 pub use comdml_data as data;
+pub use comdml_exp as exp;
 pub use comdml_net as net;
 pub use comdml_nn as nn;
 pub use comdml_privacy as privacy;
