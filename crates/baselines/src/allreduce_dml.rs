@@ -56,6 +56,10 @@ impl RoundEngine for AllReduceDml {
         );
         comdml_core::barrier_round_s(&times, agg)
     }
+
+    // `round_progress_for` inherits the trait default: AllReduce is a
+    // global average over the full barrier cohort — the same learning step
+    // as FedAvg, at full per-round efficiency.
 }
 
 #[cfg(test)]
@@ -73,6 +77,16 @@ mod tests {
         let t_ring = ring.round_time_s(&mut world.clone(), 0);
         // Same bytes, ring has more latency-bound steps.
         assert!(t_ring >= t_hd);
+    }
+
+    #[test]
+    fn progress_reports_the_full_cohort_at_full_efficiency() {
+        let mut engine = AllReduceDml::new(BaselineConfig { churn: None, ..Default::default() });
+        let world = WorldConfig::heterogeneous(8, 4).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let p = engine.round_progress_for(&world, 0, &ids);
+        assert_eq!(p.round_s, engine.round_time_for(&world, 0, &ids));
+        assert_eq!((p.efficiency, p.cohort), (1.0, 8));
     }
 
     #[test]

@@ -52,6 +52,11 @@ impl RoundEngine for BrainTorrent {
         let bytes = 2 * (participants.len() as u64 - 1) * b;
         comdml_core::barrier_round_s(&times, self.cfg.calibration.transfer_time_s(bytes, agg_link))
     }
+
+    // `round_progress_for` inherits the trait default: the rotating
+    // aggregator serializes communication but still averages every
+    // participant's fresh update — only the round *time* varies with the
+    // drawn aggregator, never the learning efficiency.
 }
 
 #[cfg(test)]
@@ -77,6 +82,26 @@ mod tests {
         let agg_big =
             big_engine.round_time_s(&mut w, 0) - big_engine.cfg.straggler_compute_s(&w, &ids);
         assert!(agg_big > agg_small, "{agg_big} vs {agg_small}");
+    }
+
+    #[test]
+    fn progress_varies_in_time_but_not_in_efficiency() {
+        let mut engine =
+            BrainTorrent::new(BaselineConfig { churn: None, ..Default::default() }).with_seed(7);
+        let world = WorldConfig::heterogeneous(12, 5).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let times: Vec<f64> = (0..8).map(|r| engine.round_progress_for(&world, r, &ids)).fold(
+            Vec::new(),
+            |mut acc, p| {
+                assert_eq!((p.efficiency, p.cohort), (1.0, 12));
+                acc.push(p.round_s);
+                acc
+            },
+        );
+        assert!(
+            times.iter().any(|&t| (t - times[0]).abs() > 1e-9),
+            "the rotating aggregator should vary round times"
+        );
     }
 
     #[test]

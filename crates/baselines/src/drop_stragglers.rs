@@ -1,4 +1,4 @@
-use comdml_core::RoundEngine;
+use comdml_core::{RoundEngine, RoundProgress};
 use comdml_simnet::{AgentId, World};
 
 use crate::BaselineConfig;
@@ -30,6 +30,13 @@ impl DropStragglers {
         );
         Self { cfg, drop_fraction }
     }
+
+    /// Survivors of an `n`-participant round: the fastest
+    /// `ceil(n · (1 − drop_fraction))`, at least one — the single drop rule
+    /// both the pricing and the progress report use.
+    fn keep(&self, n: usize) -> usize {
+        ((n as f64 * (1.0 - self.drop_fraction)).ceil() as usize).clamp(1, n)
+    }
 }
 
 impl RoundEngine for DropStragglers {
@@ -55,13 +62,34 @@ impl RoundEngine for DropStragglers {
         let mut by_speed: Vec<(AgentId, f64)> =
             participants.iter().map(|&id| (id, self.cfg.solo_time_s(world.agent(id)))).collect();
         by_speed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        let keep = ((by_speed.len() as f64 * (1.0 - self.drop_fraction)).ceil() as usize)
-            .clamp(1, by_speed.len());
+        let keep = self.keep(by_speed.len());
         let survivors: Vec<AgentId> = by_speed[..keep].iter().map(|&(id, _)| id).collect();
         let b = self.cfg.model.model_bytes() as u64;
         let min_link = self.cfg.min_link_mbps(world, &survivors);
         let comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
         comdml_core::barrier_round_s(&by_speed[..keep], comm)
+    }
+
+    /// The aggregation cohort is only the surviving fast fraction — the
+    /// dropped stragglers' data never contributes this round, which is
+    /// exactly what the analytic efficiency discounts.
+    fn round_progress_for(
+        &mut self,
+        world: &World,
+        round: usize,
+        participants: &[AgentId],
+    ) -> RoundProgress {
+        let round_s = self.round_time_for(world, round, participants);
+        if participants.is_empty() {
+            return RoundProgress::idle(round_s);
+        }
+        RoundProgress {
+            round_s,
+            efficiency: self.rounds_factor(),
+            participants: participants.len(),
+            cohort: self.keep(participants.len()),
+            disruptions: 0,
+        }
     }
 }
 
@@ -86,6 +114,18 @@ mod tests {
     fn needs_more_rounds_than_full_participation() {
         let engine = DropStragglers::new(BaselineConfig::default(), 0.3);
         assert!(engine.rounds_factor() < 1.0);
+    }
+
+    #[test]
+    fn progress_cohort_is_the_surviving_fraction() {
+        let base = BaselineConfig { churn: None, ..BaselineConfig::default() };
+        let world = WorldConfig::heterogeneous(10, 3).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let mut engine = DropStragglers::new(base, 0.3);
+        let p = engine.round_progress_for(&world, 0, &ids);
+        assert_eq!(p.participants, 10);
+        assert_eq!(p.cohort, 7, "30% of 10 dropped");
+        assert!((p.efficiency - engine.rounds_factor()).abs() < 1e-12);
     }
 
     #[test]

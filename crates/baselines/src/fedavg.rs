@@ -49,6 +49,10 @@ impl RoundEngine for FedAvg {
         let server_comm = self.cfg.calibration.transfer_time_s(server_bytes, self.cfg.server_mbps);
         comdml_core::barrier_round_s(&times, client_comm.max(server_comm))
     }
+
+    // `round_progress_for` inherits the trait default: the barrier waits
+    // for everyone, so every participant's update reaches the server fresh
+    // — a full-efficiency round over the whole cohort.
 }
 
 #[cfg(test)]
@@ -64,6 +68,18 @@ mod tests {
         let compute = engine.cfg.straggler_compute_s(&world, &ids);
         let t = engine.round_time_s(&mut world, 0);
         assert!(t > compute);
+    }
+
+    #[test]
+    fn progress_pairs_barrier_time_with_full_efficiency() {
+        let mut engine = FedAvg::new(BaselineConfig { churn: None, ..Default::default() });
+        let world = WorldConfig::heterogeneous(10, 3).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let p = engine.round_progress_for(&world, 0, &ids);
+        assert_eq!(p.round_s, engine.round_time_for(&world, 0, &ids));
+        assert_eq!(p.efficiency, 1.0, "everyone aggregates fresh");
+        assert_eq!(p.cohort, 10);
+        assert_eq!(engine.round_progress_for(&world, 0, &[]).efficiency, 0.0, "idle when empty");
     }
 
     #[test]

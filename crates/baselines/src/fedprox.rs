@@ -70,6 +70,11 @@ impl RoundEngine for FedProx {
         let comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
         comdml_core::barrier_round_s(&times, comm)
     }
+
+    // `round_progress_for` inherits the trait default: every participant
+    // contributes, but stragglers contribute *truncated* epochs — the
+    // round's efficiency is the γ-inexactness discount, a constant of the
+    // `min_work` floor.
 }
 
 #[cfg(test)]
@@ -103,5 +108,16 @@ mod tests {
     #[test]
     fn pays_in_rounds() {
         assert!(FedProx::new(BaselineConfig::default(), 0.2).rounds_factor() < 1.0);
+    }
+
+    #[test]
+    fn progress_carries_the_inexactness_discount() {
+        let base = BaselineConfig { churn: None, ..BaselineConfig::default() };
+        let world = WorldConfig::heterogeneous(10, 6).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let mut engine = FedProx::new(base, 0.4);
+        let p = engine.round_progress_for(&world, 0, &ids);
+        assert!((p.efficiency - (0.6 + 0.4 * 0.4)).abs() < 1e-12);
+        assert_eq!(p.cohort, 10, "everyone's partial update aggregates");
     }
 }

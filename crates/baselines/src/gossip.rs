@@ -79,6 +79,11 @@ impl RoundEngine for GossipLearning {
             .collect();
         comdml_core::mean_round_s(&times)
     }
+
+    // `round_progress_for` inherits the trait default: everyone exchanges,
+    // but pairwise averaging only *partially* mixes information — the
+    // round's learning efficiency is the (possibly topology-degraded)
+    // mixing factor, well below a global average's 1.0.
 }
 
 #[cfg(test)]
@@ -104,6 +109,17 @@ mod tests {
         let straggler = gossip.cfg.straggler_compute_s(&world, &ids);
         let t = gossip.round_time_s(&mut world, 0);
         assert!(t < straggler, "mean pace {t} should be under straggler {straggler}");
+    }
+
+    #[test]
+    fn progress_carries_the_mixing_efficiency() {
+        let mut gossip = GossipLearning::new(BaselineConfig { churn: None, ..Default::default() })
+            .with_topology_density(0.25);
+        let world = WorldConfig::heterogeneous(8, 4).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let p = gossip.round_progress_for(&world, 0, &ids);
+        assert!((p.efficiency - 0.55 * 0.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(p.cohort, 8, "everyone exchanges");
     }
 
     #[test]

@@ -91,6 +91,10 @@ impl RoundEngine for ClassicSplitLearning {
             .collect();
         comdml_core::barrier_round_s(&times, 0.0)
     }
+
+    // `round_progress_for` inherits the trait default: per-batch server
+    // round trips are slow but lossless — the global model still sees
+    // every participant's full epoch, a full-efficiency round.
 }
 
 #[cfg(test)]
@@ -124,6 +128,16 @@ mod tests {
             t_sl > 0.5 * t_avg,
             "SL should not magically beat local training: {t_sl} vs {t_avg}"
         );
+    }
+
+    #[test]
+    fn progress_pairs_round_trip_time_with_full_efficiency() {
+        let world = WorldConfig::heterogeneous(6, 2).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let mut engine = ClassicSplitLearning::new(base(), 19, 8.0);
+        let p = engine.round_progress_for(&world, 0, &ids);
+        assert_eq!(p.round_s, engine.round_time_for(&world, 0, &ids));
+        assert_eq!((p.efficiency, p.cohort), (1.0, 6));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use comdml_core::RoundEngine;
+use comdml_core::{RoundEngine, RoundProgress};
 use comdml_simnet::{AgentId, World};
 
 use crate::BaselineConfig;
@@ -45,6 +45,26 @@ impl TierBased {
         }
         tiers
     }
+
+    /// The speed tier round `round` selects.
+    fn selected_tier(&self, world: &World, round: usize, participants: &[AgentId]) -> Vec<AgentId> {
+        let mut tiers = self.tiers(world, participants);
+        let idx = round % tiers.len();
+        std::mem::take(&mut tiers[idx])
+    }
+
+    /// Barrier time of one tier's round: the tier's compute plus the
+    /// FedAvg-style server exchange.
+    fn price_tier(&self, world: &World, tier: &[AgentId]) -> f64 {
+        if tier.is_empty() {
+            return 0.0;
+        }
+        let times = self.cfg.per_agent_times(world, tier);
+        let b = self.cfg.model.model_bytes() as u64;
+        let min_link = self.cfg.min_link_mbps(world, tier);
+        let comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
+        comdml_core::barrier_round_s(&times, comm)
+    }
 }
 
 impl RoundEngine for TierBased {
@@ -67,17 +87,37 @@ impl RoundEngine for TierBased {
         if participants.is_empty() {
             return 0.0;
         }
-        let tiers = self.tiers(world, participants);
-        let tier = &tiers[round % tiers.len()];
-        if tier.is_empty() {
-            return 0.0;
+        let tier = self.selected_tier(world, round, participants);
+        self.price_tier(world, &tier)
+    }
+
+    /// Only the round's selected speed tier trains and aggregates: the
+    /// cohort is that tier, and the efficiency is the one-tier-of-data
+    /// sampling discount. The tier split is computed once and both the
+    /// price and the cohort read from it.
+    fn round_progress_for(
+        &mut self,
+        world: &World,
+        round: usize,
+        participants: &[AgentId],
+    ) -> RoundProgress {
+        if participants.is_empty() {
+            return RoundProgress::idle(0.0);
         }
-        let times = self.cfg.per_agent_times(world, tier);
-        // Server exchange for the tier, as in FedAvg.
-        let b = self.cfg.model.model_bytes() as u64;
-        let min_link = self.cfg.min_link_mbps(world, tier);
-        let comm = 2.0 * self.cfg.calibration.transfer_time_s(b, min_link);
-        comdml_core::barrier_round_s(&times, comm)
+        let tier = self.selected_tier(world, round, participants);
+        if tier.is_empty() {
+            // Ceil splitting can leave trailing tiers empty when the
+            // participant count doesn't divide evenly; a round whose
+            // selected tier trains nobody advances nothing.
+            return RoundProgress::idle(0.0);
+        }
+        RoundProgress {
+            round_s: self.price_tier(world, &tier),
+            efficiency: self.rounds_factor(),
+            participants: participants.len(),
+            cohort: tier.len(),
+            disruptions: 0,
+        }
     }
 }
 
@@ -106,6 +146,32 @@ mod tests {
         let mut w = world.clone();
         let mean: f64 = (0..10).map(|r| engine.round_time_s(&mut w, r)).sum::<f64>() / 10.0;
         assert!(mean < straggler, "tiering should cut the mean round: {mean} vs {straggler}");
+    }
+
+    #[test]
+    fn progress_cohort_is_one_tier() {
+        let mut engine = TierBased::new(BaselineConfig { churn: None, ..Default::default() }, 5);
+        let world = WorldConfig::heterogeneous(20, 3).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        for round in 0..5 {
+            let p = engine.round_progress_for(&world, round, &ids);
+            assert_eq!(p.participants, 20);
+            assert_eq!(p.cohort, 4, "20 agents over 5 tiers");
+        }
+    }
+
+    #[test]
+    fn empty_tier_rounds_advance_nothing() {
+        // 7 participants over 5 tiers splits ceil(7/5) = 2 per tier:
+        // [2, 2, 2, 1, 0] — the last tier is empty, and its round must not
+        // be credited with learning progress.
+        let mut engine = TierBased::new(BaselineConfig { churn: None, ..Default::default() }, 5);
+        let world = WorldConfig::heterogeneous(7, 3).build();
+        let ids: Vec<_> = world.agents().iter().map(|a| a.id).collect();
+        let p = engine.round_progress_for(&world, 4, &ids);
+        assert_eq!(p.cohort, 0);
+        assert_eq!(p.efficiency, 0.0, "an empty tier teaches nothing");
+        assert_eq!(p.round_s, 0.0);
     }
 
     #[test]

@@ -73,15 +73,17 @@ pub fn run_rounds(engine: &mut dyn RoundEngine, world: &World, rounds: usize) ->
 /// Rounds-to-target with the participation-sampling penalty: when only a
 /// `sampling_rate` fraction of agents contributes per round, the global
 /// model sees proportionally less data, inflating the round count
-/// (sub-linearly — overlapping updates still transfer).
+/// (sub-linearly — overlapping updates still transfer). The penalty is
+/// [`comdml_core::sampling_penalty`], the same factor the round-driven
+/// [`comdml_core::LearningModel`] applies per round — which is exactly why
+/// the two agree under constant efficiency.
 pub fn rounds_with_sampling(
     curve: &LearningCurve,
     target: f64,
     engine_factor: f64,
     sampling_rate: f64,
 ) -> usize {
-    let eff = engine_factor * sampling_rate.clamp(0.01, 1.0).powf(0.35);
-    curve.rounds_to(target, eff)
+    curve.rounds_to(target, engine_factor * comdml_core::sampling_penalty(sampling_rate))
 }
 
 /// Formats seconds with thousands separators, matching the tables' style.

@@ -6,8 +6,8 @@ use comdml_simnet::{AgentId, World};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AggregationMode, EventGranularity, EventRound, EventRoundReport, LearningCurve,
-    PairingScheduler, RoundOutcome, TrainingTimeEstimator,
+    AggregationMode, EventGranularity, EventRound, EventRoundReport, LearningCurve, LearningModel,
+    PairingScheduler, RoundOutcome, RoundProgress, TrainingTimeEstimator,
 };
 
 /// Dynamic-environment policy: re-roll a fraction of agent profiles every
@@ -105,6 +105,31 @@ pub trait RoundEngine {
     /// exactly the given participants and must not re-apply their own
     /// policies here.
     fn round_time_for(&mut self, world: &World, round: usize, participants: &[AgentId]) -> f64;
+
+    /// Simulates round `round` over `participants` and reports the round
+    /// time *paired with* the realized effective-progress inputs a
+    /// [`LearningModel`] accumulates — the round-driven replacement for
+    /// projecting accuracy from [`RoundEngine::rounds_factor`] after the
+    /// fact.
+    ///
+    /// The default pairs [`RoundEngine::round_time_for`] with the engine's
+    /// analytic factor (exact for every closed-form baseline, whose
+    /// efficiency is round-invariant) and reports an idle round when the
+    /// participant set is empty — time may pass, but nothing is learned.
+    /// Engines whose efficiency varies round to round (ComDML's event
+    /// rounds under semi-sync/async staleness) override this.
+    fn round_progress_for(
+        &mut self,
+        world: &World,
+        round: usize,
+        participants: &[AgentId],
+    ) -> RoundProgress {
+        let round_s = self.round_time_for(world, round, participants);
+        if participants.is_empty() {
+            return RoundProgress::idle(round_s);
+        }
+        RoundProgress::fresh(round_s, self.rounds_factor(), participants.len())
+    }
 }
 
 /// Result of driving a [`RoundEngine`] to a target accuracy.
@@ -280,30 +305,30 @@ impl ComDml {
 
     /// Runs to `target` accuracy on a clone of `world` and reports totals.
     ///
-    /// Rounds accumulate staleness-weighted *effective* progress
-    /// ([`EventRoundReport::efficiency`]): under the synchronous barrier
-    /// every round counts fully and the round count matches the curve's
-    /// prediction exactly; semi-synchronous and asynchronous runs need more
-    /// wall rounds because stale updates advance the curve less. A safety
-    /// cap of 20× the nominal round count bounds pathological configs.
+    /// Rounds advance a [`LearningModel`] with their staleness-weighted
+    /// *effective* progress ([`EventRoundReport::progress`]): under the
+    /// synchronous barrier every round counts fully and the round count
+    /// matches the curve's prediction exactly; semi-synchronous and
+    /// asynchronous runs need more wall rounds because stale updates
+    /// advance the curve less. A safety cap of 20× the nominal round count
+    /// bounds pathological configs.
     ///
     /// # Panics
     ///
     /// Panics if `target` exceeds the configured curve's asymptote.
     pub fn run(&mut self, world: &World, target: f64) -> ComDmlReport {
-        let needed = self.config.curve.rounds_to(target, 1.0) as f64;
-        let cap = (needed * 20.0).ceil() as usize;
+        let mut model = LearningModel::new(self.config.curve, target);
+        let cap = (model.needed_effective_rounds() * 20.0).ceil() as usize;
         let mut world = world.clone();
         let mut total = 0.0;
         let mut idle = 0.0;
         let mut comm = 0.0;
         let mut offloads = 0usize;
-        let mut effective = 0.0;
         let mut rounds = 0usize;
-        while effective + 1e-9 < needed && rounds < cap {
-            let before = self.efficiency_sum;
+        while !model.reached() && rounds < cap {
             let outcome = self.run_round(&mut world, rounds);
-            effective += self.efficiency_sum - before;
+            let report = self.last_report.as_ref().expect("round just ran");
+            model.observe(&report.progress(self.config.staleness_decay));
             total += outcome.round_s();
             idle += outcome.total_idle_s();
             comm += outcome.total_comm_s();
@@ -343,6 +368,20 @@ impl RoundEngine for ComDml {
 
     fn round_time_for(&mut self, world: &World, _round: usize, participants: &[AgentId]) -> f64 {
         self.run_round_with(world, participants).round_s()
+    }
+
+    /// One event round's *realized* progress: unlike the closed-form
+    /// baselines, ComDML's efficiency varies round to round with the
+    /// staleness distribution of the aggregation cohort.
+    fn round_progress_for(
+        &mut self,
+        world: &World,
+        _round: usize,
+        participants: &[AgentId],
+    ) -> RoundProgress {
+        let _ = self.run_round_with(world, participants);
+        let report = self.last_report.as_ref().expect("round just ran");
+        report.progress(self.config.staleness_decay)
     }
 }
 
@@ -416,6 +455,32 @@ mod tests {
         assert_eq!(t.method, "ComDML");
         assert!(t.total_time_s > 0.0);
         assert!((t.mean_round_s * t.rounds as f64 - t.total_time_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_progress_reports_realized_efficiency() {
+        let world = WorldConfig::heterogeneous(12, 7).build();
+        let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+        let mut engine = ComDml::new(ComDmlConfig { churn: None, ..ComDmlConfig::default() });
+        let p = engine.round_progress_for(&world, 0, &ids);
+        assert!((p.efficiency - 1.0).abs() < 1e-12, "sync barrier is fully fresh");
+        assert_eq!(p.participants, 12);
+        assert_eq!(p.cohort, 12);
+        assert_eq!(p.disruptions, 0);
+        assert!(p.round_s > 0.0);
+
+        let mut semi = ComDml::new(ComDmlConfig {
+            churn: None,
+            aggregation: AggregationMode::SemiSynchronous { quorum: 0.5, staleness_s: f64::MAX },
+            ..ComDmlConfig::default()
+        });
+        let sp = semi.round_progress_for(&world, 0, &ids);
+        assert!(
+            sp.efficiency < 1.0,
+            "stragglers past the quorum spill and discount efficiency, got {}",
+            sp.efficiency
+        );
+        assert!(sp.cohort < sp.participants, "quorum cohort excludes stragglers");
     }
 
     #[test]

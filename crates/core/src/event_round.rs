@@ -57,7 +57,9 @@ use comdml_collective::{AllReduceAlgorithm, CollectiveCost};
 use comdml_cost::CostCalibration;
 use comdml_simnet::{AgentId, SimDriver, SimEvent, World};
 
-use crate::{AgentRoundStats, PairRoundSim, Pairing, RoundOutcome, TrainingTimeEstimator};
+use crate::{
+    AgentRoundStats, PairRoundSim, Pairing, RoundOutcome, RoundProgress, TrainingTimeEstimator,
+};
 
 /// When a round aggregates relative to its participants' task completions.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -192,6 +194,21 @@ impl EventRoundReport {
             })
             .sum();
         sum / n as f64
+    }
+
+    /// The round's effective-progress inputs for [`crate::LearningModel`]:
+    /// realized duration, staleness-weighted efficiency, participant and
+    /// cohort counts, and the number of departures that actually disrupted
+    /// training (orphaned pairs, whether re-paired or fallen back to local
+    /// training).
+    pub fn progress(&self, staleness_decay: f64) -> RoundProgress {
+        RoundProgress {
+            round_s: self.round_end_s.max(0.0),
+            efficiency: self.efficiency(staleness_decay),
+            participants: self.outcome.agent_stats.len(),
+            cohort: self.cohort.len(),
+            disruptions: self.repairs + self.local_fallbacks,
+        }
     }
 }
 

@@ -41,7 +41,9 @@ use comdml_cost::SplitProfile;
 use comdml_simnet::{AgentId, FleetConfig, FleetDriver, MembershipChange};
 use serde::{Deserialize, Serialize};
 
-use crate::{ComDmlConfig, Disruption, EventRound, PairingScheduler, TrainingTimeEstimator};
+use crate::{
+    ComDmlConfig, Disruption, EventRound, PairingScheduler, RoundProgress, TrainingTimeEstimator,
+};
 
 /// What one elastic-fleet round produced.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,6 +61,12 @@ pub struct FleetRoundSummary {
     pub joins: usize,
     /// Mid-round leaves handed to the round.
     pub leaves: usize,
+    /// Of the handed leaves, the participant departures that actually
+    /// landed inside the realized round (`at_s <= round_s`). The planning
+    /// horizon forecasts further ahead than most rounds run, so a later
+    /// leave stays active and re-appears next round — this count is what
+    /// churn-coupled accuracy may charge without double-counting.
+    pub leaves_committed: usize,
     /// Successful helper re-pairings after departures.
     pub repairs: usize,
     /// Simulated seconds this round took.
@@ -68,6 +76,23 @@ pub struct FleetRoundSummary {
     pub efficiency: f64,
     /// Events the round engine executed.
     pub events_processed: u64,
+}
+
+impl From<&FleetRoundSummary> for RoundProgress {
+    /// The elastic-fleet round as effective-progress inputs for a
+    /// [`crate::LearningModel`]: the sampled participants entered the
+    /// round, the cohort aggregated, and the leaves that landed inside the
+    /// realized round are the disruptions churn-coupled accuracy charges
+    /// for (forecast-only leaves are charged the round they commit).
+    fn from(s: &FleetRoundSummary) -> Self {
+        Self {
+            round_s: s.round_s,
+            efficiency: s.efficiency,
+            participants: s.sampled,
+            cohort: s.cohort,
+            disruptions: s.leaves_committed,
+        }
+    }
 }
 
 /// Aggregate report of a [`FleetSim::run`].
@@ -266,6 +291,11 @@ impl FleetSim {
             }
         }
 
+        // Of the leaves handed to the round, only those landing inside the
+        // realized duration actually disrupted it; later forecast events
+        // stay active and are reported the round they commit.
+        let leaves_committed = plan.committed_leaves_among(&participants, round_s);
+
         // An empty round's duration is a fast-forward jump, not a round
         // time; don't let it inflate the next planning horizon.
         self.last_round_s = if plan.participants.is_empty() { 0.0 } else { round_s };
@@ -280,6 +310,7 @@ impl FleetSim {
             cohort: report.cohort.len(),
             joins,
             leaves,
+            leaves_committed,
             repairs: report.repairs,
             round_s,
             efficiency,
@@ -504,6 +535,36 @@ mod tests {
             prev = sim.carry_over().clone();
         }
         assert!(ever_held, "some unsampled agent should have held spill over 25 rounds");
+    }
+
+    #[test]
+    fn round_progress_mirrors_the_summary() {
+        let mut sim = FleetSim::new(churny_fleet(5), quick_config());
+        let mut saw_leave = false;
+        let mut total_committed = 0usize;
+        for _ in 0..25 {
+            let s = sim.step();
+            let p = RoundProgress::from(&s);
+            assert_eq!(p.round_s.to_bits(), s.round_s.to_bits());
+            assert_eq!(p.efficiency.to_bits(), s.efficiency.to_bits());
+            assert_eq!(p.participants, s.sampled);
+            assert_eq!(p.cohort, s.cohort);
+            assert_eq!(p.disruptions, s.leaves_committed);
+            assert!(
+                s.leaves_committed <= s.leaves,
+                "committed leaves are a subset of the handed leaves"
+            );
+            saw_leave |= s.leaves > 0;
+            total_committed += s.leaves_committed;
+        }
+        assert!(saw_leave, "5k-second sessions over 25 rounds should produce leave disruptions");
+        // The total charged over the run cannot exceed actual departures —
+        // the invariant the horizon-forecast double-count would break.
+        assert!(
+            total_committed <= sim.fleet().departures_total(),
+            "committed leave charges ({total_committed}) exceed real departures ({})",
+            sim.fleet().departures_total()
+        );
     }
 
     #[test]

@@ -114,6 +114,23 @@ impl LearningCurve {
         Self::new((self.a_max + 0.012).min(1.0), self.tau * 1.25)
     }
 
+    /// Linear interpolation between two curves: `frac = 0` gives `self`,
+    /// `frac = 1` gives `other`. Used for non-I.I.D. *mixes* — a fleet
+    /// whose data skew sits between the calibrated I.I.D. and
+    /// Dirichlet-0.5 endpoints gets a proportionally blended asymptote and
+    /// round constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `[0, 1]`.
+    pub fn blend(self, other: Self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "blend fraction must be in [0, 1], got {frac}");
+        Self::new(
+            self.a_max + frac * (other.a_max - self.a_max),
+            self.tau + frac * (other.tau - self.tau),
+        )
+    }
+
     /// Accuracy after `r` rounds.
     pub fn accuracy_at(&self, r: f64) -> f64 {
         self.a_max * (1.0 - (-r / self.tau).exp())
@@ -221,6 +238,26 @@ mod tests {
         let iid = LearningCurve::cifar10(true).rounds_to(0.80, 1.0);
         let non = LearningCurve::cifar10(false).rounds_to(0.80, 1.0);
         assert!(non > iid);
+    }
+
+    #[test]
+    fn blend_interpolates_between_endpoints() {
+        let iid = LearningCurve::cifar10(true);
+        let non = LearningCurve::cifar10(false);
+        assert_eq!(iid.blend(non, 0.0), iid);
+        assert_eq!(iid.blend(non, 1.0), non);
+        let mid = iid.blend(non, 0.5);
+        assert!((mid.a_max - (iid.a_max + non.a_max) / 2.0).abs() < 1e-12);
+        assert!((mid.tau - (iid.tau + non.tau) / 2.0).abs() < 1e-12);
+        // A more skewed mix converges slower to a lower ceiling.
+        assert!(iid.blend(non, 0.8).tau > iid.blend(non, 0.2).tau);
+        assert!(iid.blend(non, 0.8).a_max < iid.blend(non, 0.2).a_max);
+    }
+
+    #[test]
+    #[should_panic(expected = "blend fraction")]
+    fn blend_rejects_out_of_range_fraction() {
+        let _ = LearningCurve::cifar10(true).blend(LearningCurve::cifar10(false), 1.5);
     }
 
     #[test]

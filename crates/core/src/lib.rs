@@ -40,6 +40,7 @@ mod estimator;
 mod event_round;
 mod fleet;
 mod learning_curve;
+mod learning_model;
 mod multi;
 mod real_fleet;
 mod round;
@@ -56,6 +57,7 @@ pub use event_round::{
 };
 pub use fleet::{FleetReport, FleetRoundSummary, FleetSim};
 pub use learning_curve::{staleness_weight, LearningCurve};
+pub use learning_model::{sampling_penalty, LearningModel, RoundProgress};
 pub use multi::{helper_completion_s, pair_with_capacity, MultiPairing};
 pub use real_fleet::{InputHook, ParamHook, RealFleetConfig, RealFleetReport, RealSplitFleet};
 pub use round::{simulate_round, AgentRoundStats, PairRoundSim, RoundOutcome};

@@ -7,8 +7,11 @@
 //! ```
 //!
 //! A `@name` argument resolves a built-in preset (`@table2`, `@table3`,
-//! `@smoke`) instead of reading a file; `--print-spec` renders the resolved
-//! spec (useful for turning a preset into an editable starting file).
+//! `@extended`, `@convergence`, `@smoke`) instead of reading a file;
+//! `--print-spec` renders the resolved spec (useful for turning a preset
+//! into an editable starting file). Jobs run round-driven: per-job realized
+//! accuracy trajectories land in the `BENCH_sweep_*.json` artifact, and
+//! jobs stop early once they reach the scenario's target accuracy.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -14,10 +14,13 @@
 //! * [`SweepRunner`] — expands the grid into a job matrix and executes it
 //!   on a `std::thread` worker pool stealing from a shared queue, with
 //!   deterministic per-job seeding: the assembled report is byte-identical
-//!   whatever the worker count.
-//! * [`SweepReport`] — per-cell mean/p50/p95 time-to-target, rounds
-//!   budgets, speedup-vs-FedAvg, emitted as `BENCH_sweep_*.json` + CSV and
-//!   paper-style stdout tables.
+//!   whatever the worker count. Jobs are **round-driven**: each simulated
+//!   round's realized efficiency/participation/disruptions advance a
+//!   [`comdml_core::LearningModel`], and jobs stop early the round the
+//!   realized accuracy trajectory reaches the scenario's target.
+//! * [`SweepReport`] — per-cell mean/p50/p95 time-to-target, realized
+//!   accuracy and reached-target counts, speedup-vs-FedAvg, emitted as
+//!   `BENCH_sweep_*.json` + CSV and paper-style stdout tables.
 //!
 //! Two binaries front the engine: `exp_sweep <spec.json>` runs any spec
 //! file (or `@table2`-style preset), and `paper_tables` regenerates the
@@ -45,4 +48,4 @@ mod spec;
 
 pub use report::{SweepCell, SweepReport};
 pub use runner::{run_job, JobResult, JobSpec, SweepRunner};
-pub use spec::{Method, ScenarioSpec, SeedRange, SweepSpec};
+pub use spec::{Method, MethodParams, ScenarioSpec, SeedRange, SweepSpec};

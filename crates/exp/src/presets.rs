@@ -1,11 +1,13 @@
-//! Named sweep presets: the paper's Table II/III grids and the CI smoke
-//! sweep, as programmatic [`SweepSpec`] builders. `exp_sweep` can also read
-//! them by name (`@table2`, `@table3`, `@smoke`) instead of a spec file.
+//! Named sweep presets: the paper's Table II/III grids, the extended
+//! nine-method comparison, the round-driven convergence showcase and the
+//! CI smoke sweep, as programmatic [`SweepSpec`] builders. `exp_sweep` can
+//! also read them by name (`@table2`, `@table3`, `@extended`,
+//! `@convergence`, `@smoke`) instead of a spec file.
 
 use comdml_core::{AggregationMode, ChurnPolicy};
 use comdml_simnet::{ArrivalProcess, SessionLifetime, Topology};
 
-use crate::{Method, ScenarioSpec, SweepSpec};
+use crate::{Method, MethodParams, ScenarioSpec, SweepSpec};
 
 /// The five methods of the paper's Table II, in table order.
 pub fn paper_methods() -> Vec<Method> {
@@ -76,6 +78,67 @@ pub fn table3(seeds: usize) -> SweepSpec {
     )
 }
 
+/// Extended comparison beyond Table II: ComDML against *all eight*
+/// alternatives — including the straggler-mitigation families of §II
+/// (tier-based selection, straggler dropping, FedProx partial work) and
+/// classic server-based split learning — on the IID CIFAR-10 cell to 90%.
+/// The round budget exceeds most methods' rounds-to-target, so jobs stop
+/// early the round their realized trajectory reaches 0.90 (the retired
+/// `extended_baselines` bench bin, rehosted on the sweep engine).
+pub fn extended(seeds: usize) -> SweepSpec {
+    let mut spec = SweepSpec::new("extended").seeds(1, seeds);
+    for m in Method::ALL {
+        spec = spec.method(m);
+    }
+    spec.scenario({
+        let mut s =
+            ScenarioSpec::new("c10_iid_to90").dataset("cifar10", true).target(0.90).rounds(60);
+        s.samples_per_agent = 5_000; // 50k samples over 10 agents
+        s
+    })
+}
+
+/// Round-driven convergence showcase (the retired `convergence_curves`
+/// bench bin, rehosted): four scenarios whose realized accuracy
+/// trajectories the flat projection could never express — the clean IID
+/// reference, a non-IID curve *mix* between the calibrated endpoints,
+/// membership churn coupled into accuracy (each mid-round departure
+/// forfeits effective rounds), and a staleness-discounted semi-synchronous
+/// quorum. Trajectories land per job in `BENCH_sweep_convergence.json`.
+pub fn convergence(seeds: usize) -> SweepSpec {
+    SweepSpec::new("convergence")
+        .seeds(1, seeds)
+        .method(Method::ComDml)
+        .method(Method::FedAvg)
+        .method(Method::Gossip)
+        .scenario(ScenarioSpec::new("iid_reference").rounds(40).target(0.8))
+        .scenario(ScenarioSpec::new("noniid_mix60").noniid_mix(0.6).rounds(40).target(0.75))
+        .scenario(
+            ScenarioSpec::new("churn_dips")
+                .agents(16)
+                .arrivals(ArrivalProcess::Poisson { rate_per_s: 0.004 })
+                .lifetime(SessionLifetime::Exponential { mean_s: 6_000.0 })
+                .churn_dip(0.5)
+                .aggregation(AggregationMode::SemiSynchronous {
+                    quorum: 0.7,
+                    staleness_s: f64::MAX,
+                })
+                .rounds(40)
+                .target(0.75),
+        )
+        .scenario(
+            ScenarioSpec::new("stale_semi_sync")
+                .agents(16)
+                .aggregation(AggregationMode::SemiSynchronous {
+                    quorum: 0.5,
+                    staleness_s: f64::MAX,
+                })
+                .method_params(MethodParams { staleness_decay: 1.0, ..MethodParams::default() })
+                .rounds(40)
+                .target(0.75),
+        )
+}
+
 /// The tiny CI smoke sweep: one churny scenario, three methods, two seeds
 /// — seconds of wall clock, exercising the full spec → jobs → report path.
 pub fn smoke() -> SweepSpec {
@@ -103,8 +166,12 @@ pub fn by_name(name: &str, seeds: usize) -> Result<SweepSpec, String> {
     match name {
         "table2" => Ok(table2(seeds)),
         "table3" => Ok(table3(seeds)),
+        "extended" => Ok(extended(seeds)),
+        "convergence" => Ok(convergence(seeds)),
         "smoke" => Ok(smoke()),
-        other => Err(format!("unknown preset {other:?} (try table2, table3, smoke)")),
+        other => Err(format!(
+            "unknown preset {other:?} (try table2, table3, extended, convergence, smoke)"
+        )),
     }
 }
 
@@ -114,11 +181,27 @@ mod tests {
 
     #[test]
     fn presets_validate_and_round_trip() {
-        for spec in [table2(5), table3(5), smoke()] {
+        for spec in [table2(5), table3(5), extended(3), convergence(3), smoke()] {
             spec.validate().unwrap();
             let back = SweepSpec::parse(&spec.render()).unwrap();
             assert_eq!(back, spec);
         }
+    }
+
+    #[test]
+    fn extended_runs_every_method() {
+        assert_eq!(extended(1).methods.len(), Method::ALL.len());
+    }
+
+    #[test]
+    fn convergence_covers_the_round_driven_axes() {
+        let spec = convergence(2);
+        assert!(spec.scenarios.iter().any(|s| s.noniid_mix.is_some()));
+        assert!(spec.scenarios.iter().any(|s| s.churn_dip > 0.0));
+        assert!(spec
+            .scenarios
+            .iter()
+            .any(|s| s.method_params.staleness_decay != MethodParams::default().staleness_decay));
     }
 
     #[test]

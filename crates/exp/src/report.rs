@@ -29,8 +29,14 @@ pub struct SweepCell {
     pub mean_round_s: f64,
     /// Mean learning efficiency per round.
     pub mean_rounds_factor: f64,
-    /// Mean rounds-to-target demanded by the learning curve.
+    /// Mean rounds-to-target (realized where the trajectory got there,
+    /// extrapolated otherwise).
     pub mean_rounds_to_target: f64,
+    /// Mean realized accuracy at the end of the simulated rounds.
+    pub mean_final_acc: f64,
+    /// Seeds whose realized trajectory reached the target inside the round
+    /// budget (their time-to-target is exact, not extrapolated).
+    pub reached: usize,
     /// Mean time of the same scenario's FedAvg cell divided by this cell's
     /// mean time (>1 = faster than FedAvg); `None` when FedAvg is not in
     /// the sweep.
@@ -96,6 +102,8 @@ impl SweepReport {
                         .map(|j| j.rounds_to_target as f64)
                         .sum::<f64>()
                         / n,
+                    mean_final_acc: slice.iter().map(|j| j.final_accuracy).sum::<f64>() / n,
+                    reached: slice.iter().filter(|j| j.reached_target).count(),
                     speedup_vs_fedavg: None, // filled below
                     events_processed: slice.iter().map(|j| j.events_processed).sum(),
                     peak_agents: slice.iter().map(|j| j.peak_agents).max().unwrap_or(0),
@@ -137,6 +145,8 @@ impl SweepReport {
                 ("mean_round_s".into(), Value::Num(c.mean_round_s)),
                 ("mean_rounds_factor".into(), Value::Num(c.mean_rounds_factor)),
                 ("mean_rounds_to_target".into(), Value::Num(c.mean_rounds_to_target)),
+                ("mean_final_acc".into(), Value::Num(c.mean_final_acc)),
+                ("reached".into(), Value::Num(c.reached as f64)),
                 ("events_processed".into(), Value::Num(c.events_processed as f64)),
                 ("peak_agents".into(), Value::Num(c.peak_agents as f64)),
             ];
@@ -156,6 +166,12 @@ impl SweepReport {
                 ("rounds_factor".into(), Value::Num(j.rounds_factor)),
                 ("rounds_to_target".into(), Value::Num(j.rounds_to_target as f64)),
                 ("time_to_target_s".into(), Value::Num(j.time_to_target_s)),
+                ("reached_target".into(), Value::Bool(j.reached_target)),
+                ("final_accuracy".into(), Value::Num(j.final_accuracy)),
+                (
+                    "trajectory".into(),
+                    Value::Arr(j.accuracy_trajectory.iter().map(|&a| Value::Num(a)).collect()),
+                ),
                 ("events_processed".into(), Value::Num(j.events_processed as f64)),
                 ("peak_agents".into(), Value::Num(j.peak_agents as f64)),
                 ("arrivals".into(), Value::Num(j.arrivals as f64)),
@@ -191,6 +207,8 @@ impl SweepReport {
                 "mean_round_s",
                 "mean_rounds_factor",
                 "mean_rounds_to_target",
+                "mean_final_acc",
+                "reached",
                 "speedup_vs_fedavg",
                 "events_processed",
                 "peak_agents",
@@ -207,6 +225,8 @@ impl SweepReport {
                 format!("{:.3}", c.mean_round_s),
                 format!("{:.4}", c.mean_rounds_factor),
                 format!("{:.1}", c.mean_rounds_to_target),
+                format!("{:.4}", c.mean_final_acc),
+                c.reached.to_string(),
                 c.speedup_vs_fedavg.map(|s| format!("{s:.2}")).unwrap_or_default(),
                 c.events_processed.to_string(),
                 c.peak_agents.to_string(),
@@ -247,17 +267,18 @@ impl SweepReport {
         for scenario in &self.scenarios {
             out.push_str(&format!("── {scenario} ──\n"));
             out.push_str(&format!(
-                "{:<16} {:>12} {:>12} {:>12} {:>8} {:>10}\n",
-                "method", "mean ttx (s)", "p50 (s)", "p95 (s)", "rounds", "vs FedAvg"
+                "{:<16} {:>12} {:>12} {:>12} {:>8} {:>9} {:>10}\n",
+                "method", "mean ttx (s)", "p50 (s)", "p95 (s)", "rounds", "reached", "vs FedAvg"
             ));
             for c in self.cells.iter().filter(|c| &c.scenario == scenario) {
                 out.push_str(&format!(
-                    "{:<16} {:>12} {:>12} {:>12} {:>8.0} {:>10}\n",
+                    "{:<16} {:>12} {:>12} {:>12} {:>8.0} {:>9} {:>10}\n",
                     c.method.display(),
                     fmt(c.mean_time_s),
                     fmt(c.p50_time_s),
                     fmt(c.p95_time_s),
                     c.mean_rounds_to_target,
+                    format!("{}/{}", c.reached, c.seeds),
                     c.speedup_vs_fedavg.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "-".into()),
                 ));
             }

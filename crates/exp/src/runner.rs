@@ -15,21 +15,32 @@
 //! through [`FleetDriver`]/[`FleetSim`], applies profile churn between
 //! rounds and participation sampling at the round boundary, and hands every
 //! method the *same* participant set through
-//! [`comdml_core::RoundEngine::round_time_for`] — which is what makes the
-//! per-cell comparisons apples-to-apples.
+//! [`comdml_core::RoundEngine::round_progress_for`] — which is what makes
+//! the per-cell comparisons apples-to-apples.
+//!
+//! # Round-driven accuracy
+//!
+//! Time-to-target is no longer a post-hoc projection
+//! (`mean_round_s × rounds_to_target`): every round's realized
+//! effective-progress inputs ([`comdml_core::RoundProgress`] — duration,
+//! staleness-weighted efficiency, participant set, disruptions) advance a
+//! [`LearningModel`], and the job **stops early** the round the realized
+//! trajectory reaches the scenario's target. Only when the round budget
+//! runs out first is the remainder extrapolated at the realized mean pace
+//! — which, for constant efficiency, full participation and no churn, is
+//! *exactly* the old closed form (pinned to 1e-9 in `tests/learning.rs`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use comdml_baselines::{
-    AllReduceDml, BaselineConfig, BrainTorrent, DropStragglers, FedAvg, FedProx, GossipLearning,
-    TierBased,
+    AllReduceDml, BaselineConfig, BrainTorrent, ClassicSplitLearning, DropStragglers, FedAvg,
+    FedProx, GossipLearning, TierBased,
 };
-use comdml_bench::rounds_with_sampling;
-use comdml_core::{ComDmlConfig, FleetSim, LearningCurve, RoundEngine};
+use comdml_core::{ComDmlConfig, FleetSim, LearningModel, RoundEngine, RoundProgress};
 use comdml_simnet::{FleetConfig, FleetDriver};
 
-use crate::{Method, ScenarioSpec, SweepReport, SweepSpec};
+use crate::{Method, MethodParams, ScenarioSpec, SweepReport, SweepSpec};
 
 /// One cell-replication of the sweep matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,28 +63,38 @@ pub struct JobResult {
     pub method: Method,
     /// Seed used.
     pub seed: u64,
-    /// Measured rounds executed.
+    /// Rounds actually simulated: the early-stop round when the realized
+    /// trajectory reached the target, the scenario's budget otherwise.
     pub rounds_run: usize,
-    /// Total simulated seconds over the measured rounds.
+    /// Total simulated seconds over the simulated rounds.
     pub sim_s: f64,
-    /// Mean simulated seconds per round.
+    /// Mean simulated seconds per simulated round.
     pub mean_round_s: f64,
-    /// Learning efficiency per round (ComDML: realized staleness-weighted
-    /// efficiency; baselines: their analytic factor).
+    /// Realized mean learning efficiency per round (ComDML: mean
+    /// staleness-weighted efficiency; baselines: their analytic factor).
     pub rounds_factor: f64,
-    /// Rounds the learning curve demands at this efficiency and sampling
-    /// rate to hit the scenario's target accuracy.
+    /// Total rounds to the target: realized when the trajectory got there,
+    /// extrapolated at the realized mean pace otherwise.
     pub rounds_to_target: usize,
-    /// Projected time to target accuracy: `mean_round_s · rounds_to_target`
-    /// — the paper's Table II quantity.
+    /// Time to target accuracy — the paper's Table II quantity. Read off
+    /// the simulated clock when the trajectory reached the target;
+    /// `sim_s + remaining_rounds × mean_round_s` otherwise.
     pub time_to_target_s: f64,
+    /// Whether the realized trajectory reached the target inside the
+    /// simulated round budget (i.e. `time_to_target_s` is exact, not
+    /// extrapolated).
+    pub reached_target: bool,
+    /// Accuracy at the end of the simulated rounds.
+    pub final_accuracy: f64,
+    /// Realized accuracy after each simulated round.
+    pub accuracy_trajectory: Vec<f64>,
     /// Simulation events executed (0 for closed-form baselines).
     pub events_processed: u64,
     /// Peak concurrent fleet membership.
     pub peak_agents: usize,
-    /// Arrivals activated during the measured rounds.
+    /// Arrivals activated during the simulated rounds.
     pub arrivals: usize,
-    /// Departures committed during the measured rounds.
+    /// Departures committed during the simulated rounds.
     pub departures: usize,
 }
 
@@ -96,11 +117,6 @@ impl ScenarioSpec {
         cfg
     }
 
-    /// The learning curve this scenario projects time-to-accuracy with.
-    pub fn curve(&self) -> LearningCurve {
-        LearningCurve::for_dataset(&self.dataset, self.iid)
-    }
-
     /// The ComDML configuration of this scenario.
     pub fn comdml_config(&self) -> ComDmlConfig {
         ComDmlConfig {
@@ -108,16 +124,31 @@ impl ScenarioSpec {
             sampling_rate: self.sampling_rate,
             aggregation: self.aggregation,
             granularity: self.granularity,
-            curve: self.curve(),
+            curve: self.learning_curve(),
             batch_size: self.batch_size,
+            staleness_decay: self.method_params.staleness_decay,
             ..ComDmlConfig::default()
         }
     }
+
+    /// The round-driven accuracy model of this scenario: its resolved
+    /// learning curve, sampling penalty and churn coupling.
+    pub fn learning_model(&self) -> LearningModel {
+        LearningModel::new(self.learning_curve(), self.target_accuracy)
+            .with_sampling_rate(self.sampling_rate)
+            .with_churn_dip(self.churn_dip)
+    }
 }
 
-/// Builds the baseline engine for a job. Policies (churn, sampling) are
-/// stripped: the harness applies them and feeds explicit participant sets.
-fn baseline_engine(method: Method, seed: u64, density: f64) -> Box<dyn RoundEngine> {
+/// Builds the baseline engine for a job, applying the scenario's per-method
+/// parameter overrides. Policies (churn, sampling) are stripped: the
+/// harness applies them and feeds explicit participant sets.
+fn baseline_engine(
+    method: Method,
+    seed: u64,
+    density: f64,
+    params: &MethodParams,
+) -> Box<dyn RoundEngine> {
     let base = BaselineConfig { sampling_rate: 1.0, churn: None, ..BaselineConfig::default() };
     match method {
         Method::ComDml => unreachable!("ComDML runs through FleetSim"),
@@ -127,93 +158,154 @@ fn baseline_engine(method: Method, seed: u64, density: f64) -> Box<dyn RoundEngi
         Method::Gossip => {
             Box::new(GossipLearning::new(base).with_topology_density(density.clamp(0.01, 1.0)))
         }
-        Method::FedProx => Box::new(FedProx::new(base, 0.5)),
-        Method::DropStragglers => Box::new(DropStragglers::new(base, 0.3)),
-        Method::Tiered => Box::new(TierBased::new(base, 5)),
+        Method::FedProx => Box::new(FedProx::new(base, params.fedprox_min_work)),
+        Method::DropStragglers => Box::new(DropStragglers::new(base, params.drop_fraction)),
+        Method::Tiered => Box::new(TierBased::new(base, params.tiers)),
+        Method::SplitLearning => {
+            Box::new(ClassicSplitLearning::new(base, params.sl_agent_layers, params.sl_server_cpus))
+        }
+    }
+}
+
+/// Everything the per-method round loops feed the shared accounting.
+struct RoundLoop {
+    sim_s: f64,
+    rounds_run: usize,
+    trajectory: Vec<f64>,
+    events: u64,
+    peak: usize,
+    arrivals: usize,
+    departures: usize,
+    rounds_factor: f64,
+}
+
+/// Drives a ComDML job round by round on the elastic fleet, stopping the
+/// round the model reaches the target.
+fn run_comdml(scenario: &ScenarioSpec, seed: u64, model: &mut LearningModel) -> RoundLoop {
+    let mut sim = FleetSim::new(scenario.fleet_config(seed), scenario.comdml_config());
+    let mut trajectory = Vec::new();
+    while model.rounds_observed() < scenario.rounds {
+        let summary = sim.step();
+        trajectory.push(model.observe(&RoundProgress::from(&summary)));
+        if model.reached() {
+            break;
+        }
+    }
+    let r = sim.report();
+    RoundLoop {
+        sim_s: r.total_sim_s,
+        rounds_run: r.rounds,
+        trajectory,
+        events: r.events_processed,
+        peak: r.peak_agents,
+        arrivals: r.arrivals,
+        departures: r.departures,
+        rounds_factor: r.rounds_factor,
+    }
+}
+
+/// Drives a baseline job: the harness owns membership, profile churn and
+/// sampling, the engine prices each round and reports its progress inputs,
+/// and the model decides when the job is done.
+fn run_baseline(
+    scenario: &ScenarioSpec,
+    method: Method,
+    seed: u64,
+    model: &mut LearningModel,
+) -> RoundLoop {
+    let mut driver: FleetDriver = scenario.fleet_config(seed).build();
+    let density = driver.world().adjacency().density();
+    let mut engine = baseline_engine(method, seed, density, &scenario.method_params);
+    let mut sim_s = 0.0f64;
+    let mut horizon = 30.0f64;
+    let mut trajectory = Vec::new();
+    let mut rounds_run = 0usize;
+    for r in 0..scenario.rounds {
+        if let Some(churn) = scenario.churn {
+            if churn.interval > 0 && r > 0 && r % churn.interval == 0 {
+                driver.world_mut().churn_profiles(churn.fraction);
+            }
+        }
+        let plan = driver.begin_round(horizon);
+        let empty_round = plan.participants.is_empty();
+        let participants = if scenario.sampling_rate < 1.0 {
+            driver.world_mut().sample_participants_among(&plan.participants, scenario.sampling_rate)
+        } else {
+            plan.participants.clone()
+        };
+        let progress = engine.round_progress_for(driver.world(), r, &participants);
+        let mut t = progress.round_s;
+        if t <= 0.0 {
+            // An extinct round must still advance the fleet clock so
+            // pending arrivals can activate (same fast-forward rule as
+            // `FleetSim`).
+            t = driver.seconds_to_next_event().unwrap_or(0.0);
+        }
+        // The closed-form baselines don't simulate mid-round departures,
+        // but the membership process still produces them; churn-coupled
+        // accuracy charges for participant departures committed inside the
+        // realized round — the same rule as `FleetSim`, never twice.
+        let progress = progress.with_disruptions(plan.committed_leaves_among(&participants, t));
+        driver.end_round(t);
+        sim_s += t;
+        rounds_run += 1;
+        // An empty round's duration is a fast-forward jump, not a round
+        // time; don't let it inflate the planning horizon (`FleetSim`
+        // applies the same rule).
+        horizon = if empty_round { 30.0 } else { (t * 2.0).max(1.0) };
+        trajectory.push(model.observe(&progress));
+        if model.reached() {
+            break;
+        }
+    }
+    RoundLoop {
+        sim_s,
+        rounds_run,
+        trajectory,
+        events: 0,
+        peak: driver.peak_active(),
+        arrivals: driver.arrivals_total(),
+        departures: driver.departures_total(),
+        rounds_factor: engine.rounds_factor(),
     }
 }
 
 /// Runs one job to completion. Pure in `(scenario, method, seed)`.
 pub fn run_job(scenario: &ScenarioSpec, method: Method, seed: u64) -> JobResult {
-    let (rounds_run, sim_s, rounds_factor, events, peak, arrivals, departures) =
-        if method == Method::ComDml {
-            let mut sim = FleetSim::new(scenario.fleet_config(seed), scenario.comdml_config());
-            let r = sim.run(scenario.rounds);
-            (
-                r.rounds,
-                r.total_sim_s,
-                r.rounds_factor,
-                r.events_processed,
-                r.peak_agents,
-                r.arrivals,
-                r.departures,
-            )
-        } else {
-            let mut driver: FleetDriver = scenario.fleet_config(seed).build();
-            let density = driver.world().adjacency().density();
-            let mut engine = baseline_engine(method, seed, density);
-            let mut sim_s = 0.0f64;
-            let mut horizon = 30.0f64;
-            for r in 0..scenario.rounds {
-                if let Some(churn) = scenario.churn {
-                    if churn.interval > 0 && r > 0 && r % churn.interval == 0 {
-                        driver.world_mut().churn_profiles(churn.fraction);
-                    }
-                }
-                let plan = driver.begin_round(horizon);
-                let empty_round = plan.participants.is_empty();
-                let participants = if scenario.sampling_rate < 1.0 {
-                    driver
-                        .world_mut()
-                        .sample_participants_among(&plan.participants, scenario.sampling_rate)
-                } else {
-                    plan.participants
-                };
-                let mut t = engine.round_time_for(driver.world(), r, &participants);
-                if t <= 0.0 {
-                    // An extinct round must still advance the fleet clock
-                    // so pending arrivals can activate (same fast-forward
-                    // rule as `FleetSim`).
-                    t = driver.seconds_to_next_event().unwrap_or(0.0);
-                }
-                driver.end_round(t);
-                sim_s += t;
-                // An empty round's duration is a fast-forward jump, not a
-                // round time; don't let it inflate the planning horizon
-                // (`FleetSim` applies the same rule).
-                horizon = if empty_round { 30.0 } else { (t * 2.0).max(1.0) };
-            }
-            (
-                scenario.rounds,
-                sim_s,
-                engine.rounds_factor(),
-                0,
-                driver.peak_active(),
-                driver.arrivals_total(),
-                driver.departures_total(),
-            )
-        };
-    let mean_round_s = sim_s / rounds_run.max(1) as f64;
-    let rounds_to_target = rounds_with_sampling(
-        &scenario.curve(),
-        scenario.target_accuracy,
-        rounds_factor.max(1e-6),
-        scenario.sampling_rate,
-    );
+    let mut model = scenario.learning_model();
+    let run = if method == Method::ComDml {
+        run_comdml(scenario, seed, &mut model)
+    } else {
+        run_baseline(scenario, method, seed, &mut model)
+    };
+    let mean_round_s = run.sim_s / run.rounds_run.max(1) as f64;
+    let rounds_to_target = model.projected_rounds_to_target();
+    let time_to_target_s = if model.reached() {
+        // Exact: the simulated clock the round the trajectory got there.
+        run.sim_s
+    } else {
+        // Budget exhausted first: extrapolate the remaining rounds at the
+        // realized mean pace (the old projection, exactly, when per-round
+        // progress was constant).
+        run.sim_s + rounds_to_target.saturating_sub(run.rounds_run) as f64 * mean_round_s
+    };
     JobResult {
         scenario: scenario.name.clone(),
         method,
         seed,
-        rounds_run,
-        sim_s,
+        rounds_run: run.rounds_run,
+        sim_s: run.sim_s,
         mean_round_s,
-        rounds_factor,
+        rounds_factor: run.rounds_factor,
         rounds_to_target,
-        time_to_target_s: mean_round_s * rounds_to_target as f64,
-        events_processed: events,
-        peak_agents: peak,
-        arrivals,
-        departures,
+        time_to_target_s,
+        reached_target: model.reached(),
+        final_accuracy: model.accuracy(),
+        accuracy_trajectory: run.trajectory,
+        events_processed: run.events,
+        peak_agents: run.peak,
+        arrivals: run.arrivals,
+        departures: run.departures,
     }
 }
 

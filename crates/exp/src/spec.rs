@@ -30,18 +30,26 @@
 //!       "aggregation": { "kind": "semi_synchronous", "quorum": 0.8 },
 //!       "sampling_rate": 0.5,
 //!       "dataset": "cifar10",
-//!       "iid": true,
-//!       "target_accuracy": 0.8
+//!       "noniid_mix": 0.4,
+//!       "churn_dip": 0.25,
+//!       "target_accuracy": 0.8,
+//!       "method_params": { "fedprox_min_work": 0.3, "tiers": 4 }
 //!     }
 //!   ]
 //! }
 //! ```
 //!
 //! Every scenario field except `name` has a default (see
-//! [`ScenarioSpec::new`]), so terse specs stay terse.
+//! [`ScenarioSpec::new`]), so terse specs stay terse. The accuracy model is
+//! *round-driven*: `dataset`/`iid` pick a calibrated learning curve
+//! (overridable with an explicit `curve: {a_max, tau}`, or blended between
+//! the I.I.D. and non-I.I.D. endpoints with `noniid_mix`), each simulated
+//! round advances it by its realized staleness-weighted efficiency, and
+//! `churn_dip` charges effective rounds for mid-round departures. Jobs stop
+//! the round the trajectory reaches `target_accuracy`.
 
 use comdml_bench::Value;
-use comdml_core::{AggregationMode, ChurnPolicy, EventGranularity};
+use comdml_core::{AggregationMode, ChurnPolicy, EventGranularity, LearningCurve};
 use comdml_simnet::{ArrivalProcess, JoinTopology, SessionLifetime, Topology};
 
 /// The methods a sweep can run, by their paper-table identities.
@@ -63,11 +71,14 @@ pub enum Method {
     DropStragglers,
     /// TiFL-style speed tiers \[5\].
     Tiered,
+    /// Classic server-based split learning \[2\] — the per-batch round-trip
+    /// design ComDML's local-loss training replaces.
+    SplitLearning,
 }
 
 impl Method {
     /// Every method the harness can run, in table order.
-    pub const ALL: [Method; 8] = [
+    pub const ALL: [Method; 9] = [
         Method::ComDml,
         Method::Gossip,
         Method::BrainTorrent,
@@ -76,6 +87,7 @@ impl Method {
         Method::FedProx,
         Method::DropStragglers,
         Method::Tiered,
+        Method::SplitLearning,
     ];
 
     /// The spec-file token (`"comdml"`, `"fedavg"`, …).
@@ -89,6 +101,7 @@ impl Method {
             Method::FedProx => "fedprox",
             Method::DropStragglers => "drop_stragglers",
             Method::Tiered => "tiered",
+            Method::SplitLearning => "split_learning",
         }
     }
 
@@ -103,6 +116,7 @@ impl Method {
             Method::FedProx => "FedProx",
             Method::DropStragglers => "Drop-30%",
             Method::Tiered => "TiFL (tiers)",
+            Method::SplitLearning => "Split Learning",
         }
     }
 
@@ -133,6 +147,40 @@ impl SeedRange {
     /// The seeds in order.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         (0..self.count as u64).map(move |i| self.base + i)
+    }
+}
+
+/// Per-method parameter overrides a scenario can carry instead of the
+/// harness's historical fixed constants. The defaults are exactly those
+/// constants, so a spec that says nothing runs exactly what it always ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodParams {
+    /// FedProx γ-inexactness floor: the minimum fraction of a local epoch a
+    /// straggler performs (μ-controlled partial work; default 0.5).
+    pub fedprox_min_work: f64,
+    /// Straggler-dropping threshold: the slowest fraction ignored each
+    /// round (default 0.3, the reference system's ~30%).
+    pub drop_fraction: f64,
+    /// TiFL speed-tier count (default 5).
+    pub tiers: usize,
+    /// ComDML's FedBuff staleness-discount exponent (default 0.5).
+    pub staleness_decay: f64,
+    /// Classic split learning: layers kept on the agent side (default 19).
+    pub sl_agent_layers: usize,
+    /// Classic split learning: server capacity in CPU units (default 8).
+    pub sl_server_cpus: f64,
+}
+
+impl Default for MethodParams {
+    fn default() -> Self {
+        Self {
+            fedprox_min_work: 0.5,
+            drop_fraction: 0.3,
+            tiers: 5,
+            staleness_decay: 0.5,
+            sl_agent_layers: 19,
+            sl_server_cpus: 8.0,
+        }
     }
 }
 
@@ -174,8 +222,21 @@ pub struct ScenarioSpec {
     pub dataset: String,
     /// I.I.D. or Dirichlet-skewed data distribution (curve selection).
     pub iid: bool,
-    /// Accuracy the time-to-accuracy projection targets.
+    /// Accuracy the round-driven learning model targets (jobs stop early
+    /// the round the realized trajectory reaches it).
     pub target_accuracy: f64,
+    /// Explicit learning-curve override (`None` = the dataset/`iid`
+    /// calibration, possibly blended by `noniid_mix`).
+    pub curve: Option<LearningCurve>,
+    /// Non-I.I.D. mix in `[0, 1]`: blends the dataset's I.I.D. (0) and
+    /// Dirichlet-0.5 (1) curves for skews between the calibrated
+    /// endpoints. `None` = pure `iid` selection.
+    pub noniid_mix: Option<f64>,
+    /// Churn-coupled accuracy: effective rounds forfeited per mid-round
+    /// departure (default 0 = membership churn costs time, not accuracy).
+    pub churn_dip: f64,
+    /// Per-method parameter overrides.
+    pub method_params: MethodParams,
 }
 
 impl ScenarioSpec {
@@ -202,6 +263,10 @@ impl ScenarioSpec {
             dataset: "cifar10".to_string(),
             iid: true,
             target_accuracy: 0.8,
+            curve: None,
+            noniid_mix: None,
+            churn_dip: 0.0,
+            method_params: MethodParams::default(),
         }
     }
 
@@ -266,6 +331,50 @@ impl ScenarioSpec {
         self
     }
 
+    /// Overrides the learning curve (wins over `dataset`/`iid`/mix).
+    pub fn curve(mut self, c: LearningCurve) -> Self {
+        self.curve = Some(c);
+        self
+    }
+
+    /// Sets the non-I.I.D. curve mix fraction.
+    pub fn noniid_mix(mut self, frac: f64) -> Self {
+        self.noniid_mix = Some(frac);
+        self
+    }
+
+    /// Sets the churn-coupled accuracy dip per mid-round departure.
+    pub fn churn_dip(mut self, dip: f64) -> Self {
+        self.churn_dip = dip;
+        self
+    }
+
+    /// Sets the per-method parameter overrides.
+    pub fn method_params(mut self, p: MethodParams) -> Self {
+        self.method_params = p;
+        self
+    }
+
+    /// The learning curve this scenario's round-driven model advances:
+    /// the explicit override if present, otherwise the dataset calibration
+    /// — blended between the I.I.D. and non-I.I.D. endpoints when
+    /// `noniid_mix` is set, the pure `iid` selection otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown dataset or an out-of-range mix; call
+    /// [`ScenarioSpec::validate`] first.
+    pub fn learning_curve(&self) -> LearningCurve {
+        if let Some(c) = self.curve {
+            return c;
+        }
+        if let Some(mix) = self.noniid_mix {
+            return LearningCurve::for_dataset(&self.dataset, true)
+                .blend(LearningCurve::for_dataset(&self.dataset, false), mix);
+        }
+        LearningCurve::for_dataset(&self.dataset, self.iid)
+    }
+
     /// Validates ranges that the execution layer assumes.
     ///
     /// # Errors
@@ -293,6 +402,47 @@ impl ScenarioSpec {
         }
         if !matches!(self.dataset.as_str(), "cifar10" | "cifar100" | "cinic10") {
             return Err(format!("{ctx}: unknown dataset {:?}", self.dataset));
+        }
+        if let Some(c) = self.curve {
+            if !(c.a_max > 0.0 && c.a_max <= 1.0 && c.tau > 0.0) {
+                return Err(format!("{ctx}: curve needs a_max in (0, 1] and tau > 0"));
+            }
+        }
+        if let Some(mix) = self.noniid_mix {
+            if !(0.0..=1.0).contains(&mix) {
+                return Err(format!("{ctx}: noniid_mix must be in [0, 1]"));
+            }
+        }
+        if !(self.churn_dip.is_finite() && self.churn_dip >= 0.0) {
+            return Err(format!("{ctx}: churn_dip must be finite and >= 0"));
+        }
+        // A target at or above the resolved curve's asymptote could never
+        // be reached; fail here instead of panicking in a worker thread.
+        if self.target_accuracy >= self.learning_curve().a_max {
+            return Err(format!(
+                "{ctx}: target_accuracy {} is unreachable (curve asymptote {})",
+                self.target_accuracy,
+                self.learning_curve().a_max
+            ));
+        }
+        let p = &self.method_params;
+        if !(p.fedprox_min_work > 0.0 && p.fedprox_min_work <= 1.0) {
+            return Err(format!("{ctx}: fedprox_min_work must be in (0, 1]"));
+        }
+        if !(0.0..1.0).contains(&p.drop_fraction) {
+            return Err(format!("{ctx}: drop_fraction must be in [0, 1)"));
+        }
+        if p.tiers == 0 {
+            return Err(format!("{ctx}: tiers must be positive"));
+        }
+        if !(p.staleness_decay.is_finite() && p.staleness_decay >= 0.0) {
+            return Err(format!("{ctx}: staleness_decay must be finite and >= 0"));
+        }
+        if !(1..56).contains(&p.sl_agent_layers) {
+            return Err(format!("{ctx}: sl_agent_layers must be in 1..56 (ResNet-56)"));
+        }
+        if !(p.sl_server_cpus.is_finite() && p.sl_server_cpus > 0.0) {
+            return Err(format!("{ctx}: sl_server_cpus must be positive"));
         }
         if let AggregationMode::SemiSynchronous { quorum, .. } = self.aggregation {
             if !(quorum > 0.0 && quorum <= 1.0) {
@@ -623,6 +773,42 @@ fn scenario_from_value(v: &Value) -> Result<ScenarioSpec, String> {
     if let Some(t) = v.get("target_accuracy") {
         s.target_accuracy = t.as_f64().ok_or("target_accuracy must be a number")?;
     }
+    if let Some(c) = v.get("curve") {
+        let a_max = req_f64(c, "a_max", "curve")?;
+        let tau = req_f64(c, "tau", "curve")?;
+        if !(a_max > 0.0 && a_max <= 1.0 && tau > 0.0) {
+            return Err("curve needs a_max in (0, 1] and tau > 0".into());
+        }
+        s.curve = Some(LearningCurve::new(a_max, tau));
+    }
+    if let Some(m) = v.get("noniid_mix") {
+        s.noniid_mix = Some(m.as_f64().ok_or("noniid_mix must be a number")?);
+    }
+    if let Some(d) = v.get("churn_dip") {
+        s.churn_dip = d.as_f64().ok_or("churn_dip must be a number")?;
+    }
+    if let Some(p) = v.get("method_params") {
+        let mut mp = MethodParams::default();
+        if let Some(x) = p.get("fedprox_min_work") {
+            mp.fedprox_min_work = x.as_f64().ok_or("fedprox_min_work must be a number")?;
+        }
+        if let Some(x) = p.get("drop_fraction") {
+            mp.drop_fraction = x.as_f64().ok_or("drop_fraction must be a number")?;
+        }
+        if let Some(x) = p.get("tiers") {
+            mp.tiers = x.as_usize().ok_or("tiers must be a usize")?;
+        }
+        if let Some(x) = p.get("staleness_decay") {
+            mp.staleness_decay = x.as_f64().ok_or("staleness_decay must be a number")?;
+        }
+        if let Some(x) = p.get("sl_agent_layers") {
+            mp.sl_agent_layers = x.as_usize().ok_or("sl_agent_layers must be a usize")?;
+        }
+        if let Some(x) = p.get("sl_server_cpus") {
+            mp.sl_server_cpus = x.as_f64().ok_or("sl_server_cpus must be a number")?;
+        }
+        s.method_params = mp;
+    }
     Ok(s)
 }
 
@@ -739,6 +925,35 @@ fn scenario_to_value(s: &ScenarioSpec) -> Value {
     fields.push(("dataset".into(), Value::Str(s.dataset.clone())));
     fields.push(("iid".into(), Value::Bool(s.iid)));
     fields.push(("target_accuracy".into(), Value::Num(s.target_accuracy)));
+    if let Some(c) = s.curve {
+        fields.push((
+            "curve".into(),
+            Value::Obj(vec![
+                ("a_max".into(), Value::Num(c.a_max)),
+                ("tau".into(), Value::Num(c.tau)),
+            ]),
+        ));
+    }
+    if let Some(m) = s.noniid_mix {
+        fields.push(("noniid_mix".into(), Value::Num(m)));
+    }
+    if s.churn_dip != 0.0 {
+        fields.push(("churn_dip".into(), Value::Num(s.churn_dip)));
+    }
+    if s.method_params != MethodParams::default() {
+        let p = &s.method_params;
+        fields.push((
+            "method_params".into(),
+            Value::Obj(vec![
+                ("fedprox_min_work".into(), Value::Num(p.fedprox_min_work)),
+                ("drop_fraction".into(), Value::Num(p.drop_fraction)),
+                ("tiers".into(), Value::Num(p.tiers as f64)),
+                ("staleness_decay".into(), Value::Num(p.staleness_decay)),
+                ("sl_agent_layers".into(), Value::Num(p.sl_agent_layers as f64)),
+                ("sl_server_cpus".into(), Value::Num(p.sl_server_cpus)),
+            ]),
+        ));
+    }
     Value::Obj(fields)
 }
 
@@ -766,7 +981,20 @@ mod tests {
                     .churn(ChurnPolicy { interval: 10, fraction: 0.2 })
                     .rounds(12)
                     .dataset("cifar100", false)
-                    .target(0.6),
+                    .target(0.6)
+                    .noniid_mix(0.35)
+                    .churn_dip(0.4)
+                    .method_params(MethodParams {
+                        fedprox_min_work: 0.25,
+                        drop_fraction: 0.4,
+                        tiers: 3,
+                        staleness_decay: 0.75,
+                        sl_agent_layers: 24,
+                        sl_server_cpus: 12.5,
+                    }),
+            )
+            .scenario(
+                ScenarioSpec::new("custom_curve").curve(LearningCurve::new(0.82, 9.5)).target(0.7),
             )
     }
 
@@ -854,9 +1082,65 @@ mod tests {
 
     #[test]
     fn method_tokens_are_bijective() {
+        assert_eq!(Method::ALL.len(), 9, "ComDML plus all eight baselines");
         for m in Method::ALL {
             assert_eq!(Method::from_token(m.token()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn learning_curve_resolves_override_mix_and_selection() {
+        let s = ScenarioSpec::new("a").dataset("cifar100", false);
+        assert_eq!(s.learning_curve(), LearningCurve::cifar100(false));
+        let mixed = ScenarioSpec::new("a").noniid_mix(0.5);
+        let iid = LearningCurve::cifar10(true);
+        let non = LearningCurve::cifar10(false);
+        assert_eq!(mixed.learning_curve(), iid.blend(non, 0.5));
+        // Endpoints match the pure selections exactly.
+        assert_eq!(ScenarioSpec::new("a").noniid_mix(0.0).learning_curve(), iid);
+        assert_eq!(ScenarioSpec::new("a").noniid_mix(1.0).learning_curve(), non);
+        // An explicit curve wins over everything.
+        let forced = ScenarioSpec::new("a").noniid_mix(0.5).curve(LearningCurve::new(0.7, 4.0));
+        assert_eq!(forced.learning_curve(), LearningCurve::new(0.7, 4.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_accuracy_model_knobs() {
+        let wrap = |s: ScenarioSpec| SweepSpec::new("x").method(Method::ComDml).scenario(s);
+        let bad_mix = wrap(ScenarioSpec::new("a").noniid_mix(1.5));
+        assert!(bad_mix.validate().unwrap_err().contains("noniid_mix"));
+        let bad_dip = wrap(ScenarioSpec::new("a").churn_dip(-0.5));
+        assert!(bad_dip.validate().unwrap_err().contains("churn_dip"));
+        // Target at/above the resolved asymptote must fail validation, not
+        // panic in a worker.
+        let unreachable = wrap(ScenarioSpec::new("a").curve(LearningCurve::new(0.6, 5.0)));
+        assert!(unreachable.validate().unwrap_err().contains("unreachable"));
+        let with_params =
+            |p: MethodParams| wrap(ScenarioSpec::new("a").method_params(p)).validate().unwrap_err();
+        let d = MethodParams::default();
+        assert!(with_params(MethodParams { drop_fraction: 1.0, ..d }).contains("drop_fraction"));
+        assert!(with_params(MethodParams { tiers: 0, ..d }).contains("tiers"));
+        assert!(with_params(MethodParams { sl_agent_layers: 56, ..d }).contains("sl_agent_layers"));
+        assert!(
+            with_params(MethodParams { fedprox_min_work: 0.0, ..d }).contains("fedprox_min_work")
+        );
+    }
+
+    #[test]
+    fn curve_json_rejects_out_of_range_constants() {
+        let bad = r#"{"name":"t","seeds":{"base":1,"count":1},"methods":["comdml"],
+            "scenarios":[{"name":"s","curve":{"a_max":1.5,"tau":3.0}}]}"#;
+        assert!(SweepSpec::parse(bad).unwrap_err().contains("curve"));
+    }
+
+    #[test]
+    fn default_method_params_render_tersely() {
+        let spec =
+            SweepSpec::new("t").seeds(1, 1).method(Method::ComDml).scenario(ScenarioSpec::new("s"));
+        let text = spec.render();
+        assert!(!text.contains("method_params"), "defaults stay out of rendered specs");
+        assert!(!text.contains("churn_dip"));
+        assert!(!text.contains("noniid_mix"));
     }
 
     #[test]

@@ -7,21 +7,22 @@
 //! * job results are pure functions of their coordinates (re-running any
 //!   job reproduces its row).
 
-use comdml_core::{AggregationMode, ChurnPolicy};
-use comdml_exp::{presets, run_job, Method, ScenarioSpec, SweepRunner, SweepSpec};
+use comdml_core::{AggregationMode, ChurnPolicy, LearningCurve};
+use comdml_exp::{presets, run_job, Method, MethodParams, ScenarioSpec, SweepRunner, SweepSpec};
 use comdml_simnet::{ArrivalProcess, SessionLifetime, Topology};
 use proptest::prelude::*;
 
-/// Builds a small scenario from drawn knobs.
+/// Builds a small scenario from drawn knobs
+/// `(topo, agg, churny, sampling, learning)`, the last covering the
+/// round-driven accuracy fields (curve override, non-IID mix, churn dip,
+/// per-method params).
 fn scenario_from(
     name: &str,
     agents: usize,
     rounds: usize,
-    topo: u8,
-    agg: u8,
-    churny: u8,
-    sampling: u8,
+    knobs: (u8, u8, u8, u8, u8),
 ) -> ScenarioSpec {
+    let (topo, agg, churny, sampling, learning) = knobs;
     let mut s = ScenarioSpec::new(name).agents(agents).rounds(rounds);
     s = match topo % 3 {
         0 => s.topology(Topology::Full),
@@ -43,6 +44,20 @@ fn scenario_from(
         0 => s,
         1 => s.sampling_rate(0.5),
         _ => s.sampling_rate(0.25),
+    };
+    s = match learning % 5 {
+        0 => s,
+        1 => s.noniid_mix(0.375),
+        2 => s.churn_dip(0.625).target(0.7),
+        3 => s.curve(LearningCurve::new(0.875, 7.25)).target(0.72),
+        _ => s.method_params(MethodParams {
+            fedprox_min_work: 0.375,
+            drop_fraction: 0.25,
+            tiers: 3,
+            staleness_decay: 0.75,
+            sl_agent_layers: 28,
+            sl_server_cpus: 6.5,
+        }),
     };
     s
 }
@@ -67,15 +82,20 @@ proptest! {
     fn report_is_byte_identical_across_worker_counts(
         agents in 4usize..9,
         rounds in 2usize..5,
-        knobs in (0u8..3, 0u8..3, 0u8..2, 0u8..3),
+        knobs in (0u8..3, 0u8..3, 0u8..2, 0u8..3, 0u8..5),
         mask in 1u8..16,
         base_seed in 1u64..500,
     ) {
-        let (topo, agg, churny, sampling) = knobs;
+        let (topo, agg, churny, sampling, learning) = knobs;
         let mut spec = SweepSpec::new("prop")
             .seeds(base_seed, 2)
-            .scenario(scenario_from("a", agents, rounds, topo, agg, churny, sampling))
-            .scenario(scenario_from("b", agents + 2, rounds, topo + 1, agg + 1, 1 - churny, sampling + 1));
+            .scenario(scenario_from("a", agents, rounds, knobs))
+            .scenario(scenario_from(
+                "b",
+                agents + 2,
+                rounds,
+                (topo + 1, agg + 1, 1 - churny, sampling + 1, learning + 1),
+            ));
         for m in methods_from(mask) {
             spec = spec.method(m);
         }
@@ -102,12 +122,11 @@ proptest! {
     fn spec_files_round_trip(
         agents in 1usize..200,
         rounds in 1usize..500,
-        knobs in (0u8..3, 0u8..3, 0u8..2, 0u8..3),
+        knobs in (0u8..3, 0u8..3, 0u8..2, 0u8..3, 0u8..5),
         seeds in (0u64..10_000, 1usize..50),
         lifetime_sel in 0u8..4,
     ) {
-        let (topo, agg, churny, sampling) = knobs;
-        let mut s = scenario_from("s", agents, rounds, topo, agg, churny, sampling);
+        let mut s = scenario_from("s", agents, rounds, knobs);
         s.lifetime = match lifetime_sel {
             0 => SessionLifetime::Infinite,
             1 => SessionLifetime::Exponential { mean_s: 123.456 },

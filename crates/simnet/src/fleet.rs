@@ -141,6 +141,25 @@ pub struct FleetRoundPlan {
     pub events: Vec<MembershipEvent>,
 }
 
+impl FleetRoundPlan {
+    /// Departures among `participants` (sorted ascending by id) that land
+    /// *inside* a round of realized duration `round_s` (`at_s <= round_s`).
+    /// The events list forecasts the caller's whole planning horizon, so a
+    /// later departure stays active past `end_round` and re-appears in the
+    /// next plan — this commit rule is what churn-coupled accuracy charging
+    /// uses on every path, kept here so it cannot drift between them.
+    pub fn committed_leaves_among(&self, participants: &[AgentId], round_s: f64) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.kind == MembershipChange::Leave
+                    && e.at_s <= round_s
+                    && participants.binary_search(&e.agent).is_ok()
+            })
+            .count()
+    }
+}
+
 /// Builder for a [`FleetDriver`].
 ///
 /// The initial world is a standard heterogeneous [`WorldConfig`] build;
