@@ -31,6 +31,9 @@
 //! let t = time_to_accuracy(&mut fedavg, &world, &curve, 0.80);
 //! assert!(t.total_time_s > 0.0);
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod allreduce_dml;
 mod braintorrent;

@@ -9,8 +9,11 @@
 //!
 //! [`Value`] is the structural companion: a recursive-descent parser and
 //! deterministic writer for full JSON documents (objects keep insertion
-//! order), used by the `comdml-exp` scenario-spec files where flat
-//! key-scanning is not enough.
+//! order), used by the `comdml-exp` scenario-spec files, sweep reports and
+//! sharded *partial* reports. Numbers render in Rust's shortest
+//! round-trip representation, so `parse ∘ render` preserves every `f64`
+//! bit-exactly — the property that lets `sweep_merge` reassemble partial
+//! reports into a document byte-identical to a single-process run.
 //!
 //! # Example
 //!
@@ -677,6 +680,38 @@ mod tests {
         assert!(s.contains("1000000000000000"), "{s}");
         assert!(s.contains("0.1"), "{s}");
         assert_eq!(Value::parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn value_float_round_trip_is_bit_exact() {
+        // The shard-merge byte-identity contract: any finite f64 that a
+        // report can carry must survive render ∘ parse with the same bits.
+        // Shortest round-trip float printing guarantees it; pin a spread
+        // of awkward values (non-terminating binary fractions, extremes of
+        // the integer-rendered range, subnormals, huge magnitudes).
+        let values = [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            2.0f64.powi(-1074), // smallest subnormal
+            f64::MIN_POSITIVE,
+            1e300,
+            -123456.78901234567,
+            8.9e15, // just inside the integer-rendered range
+            9.1e15, // just outside it
+            0.0,
+            -0.0,
+        ];
+        for &v in &values {
+            let rendered = Value::Num(v).render();
+            let back = Value::parse(&rendered).unwrap();
+            let b = back.as_f64().unwrap();
+            assert!(
+                b == v || (b == 0.0 && v == 0.0),
+                "{v:?} rendered as {rendered:?} parsed back as {b:?}"
+            );
+            // And a second render is byte-identical to the first.
+            assert_eq!(back.render(), rendered);
+        }
     }
 
     #[test]

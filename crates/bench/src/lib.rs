@@ -1,6 +1,9 @@
 //! Shared harness for the experiment binaries that regenerate every table
 //! and figure of the ComDML paper. See DESIGN.md for the experiment index
 //! and EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod json;
 mod report;

@@ -21,6 +21,9 @@
 //! ring_allreduce(&mut bufs).unwrap();
 //! assert_eq!(bufs[0], vec![3.0, 4.0]); // element-wise mean
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod allreduce;
 mod cost;

@@ -34,6 +34,9 @@
 //! assert!(report.total_time_s > 0.0);
 //! assert!(report.rounds > 0);
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod comdml;
 mod estimator;

@@ -24,6 +24,9 @@
 //! let last = profile.entry(55).unwrap();
 //! assert!(last.t_slow_rel < 0.1);
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod calibration;
 mod layer;

@@ -27,6 +27,9 @@
 //! let parts = DirichletPartitioner::new(0.5, 7).partition(ds.labels(), 4);
 //! assert_eq!(parts.len(), 4);
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod augment;
 mod batcher;

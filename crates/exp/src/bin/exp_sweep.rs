@@ -1,9 +1,11 @@
 //! Runs one sweep spec end to end: parse → job matrix → parallel execution
-//! → paper-style table + `BENCH_sweep_*.json` + CSV.
+//! → paper-style table + `BENCH_sweep_*.json` + CSV + the figure-ready
+//! curve artifacts (`BENCH_curves_*.json`, CSV, one SVG per scenario).
 //!
 //! ```sh
 //! cargo run --release --bin exp_sweep -- ci/specs/smoke.json
 //! cargo run --release --bin exp_sweep -- @table3 --seeds 5 --threads 8
+//! cargo run --release --bin exp_sweep -- @table3 --shard 0/4   # one host
 //! ```
 //!
 //! A `@name` argument resolves a built-in preset (`@table2`, `@table3`,
@@ -12,11 +14,17 @@
 //! into an editable starting file). Jobs run round-driven: per-job realized
 //! accuracy trajectories land in the `BENCH_sweep_*.json` artifact, and
 //! jobs stop early once they reach the scenario's target accuracy.
+//!
+//! `--shard i/n` runs only the jobs of shard `i` of `n` and writes a
+//! `BENCH_part_<sweep>_<i>of<n>.json` partial report instead of the full
+//! artifacts; run every shard (anywhere — pure per-job seeding makes them
+//! independent), then fuse them with `sweep_merge` into a report
+//! byte-identical to the single-process run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use comdml_exp::{presets, SweepRunner, SweepSpec};
+use comdml_exp::{presets, Shard, SweepRunner, SweepSpec};
 
 struct Args {
     spec: String,
@@ -25,6 +33,7 @@ struct Args {
     out_dir: PathBuf,
     quiet: bool,
     print_spec: bool,
+    shard: Option<Shard>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out_dir = PathBuf::from("target/experiments");
     let mut quiet = false;
     let mut print_spec = false;
+    let mut shard = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut grab = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -48,18 +58,20 @@ fn parse_args() -> Result<Args, String> {
             "--out" => out_dir = PathBuf::from(grab("--out")?),
             "--quiet" => quiet = true,
             "--print-spec" => print_spec = true,
+            "--shard" => shard = Some(Shard::parse(&grab("--shard")?)?),
             other if other.starts_with("--") => return Err(format!("unknown argument {other}")),
             other if spec.is_none() => spec = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other}")),
         }
     }
     Ok(Args {
-        spec: spec.ok_or("usage: exp_sweep <spec.json | @preset> [--seeds N] [--threads N] [--out DIR] [--quiet] [--print-spec]")?,
+        spec: spec.ok_or("usage: exp_sweep <spec.json | @preset> [--seeds N] [--threads N] [--out DIR] [--shard I/N] [--quiet] [--print-spec]")?,
         threads,
         seeds,
         out_dir,
         quiet,
         print_spec,
+        shard,
     })
 }
 
@@ -107,6 +119,32 @@ fn main() -> ExitCode {
     if let Some(n) = args.threads {
         runner = runner.threads(n);
     }
+    if let Some(shard) = args.shard {
+        // One slice of the matrix: run it, persist the partial report and
+        // stop — `sweep_merge` aggregates once every shard has run.
+        println!("sweep {}: shard {shard} of the {}-job matrix", spec.name, spec.num_jobs());
+        let partial = match runner.run_shard(&spec, shard) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("exp_sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match partial.write_to(&args.out_dir) {
+            Ok(path) => {
+                println!(
+                    "partial report ({} jobs) written to {}",
+                    partial.jobs.len(),
+                    path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("exp_sweep: write partial report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     println!(
         "sweep {}: {} scenarios x {} methods x {} seeds = {} jobs",
         spec.name,
@@ -129,6 +167,20 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("exp_sweep: write report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match report.write_curves_to(&args.out_dir) {
+        Ok((json, csv, svgs)) => {
+            println!(
+                "curves written to {}, {} and {} scenario panel(s)",
+                json.display(),
+                csv.display(),
+                svgs.len()
+            )
+        }
+        Err(e) => {
+            eprintln!("exp_sweep: write curves: {e}");
             return ExitCode::FAILURE;
         }
     }

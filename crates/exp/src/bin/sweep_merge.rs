@@ -1,0 +1,106 @@
+//! Fuses sharded sweep partials back into the full report.
+//!
+//! ```sh
+//! cargo run --release --bin exp_sweep -- @table3 --shard 0/2
+//! cargo run --release --bin exp_sweep -- @table3 --shard 1/2
+//! cargo run --release --bin sweep_merge -- \
+//!   target/experiments/BENCH_part_table3_0of2.json \
+//!   target/experiments/BENCH_part_table3_1of2.json
+//! ```
+//!
+//! Takes one `BENCH_part_<sweep>_<i>of<n>.json` per shard (any order),
+//! verifies they come from the same spec and cover the job matrix exactly
+//! once, and writes the same `BENCH_sweep_*.json` + CSV + curve artifacts
+//! a single-process `exp_sweep` run of the spec would have written —
+//! byte-identical, so `diff` against an unsharded run is empty (CI does
+//! exactly that).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use comdml_exp::{merge, PartialReport};
+
+struct Args {
+    parts: Vec<PathBuf>,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parts = Vec::new();
+    let mut out_dir = PathBuf::from("target/experiments");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            other if other.starts_with("--") => return Err(format!("unknown argument {other}")),
+            other => parts.push(PathBuf::from(other)),
+        }
+    }
+    if parts.is_empty() {
+        return Err("usage: sweep_merge <BENCH_part_*.json>... [--out DIR]".into());
+    }
+    Ok(Args { parts, out_dir })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sweep_merge: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut partials = Vec::with_capacity(args.parts.len());
+    for path in &args.parts {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sweep_merge: read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match PartialReport::parse(&text) {
+            Ok(p) => partials.push(p),
+            Err(e) => {
+                eprintln!("sweep_merge: parse {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = match merge(&partials) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep_merge: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "merged {} shards of sweep {} ({} jobs)",
+        partials.len(),
+        report.name,
+        report.jobs.len()
+    );
+    print!("{}", report.render_table());
+    match report.write_to(&args.out_dir) {
+        Ok((json, csv)) => println!("report written to {} and {}", json.display(), csv.display()),
+        Err(e) => {
+            eprintln!("sweep_merge: write report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match report.write_curves_to(&args.out_dir) {
+        Ok((json, csv, svgs)) => {
+            println!(
+                "curves written to {}, {} and {} scenario panel(s)",
+                json.display(),
+                csv.display(),
+                svgs.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep_merge: write curves: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,10 +21,23 @@
 //! * [`SweepReport`] — per-cell mean/p50/p95 time-to-target, realized
 //!   accuracy and reached-target counts, speedup-vs-FedAvg, emitted as
 //!   `BENCH_sweep_*.json` + CSV and paper-style stdout tables.
+//! * [`CurveAggregate`] ([`curves`] module) — trajectory-level
+//!   aggregation: per-round mean/p10/p90 accuracy bands per cell, aligned
+//!   on the scenario's shared round grid, emitted as
+//!   `BENCH_curves_*.json` + CSV + a dependency-free SVG panel per
+//!   scenario, so convergence figures come straight out of a sweep.
+//! * [`Shard`] / [`PartialReport`] / [`merge`] ([`shard`] module) — the
+//!   job matrix deterministically partitioned across processes or hosts
+//!   (`exp_sweep --shard i/n`), with partial reports that byte-merge
+//!   (`sweep_merge`) into exactly the single-process report.
 //!
-//! Two binaries front the engine: `exp_sweep <spec.json>` runs any spec
-//! file (or `@table2`-style preset), and `paper_tables` regenerates the
-//! Table II/III grids from one command.
+//! Three binaries front the engine: `exp_sweep <spec.json>` runs any spec
+//! file (or `@table2`-style preset) — whole or as one shard —
+//! `sweep_merge` fuses partial reports, and `paper_tables` regenerates
+//! the Table II/III grids from one command.
+//!
+//! This crate is the experiment layer of the `comdml-rs` workspace — see
+//! the crate map in the repository README for how the pieces fit.
 //!
 //! # Example
 //!
@@ -41,11 +54,15 @@
 //! assert!(report.cells.iter().all(|c| c.mean_time_s > 0.0));
 //! ```
 
+pub mod curves;
 pub mod presets;
 mod report;
 mod runner;
+pub mod shard;
 mod spec;
 
+pub use curves::{CurveAggregate, CurvePoint};
 pub use report::{SweepCell, SweepReport};
 pub use runner::{run_job, JobResult, JobSpec, SweepRunner};
+pub use shard::{merge, PartialReport, Shard};
 pub use spec::{Method, MethodParams, ScenarioSpec, SeedRange, SweepSpec};

@@ -32,6 +32,14 @@ pub struct SweepCell {
     /// Mean rounds-to-target (realized where the trajectory got there,
     /// extrapolated otherwise).
     pub mean_rounds_to_target: f64,
+    /// Median rounds-to-target across seeds — the curve-summary companion
+    /// of the per-round bands in [`crate::CurveAggregate`].
+    pub rounds_to_target_p50: f64,
+    /// Fraction of this cell's grid points (seeds × the scenario's shared
+    /// round grid) that are padding rather than realized trajectory —
+    /// early-stopped seeds hold their target-crossing value for the rest of
+    /// the grid. 0 means every plotted point was simulated.
+    pub extrapolated_frac: f64,
     /// Mean realized accuracy at the end of the simulated rounds.
     pub mean_final_acc: f64,
     /// Seeds whose realized trajectory reached the target inside the round
@@ -63,12 +71,33 @@ pub struct SweepReport {
     pub cells: Vec<SweepCell>,
 }
 
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile of an ascending slice (shared with the
+/// trajectory aggregation in [`crate::CurveAggregate`]).
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx]
+}
+
+/// The shared round grid of one scenario's jobs: the longest realized
+/// trajectory across every (method, seed) of the scenario, so all of the
+/// scenario's cells align on the same x axis. Early-stopped jobs are
+/// shorter than the grid; budget-exhausted jobs define it.
+pub(crate) fn scenario_grid(jobs: &[JobResult]) -> usize {
+    jobs.iter().map(|j| j.rounds_run).max().unwrap_or(0)
+}
+
+/// The curve-summary pair of one cell on a `grid`-round axis:
+/// `(rounds_to_target_p50, extrapolated_frac)`. One definition shared by
+/// the scalar [`SweepCell`] columns and [`crate::CurveAggregate`], so the
+/// two can never drift apart.
+pub(crate) fn curve_summary(jobs: &[JobResult], grid: usize) -> (f64, f64) {
+    let mut rounds_tt: Vec<f64> = jobs.iter().map(|j| j.rounds_to_target as f64).collect();
+    rounds_tt.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let padded: usize = jobs.iter().map(|j| grid - j.rounds_run).sum();
+    (percentile(&rounds_tt, 0.50), padded as f64 / (jobs.len() * grid.max(1)).max(1) as f64)
 }
 
 impl SweepReport {
@@ -79,6 +108,8 @@ impl SweepReport {
         let seeds = spec.seeds.count;
         let mut cells = Vec::with_capacity(spec.scenarios.len() * spec.methods.len());
         for (si, scenario) in spec.scenarios.iter().enumerate() {
+            let block = si * spec.methods.len() * seeds;
+            let grid = scenario_grid(&jobs[block..block + spec.methods.len() * seeds]);
             for (mi, &method) in spec.methods.iter().enumerate() {
                 let start = (si * spec.methods.len() + mi) * seeds;
                 let slice = &jobs[start..start + seeds];
@@ -87,6 +118,7 @@ impl SweepReport {
                     .all(|j| j.method == method && j.scenario == scenario.name));
                 let mut times: Vec<f64> = slice.iter().map(|j| j.time_to_target_s).collect();
                 times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let (rounds_to_target_p50, extrapolated_frac) = curve_summary(slice, grid);
                 let n = seeds as f64;
                 cells.push(SweepCell {
                     scenario: scenario.name.clone(),
@@ -102,6 +134,8 @@ impl SweepReport {
                         .map(|j| j.rounds_to_target as f64)
                         .sum::<f64>()
                         / n,
+                    rounds_to_target_p50,
+                    extrapolated_frac,
                     mean_final_acc: slice.iter().map(|j| j.final_accuracy).sum::<f64>() / n,
                     reached: slice.iter().filter(|j| j.reached_target).count(),
                     speedup_vs_fedavg: None, // filled below
@@ -145,6 +179,8 @@ impl SweepReport {
                 ("mean_round_s".into(), Value::Num(c.mean_round_s)),
                 ("mean_rounds_factor".into(), Value::Num(c.mean_rounds_factor)),
                 ("mean_rounds_to_target".into(), Value::Num(c.mean_rounds_to_target)),
+                ("rounds_to_target_p50".into(), Value::Num(c.rounds_to_target_p50)),
+                ("extrapolated_frac".into(), Value::Num(c.extrapolated_frac)),
                 ("mean_final_acc".into(), Value::Num(c.mean_final_acc)),
                 ("reached".into(), Value::Num(c.reached as f64)),
                 ("events_processed".into(), Value::Num(c.events_processed as f64)),
@@ -154,29 +190,6 @@ impl SweepReport {
                 f.push(("speedup_vs_fedavg".into(), Value::Num(s)));
             }
             Value::Obj(f)
-        };
-        let job_v = |j: &JobResult| {
-            Value::Obj(vec![
-                ("scenario".into(), Value::Str(j.scenario.clone())),
-                ("method".into(), Value::Str(j.method.token().into())),
-                ("seed".into(), Value::Num(j.seed as f64)),
-                ("rounds_run".into(), Value::Num(j.rounds_run as f64)),
-                ("sim_s".into(), Value::Num(j.sim_s)),
-                ("mean_round_s".into(), Value::Num(j.mean_round_s)),
-                ("rounds_factor".into(), Value::Num(j.rounds_factor)),
-                ("rounds_to_target".into(), Value::Num(j.rounds_to_target as f64)),
-                ("time_to_target_s".into(), Value::Num(j.time_to_target_s)),
-                ("reached_target".into(), Value::Bool(j.reached_target)),
-                ("final_accuracy".into(), Value::Num(j.final_accuracy)),
-                (
-                    "trajectory".into(),
-                    Value::Arr(j.accuracy_trajectory.iter().map(|&a| Value::Num(a)).collect()),
-                ),
-                ("events_processed".into(), Value::Num(j.events_processed as f64)),
-                ("peak_agents".into(), Value::Num(j.peak_agents as f64)),
-                ("arrivals".into(), Value::Num(j.arrivals as f64)),
-                ("departures".into(), Value::Num(j.departures as f64)),
-            ])
         };
         Value::Obj(vec![
             ("sweep".into(), Value::Str(self.name.clone())),
@@ -189,7 +202,7 @@ impl SweepReport {
                 Value::Arr(self.methods.iter().map(|m| Value::Str(m.token().into())).collect()),
             ),
             ("cells".into(), Value::Arr(self.cells.iter().map(cell_v).collect())),
-            ("jobs".into(), Value::Arr(self.jobs.iter().map(job_v).collect())),
+            ("jobs".into(), Value::Arr(self.jobs.iter().map(JobResult::to_value).collect())),
         ])
     }
 
@@ -207,6 +220,8 @@ impl SweepReport {
                 "mean_round_s",
                 "mean_rounds_factor",
                 "mean_rounds_to_target",
+                "rounds_to_target_p50",
+                "extrapolated_frac",
                 "mean_final_acc",
                 "reached",
                 "speedup_vs_fedavg",
@@ -225,6 +240,8 @@ impl SweepReport {
                 format!("{:.3}", c.mean_round_s),
                 format!("{:.4}", c.mean_rounds_factor),
                 format!("{:.1}", c.mean_rounds_to_target),
+                format!("{:.1}", c.rounds_to_target_p50),
+                format!("{:.4}", c.extrapolated_frac),
                 format!("{:.4}", c.mean_final_acc),
                 c.reached.to_string(),
                 c.speedup_vs_fedavg.map(|s| format!("{s:.2}")).unwrap_or_default(),
@@ -267,17 +284,27 @@ impl SweepReport {
         for scenario in &self.scenarios {
             out.push_str(&format!("── {scenario} ──\n"));
             out.push_str(&format!(
-                "{:<16} {:>12} {:>12} {:>12} {:>8} {:>9} {:>10}\n",
-                "method", "mean ttx (s)", "p50 (s)", "p95 (s)", "rounds", "reached", "vs FedAvg"
+                "{:<16} {:>12} {:>12} {:>12} {:>8} {:>8} {:>7} {:>9} {:>10}\n",
+                "method",
+                "mean ttx (s)",
+                "p50 (s)",
+                "p95 (s)",
+                "rounds",
+                "r50 tgt",
+                "extrap",
+                "reached",
+                "vs FedAvg"
             ));
             for c in self.cells.iter().filter(|c| &c.scenario == scenario) {
                 out.push_str(&format!(
-                    "{:<16} {:>12} {:>12} {:>12} {:>8.0} {:>9} {:>10}\n",
+                    "{:<16} {:>12} {:>12} {:>12} {:>8.0} {:>8.0} {:>7} {:>9} {:>10}\n",
                     c.method.display(),
                     fmt(c.mean_time_s),
                     fmt(c.p50_time_s),
                     fmt(c.p95_time_s),
                     c.mean_rounds_to_target,
+                    c.rounds_to_target_p50,
+                    format!("{:.0}%", c.extrapolated_frac * 100.0),
                     format!("{}/{}", c.reached, c.seeds),
                     c.speedup_vs_fedavg.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "-".into()),
                 ));

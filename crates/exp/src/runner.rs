@@ -37,6 +37,7 @@ use comdml_baselines::{
     AllReduceDml, BaselineConfig, BrainTorrent, ClassicSplitLearning, DropStragglers, FedAvg,
     FedProx, GossipLearning, TierBased,
 };
+use comdml_bench::Value;
 use comdml_core::{ComDmlConfig, FleetSim, LearningModel, RoundEngine, RoundProgress};
 use comdml_simnet::{FleetConfig, FleetDriver};
 
@@ -96,6 +97,91 @@ pub struct JobResult {
     pub arrivals: usize,
     /// Departures committed during the simulated rounds.
     pub departures: usize,
+}
+
+impl JobResult {
+    /// The JSON value of one job row — the exact object embedded in the
+    /// `jobs` array of `BENCH_sweep_*.json` *and* in sharded partial
+    /// reports, so a merged report re-renders the same bytes.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("scenario".into(), Value::Str(self.scenario.clone())),
+            ("method".into(), Value::Str(self.method.token().into())),
+            ("seed".into(), Value::Num(self.seed as f64)),
+            ("rounds_run".into(), Value::Num(self.rounds_run as f64)),
+            ("sim_s".into(), Value::Num(self.sim_s)),
+            ("mean_round_s".into(), Value::Num(self.mean_round_s)),
+            ("rounds_factor".into(), Value::Num(self.rounds_factor)),
+            ("rounds_to_target".into(), Value::Num(self.rounds_to_target as f64)),
+            ("time_to_target_s".into(), Value::Num(self.time_to_target_s)),
+            ("reached_target".into(), Value::Bool(self.reached_target)),
+            ("final_accuracy".into(), Value::Num(self.final_accuracy)),
+            (
+                "trajectory".into(),
+                Value::Arr(self.accuracy_trajectory.iter().map(|&a| Value::Num(a)).collect()),
+            ),
+            ("events_processed".into(), Value::Num(self.events_processed as f64)),
+            ("peak_agents".into(), Value::Num(self.peak_agents as f64)),
+            ("arrivals".into(), Value::Num(self.arrivals as f64)),
+            ("departures".into(), Value::Num(self.departures as f64)),
+        ])
+    }
+
+    /// Rebuilds a job row from its [`JobResult::to_value`] form. Numbers
+    /// survive exactly: [`Value`] renders floats in Rust's shortest
+    /// round-trip representation, so `from_value ∘ parse ∘ render ∘
+    /// to_value` is the identity — the property the byte-identical shard
+    /// merge rests on.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or ill-typed field.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let f = |key: &str| {
+            v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("job missing number {key:?}"))
+        };
+        let n = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_usize)
+                .ok_or_else(|| format!("job missing integer {key:?}"))
+        };
+        Ok(Self {
+            scenario: v
+                .get("scenario")
+                .and_then(Value::as_str)
+                .ok_or("job missing \"scenario\"")?
+                .to_string(),
+            method: Method::from_token(
+                v.get("method").and_then(Value::as_str).ok_or("job missing \"method\"")?,
+            )?,
+            seed: v.get("seed").and_then(Value::as_u64).ok_or("job missing \"seed\"")?,
+            rounds_run: n("rounds_run")?,
+            sim_s: f("sim_s")?,
+            mean_round_s: f("mean_round_s")?,
+            rounds_factor: f("rounds_factor")?,
+            rounds_to_target: n("rounds_to_target")?,
+            time_to_target_s: f("time_to_target_s")?,
+            reached_target: v
+                .get("reached_target")
+                .and_then(Value::as_bool)
+                .ok_or("job missing \"reached_target\"")?,
+            final_accuracy: f("final_accuracy")?,
+            accuracy_trajectory: v
+                .get("trajectory")
+                .and_then(Value::as_array)
+                .ok_or("job missing \"trajectory\"")?
+                .iter()
+                .map(|a| a.as_f64().ok_or_else(|| "trajectory must be numbers".to_string()))
+                .collect::<Result<Vec<_>, _>>()?,
+            events_processed: v
+                .get("events_processed")
+                .and_then(Value::as_u64)
+                .ok_or("job missing \"events_processed\"")?,
+            peak_agents: n("peak_agents")?,
+            arrivals: n("arrivals")?,
+            departures: n("departures")?,
+        })
+    }
 }
 
 impl ScenarioSpec {
@@ -356,14 +442,12 @@ impl SweepRunner {
         jobs
     }
 
-    /// Runs the whole sweep and aggregates the report.
-    ///
-    /// # Errors
-    ///
-    /// Returns the spec's validation error, if any.
-    pub fn run(&self, spec: &SweepSpec) -> Result<SweepReport, String> {
-        spec.validate()?;
-        let jobs = Self::jobs(spec);
+    /// Burns through an (arbitrary subset of a) job list on the worker
+    /// pool, returning results in the list's order. Shared by the full-run
+    /// and sharded entry points, so both inherit the same determinism
+    /// contract: results land in pre-assigned slots keyed by list position,
+    /// independent of completion order.
+    pub(crate) fn execute(&self, spec: &SweepSpec, jobs: &[JobSpec]) -> Vec<JobResult> {
         let total = jobs.len();
         let results: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
@@ -388,10 +472,20 @@ impl SweepRunner {
                 });
             }
         });
-        let results: Vec<JobResult> = results
+        results
             .into_iter()
             .map(|m| m.into_inner().expect("no poisoned slot").expect("every job ran"))
-            .collect();
+            .collect()
+    }
+
+    /// Runs the whole sweep and aggregates the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's validation error, if any.
+    pub fn run(&self, spec: &SweepSpec) -> Result<SweepReport, String> {
+        spec.validate()?;
+        let results = self.execute(spec, &Self::jobs(spec));
         Ok(SweepReport::assemble(spec, results))
     }
 }

@@ -1,0 +1,125 @@
+//! Golden-file pin of the trajectory aggregation.
+//!
+//! A tiny 2-method × 3-seed sweep is aggregated into [`CurveAggregate`]s
+//! whose JSON and CSV artifacts are pinned byte-for-byte against committed
+//! golden files (`tests/golden/`), and whose bands are re-derived by hand
+//! in the test from the recorded per-job trajectories: with three seeds
+//! the nearest-rank p10 is the per-round minimum, p90 the maximum, and the
+//! mean the arithmetic mean, with early-stopped seeds holding their final
+//! target-crossing value on the padded tail.
+//!
+//! Refresh the goldens after an intentional format change with
+//! `UPDATE_GOLDEN=1 cargo test -p comdml-exp --test curves`.
+
+use std::path::Path;
+
+use comdml_exp::{Method, ScenarioSpec, SweepRunner, SweepSpec};
+
+/// The pinned sweep: two closed-form methods (fully deterministic), three
+/// seeds, a target FedAvg reaches inside the 10-round budget (so its tail
+/// is padded) while Gossip's partial mixing does not (so it defines the
+/// grid). Poisson membership churn with a churn-coupled accuracy dip
+/// makes the trajectories genuinely seed-dependent, so the p10–p90 bands
+/// are non-degenerate.
+fn golden_spec() -> SweepSpec {
+    use comdml_simnet::{ArrivalProcess, SessionLifetime};
+    SweepSpec::new("golden").seeds(1, 3).method(Method::FedAvg).method(Method::Gossip).scenario(
+        ScenarioSpec::new("tiny")
+            .agents(8)
+            .rounds(10)
+            .target(0.5)
+            .arrivals(ArrivalProcess::Poisson { rate_per_s: 0.01 })
+            .lifetime(SessionLifetime::Exponential { mean_s: 1_500.0 })
+            .churn_dip(0.3),
+    )
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(actual, expected, "golden {name} drifted; UPDATE_GOLDEN=1 refreshes it");
+}
+
+#[test]
+fn curve_artifacts_match_the_committed_goldens() {
+    let report = SweepRunner::new().progress(false).run(&golden_spec()).unwrap();
+    check_golden("curves_golden.json", &report.curves_value().render());
+    check_golden("curves_golden.csv", &report.curves_csv().to_csv());
+}
+
+#[test]
+fn bands_equal_the_hand_computed_aggregation() {
+    let report = SweepRunner::new().progress(false).run(&golden_spec()).unwrap();
+    let curves = report.curves();
+    assert_eq!(curves.len(), 2, "one aggregate per (scenario, method) cell");
+    // The shared grid is the longest trajectory across the scenario.
+    let grid = report.jobs.iter().map(|j| j.rounds_run).max().unwrap();
+    // FedAvg (efficiency 1) reaches 50% inside the budget; Gossip's
+    // partial-mixing factor keeps it short of the target, so it runs the
+    // full budget and defines the grid.
+    assert_eq!(grid, 10);
+    assert!(report.jobs.iter().filter(|j| j.method == Method::FedAvg).all(|j| j.reached_target));
+    assert!(report.jobs.iter().filter(|j| j.method == Method::Gossip).all(|j| !j.reached_target));
+    for curve in &curves {
+        let cell_jobs: Vec<_> = report.jobs.iter().filter(|j| j.method == curve.method).collect();
+        assert_eq!(cell_jobs.len(), 3);
+        assert_eq!(curve.rounds(), grid);
+        let mut padded = 0usize;
+        for (i, point) in curve.points.iter().enumerate() {
+            assert_eq!(point.round, i + 1);
+            // A seed past its early stop holds its final value.
+            let values: Vec<f64> = cell_jobs
+                .iter()
+                .map(|j| {
+                    let t = &j.accuracy_trajectory;
+                    if i < t.len() {
+                        t[i]
+                    } else {
+                        *t.last().unwrap()
+                    }
+                })
+                .collect();
+            let mean = values.iter().sum::<f64>() / 3.0;
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!((point.mean - mean).abs() < 1e-12);
+            assert_eq!(point.p10, min, "3 seeds: nearest-rank p10 is the minimum");
+            assert_eq!(point.p90, max, "3 seeds: nearest-rank p90 is the maximum");
+            let realized = cell_jobs.iter().filter(|j| j.rounds_run > i).count();
+            assert_eq!(point.realized, realized);
+            padded += 3 - realized;
+        }
+        assert_eq!(curve.extrapolated_frac, padded as f64 / (3 * grid) as f64);
+        // Padded values sit at or above the target: the seed stopped
+        // because it crossed it.
+        for job in &cell_jobs {
+            if job.reached_target {
+                assert!(*job.accuracy_trajectory.last().unwrap() >= 0.5);
+            }
+        }
+        let mut rtt: Vec<f64> = cell_jobs.iter().map(|j| j.rounds_to_target as f64).collect();
+        rtt.sort_by(f64::total_cmp);
+        assert_eq!(curve.rounds_to_target_p50, rtt[1], "median of three is the middle seed");
+    }
+    // FedAvg stopped early on every seed, so its band has a padded tail;
+    // the cell-level summary column agrees with the curve aggregate.
+    let fedavg = curves.iter().find(|c| c.method == Method::FedAvg).unwrap();
+    assert!(fedavg.extrapolated_frac > 0.0);
+    let gossip = curves.iter().find(|c| c.method == Method::Gossip).unwrap();
+    assert_eq!(gossip.extrapolated_frac, 0.0);
+    // Seed-dependent churn dips make the bands real, not collapsed lines.
+    assert!(
+        curves.iter().any(|c| c.points.iter().any(|p| p.p90 - p.p10 > 1e-6)),
+        "bands must be non-degenerate"
+    );
+    for (curve, cell) in curves.iter().zip(&report.cells) {
+        assert_eq!(curve.extrapolated_frac, cell.extrapolated_frac);
+        assert_eq!(curve.rounds_to_target_p50, cell.rounds_to_target_p50);
+    }
+}

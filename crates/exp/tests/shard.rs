@@ -1,0 +1,129 @@
+//! The sharding contract: for *any* shard count, running every shard
+//! separately and merging the partial reports reproduces the
+//! single-process report **byte for byte** — JSON, CSV and curve
+//! artifacts alike — and partial reports survive their own JSON round
+//! trip exactly (floats render in shortest round-trip form).
+
+use comdml_core::AggregationMode;
+use comdml_exp::{
+    merge, presets, Method, PartialReport, ScenarioSpec, Shard, SweepRunner, SweepSpec,
+};
+use comdml_simnet::{ArrivalProcess, SessionLifetime, Topology};
+use proptest::prelude::*;
+
+fn small_spec(agents: usize, rounds: usize, knobs: (u8, u8), seeds: (u64, usize)) -> SweepSpec {
+    let (variant, churny) = knobs;
+    let mut s = ScenarioSpec::new("a").agents(agents).rounds(rounds);
+    s = match variant % 3 {
+        0 => s,
+        1 => s
+            .topology(Topology::Random { p: 0.5 })
+            .aggregation(AggregationMode::SemiSynchronous { quorum: 0.7, staleness_s: f64::MAX })
+            .sampling_rate(0.5),
+        _ => s.noniid_mix(0.4).churn_dip(0.5).target(0.7),
+    };
+    if churny % 2 == 1 {
+        s = s
+            .arrivals(ArrivalProcess::Poisson { rate_per_s: 0.005 })
+            .lifetime(SessionLifetime::Exponential { mean_s: 3_000.0 });
+    }
+    SweepSpec::new("shardprop")
+        .seeds(seeds.0, seeds.1)
+        .method(Method::ComDml)
+        .method(Method::FedAvg)
+        .method(Method::Gossip)
+        .scenario(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    // The acceptance property: merge(shards) == single-process report,
+    // byte for byte, for every shard count 1..=5.
+    #[test]
+    fn merged_shards_reproduce_the_single_process_report(
+        agents in 4usize..9,
+        rounds in 2usize..5,
+        knobs in (0u8..3, 0u8..2),
+        seeds in (1u64..500, 2usize..4),
+        threads in 1usize..4,
+    ) {
+        let spec = small_spec(agents, rounds, knobs, seeds);
+        let runner = SweepRunner::new().threads(threads).progress(false);
+        let single = runner.run(&spec).expect("spec validates");
+        let single_json = single.to_value().render();
+        let single_csv = single.to_csv().to_csv();
+        let single_curves = single.curves_value().render();
+        for count in 1..=5usize {
+            let parts: Vec<PartialReport> = (0..count)
+                .map(|index| {
+                    runner
+                        .run_shard(&spec, Shard { index, count })
+                        .expect("shard validates")
+                })
+                .collect();
+            // Merge order must not matter: feed the shards reversed.
+            let reversed: Vec<PartialReport> = parts.iter().rev().cloned().collect();
+            let merged = merge(&reversed).expect("complete partition merges");
+            prop_assert_eq!(
+                &merged.to_value().render(),
+                &single_json,
+                "{} shards diverged from the single-process JSON",
+                count
+            );
+            prop_assert_eq!(&merged.to_csv().to_csv(), &single_csv);
+            prop_assert_eq!(&merged.curves_value().render(), &single_curves);
+        }
+    }
+
+    // Partial reports survive parse ∘ render exactly — the disk format of
+    // the cross-host hand-off.
+    #[test]
+    fn partial_reports_round_trip_through_json(
+        agents in 4usize..8,
+        rounds in 2usize..4,
+        knobs in (0u8..3, 0u8..2),
+        seeds in (1u64..100, 2usize..3),
+        index in 0usize..3,
+    ) {
+        let spec = small_spec(agents, rounds, knobs, seeds);
+        let shard = Shard { index, count: 3 };
+        let partial = SweepRunner::new()
+            .progress(false)
+            .run_shard(&spec, shard)
+            .expect("shard validates");
+        let text = partial.render();
+        let back = PartialReport::parse(&text).expect("rendered partials parse");
+        prop_assert_eq!(&back, &partial);
+        prop_assert_eq!(back.render(), text, "second render identical");
+    }
+}
+
+#[test]
+fn smoke_shards_merge_to_the_exact_smoke_report() {
+    let spec = presets::smoke();
+    let runner = SweepRunner::new().progress(false);
+    let single = runner.run(&spec).unwrap();
+    let parts = [
+        runner.run_shard(&spec, Shard { index: 0, count: 2 }).unwrap(),
+        runner.run_shard(&spec, Shard { index: 1, count: 2 }).unwrap(),
+    ];
+    let merged = merge(&parts).unwrap();
+    assert_eq!(merged.to_value().render(), single.to_value().render());
+    assert_eq!(merged.render_table(), single.render_table());
+}
+
+#[test]
+fn partial_parse_rejects_tampered_partitions() {
+    let spec = presets::smoke();
+    let runner = SweepRunner::new().progress(false);
+    let partial = runner.run_shard(&spec, Shard { index: 0, count: 2 }).unwrap();
+    // Drop one row: the partition is no longer the one shard 0/2 owns.
+    let mut truncated = partial.clone();
+    truncated.jobs.pop();
+    assert!(PartialReport::parse(&truncated.render()).unwrap_err().contains("indices"));
+    // Re-tag the shard: the carried rows no longer match the claimed slice.
+    let mut mislabeled = partial;
+    mislabeled.shard = Shard { index: 1, count: 2 };
+    assert!(PartialReport::parse(&mislabeled.render()).unwrap_err().contains("indices"));
+}

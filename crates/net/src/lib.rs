@@ -36,6 +36,9 @@
 //!     assert!((avg[0] - 1.5).abs() < 1e-6); // mean of 0,1,2,3
 //! }
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod allreduce;
 mod codec;

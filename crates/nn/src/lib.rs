@@ -30,6 +30,9 @@
 //! let losses = split.train_step(&x, &y, &mut opts).unwrap();
 //! assert!(losses.slow_loss.is_finite() && losses.fast_loss.is_finite());
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod error;
 mod init;

@@ -25,6 +25,9 @@
 //! mech.privatize(&mut params, &mut rng);
 //! assert!(params.iter().any(|&v| v != 1.0));
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod accountant;
 mod dcor;

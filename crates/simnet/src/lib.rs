@@ -34,6 +34,9 @@
 //!     .build();
 //! assert_eq!(world.num_agents(), 10);
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod agent;
 mod driver;

@@ -18,6 +18,9 @@
 //! assert_eq!(c.data(), a.data());
 //! # Ok::<(), comdml_tensor::TensorError>(())
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 mod error;
 mod param_vec;

@@ -55,6 +55,9 @@
 //! assert!(report.total_time_s > 0.0);
 //! # }
 //! ```
+//!
+//! Part of the `comdml-rs` workspace — the crate map in the repository
+//! README shows how this crate fits the whole.
 
 pub use comdml_baselines as baselines;
 pub use comdml_collective as collective;
