@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! cargo run --release --bin exp_sweep -- ci/specs/smoke.json
-//! cargo run --release --bin exp_sweep -- @table3 --seeds 5 --threads 8
+//! cargo run --release --bin exp_sweep -- @table3 --seeds 5 --workers 8
 //! cargo run --release --bin exp_sweep -- @table3 --shard 0/4   # one host
 //! ```
 //!
@@ -19,132 +19,51 @@
 //! `BENCH_part_<sweep>_<i>of<n>.json` partial report instead of the full
 //! artifacts; run every shard (anywhere — pure per-job seeding makes them
 //! independent), then fuse them with `sweep_merge` into a report
-//! byte-identical to the single-process run.
+//! byte-identical to the single-process run. For heterogeneous hosts,
+//! prefer the work-stealing `exp_farm` — static shards run at the pace of
+//! the slowest host.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use comdml_exp::{presets, Shard, SweepRunner, SweepSpec};
+use comdml_exp::cli::{self, FlagSpec};
+use comdml_exp::Shard;
 
-struct Args {
-    spec: String,
-    threads: Option<usize>,
-    seeds: Option<usize>,
-    out_dir: PathBuf,
-    quiet: bool,
-    print_spec: bool,
-    shard: Option<Shard>,
-}
+const PRINT_SPEC: FlagSpec = FlagSpec {
+    name: "print-spec",
+    aliases: &[],
+    takes_value: false,
+    help: "render the resolved spec and exit",
+};
+const SHARD: FlagSpec = FlagSpec {
+    name: "shard",
+    aliases: &[],
+    takes_value: true,
+    help: "run only shard I/N and write a partial report",
+};
 
-fn parse_args() -> Result<Args, String> {
-    let mut spec: Option<String> = None;
-    let mut threads = None;
-    let mut seeds = None;
-    let mut out_dir = PathBuf::from("target/experiments");
-    let mut quiet = false;
-    let mut print_spec = false;
-    let mut shard = None;
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut grab = |name: &str| it.next().ok_or(format!("{name} needs a value"));
-        match arg.as_str() {
-            "--threads" => {
-                threads =
-                    Some(grab("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?)
-            }
-            "--seeds" => {
-                seeds = Some(grab("--seeds")?.parse().map_err(|e| format!("bad --seeds: {e}"))?)
-            }
-            "--out" => out_dir = PathBuf::from(grab("--out")?),
-            "--quiet" => quiet = true,
-            "--print-spec" => print_spec = true,
-            "--shard" => shard = Some(Shard::parse(&grab("--shard")?)?),
-            other if other.starts_with("--") => return Err(format!("unknown argument {other}")),
-            other if spec.is_none() => spec = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other}")),
-        }
-    }
-    Ok(Args {
-        spec: spec.ok_or("usage: exp_sweep <spec.json | @preset> [--seeds N] [--threads N] [--out DIR] [--shard I/N] [--quiet] [--print-spec]")?,
-        threads,
-        seeds,
-        out_dir,
-        quiet,
-        print_spec,
-        shard,
-    })
-}
-
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("exp_sweep: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut spec = if let Some(preset) = args.spec.strip_prefix('@') {
-        match presets::by_name(preset, args.seeds.unwrap_or(5)) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("exp_sweep: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        let text = match std::fs::read_to_string(&args.spec) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("exp_sweep: read {}: {e}", args.spec);
-                return ExitCode::FAILURE;
-            }
-        };
-        match SweepSpec::parse(&text) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("exp_sweep: parse {}: {e}", args.spec);
-                return ExitCode::FAILURE;
-            }
-        }
-    };
-    if let Some(n) = args.seeds {
-        spec.seeds.count = n;
-    }
-    if args.print_spec {
+fn run() -> Result<(), String> {
+    let args = cli::parse_env(
+        "exp_sweep",
+        "<spec.json | @preset> [flags]",
+        &[cli::SEEDS, cli::WORKERS, cli::OUT_DIR, cli::QUIET, PRINT_SPEC, SHARD],
+    )?;
+    let spec = cli::resolve_spec(args.one_positional("spec (a file or @preset)")?, args.seeds()?)?;
+    if args.has("print-spec") {
         print!("{}", spec.render());
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
-    let mut runner = SweepRunner::new().progress(!args.quiet);
-    if let Some(n) = args.threads {
-        runner = runner.threads(n);
-    }
-    if let Some(shard) = args.shard {
+    let runner = args.runner()?;
+    if let Some(shard) = args.value("shard").map(Shard::parse).transpose()? {
         // One slice of the matrix: run it, persist the partial report and
         // stop — `sweep_merge` aggregates once every shard has run.
         println!("sweep {}: shard {shard} of the {}-job matrix", spec.name, spec.num_jobs());
-        let partial = match runner.run_shard(&spec, shard) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("exp_sweep: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        return match partial.write_to(&args.out_dir) {
-            Ok(path) => {
-                println!(
-                    "partial report ({} jobs) written to {}",
-                    partial.jobs.len(),
-                    path.display()
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("exp_sweep: write partial report: {e}");
-                ExitCode::FAILURE
-            }
-        };
+        let partial = runner.run_shard(&spec, shard)?;
+        let path = partial.write_to(args.out_dir()).map_err(|e| format!("write partial: {e}"))?;
+        println!("partial report ({} jobs) written to {}", partial.jobs.len(), path.display());
+        return Ok(());
     }
+
     println!(
         "sweep {}: {} scenarios x {} methods x {} seeds = {} jobs",
         spec.name,
@@ -153,36 +72,27 @@ fn main() -> ExitCode {
         spec.seeds.count,
         spec.num_jobs()
     );
-    let report = match runner.run(&spec) {
-        Ok(r) => r,
+    let report = runner.run(&spec)?;
+    print!("{}", report.render_table());
+    let (json, csv) = report.write_to(args.out_dir()).map_err(|e| format!("write report: {e}"))?;
+    println!("report written to {} and {}", json.display(), csv.display());
+    let (json, csv, svgs) =
+        report.write_curves_to(args.out_dir()).map_err(|e| format!("write curves: {e}"))?;
+    println!(
+        "curves written to {}, {} and {} scenario panel(s)",
+        json.display(),
+        csv.display(),
+        svgs.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("exp_sweep: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    print!("{}", report.render_table());
-    match report.write_to(&args.out_dir) {
-        Ok((json, csv)) => {
-            println!("report written to {} and {}", json.display(), csv.display())
-        }
-        Err(e) => {
-            eprintln!("exp_sweep: write report: {e}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
     }
-    match report.write_curves_to(&args.out_dir) {
-        Ok((json, csv, svgs)) => {
-            println!(
-                "curves written to {}, {} and {} scenario panel(s)",
-                json.display(),
-                csv.display(),
-                svgs.len()
-            )
-        }
-        Err(e) => {
-            eprintln!("exp_sweep: write curves: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-    ExitCode::SUCCESS
 }

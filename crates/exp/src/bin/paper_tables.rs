@@ -5,7 +5,7 @@
 //!
 //! ```sh
 //! cargo run --release --bin paper_tables            # 5 seeds, all cores
-//! cargo run --release --bin paper_tables -- --seeds 10 --threads 4
+//! cargo run --release --bin paper_tables -- --seeds 10 --workers 4
 //! ```
 //!
 //! Before the full grids run, a determinism gate executes the smoke grid
@@ -15,42 +15,19 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use comdml_exp::{presets, SweepRunner};
+use comdml_exp::{cli, presets, SweepRunner};
 
-fn parse_args() -> Result<(usize, Option<usize>), String> {
-    let mut seeds = 5usize;
-    let mut threads = None;
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut grab = |name: &str| it.next().ok_or(format!("{name} needs a value"));
-        match arg.as_str() {
-            "--seeds" => {
-                seeds = grab("--seeds")?.parse().map_err(|e| format!("bad --seeds: {e}"))?
-            }
-            "--threads" => {
-                threads =
-                    Some(grab("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?)
-            }
-            other => return Err(format!("unknown argument {other}")),
-        }
+fn run() -> Result<(), String> {
+    let args =
+        cli::parse_env("paper_tables", "[flags]", &[cli::SEEDS, cli::WORKERS, cli::OUT_DIR])?;
+    if let Some(extra) = args.positionals().first() {
+        return Err(format!("unexpected argument {extra}"));
     }
-    if seeds == 0 {
-        return Err("--seeds must be positive".into());
-    }
-    Ok((seeds, threads))
-}
-
-fn main() -> ExitCode {
-    let (seeds, threads) = match parse_args() {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("paper_tables: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let runner = |t: Option<usize>| {
+    let seeds = args.seeds()?.unwrap_or(5);
+    let workers = args.workers()?;
+    let runner = |w: Option<usize>| {
         let mut r = SweepRunner::new().progress(true);
-        if let Some(n) = t {
+        if let Some(n) = w {
             r = r.threads(n);
         }
         r
@@ -59,15 +36,15 @@ fn main() -> ExitCode {
     // Determinism gate: the report must not depend on the worker count.
     let gate = presets::smoke();
     let single = runner(Some(1)).progress(false).run(&gate).expect("smoke sweep runs");
-    let many = runner(threads).run(&gate).expect("smoke sweep runs");
+    let many = runner(workers).run(&gate).expect("smoke sweep runs");
     assert_eq!(
         single.to_value().render(),
         many.to_value().render(),
         "multi-threaded sweep must be byte-identical to single-threaded"
     );
-    let workers = threads
+    let pool = workers
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-    println!("determinism: ok (1 worker == {workers} workers, {} jobs)\n", gate.num_jobs());
+    println!("determinism: ok (1 worker == {pool} workers, {} jobs)\n", gate.num_jobs());
 
     for preset in ["table2", "table3"] {
         let spec = presets::by_name(preset, seeds).expect("known preset");
@@ -80,18 +57,22 @@ fn main() -> ExitCode {
             spec.num_jobs()
         );
         let start = Instant::now();
-        let report = runner(threads).run(&spec).expect("preset validates");
+        let report = runner(workers).run(&spec).expect("preset validates");
         println!("({} jobs in {:.2}s wall)\n", spec.num_jobs(), start.elapsed().as_secs_f64());
         print!("{}", report.render_table());
-        match report.write_default() {
-            Ok((json, csv)) => {
-                println!("report written to {} and {}\n", json.display(), csv.display())
-            }
-            Err(e) => {
-                eprintln!("paper_tables: write report: {e}");
-                return ExitCode::FAILURE;
-            }
+        let (json, csv) =
+            report.write_to(args.out_dir()).map_err(|e| format!("write report: {e}"))?;
+        println!("report written to {} and {}\n", json.display(), csv.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("paper_tables: {e}");
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
 }

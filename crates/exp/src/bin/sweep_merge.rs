@@ -15,65 +15,21 @@
 //! byte-identical, so `diff` against an unsharded run is empty (CI does
 //! exactly that).
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use comdml_exp::{merge, PartialReport};
+use comdml_exp::{cli, merge, PartialReport};
 
-struct Args {
-    parts: Vec<PathBuf>,
-    out_dir: PathBuf,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut parts = Vec::new();
-    let mut out_dir = PathBuf::from("target/experiments");
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--out" => out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?),
-            other if other.starts_with("--") => return Err(format!("unknown argument {other}")),
-            other => parts.push(PathBuf::from(other)),
-        }
+fn run() -> Result<(), String> {
+    let args = cli::parse_env("sweep_merge", "<BENCH_part_*.json>... [flags]", &[cli::OUT_DIR])?;
+    if args.positionals().is_empty() {
+        return Err("missing partial-report files".into());
     }
-    if parts.is_empty() {
-        return Err("usage: sweep_merge <BENCH_part_*.json>... [--out DIR]".into());
+    let mut partials = Vec::with_capacity(args.positionals().len());
+    for path in args.positionals() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        partials.push(PartialReport::parse(&text).map_err(|e| format!("parse {path}: {e}"))?);
     }
-    Ok(Args { parts, out_dir })
-}
-
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("sweep_merge: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut partials = Vec::with_capacity(args.parts.len());
-    for path in &args.parts {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("sweep_merge: read {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        match PartialReport::parse(&text) {
-            Ok(p) => partials.push(p),
-            Err(e) => {
-                eprintln!("sweep_merge: parse {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let report = match merge(&partials) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("sweep_merge: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let report = merge(&partials)?;
     println!(
         "merged {} shards of sweep {} ({} jobs)",
         partials.len(),
@@ -81,25 +37,24 @@ fn main() -> ExitCode {
         report.jobs.len()
     );
     print!("{}", report.render_table());
-    match report.write_to(&args.out_dir) {
-        Ok((json, csv)) => println!("report written to {} and {}", json.display(), csv.display()),
+    let (json, csv) = report.write_to(args.out_dir()).map_err(|e| format!("write report: {e}"))?;
+    println!("report written to {} and {}", json.display(), csv.display());
+    let (json, csv, svgs) =
+        report.write_curves_to(args.out_dir()).map_err(|e| format!("write curves: {e}"))?;
+    println!(
+        "curves written to {}, {} and {} scenario panel(s)",
+        json.display(),
+        csv.display(),
+        svgs.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("sweep_merge: write report: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-    match report.write_curves_to(&args.out_dir) {
-        Ok((json, csv, svgs)) => {
-            println!(
-                "curves written to {}, {} and {} scenario panel(s)",
-                json.display(),
-                csv.display(),
-                svgs.len()
-            );
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("sweep_merge: write curves: {e}");
+            eprintln!("sweep_merge: {e}");
             ExitCode::FAILURE
         }
     }

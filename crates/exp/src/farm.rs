@@ -1,0 +1,972 @@
+//! The distributed sweep farm: a work-stealing coordinator/worker service
+//! over [`comdml_net`]'s versioned wire protocol.
+//!
+//! `exp_sweep --shard i/n` partitions the job matrix *statically* — fine
+//! when hosts are identical, wasteful when they are not, because the
+//! slowest shard serializes the sweep. The farm replaces that with the
+//! same pull-based work stealing the in-process [`SweepRunner`] pool uses,
+//! stretched over TCP:
+//!
+//! * A [`Coordinator`] accepts [`submit`]ted [`SweepSpec`]s, expands each
+//!   into its job matrix, and hands out small **slices** of global job
+//!   indices to whichever worker asks next — workers that finish early
+//!   simply ask again, so heterogeneous hosts self-balance.
+//! * [`run_worker`] connects, pulls slices, drains each through
+//!   [`SweepRunner::execute_source`] on the local thread pool, and streams
+//!   every finished row back immediately (one `JobDone` per job), so a
+//!   worker lost mid-slice forfeits only its unfinished jobs.
+//! * The coordinator folds streamed rows into per-job slots keyed by
+//!   **global index** — the same slots a local run fills — and detects
+//!   failures two ways: a dropped connection requeues the worker's
+//!   in-flight slices at once, and a reaper thread requeues slices whose
+//!   worker stopped heartbeating. Folding ignores rows for slots already
+//!   filled, so duplicate execution after a requeue is harmless.
+//! * [`fetch`] reassembles the finished sweep client-side via
+//!   [`JobResult::from_value`] + [`SweepReport::assemble`] — the exact
+//!   reconstruction path the shard merge uses, so the farm's
+//!   `BENCH_sweep_*.json` is **byte-identical** to a single-process run
+//!   whatever the worker count, slice size, or worker deaths along the way
+//!   (proven by the property tests in `tests/farm.rs`).
+//!
+//! Jobs are pure functions of `(scenario, method, seed)`; determinism
+//! needs no coordination beyond putting each row in its pre-assigned slot.
+//! Specs and rows cross the wire as their canonical JSON text —
+//! [`comdml_bench::Value`] renders floats in shortest round-trip form, so
+//! `parse ∘ render` is the identity and the text *is* the value.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use comdml_bench::Value;
+use comdml_net::{serve, FramedStream, Message, ServerHandle};
+
+use crate::{JobResult, JobSource, JobSpec, SweepReport, SweepRunner, SweepSpec};
+
+/// The farm's default coordinator endpoint.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7700";
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Jobs per work slice. Small slices steal better; 1 is the perfect
+    /// balance / maximum chatter extreme.
+    pub slice_size: usize,
+    /// How long a slice may go without any sign of life from its worker
+    /// (heartbeat, row, or grant) before the reaper requeues it.
+    pub worker_timeout: Duration,
+    /// How often the reaper scans for timed-out slices.
+    pub reaper_tick: Duration,
+    /// Poll interval suggested to idle workers via `NoWork`.
+    pub retry_ms: u32,
+    /// Suppresses the coordinator's stderr event log.
+    pub quiet: bool,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        Self {
+            slice_size: 4,
+            worker_timeout: Duration::from_secs(10),
+            reaper_tick: Duration::from_millis(200),
+            retry_ms: 200,
+            quiet: false,
+        }
+    }
+}
+
+/// One outstanding slice: who holds it, which global indices it covers,
+/// and when the worker last showed signs of life on it.
+#[derive(Debug)]
+struct SliceInfo {
+    worker: u64,
+    indices: Vec<usize>,
+    last_activity: Instant,
+}
+
+/// Everything the coordinator tracks for one submitted sweep.
+#[derive(Debug)]
+struct SweepState {
+    spec_json: String,
+    /// One slot per job matrix entry, filled in any order, read in order.
+    slots: Vec<Option<JobResult>>,
+    done: usize,
+    /// Unclaimed slices, front = next to grant. Requeues go to the front
+    /// so recovered work finishes before fresh work starts.
+    queue: VecDeque<Vec<usize>>,
+    in_flight: HashMap<u64, SliceInfo>,
+    /// Jobs handed out more than once (requeued after a death/timeout).
+    requeued: usize,
+    submitted: Instant,
+    /// Elapsed seconds frozen at the moment the last slot filled.
+    finished_in_s: Option<f64>,
+}
+
+impl SweepState {
+    fn total(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn complete(&self) -> bool {
+        self.done == self.total()
+    }
+
+    /// Requeues the slice's still-unfilled indices. Returns how many.
+    fn requeue(&mut self, info: SliceInfo) -> usize {
+        let unfinished: Vec<usize> =
+            info.indices.into_iter().filter(|&i| self.slots[i].is_none()).collect();
+        let n = unfinished.len();
+        if n > 0 {
+            self.requeued += n;
+            self.queue.push_front(unfinished);
+        }
+        n
+    }
+}
+
+/// The coordinator's whole mutable world, behind one mutex. Sessions are
+/// request/response and every transition is a short critical section, so
+/// one lock is simpler and plenty.
+#[derive(Debug)]
+struct FarmState {
+    cfg: FarmConfig,
+    sweeps: BTreeMap<u64, SweepState>,
+    workers: HashMap<u64, String>,
+    next_sweep_id: u64,
+    next_slice_id: u64,
+    next_worker_id: u64,
+}
+
+impl FarmState {
+    fn new(cfg: FarmConfig) -> Self {
+        Self {
+            cfg,
+            sweeps: BTreeMap::new(),
+            workers: HashMap::new(),
+            next_sweep_id: 1,
+            next_slice_id: 1,
+            next_worker_id: 1,
+        }
+    }
+
+    fn log(&self, msg: std::fmt::Arguments<'_>) {
+        if !self.cfg.quiet {
+            eprintln!("farm: {msg}");
+        }
+    }
+
+    /// Validates and enqueues a sweep; returns `(sweep id, total jobs)`.
+    fn submit(&mut self, spec_json: &str) -> Result<(u64, u64), String> {
+        let spec = SweepSpec::parse(spec_json)?;
+        spec.validate()?;
+        let total = spec.num_jobs();
+        let slice = self.cfg.slice_size.max(1);
+        let mut queue = VecDeque::with_capacity(total.div_ceil(slice));
+        let mut at = 0usize;
+        while at < total {
+            queue.push_back((at..(at + slice).min(total)).collect());
+            at += slice;
+        }
+        let id = self.next_sweep_id;
+        self.next_sweep_id += 1;
+        self.log(format_args!(
+            "sweep {id} ({}): {total} jobs queued in {} slices",
+            spec.name,
+            queue.len()
+        ));
+        self.sweeps.insert(
+            id,
+            SweepState {
+                // Store the *canonical* text so every worker parses the
+                // same bytes regardless of the submitter's formatting.
+                spec_json: spec.render(),
+                slots: (0..total).map(|_| None).collect(),
+                done: 0,
+                queue,
+                in_flight: HashMap::new(),
+                requeued: 0,
+                submitted: Instant::now(),
+                finished_in_s: None,
+            },
+        );
+        Ok((id, total as u64))
+    }
+
+    fn register_worker(&mut self, name: &str, threads: u32) -> u64 {
+        let id = self.next_worker_id;
+        self.next_worker_id += 1;
+        self.workers.insert(id, name.to_string());
+        self.log(format_args!("worker {id} ({name}) joined with {threads} threads"));
+        id
+    }
+
+    /// Grants the next queued slice of the oldest unfinished sweep.
+    fn grant(&mut self, worker: u64) -> Option<Message> {
+        for (&sweep_id, sweep) in self.sweeps.iter_mut() {
+            if let Some(indices) = sweep.queue.pop_front() {
+                let slice_id = self.next_slice_id;
+                self.next_slice_id += 1;
+                sweep.in_flight.insert(
+                    slice_id,
+                    SliceInfo { worker, indices: indices.clone(), last_activity: Instant::now() },
+                );
+                return Some(Message::WorkSlice {
+                    sweep_id,
+                    slice_id,
+                    spec_json: sweep.spec_json.clone(),
+                    indices: indices.iter().map(|&i| i as u64).collect(),
+                });
+            }
+        }
+        None
+    }
+
+    /// Folds one streamed row into its global slot. Rows for slots already
+    /// filled (duplicate execution after a requeue) are ignored — folding
+    /// is idempotent, which is what makes at-least-once delivery safe.
+    fn fold(&mut self, sweep_id: u64, slice_id: u64, index: u64, row_json: &str) {
+        let Some(sweep) = self.sweeps.get_mut(&sweep_id) else {
+            return;
+        };
+        if let Some(slice) = sweep.in_flight.get_mut(&slice_id) {
+            slice.last_activity = Instant::now();
+        }
+        let i = index as usize;
+        if i >= sweep.slots.len() || sweep.slots[i].is_some() {
+            return;
+        }
+        let row = match Value::parse(row_json).and_then(|v| JobResult::from_value(&v)) {
+            Ok(row) => row,
+            Err(e) => {
+                // Leave the slot empty: the slice-done sweep below (or the
+                // reaper) will requeue it.
+                self.log(format_args!("sweep {sweep_id}: dropping malformed row {index}: {e}"));
+                return;
+            }
+        };
+        let sweep = self.sweeps.get_mut(&sweep_id).expect("sweep checked above");
+        sweep.slots[i] = Some(row);
+        sweep.done += 1;
+        if sweep.complete() {
+            let elapsed = sweep.submitted.elapsed().as_secs_f64();
+            sweep.finished_in_s = Some(elapsed);
+            let requeued = sweep.requeued;
+            self.log(format_args!(
+                "sweep {sweep_id} complete: {} jobs in {elapsed:.2}s ({requeued} requeued)",
+                self.sweeps[&sweep_id].total()
+            ));
+        }
+    }
+
+    /// Retires a slice the worker reports fully sent. Any index still
+    /// empty (a row lost or malformed en route) goes back on the queue.
+    fn slice_done(&mut self, sweep_id: u64, slice_id: u64) {
+        let Some(sweep) = self.sweeps.get_mut(&sweep_id) else {
+            return;
+        };
+        if let Some(info) = sweep.in_flight.remove(&slice_id) {
+            let n = sweep.requeue(info);
+            if n > 0 {
+                self.log(format_args!(
+                    "sweep {sweep_id}: slice {slice_id} retired with {n} missing rows — requeued"
+                ));
+            }
+        }
+    }
+
+    /// A live worker refreshes every slice it holds.
+    fn heartbeat(&mut self, worker: u64) {
+        let now = Instant::now();
+        for sweep in self.sweeps.values_mut() {
+            for slice in sweep.in_flight.values_mut() {
+                if slice.worker == worker {
+                    slice.last_activity = now;
+                }
+            }
+        }
+    }
+
+    /// Connection-drop path: requeues everything the worker held,
+    /// immediately.
+    fn worker_gone(&mut self, worker: u64) {
+        let name = self.workers.remove(&worker).unwrap_or_default();
+        let mut requeues: Vec<(u64, usize)> = Vec::new();
+        for (&sweep_id, sweep) in self.sweeps.iter_mut() {
+            let held: Vec<u64> = sweep
+                .in_flight
+                .iter()
+                .filter(|(_, s)| s.worker == worker)
+                .map(|(&id, _)| id)
+                .collect();
+            for slice_id in held {
+                let info = sweep.in_flight.remove(&slice_id).expect("slice id just listed");
+                let n = sweep.requeue(info);
+                if n > 0 {
+                    requeues.push((sweep_id, n));
+                }
+            }
+        }
+        for (sweep_id, n) in requeues {
+            self.log(format_args!(
+                "worker {worker} ({name}) disconnected: requeued {n} jobs of sweep {sweep_id}"
+            ));
+        }
+    }
+
+    /// Heartbeat-timeout path: requeues slices nobody has touched within
+    /// the timeout (worker hung, wedged, or silently partitioned).
+    fn reap(&mut self) {
+        let timeout = self.cfg.worker_timeout;
+        let mut requeues: Vec<(u64, u64, u64, usize)> = Vec::new();
+        for (&sweep_id, sweep) in self.sweeps.iter_mut() {
+            let stale: Vec<u64> = sweep
+                .in_flight
+                .iter()
+                .filter(|(_, s)| s.last_activity.elapsed() > timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for slice_id in stale {
+                let info = sweep.in_flight.remove(&slice_id).expect("slice id just listed");
+                let worker = info.worker;
+                let n = sweep.requeue(info);
+                if n > 0 {
+                    requeues.push((sweep_id, slice_id, worker, n));
+                }
+            }
+        }
+        for (sweep_id, slice_id, worker, n) in requeues {
+            self.log(format_args!(
+                "sweep {sweep_id}: slice {slice_id} timed out on worker {worker} — requeued {n} jobs"
+            ));
+        }
+    }
+
+    fn status_message(&self, sweep_id: u64) -> Result<Message, String> {
+        let sweep =
+            self.sweeps.get(&sweep_id).ok_or_else(|| format!("unknown sweep {sweep_id}"))?;
+        let total = sweep.total();
+        let done = sweep.done;
+        let complete = sweep.complete();
+        let in_flight: usize = sweep
+            .in_flight
+            .values()
+            .map(|s| s.indices.iter().filter(|&&i| sweep.slots[i].is_none()).count())
+            .sum();
+        let queued: usize = sweep.queue.iter().map(Vec::len).sum();
+        let elapsed_s =
+            sweep.finished_in_s.unwrap_or_else(|| sweep.submitted.elapsed().as_secs_f64());
+        let eta_s = if complete {
+            0.0
+        } else if done == 0 {
+            -1.0 // unknown yet
+        } else {
+            elapsed_s / done as f64 * (total - done) as f64
+        };
+        Ok(Message::StatusReport {
+            sweep_id,
+            total: total as u64,
+            done: done as u64,
+            in_flight: in_flight as u64,
+            queued: queued as u64,
+            requeued: sweep.requeued as u64,
+            workers: self.workers.len() as u64,
+            complete,
+            elapsed_s,
+            eta_s,
+        })
+    }
+
+    fn fetch_message(&self, sweep_id: u64) -> Result<Message, String> {
+        let sweep =
+            self.sweeps.get(&sweep_id).ok_or_else(|| format!("unknown sweep {sweep_id}"))?;
+        if !sweep.complete() {
+            return Ok(Message::FetchReport {
+                sweep_id,
+                complete: false,
+                spec_json: String::new(),
+                rows_json: String::new(),
+            });
+        }
+        // Rows in global (report) order, as one canonical JSON array.
+        let rows = Value::Arr(
+            sweep.slots.iter().map(|s| s.as_ref().expect("complete sweep").to_value()).collect(),
+        );
+        Ok(Message::FetchReport {
+            sweep_id,
+            complete: true,
+            spec_json: sweep.spec_json.clone(),
+            rows_json: rows.render(),
+        })
+    }
+}
+
+/// A running farm coordinator: the TCP service plus the reaper thread.
+///
+/// Dropping (or [`Coordinator::shutdown`]) stops the accept loop and the
+/// reaper; workers see `Shutdown` on their next `WorkRequest` and drain
+/// politely.
+#[derive(Debug)]
+pub struct Coordinator {
+    handle: ServerHandle,
+    reaper: Option<JoinHandle<()>>,
+}
+
+fn lock(state: &Mutex<FarmState>) -> MutexGuard<'_, FarmState> {
+    state.lock().expect("farm state lock never poisoned")
+}
+
+impl Coordinator {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, cfg: FarmConfig) -> std::io::Result<Self> {
+        let reaper_tick = cfg.reaper_tick;
+        let state = Arc::new(Mutex::new(FarmState::new(cfg)));
+        let session_state = Arc::clone(&state);
+        let handle = serve(addr, move |stream, _peer, stop| {
+            session(&session_state, stream, stop);
+        })?;
+        let stop = handle.stop_flag();
+        let reaper = std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(reaper_tick);
+                lock(&state).reap();
+            }
+        });
+        Ok(Self { handle, reaper: Some(reaper) })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.handle.local_addr()
+    }
+
+    /// Signals shutdown without waiting.
+    pub fn stop(&self) {
+        self.handle.stop();
+    }
+
+    /// Stops and joins the service threads.
+    pub fn shutdown(mut self) {
+        self.handle.stop();
+        if let Some(t) = self.reaper.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.handle.stop();
+        if let Some(t) = self.reaper.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One connection's session loop: pure request/response, with the
+/// fire-and-forget worker messages (`JobDone`, `SliceDone`, `Heartbeat`)
+/// folded in between. The state lock is never held across a send.
+fn session(state: &Arc<Mutex<FarmState>>, mut stream: FramedStream, stop: &AtomicBool) {
+    if stream.handshake().is_err() {
+        return;
+    }
+    let mut worker_id: Option<u64> = None;
+    // Loop until the peer vanishes (or speaks garbage) or says Shutdown.
+    while let Ok(msg) = stream.recv() {
+        let reply = match msg {
+            Message::SubmitSweep { spec_json } => Some(match lock(state).submit(&spec_json) {
+                Ok((sweep_id, total_jobs)) => Message::SweepQueued { sweep_id, total_jobs },
+                Err(detail) => Message::FarmError { detail },
+            }),
+            Message::StatusRequest { sweep_id } => Some(
+                lock(state)
+                    .status_message(sweep_id)
+                    .unwrap_or_else(|detail| Message::FarmError { detail }),
+            ),
+            Message::FetchRequest { sweep_id } => Some(
+                lock(state)
+                    .fetch_message(sweep_id)
+                    .unwrap_or_else(|detail| Message::FarmError { detail }),
+            ),
+            Message::WorkerHello { name, threads } => {
+                let id = lock(state).register_worker(&name, threads);
+                worker_id = Some(id);
+                Some(Message::WorkerWelcome { worker_id: id })
+            }
+            Message::WorkRequest { worker_id } => {
+                if stop.load(Ordering::SeqCst) {
+                    Some(Message::Shutdown)
+                } else {
+                    let mut st = lock(state);
+                    let retry_ms = st.cfg.retry_ms;
+                    Some(st.grant(worker_id).unwrap_or(Message::NoWork { retry_ms }))
+                }
+            }
+            Message::JobDone { sweep_id, slice_id, index, row_json } => {
+                lock(state).fold(sweep_id, slice_id, index, &row_json);
+                None
+            }
+            Message::SliceDone { sweep_id, slice_id } => {
+                lock(state).slice_done(sweep_id, slice_id);
+                None
+            }
+            Message::Heartbeat { worker_id } => {
+                lock(state).heartbeat(worker_id);
+                None
+            }
+            Message::Shutdown => break,
+            other => {
+                Some(Message::FarmError { detail: format!("unexpected {} here", other.name()) })
+            }
+        };
+        if let Some(reply) = reply {
+            if stream.send(&reply).is_err() {
+                break;
+            }
+        }
+    }
+    if let Some(id) = worker_id {
+        lock(state).worker_gone(id);
+    }
+}
+
+/// Worker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Local pool threads; 0 means every available core.
+    pub threads: usize,
+    /// Name reported to the coordinator (for its event log).
+    pub name: String,
+    /// Die abruptly — drop the connection mid-slice, no goodbye — after
+    /// running this many jobs. A deterministic stand-in for a crashed
+    /// host, used by the fault-injection tests and `--max-jobs`.
+    pub max_jobs: Option<usize>,
+    /// Heartbeat interval; keep well under the coordinator's
+    /// `worker_timeout`.
+    pub heartbeat: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            name: "worker".into(),
+            max_jobs: None,
+            heartbeat: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What a worker did before it stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Identity the coordinator assigned.
+    pub worker_id: u64,
+    /// Jobs fully executed and streamed back.
+    pub jobs_run: usize,
+    /// Slices drained to completion.
+    pub slices_run: usize,
+    /// `true` when the coordinator said `Shutdown`; `false` when the
+    /// worker hit its `max_jobs` budget and died on purpose.
+    pub clean_shutdown: bool,
+}
+
+fn wire_err(context: &str, e: impl std::fmt::Display) -> String {
+    format!("{context}: {e}")
+}
+
+/// Runs a worker against the coordinator at `addr` until the coordinator
+/// says `Shutdown` (or the `max_jobs` budget trips). Pulls one slice at a
+/// time, executes it on the local [`SweepRunner`] pool, and streams every
+/// row back the moment it finishes.
+///
+/// # Errors
+///
+/// Connection and protocol failures, described.
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, String> {
+    let sock = TcpStream::connect(addr).map_err(|e| wire_err(addr, e))?;
+    let mut reader = FramedStream::new(sock);
+    reader.handshake().map_err(|e| wire_err("handshake", e))?;
+    // Split the connection: this thread reads grants; pool threads, the
+    // heartbeat thread and the request path share the write half.
+    let writer = Arc::new(Mutex::new(reader.try_clone().map_err(|e| wire_err("clone stream", e))?));
+    let send = |msg: &Message| -> Result<(), String> {
+        writer
+            .lock()
+            .expect("worker writer lock never poisoned")
+            .send(msg)
+            .map_err(|e| wire_err("send", e))
+    };
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        opts.threads
+    };
+    send(&Message::WorkerHello { name: opts.name.clone(), threads: threads as u32 })?;
+    let worker_id = match reader.recv().map_err(|e| wire_err("recv", e))? {
+        Message::WorkerWelcome { worker_id } => worker_id,
+        Message::FarmError { detail } => return Err(detail),
+        other => return Err(format!("expected WorkerWelcome, got {}", other.name())),
+    };
+
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb_thread = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&hb_stop);
+        let interval = opts.heartbeat;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let mut w = writer.lock().expect("worker writer lock never poisoned");
+                if w.send(&Message::Heartbeat { worker_id }).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let runner = SweepRunner::new().progress(false).threads(threads);
+    // Parsed specs cached per sweep so a thousand slices don't re-parse.
+    let mut specs: HashMap<u64, Arc<SweepSpec>> = HashMap::new();
+    let jobs_run = AtomicUsize::new(0);
+    let mut slices_run = 0usize;
+
+    let outcome = loop {
+        if let Err(e) = send(&Message::WorkRequest { worker_id }) {
+            break Err(e);
+        }
+        match reader.recv() {
+            Ok(Message::WorkSlice { sweep_id, slice_id, spec_json, indices }) => {
+                let spec = match specs.get(&sweep_id) {
+                    Some(spec) => Arc::clone(spec),
+                    None => match SweepSpec::parse(&spec_json) {
+                        Ok(parsed) => {
+                            let spec = Arc::new(parsed);
+                            specs.insert(sweep_id, Arc::clone(&spec));
+                            spec
+                        }
+                        Err(e) => break Err(format!("bad spec for sweep {sweep_id}: {e}")),
+                    },
+                };
+                let matrix = SweepRunner::jobs(&spec);
+                let entries: Vec<(usize, JobSpec)> = indices
+                    .iter()
+                    .filter_map(|&gi| matrix.get(gi as usize).map(|&job| (gi as usize, job)))
+                    .collect();
+                let cancel = Arc::new(AtomicBool::new(false));
+                let source = JobSource::new(entries).with_cancel(Arc::clone(&cancel));
+                let send_error: Mutex<Option<String>> = Mutex::new(None);
+                runner.execute_source(&spec, &source, &|global, row| {
+                    let msg = Message::JobDone {
+                        sweep_id,
+                        slice_id,
+                        index: global as u64,
+                        row_json: row.to_value().render(),
+                    };
+                    if let Err(e) = send(&msg) {
+                        *send_error.lock().expect("send error slot") = Some(e);
+                        cancel.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    let n = jobs_run.fetch_add(1, Ordering::SeqCst) + 1;
+                    if opts.max_jobs.is_some_and(|budget| n >= budget) {
+                        cancel.store(true, Ordering::SeqCst);
+                    }
+                });
+                if let Some(e) = send_error.lock().expect("send error slot").take() {
+                    break Err(e);
+                }
+                if cancel.load(Ordering::SeqCst) {
+                    // Budget tripped: die like a crashed host — no
+                    // SliceDone, no goodbye, just a dropped connection.
+                    break Ok(WorkerSummary {
+                        worker_id,
+                        jobs_run: jobs_run.load(Ordering::SeqCst),
+                        slices_run,
+                        clean_shutdown: false,
+                    });
+                }
+                slices_run += 1;
+                if let Err(e) = send(&Message::SliceDone { sweep_id, slice_id }) {
+                    break Err(e);
+                }
+            }
+            Ok(Message::NoWork { retry_ms }) => {
+                std::thread::sleep(Duration::from_millis(u64::from(retry_ms.min(2000))));
+            }
+            Ok(Message::Shutdown) => {
+                break Ok(WorkerSummary {
+                    worker_id,
+                    jobs_run: jobs_run.load(Ordering::SeqCst),
+                    slices_run,
+                    clean_shutdown: true,
+                });
+            }
+            Ok(Message::FarmError { detail }) => break Err(detail),
+            Ok(other) => break Err(format!("unexpected {} from coordinator", other.name())),
+            Err(e) => break Err(wire_err("coordinator connection lost", e)),
+        }
+    };
+    hb_stop.store(true, Ordering::SeqCst);
+    let _ = hb_thread.join(); // ≤ one heartbeat interval
+    outcome
+    // The socket (reader + cloned writer) closes here; a coordinator
+    // watching this worker sees the drop immediately.
+}
+
+/// Live progress of a submitted sweep, as reported by [`status`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FarmStatus {
+    /// Sweep queried.
+    pub sweep_id: u64,
+    /// Total jobs in the matrix.
+    pub total: u64,
+    /// Jobs folded into their slots.
+    pub done: u64,
+    /// Jobs currently out with workers (unfilled only).
+    pub in_flight: u64,
+    /// Jobs still queued, never (or re-)granted.
+    pub queued: u64,
+    /// Jobs granted more than once after a death or timeout.
+    pub requeued: u64,
+    /// Workers currently connected.
+    pub workers: u64,
+    /// Every slot filled.
+    pub complete: bool,
+    /// Seconds since submission (frozen at completion).
+    pub elapsed_s: f64,
+    /// Linear completion estimate; negative while unknown, 0 when done.
+    pub eta_s: f64,
+}
+
+fn connect(addr: &str) -> Result<FramedStream, String> {
+    let sock = TcpStream::connect(addr).map_err(|e| wire_err(addr, e))?;
+    let mut stream = FramedStream::new(sock);
+    stream.handshake().map_err(|e| wire_err("handshake", e))?;
+    Ok(stream)
+}
+
+fn request(addr: &str, msg: &Message) -> Result<Message, String> {
+    let mut stream = connect(addr)?;
+    stream.send(msg).map_err(|e| wire_err("send", e))?;
+    match stream.recv().map_err(|e| wire_err("recv", e))? {
+        Message::FarmError { detail } => Err(detail),
+        reply => Ok(reply),
+    }
+}
+
+/// Submits a sweep to the coordinator at `addr`; returns
+/// `(sweep id, total jobs)`.
+///
+/// # Errors
+///
+/// Connection failures and spec validation errors, described.
+pub fn submit(addr: &str, spec: &SweepSpec) -> Result<(u64, u64), String> {
+    match request(addr, &Message::SubmitSweep { spec_json: spec.render() })? {
+        Message::SweepQueued { sweep_id, total_jobs } => Ok((sweep_id, total_jobs)),
+        other => Err(format!("expected SweepQueued, got {}", other.name())),
+    }
+}
+
+/// Queries a sweep's progress.
+///
+/// # Errors
+///
+/// Connection failures and unknown sweep ids, described.
+pub fn status(addr: &str, sweep_id: u64) -> Result<FarmStatus, String> {
+    match request(addr, &Message::StatusRequest { sweep_id })? {
+        Message::StatusReport {
+            sweep_id,
+            total,
+            done,
+            in_flight,
+            queued,
+            requeued,
+            workers,
+            complete,
+            elapsed_s,
+            eta_s,
+        } => Ok(FarmStatus {
+            sweep_id,
+            total,
+            done,
+            in_flight,
+            queued,
+            requeued,
+            workers,
+            complete,
+            elapsed_s,
+            eta_s,
+        }),
+        other => Err(format!("expected StatusReport, got {}", other.name())),
+    }
+}
+
+/// Fetches a finished sweep and reassembles the [`SweepReport`] — the
+/// byte-identical twin of the single-process run. `Ok(None)` while the
+/// sweep is still running.
+///
+/// # Errors
+///
+/// Connection failures, unknown sweep ids, and malformed payloads,
+/// described.
+pub fn fetch(addr: &str, sweep_id: u64) -> Result<Option<SweepReport>, String> {
+    match request(addr, &Message::FetchRequest { sweep_id })? {
+        Message::FetchReport { complete: false, .. } => Ok(None),
+        Message::FetchReport { spec_json, rows_json, .. } => {
+            let spec = SweepSpec::parse(&spec_json)?;
+            let rows = Value::parse(&rows_json)?;
+            let jobs = rows
+                .as_array()
+                .ok_or("rows payload must be a JSON array")?
+                .iter()
+                .map(JobResult::from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            if jobs.len() != spec.num_jobs() {
+                return Err(format!(
+                    "fetched {} rows for a {}-job matrix",
+                    jobs.len(),
+                    spec.num_jobs()
+                ));
+            }
+            Ok(Some(SweepReport::assemble(&spec, jobs)))
+        }
+        other => Err(format!("expected FetchReport, got {}", other.name())),
+    }
+}
+
+/// Polls [`status`] every `poll` until the sweep completes, then
+/// [`fetch`]es the report. With `progress` on, writes a live counter line
+/// to stderr.
+///
+/// # Errors
+///
+/// Whatever [`status`] or [`fetch`] report.
+pub fn wait_and_fetch(
+    addr: &str,
+    sweep_id: u64,
+    poll: Duration,
+    progress: bool,
+) -> Result<SweepReport, String> {
+    loop {
+        let s = status(addr, sweep_id)?;
+        if progress {
+            let eta = if s.eta_s < 0.0 { "?".into() } else { format!("{:.0}s", s.eta_s) };
+            eprint!(
+                "\rfarm sweep {}: {}/{} done, {} in flight, {} queued, {} workers, eta {eta}   ",
+                s.sweep_id, s.done, s.total, s.in_flight, s.queued, s.workers
+            );
+            if s.complete {
+                eprintln!();
+            }
+        }
+        if s.complete {
+            return fetch(addr, sweep_id)?
+                .ok_or_else(|| "sweep reported complete but fetch says running".to_string());
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Method, ScenarioSpec};
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::new("farm_unit")
+            .seeds(1, 2)
+            .method(Method::ComDml)
+            .method(Method::FedAvg)
+            .scenario(ScenarioSpec::new("tiny").agents(5).rounds(3))
+    }
+
+    #[test]
+    fn submit_slices_the_matrix() {
+        let mut state = FarmState::new(FarmConfig { slice_size: 3, ..FarmConfig::default() });
+        let (id, total) = state.submit(&tiny_spec().render()).unwrap();
+        assert_eq!(total, 4);
+        let sweep = &state.sweeps[&id];
+        assert_eq!(sweep.queue.len(), 2); // 3 + 1
+        assert_eq!(sweep.queue[0], vec![0, 1, 2]);
+        assert_eq!(sweep.queue[1], vec![3]);
+    }
+
+    #[test]
+    fn submit_rejects_garbage() {
+        let mut state = FarmState::new(FarmConfig::default());
+        assert!(state.submit("not json").is_err());
+    }
+
+    #[test]
+    fn fold_is_idempotent_and_requeue_skips_filled_slots() {
+        let mut state =
+            FarmState::new(FarmConfig { slice_size: 4, quiet: true, ..FarmConfig::default() });
+        let (id, _) = state.submit(&tiny_spec().render()).unwrap();
+        let w = state.register_worker("w", 1);
+        let Some(Message::WorkSlice { slice_id, spec_json, indices, .. }) = state.grant(w) else {
+            panic!("expected a slice");
+        };
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        let spec = SweepSpec::parse(&spec_json).unwrap();
+        let job = SweepRunner::jobs(&spec)[0];
+        let row = crate::run_job(&spec.scenarios[job.scenario], job.method, job.seed);
+        let row_json = row.to_value().render();
+        state.fold(id, slice_id, 0, &row_json);
+        state.fold(id, slice_id, 0, &row_json); // duplicate: ignored
+        assert_eq!(state.sweeps[&id].done, 1);
+        // Worker dies: only the three unfilled indices come back.
+        state.worker_gone(w);
+        let sweep = &state.sweeps[&id];
+        assert_eq!(sweep.queue.front().unwrap(), &vec![1, 2, 3]);
+        assert_eq!(sweep.requeued, 3);
+        assert_eq!(sweep.done, 1);
+    }
+
+    #[test]
+    fn status_and_fetch_track_completion() {
+        let mut state =
+            FarmState::new(FarmConfig { slice_size: 64, quiet: true, ..FarmConfig::default() });
+        let spec = tiny_spec();
+        let (id, _) = state.submit(&spec.render()).unwrap();
+        let w = state.register_worker("w", 1);
+        let Some(Message::WorkSlice { slice_id, .. }) = state.grant(w) else {
+            panic!("expected a slice");
+        };
+        let jobs = SweepRunner::jobs(&spec);
+        for (gi, job) in jobs.iter().enumerate() {
+            let row = crate::run_job(&spec.scenarios[job.scenario], job.method, job.seed);
+            state.fold(id, slice_id, gi as u64, &row.to_value().render());
+        }
+        let Message::StatusReport { done, complete, eta_s, .. } = state.status_message(id).unwrap()
+        else {
+            panic!("expected status");
+        };
+        assert_eq!(done, 4);
+        assert!(complete);
+        assert_eq!(eta_s, 0.0);
+        let Message::FetchReport { complete: true, spec_json, rows_json, .. } =
+            state.fetch_message(id).unwrap()
+        else {
+            panic!("expected a complete fetch");
+        };
+        // The fetched payload reassembles to exactly the local report.
+        let fetched_spec = SweepSpec::parse(&spec_json).unwrap();
+        let rows = Value::parse(&rows_json).unwrap();
+        let fetched_jobs: Vec<JobResult> =
+            rows.as_array().unwrap().iter().map(|v| JobResult::from_value(v).unwrap()).collect();
+        let fetched = SweepReport::assemble(&fetched_spec, fetched_jobs);
+        let local = SweepRunner::new().progress(false).run(&spec).unwrap();
+        assert_eq!(fetched.to_value().render(), local.to_value().render());
+    }
+}

@@ -54,7 +54,9 @@
 //! assert!(report.cells.iter().all(|c| c.mean_time_s > 0.0));
 //! ```
 
+pub mod cli;
 pub mod curves;
+pub mod farm;
 pub mod presets;
 mod report;
 mod runner;
@@ -62,7 +64,8 @@ pub mod shard;
 mod spec;
 
 pub use curves::{CurveAggregate, CurvePoint};
+pub use farm::{run_worker, Coordinator, FarmConfig, FarmStatus, WorkerOptions, WorkerSummary};
 pub use report::{SweepCell, SweepReport};
-pub use runner::{run_job, JobResult, JobSpec, SweepRunner};
+pub use runner::{run_job, JobResult, JobSource, JobSpec, SweepRunner};
 pub use shard::{merge, PartialReport, Shard};
 pub use spec::{Method, MethodParams, ScenarioSpec, SeedRange, SweepSpec};

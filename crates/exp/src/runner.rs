@@ -30,8 +30,8 @@
 //! — which, for constant efficiency, full participation and no churn, is
 //! *exactly* the old closed form (pinned to 1e-9 in `tests/learning.rs`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use comdml_baselines::{
     AllReduceDml, BaselineConfig, BrainTorrent, ClassicSplitLearning, DropStragglers, FedAvg,
@@ -395,6 +395,58 @@ pub fn run_job(scenario: &ScenarioSpec, method: Method, seed: u64) -> JobResult 
     }
 }
 
+/// A claimable queue of index-tagged jobs — the one execution path every
+/// consumer of the worker pool shares.
+///
+/// The local [`SweepRunner`] wraps the whole job matrix in a `JobSource`;
+/// a farm worker wraps the slice its coordinator handed it. Both drain it
+/// through [`SweepRunner::execute_source`], so work-stealing semantics,
+/// purity and result placement are defined exactly once. Each entry pairs
+/// a **global job-matrix index** with its [`JobSpec`]; claims hand out
+/// entries in order via an atomic cursor (idle threads steal the next
+/// unclaimed entry), and an optional cancel flag lets a consumer abandon
+/// the tail of the queue (a farm worker hitting its job budget).
+#[derive(Debug)]
+pub struct JobSource {
+    jobs: Vec<(usize, JobSpec)>,
+    cursor: AtomicUsize,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl JobSource {
+    /// Wraps `(global index, job)` entries in claim order.
+    pub fn new(jobs: Vec<(usize, JobSpec)>) -> Self {
+        Self { jobs, cursor: AtomicUsize::new(0), cancel: None }
+    }
+
+    /// Attaches a cancel flag: once it reads `true`, no further claims are
+    /// handed out (claims already made keep running).
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Number of entries in the queue (claimed or not).
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue was empty to begin with.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Claims the next unclaimed entry: `(position, global index, job)`.
+    /// `None` once the queue is exhausted or cancelled.
+    pub fn claim(&self) -> Option<(usize, usize, JobSpec)> {
+        if self.cancel.as_ref().is_some_and(|c| c.load(Ordering::SeqCst)) {
+            return None;
+        }
+        let pos = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.jobs.get(pos).map(|&(gi, job)| (pos, gi, job))
+    }
+}
+
 /// The parallel sweep executor. See the module docs for the determinism
 /// contract.
 #[derive(Debug, Clone)]
@@ -442,6 +494,40 @@ impl SweepRunner {
         jobs
     }
 
+    /// Drains a [`JobSource`] on the worker pool, calling `on_done` with
+    /// `(global index, result)` as each job finishes (from the finishing
+    /// pool thread — the farm worker streams rows over the wire from
+    /// here), and returning results in source order. `None` slots mark
+    /// entries never claimed because the source was cancelled.
+    ///
+    /// This is the one execution path: the local full-run, the sharded
+    /// run and the farm worker all come through here, so they share the
+    /// same work-stealing claim loop and purity contract.
+    pub fn execute_source(
+        &self,
+        spec: &SweepSpec,
+        source: &JobSource,
+        on_done: &(dyn Fn(usize, &JobResult) + Sync),
+    ) -> Vec<Option<JobResult>> {
+        let total = source.len();
+        let results: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(total.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // The shared queue: an idle worker steals the next
+                    // unclaimed entry.
+                    while let Some((pos, global, job)) = source.claim() {
+                        let result = run_job(&spec.scenarios[job.scenario], job.method, job.seed);
+                        on_done(global, &result);
+                        *results[pos].lock().expect("no poisoned result slot") = Some(result);
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|m| m.into_inner().expect("no poisoned slot")).collect()
+    }
+
     /// Burns through an (arbitrary subset of a) job list on the worker
     /// pool, returning results in the list's order. Shared by the full-run
     /// and sharded entry points, so both inherit the same determinism
@@ -449,33 +535,18 @@ impl SweepRunner {
     /// independent of completion order.
     pub(crate) fn execute(&self, spec: &SweepSpec, jobs: &[JobSpec]) -> Vec<JobResult> {
         let total = jobs.len();
-        let results: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
+        let source = JobSource::new(jobs.iter().copied().enumerate().collect());
         let done = AtomicUsize::new(0);
-        let workers = self.threads.min(total.max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // The shared queue: an idle worker steals the next
-                    // unclaimed job index.
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let result = run_job(&spec.scenarios[job.scenario], job.method, job.seed);
-                    *results[i].lock().expect("no poisoned result slot") = Some(result);
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if self.progress {
-                        eprint!("\rsweep {}: {finished}/{total} jobs", spec.name);
-                        if finished == total {
-                            eprintln!();
-                        }
-                    }
-                });
+        let results = self.execute_source(spec, &source, &|_, _| {
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.progress {
+                eprint!("\rsweep {}: {finished}/{total} jobs", spec.name);
+                if finished == total {
+                    eprintln!();
+                }
             }
         });
-        results
-            .into_iter()
-            .map(|m| m.into_inner().expect("no poisoned slot").expect("every job ran"))
-            .collect()
+        results.into_iter().map(|r| r.expect("uncancelled source runs every job")).collect()
     }
 
     /// Runs the whole sweep and aggregates the report.

@@ -1,0 +1,195 @@
+//! End-to-end properties of the distributed sweep farm, on localhost:
+//!
+//! * the fetched report is **byte-identical** to the single-process run
+//!   for arbitrary worker counts × slice sizes (the farm's acceptance
+//!   bar);
+//! * a worker killed mid-sweep (abrupt connection drop, no goodbye)
+//!   forfeits only its unfinished jobs — they are requeued, a surviving
+//!   worker finishes them, and the bytes still match;
+//! * a worker that goes silent holding a slice (no rows, no heartbeats)
+//!   trips the reaper's timeout path, with the same outcome;
+//! * client-facing errors (unknown sweeps, malformed specs) come back
+//!   described, not as hangs or disconnects.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use comdml_exp::{farm, FarmConfig, Method, ScenarioSpec, SweepRunner, SweepSpec, WorkerOptions};
+use comdml_net::{FramedStream, Message};
+use proptest::prelude::*;
+
+/// A 2-scenario × 3-method grid: `6 × seeds` jobs, each a few milliseconds.
+fn farm_spec(name: &str, seeds: usize) -> SweepSpec {
+    SweepSpec::new(name)
+        .seeds(11, seeds)
+        .method(Method::ComDml)
+        .method(Method::FedAvg)
+        .method(Method::Gossip)
+        .scenario(ScenarioSpec::new("mini").agents(5).rounds(3))
+        .scenario(ScenarioSpec::new("churny").agents(7).rounds(4).sampling_rate(0.5))
+}
+
+fn test_config(slice_size: usize) -> FarmConfig {
+    FarmConfig {
+        slice_size,
+        worker_timeout: Duration::from_secs(10),
+        reaper_tick: Duration::from_millis(50),
+        retry_ms: 20,
+        quiet: true,
+    }
+}
+
+fn worker_opts(name: &str) -> WorkerOptions {
+    WorkerOptions {
+        threads: 2,
+        name: name.into(),
+        max_jobs: None,
+        heartbeat: Duration::from_millis(50),
+    }
+}
+
+fn local_bytes(spec: &SweepSpec) -> String {
+    SweepRunner::new().progress(false).run(spec).expect("spec validates").to_value().render()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The acceptance property: whatever the worker count and slice size,
+    // the farm's report renders the same bytes as the local run.
+    #[test]
+    fn farm_report_is_byte_identical_to_local(
+        workers in 1usize..4,
+        slice_size in 1usize..6,
+        seeds in 1usize..3,
+    ) {
+        let spec = farm_spec("farm_prop", seeds);
+        let local = local_bytes(&spec);
+        let coordinator = farm::Coordinator::bind("127.0.0.1:0", test_config(slice_size)).unwrap();
+        let addr = coordinator.local_addr().to_string();
+        let (sweep_id, total) = farm::submit(&addr, &spec).unwrap();
+        prop_assert_eq!(total as usize, spec.num_jobs());
+        let fleet: Vec<_> = (0..workers)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || farm::run_worker(&addr, &worker_opts(&format!("w{i}"))))
+            })
+            .collect();
+        let report =
+            farm::wait_and_fetch(&addr, sweep_id, Duration::from_millis(20), false).unwrap();
+        prop_assert_eq!(report.to_value().render(), local);
+        coordinator.stop(); // workers see Shutdown on their next poll
+        for worker in fleet {
+            let summary = worker.join().unwrap().unwrap();
+            prop_assert!(summary.clean_shutdown);
+        }
+    }
+}
+
+/// Kill a worker mid-sweep: it runs exactly one job of a three-job slice,
+/// then drops the connection with no goodbye. The coordinator must requeue
+/// the two unfinished jobs, a rescuer must finish everything, and the
+/// bytes must still match the local run.
+#[test]
+fn killed_worker_mid_sweep_is_requeued_and_bytes_match() {
+    let spec = farm_spec("farm_kill", 2); // 12 jobs
+    let local = local_bytes(&spec);
+    let coordinator = farm::Coordinator::bind("127.0.0.1:0", test_config(3)).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let (sweep_id, _) = farm::submit(&addr, &spec).unwrap();
+
+    let flaky = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let opts = WorkerOptions { threads: 1, max_jobs: Some(1), ..worker_opts("flaky") };
+            farm::run_worker(&addr, &opts)
+        })
+    };
+    let summary = flaky.join().unwrap().unwrap();
+    assert!(!summary.clean_shutdown, "budgeted worker must die, not drain");
+    assert_eq!(summary.jobs_run, 1);
+
+    // The session thread notices the drop and requeues the slice's two
+    // unfinished jobs.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = farm::status(&addr, sweep_id).unwrap();
+        if s.requeued >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "death never requeued: {s:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        farm::fetch(&addr, sweep_id).unwrap().is_none(),
+        "fetch of an unfinished sweep must say so"
+    );
+
+    let rescuer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || farm::run_worker(&addr, &worker_opts("rescuer")))
+    };
+    let report = farm::wait_and_fetch(&addr, sweep_id, Duration::from_millis(20), false).unwrap();
+    assert_eq!(report.to_value().render(), local, "post-recovery report diverged");
+    let s = farm::status(&addr, sweep_id).unwrap();
+    assert!(s.complete);
+    assert!(s.requeued >= 2);
+    coordinator.stop();
+    assert!(rescuer.join().unwrap().unwrap().clean_shutdown);
+}
+
+/// A worker that claims a slice and then goes silent — no rows, no
+/// heartbeats, but the connection stays open — must trip the reaper's
+/// timeout path (the connection-drop path never fires).
+#[test]
+fn hung_worker_times_out_and_slice_is_requeued() {
+    let spec = farm_spec("farm_hang", 1); // 6 jobs
+    let local = local_bytes(&spec);
+    let cfg = FarmConfig { worker_timeout: Duration::from_millis(300), ..test_config(2) };
+    let coordinator = farm::Coordinator::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let (sweep_id, _) = farm::submit(&addr, &spec).unwrap();
+
+    // Hand-rolled wedged worker: hello, one grant, then silence.
+    let mut wedged = FramedStream::new(TcpStream::connect(&addr).unwrap());
+    wedged.handshake().unwrap();
+    wedged.send(&Message::WorkerHello { name: "wedged".into(), threads: 1 }).unwrap();
+    let Message::WorkerWelcome { worker_id } = wedged.recv().unwrap() else {
+        panic!("expected a welcome")
+    };
+    wedged.send(&Message::WorkRequest { worker_id }).unwrap();
+    let Message::WorkSlice { indices, .. } = wedged.recv().unwrap() else {
+        panic!("expected a grant")
+    };
+    assert_eq!(indices.len(), 2);
+
+    let real = {
+        let addr = addr.clone();
+        std::thread::spawn(move || farm::run_worker(&addr, &worker_opts("real")))
+    };
+    let report = farm::wait_and_fetch(&addr, sweep_id, Duration::from_millis(20), false).unwrap();
+    assert_eq!(report.to_value().render(), local, "post-timeout report diverged");
+    let s = farm::status(&addr, sweep_id).unwrap();
+    assert!(s.requeued >= 2, "reaper never requeued the wedged slice: {s:?}");
+    drop(wedged);
+    coordinator.stop();
+    assert!(real.join().unwrap().unwrap().clean_shutdown);
+}
+
+#[test]
+fn wire_errors_come_back_described() {
+    let coordinator = farm::Coordinator::bind("127.0.0.1:0", test_config(4)).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    assert!(farm::status(&addr, 42).unwrap_err().contains("unknown sweep"));
+    assert!(farm::fetch(&addr, 42).unwrap_err().contains("unknown sweep"));
+    // A malformed submission (impossible through the typed client, which
+    // renders a real spec) earns a FarmError, not a hang or a disconnect.
+    let mut s = FramedStream::new(TcpStream::connect(&addr).unwrap());
+    s.handshake().unwrap();
+    s.send(&Message::SubmitSweep { spec_json: "nonsense".into() }).unwrap();
+    let Message::FarmError { detail } = s.recv().unwrap() else {
+        panic!("expected a described error")
+    };
+    assert!(!detail.is_empty());
+    coordinator.shutdown();
+}

@@ -1,57 +1,15 @@
-use std::error::Error;
-use std::fmt;
-use std::io::{Read, Write};
+//! The typed message codec: [`Message`] over the versioned frame layer.
+//!
+//! [`FramedStream`] is a thin typed layer over [`crate::frame`]: `send`
+//! encodes a message into one frame, `recv` reads frames until it finds a
+//! kind this build knows — unknown kinds are *skipped with a warning*
+//! (forward compatibility between adjacent builds) instead of raised as a
+//! hard [`NetError`]. Use [`FramedStream::handshake`] right after
+//! connecting to agree on a protocol revision.
+
 use std::net::TcpStream;
 
-/// Errors produced by the wire protocol.
-#[derive(Debug)]
-pub enum NetError {
-    /// Underlying socket failure.
-    Io(std::io::Error),
-    /// The peer sent a frame that does not decode.
-    BadFrame(String),
-    /// A frame exceeded the sanity limit (corrupted length prefix).
-    FrameTooLarge(usize),
-    /// The protocol state machine received an unexpected message.
-    Unexpected {
-        /// What the caller was waiting for.
-        expected: &'static str,
-        /// What actually arrived.
-        got: String,
-    },
-}
-
-impl fmt::Display for NetError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            NetError::Io(e) => write!(f, "socket error: {e}"),
-            NetError::BadFrame(why) => write!(f, "undecodable frame: {why}"),
-            NetError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
-            NetError::Unexpected { expected, got } => {
-                write!(f, "expected {expected}, got {got}")
-            }
-        }
-    }
-}
-
-impl Error for NetError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            NetError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<std::io::Error> for NetError {
-    fn from(e: std::io::Error) -> Self {
-        NetError::Io(e)
-    }
-}
-
-/// Maximum accepted frame size (a full ResNet-110 model is ~7 MB; leave
-/// generous headroom).
-const MAX_FRAME: usize = 256 * 1024 * 1024;
+use crate::frame::{read_frame, write_frame, NetError, PROTOCOL_VERSION};
 
 /// Little-endian cursor over a received frame body.
 struct Reader<'a> {
@@ -80,9 +38,27 @@ impl<'a> Reader<'a> {
         Ok(self.take(1, what)?[0])
     }
 
+    fn get_bool(&mut self, what: &str) -> Result<bool, NetError> {
+        match self.get_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(NetError::BadFrame(format!("{what}: bool byte {other}"))),
+        }
+    }
+
+    fn get_u16_le(&mut self, what: &str) -> Result<u16, NetError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
     fn get_u32_le(&mut self, what: &str) -> Result<u32, NetError> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_u64_le(&mut self, what: &str) -> Result<u64, NetError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     fn get_f64_le(&mut self, what: &str) -> Result<f64, NetError> {
@@ -94,13 +70,83 @@ impl<'a> Reader<'a> {
         let b = self.take(4, what)?;
         Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
+
+    fn get_str(&mut self, what: &str) -> Result<String, NetError> {
+        let n = self.get_u32_le(what)? as usize;
+        let raw = self.take(n, what)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|e| NetError::BadFrame(format!("{what}: invalid utf-8: {e}")))
+    }
+
+    fn get_u64s(&mut self, what: &str) -> Result<Vec<u64>, NetError> {
+        let n = self.get_u32_le(what)? as usize;
+        if self.remaining() < n * 8 {
+            return Err(NetError::BadFrame(format!(
+                "{what} claims {n} u64s but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        (0..n).map(|_| self.get_u64_le(what)).collect()
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_u64s(buf: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_u64(buf, v);
+    }
+}
+
+fn put_f32s(buf: &mut Vec<u8>, data: &[f32]) {
+    buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    buf.reserve(data.len() * 4);
+    for &v in data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_f32s(r: &mut Reader<'_>) -> Result<Vec<f32>, NetError> {
+    let n = r.get_u32_le("vector length")? as usize;
+    if r.remaining() < n * 4 {
+        return Err(NetError::BadFrame(format!(
+            "vector claims {n} floats but only {} bytes remain",
+            r.remaining()
+        )));
+    }
+    (0..n).map(|_| r.get_f32_le("vector")).collect()
 }
 
 /// Protocol messages exchanged between ComDML peers.
 ///
-/// The encoding is a 1-byte tag followed by little-endian fields; float
-/// vectors are length-prefixed. Everything round-trips through
-/// [`Message::encode`] / [`Message::decode`].
+/// Two families share the wire format:
+///
+/// * the **training protocol** (kinds 0–8) — profile broadcasts, pairing
+///   handshakes, activation streaming and model exchange;
+/// * the **sweep-farm service** (kinds 9–25) — the version handshake plus
+///   the coordinator/worker/client request–response vocabulary of the
+///   distributed sweep farm (`comdml-exp`'s `exp_farm`). Farm payloads
+///   that carry experiment objects (specs, job rows) travel as JSON text:
+///   the farm's byte-identity guarantee rests on the exact rendered text,
+///   so the wire never re-encodes them.
+///
+/// The encoding is a u16 kind tag (carried in the frame header) followed
+/// by little-endian body fields; strings and vectors are length-prefixed.
+/// Everything round-trips through [`Message::encode`] /
+/// [`Message::decode`]. Kinds are append-only: never reuse a retired
+/// number, so skip-unknown forward compatibility stays sound.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Initial identification after connecting.
@@ -159,10 +205,147 @@ pub enum Message {
     },
     /// End-of-round marker.
     Done,
+
+    // ── Sweep-farm service (kinds 9+) ───────────────────────────────────
+    /// Protocol-version handshake; both sides send it first and adopt the
+    /// minimum (see [`FramedStream::handshake`]).
+    Version {
+        /// The sender's [`PROTOCOL_VERSION`].
+        proto: u16,
+    },
+    /// Client → coordinator: queue a sweep (the spec's rendered JSON).
+    SubmitSweep {
+        /// `SweepSpec::render()` text.
+        spec_json: String,
+    },
+    /// Coordinator → client: the sweep was accepted.
+    SweepQueued {
+        /// Handle for status/fetch calls.
+        sweep_id: u64,
+        /// Size of the expanded job matrix.
+        total_jobs: u64,
+    },
+    /// Client → coordinator: how is sweep `sweep_id` doing?
+    StatusRequest {
+        /// The sweep to report on.
+        sweep_id: u64,
+    },
+    /// Coordinator → client: live progress counters.
+    StatusReport {
+        /// The sweep reported on.
+        sweep_id: u64,
+        /// Job-matrix size.
+        total: u64,
+        /// Jobs with a folded result.
+        done: u64,
+        /// Jobs assigned to a live worker and not yet folded.
+        in_flight: u64,
+        /// Jobs waiting in the queue.
+        queued: u64,
+        /// Jobs re-queued from dead or hung workers (cumulative).
+        requeued: u64,
+        /// Workers currently connected to the coordinator.
+        workers: u64,
+        /// Whether every job has been folded.
+        complete: bool,
+        /// Seconds since submission (frozen at completion).
+        elapsed_s: f64,
+        /// Estimated seconds to completion at the realized pace
+        /// (negative while no job has finished yet; 0 when complete).
+        eta_s: f64,
+    },
+    /// Client → coordinator: collect sweep `sweep_id`.
+    FetchRequest {
+        /// The sweep to collect.
+        sweep_id: u64,
+    },
+    /// Coordinator → client: the collected sweep. When `complete`,
+    /// `spec_json` + `rows_json` reassemble into a report byte-identical
+    /// to a single-process run; otherwise both payloads are empty (poll
+    /// status and retry).
+    FetchReport {
+        /// The sweep collected.
+        sweep_id: u64,
+        /// Whether every job has been folded.
+        complete: bool,
+        /// `SweepSpec::render()` text (empty if incomplete).
+        spec_json: String,
+        /// JSON array of job rows in global order (empty if incomplete).
+        rows_json: String,
+    },
+    /// Worker → coordinator: register for work.
+    WorkerHello {
+        /// Free-form worker name (host/pid by default).
+        name: String,
+        /// The worker's local thread-pool width.
+        threads: u32,
+    },
+    /// Coordinator → worker: registration accepted.
+    WorkerWelcome {
+        /// Id the worker uses in subsequent requests.
+        worker_id: u64,
+    },
+    /// Worker → coordinator: give me a slice (sent whenever idle — this
+    /// pull is what makes the farm work-stealing).
+    WorkRequest {
+        /// The registered worker.
+        worker_id: u64,
+    },
+    /// Coordinator → worker: run these jobs.
+    WorkSlice {
+        /// The sweep the slice belongs to.
+        sweep_id: u64,
+        /// Handle for results/requeue bookkeeping.
+        slice_id: u64,
+        /// `SweepSpec::render()` text (workers cache per sweep).
+        spec_json: String,
+        /// Global job-matrix indices to run.
+        indices: Vec<u64>,
+    },
+    /// Coordinator → worker: nothing queued; ask again after `retry_ms`.
+    NoWork {
+        /// Suggested poll delay.
+        retry_ms: u32,
+    },
+    /// Worker → coordinator: one finished job row (streamed as each job
+    /// completes, so partial results fold incrementally and double as
+    /// liveness evidence).
+    JobDone {
+        /// The sweep the job belongs to.
+        sweep_id: u64,
+        /// The slice it was assigned under.
+        slice_id: u64,
+        /// Global job-matrix index.
+        index: u64,
+        /// `JobResult::to_value().render()` text.
+        row_json: String,
+    },
+    /// Worker → coordinator: every job of the slice was reported.
+    SliceDone {
+        /// The sweep the slice belongs to.
+        sweep_id: u64,
+        /// The finished slice.
+        slice_id: u64,
+    },
+    /// Worker → coordinator: periodic liveness signal (covers jobs whose
+    /// single-job runtime exceeds the coordinator's requeue timeout).
+    Heartbeat {
+        /// The registered worker.
+        worker_id: u64,
+    },
+    /// Coordinator → client/worker: the request failed.
+    FarmError {
+        /// Human-readable reason.
+        detail: String,
+    },
+    /// Coordinator → worker: drain and exit (sent when the coordinator is
+    /// shutting down).
+    Shutdown,
 }
 
 impl Message {
-    fn tag(&self) -> u8 {
+    /// The wire kind tag of this message.
+    pub fn kind(&self) -> u16 {
         match self {
             Message::Hello { .. } => 0,
             Message::Profile { .. } => 1,
@@ -173,6 +356,23 @@ impl Message {
             Message::SuffixParams { .. } => 6,
             Message::ModelChunk { .. } => 7,
             Message::Done => 8,
+            Message::Version { .. } => 9,
+            Message::SubmitSweep { .. } => 10,
+            Message::SweepQueued { .. } => 11,
+            Message::StatusRequest { .. } => 12,
+            Message::StatusReport { .. } => 13,
+            Message::FetchRequest { .. } => 14,
+            Message::FetchReport { .. } => 15,
+            Message::WorkerHello { .. } => 16,
+            Message::WorkerWelcome { .. } => 17,
+            Message::WorkRequest { .. } => 18,
+            Message::WorkSlice { .. } => 19,
+            Message::NoWork { .. } => 20,
+            Message::JobDone { .. } => 21,
+            Message::SliceDone { .. } => 22,
+            Message::Heartbeat { .. } => 23,
+            Message::FarmError { .. } => 24,
+            Message::Shutdown => 25,
         }
     }
 
@@ -188,14 +388,29 @@ impl Message {
             Message::SuffixParams { .. } => "SuffixParams",
             Message::ModelChunk { .. } => "ModelChunk",
             Message::Done => "Done",
+            Message::Version { .. } => "Version",
+            Message::SubmitSweep { .. } => "SubmitSweep",
+            Message::SweepQueued { .. } => "SweepQueued",
+            Message::StatusRequest { .. } => "StatusRequest",
+            Message::StatusReport { .. } => "StatusReport",
+            Message::FetchRequest { .. } => "FetchRequest",
+            Message::FetchReport { .. } => "FetchReport",
+            Message::WorkerHello { .. } => "WorkerHello",
+            Message::WorkerWelcome { .. } => "WorkerWelcome",
+            Message::WorkRequest { .. } => "WorkRequest",
+            Message::WorkSlice { .. } => "WorkSlice",
+            Message::NoWork { .. } => "NoWork",
+            Message::JobDone { .. } => "JobDone",
+            Message::SliceDone { .. } => "SliceDone",
+            Message::Heartbeat { .. } => "Heartbeat",
+            Message::FarmError { .. } => "FarmError",
+            Message::Shutdown => "Shutdown",
         }
     }
 
-    /// Serializes the message body (without the length prefix).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serializes the message body (the frame body *after* the kind tag).
+    pub fn encode_body(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(16);
-        buf.push(self.tag());
-        let put_u32 = |buf: &mut Vec<u8>, v: u32| buf.extend_from_slice(&v.to_le_bytes());
         match self {
             Message::Hello { agent_id } => put_u32(&mut buf, *agent_id),
             Message::Profile { agent_id, batches_per_s, solo_time_s } => {
@@ -223,23 +438,92 @@ impl Message {
                 put_u32(&mut buf, *step);
                 put_f32s(&mut buf, data);
             }
-            Message::Done => {}
+            Message::Done | Message::Shutdown => {}
+            Message::Version { proto } => buf.extend_from_slice(&proto.to_le_bytes()),
+            Message::SubmitSweep { spec_json } => put_str(&mut buf, spec_json),
+            Message::SweepQueued { sweep_id, total_jobs } => {
+                put_u64(&mut buf, *sweep_id);
+                put_u64(&mut buf, *total_jobs);
+            }
+            Message::StatusRequest { sweep_id } | Message::FetchRequest { sweep_id } => {
+                put_u64(&mut buf, *sweep_id)
+            }
+            Message::StatusReport {
+                sweep_id,
+                total,
+                done,
+                in_flight,
+                queued,
+                requeued,
+                workers,
+                complete,
+                elapsed_s,
+                eta_s,
+            } => {
+                put_u64(&mut buf, *sweep_id);
+                put_u64(&mut buf, *total);
+                put_u64(&mut buf, *done);
+                put_u64(&mut buf, *in_flight);
+                put_u64(&mut buf, *queued);
+                put_u64(&mut buf, *requeued);
+                put_u64(&mut buf, *workers);
+                buf.push(u8::from(*complete));
+                buf.extend_from_slice(&elapsed_s.to_le_bytes());
+                buf.extend_from_slice(&eta_s.to_le_bytes());
+            }
+            Message::FetchReport { sweep_id, complete, spec_json, rows_json } => {
+                put_u64(&mut buf, *sweep_id);
+                buf.push(u8::from(*complete));
+                put_str(&mut buf, spec_json);
+                put_str(&mut buf, rows_json);
+            }
+            Message::WorkerHello { name, threads } => {
+                put_str(&mut buf, name);
+                put_u32(&mut buf, *threads);
+            }
+            Message::WorkerWelcome { worker_id }
+            | Message::WorkRequest { worker_id }
+            | Message::Heartbeat { worker_id } => put_u64(&mut buf, *worker_id),
+            Message::WorkSlice { sweep_id, slice_id, spec_json, indices } => {
+                put_u64(&mut buf, *sweep_id);
+                put_u64(&mut buf, *slice_id);
+                put_str(&mut buf, spec_json);
+                put_u64s(&mut buf, indices);
+            }
+            Message::NoWork { retry_ms } => put_u32(&mut buf, *retry_ms),
+            Message::JobDone { sweep_id, slice_id, index, row_json } => {
+                put_u64(&mut buf, *sweep_id);
+                put_u64(&mut buf, *slice_id);
+                put_u64(&mut buf, *index);
+                put_str(&mut buf, row_json);
+            }
+            Message::SliceDone { sweep_id, slice_id } => {
+                put_u64(&mut buf, *sweep_id);
+                put_u64(&mut buf, *slice_id);
+            }
+            Message::FarmError { detail } => put_str(&mut buf, detail),
         }
         buf
     }
 
-    /// Decodes a message body produced by [`Message::encode`].
+    /// Serializes kind tag + body (the full frame payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = self.kind().to_le_bytes().to_vec();
+        buf.extend_from_slice(&self.encode_body());
+        buf
+    }
+
+    /// Decodes a message body for a known `kind`. Returns `Ok(None)` for a
+    /// kind this build does not know — the forward-compatible path callers
+    /// skip with a warning.
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::BadFrame`] on any structural problem.
-    pub fn decode(buf: &[u8]) -> Result<Self, NetError> {
-        let mut r = Reader::new(buf);
-        if r.remaining() == 0 {
-            return Err(NetError::BadFrame("empty frame".into()));
-        }
-        let tag = r.get_u8("tag")?;
-        let msg = match tag {
+    /// Returns [`NetError::BadFrame`] on any structural problem in a
+    /// *known* kind's body.
+    pub fn decode_body(kind: u16, body: &[u8]) -> Result<Option<Self>, NetError> {
+        let mut r = Reader::new(body);
+        let msg = match kind {
             0 => Message::Hello { agent_id: r.get_u32_le("Hello")? },
             1 => Message::Profile {
                 agent_id: r.get_u32_le("Profile")?,
@@ -269,77 +553,153 @@ impl Message {
                 Message::ModelChunk { step, data: get_f32s(&mut r)? }
             }
             8 => Message::Done,
-            other => return Err(NetError::BadFrame(format!("unknown tag {other}"))),
+            9 => Message::Version { proto: r.get_u16_le("Version")? },
+            10 => Message::SubmitSweep { spec_json: r.get_str("SubmitSweep")? },
+            11 => Message::SweepQueued {
+                sweep_id: r.get_u64_le("SweepQueued")?,
+                total_jobs: r.get_u64_le("SweepQueued")?,
+            },
+            12 => Message::StatusRequest { sweep_id: r.get_u64_le("StatusRequest")? },
+            13 => Message::StatusReport {
+                sweep_id: r.get_u64_le("StatusReport")?,
+                total: r.get_u64_le("StatusReport")?,
+                done: r.get_u64_le("StatusReport")?,
+                in_flight: r.get_u64_le("StatusReport")?,
+                queued: r.get_u64_le("StatusReport")?,
+                requeued: r.get_u64_le("StatusReport")?,
+                workers: r.get_u64_le("StatusReport")?,
+                complete: r.get_bool("StatusReport")?,
+                elapsed_s: r.get_f64_le("StatusReport")?,
+                eta_s: r.get_f64_le("StatusReport")?,
+            },
+            14 => Message::FetchRequest { sweep_id: r.get_u64_le("FetchRequest")? },
+            15 => Message::FetchReport {
+                sweep_id: r.get_u64_le("FetchReport")?,
+                complete: r.get_bool("FetchReport")?,
+                spec_json: r.get_str("FetchReport")?,
+                rows_json: r.get_str("FetchReport")?,
+            },
+            16 => Message::WorkerHello {
+                name: r.get_str("WorkerHello")?,
+                threads: r.get_u32_le("WorkerHello")?,
+            },
+            17 => Message::WorkerWelcome { worker_id: r.get_u64_le("WorkerWelcome")? },
+            18 => Message::WorkRequest { worker_id: r.get_u64_le("WorkRequest")? },
+            19 => Message::WorkSlice {
+                sweep_id: r.get_u64_le("WorkSlice")?,
+                slice_id: r.get_u64_le("WorkSlice")?,
+                spec_json: r.get_str("WorkSlice")?,
+                indices: r.get_u64s("WorkSlice indices")?,
+            },
+            20 => Message::NoWork { retry_ms: r.get_u32_le("NoWork")? },
+            21 => Message::JobDone {
+                sweep_id: r.get_u64_le("JobDone")?,
+                slice_id: r.get_u64_le("JobDone")?,
+                index: r.get_u64_le("JobDone")?,
+                row_json: r.get_str("JobDone")?,
+            },
+            22 => Message::SliceDone {
+                sweep_id: r.get_u64_le("SliceDone")?,
+                slice_id: r.get_u64_le("SliceDone")?,
+            },
+            23 => Message::Heartbeat { worker_id: r.get_u64_le("Heartbeat")? },
+            24 => Message::FarmError { detail: r.get_str("FarmError")? },
+            25 => Message::Shutdown,
+            _ => return Ok(None),
         };
-        Ok(msg)
+        Ok(Some(msg))
+    }
+
+    /// Decodes a full kind-tagged payload produced by [`Message::encode`],
+    /// erroring on unknown kinds (the strict path; transports prefer
+    /// [`Message::decode_body`]'s skip-friendly contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadFrame`] on any structural problem or an
+    /// unknown kind.
+    pub fn decode(buf: &[u8]) -> Result<Self, NetError> {
+        if buf.len() < 2 {
+            return Err(NetError::BadFrame("payload too short for a kind tag".into()));
+        }
+        let kind = u16::from_le_bytes([buf[0], buf[1]]);
+        Self::decode_body(kind, &buf[2..])?
+            .ok_or_else(|| NetError::BadFrame(format!("unknown kind {kind}")))
     }
 }
 
-fn put_f32s(buf: &mut Vec<u8>, data: &[f32]) {
-    buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
-    buf.reserve(data.len() * 4);
-    for &v in data {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
-}
-
-fn get_f32s(r: &mut Reader<'_>) -> Result<Vec<f32>, NetError> {
-    let n = r.get_u32_le("vector length")? as usize;
-    if r.remaining() < n * 4 {
-        return Err(NetError::BadFrame(format!(
-            "vector claims {n} floats but only {} bytes remain",
-            r.remaining()
-        )));
-    }
-    (0..n).map(|_| r.get_f32_le("vector")).collect()
-}
-
-/// A TCP stream with length-prefixed [`Message`] framing.
+/// A TCP stream carrying length-prefixed, kind-tagged [`Message`] frames.
 ///
 /// Blocking: `send` and `recv` run on the calling thread. Peers that must
-/// send and receive concurrently (e.g. ring AllReduce steps) do so from
-/// separate threads — see [`crate::ring_allreduce_tcp`].
+/// send and receive concurrently (e.g. ring AllReduce steps, or a farm
+/// worker streaming results while its heartbeat thread ticks) either do so
+/// from separate threads or split the stream with
+/// [`FramedStream::try_clone`].
 #[derive(Debug)]
 pub struct FramedStream {
     stream: TcpStream,
+    peer_version: Option<u16>,
+    skipped_unknown: u64,
 }
 
 impl FramedStream {
     /// Wraps a connected stream.
     pub fn new(stream: TcpStream) -> Self {
-        Self { stream }
+        Self { stream, peer_version: None, skipped_unknown: 0 }
     }
 
-    /// Sends one message (u32-LE length prefix + encoded body).
+    /// Clones the underlying socket into an independent framed handle
+    /// (shared kernel-level stream: one side may read while the other
+    /// writes — the farm worker splits its connection this way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket duplication failure.
+    pub fn try_clone(&self) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: self.stream.try_clone()?,
+            peer_version: self.peer_version,
+            skipped_unknown: 0,
+        })
+    }
+
+    /// Sends one message as a single frame.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on socket failure.
     pub fn send(&mut self, msg: &Message) -> Result<(), NetError> {
-        let body = msg.encode();
-        self.stream.write_all(&(body.len() as u32).to_le_bytes())?;
-        self.stream.write_all(&body)?;
-        self.stream.flush()?;
-        Ok(())
+        write_frame(&mut self.stream, msg.kind(), &msg.encode_body())
     }
 
-    /// Receives one message.
+    /// Receives the next message *this build understands*.
+    ///
+    /// Frames of unknown kind — e.g. sent by a newer peer — are skipped
+    /// with a warning on stderr instead of raised as an error, so adjacent
+    /// builds interoperate as long as the messages they need are mutually
+    /// known. [`FramedStream::skipped_unknown`] counts the skips.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on socket failure,
     /// [`NetError::FrameTooLarge`] on a corrupt length prefix, or
-    /// [`NetError::BadFrame`] if the body does not decode.
+    /// [`NetError::BadFrame`] if a *known* kind's body does not decode.
     pub fn recv(&mut self) -> Result<Message, NetError> {
-        let mut prefix = [0u8; 4];
-        self.stream.read_exact(&mut prefix)?;
-        let len = u32::from_le_bytes(prefix) as usize;
-        if len > MAX_FRAME {
-            return Err(NetError::FrameTooLarge(len));
+        loop {
+            let frame = read_frame(&mut self.stream)?;
+            match Message::decode_body(frame.kind, &frame.body)? {
+                Some(msg) => return Ok(msg),
+                None => {
+                    self.skipped_unknown += 1;
+                    eprintln!(
+                        "comdml-net: skipping unknown message kind {} ({} bytes) — \
+                         peer speaks a newer protocol",
+                        frame.kind,
+                        frame.body.len()
+                    );
+                }
+            }
         }
-        let mut body = vec![0u8; len];
-        self.stream.read_exact(&mut body)?;
-        Message::decode(&body)
     }
 
     /// Receives a message, erroring unless it matches `expected_name`.
@@ -355,6 +715,34 @@ impl FramedStream {
         }
         Ok(msg)
     }
+
+    /// Runs the symmetric version handshake: sends our
+    /// [`PROTOCOL_VERSION`], receives the peer's, records it and returns
+    /// the negotiated (minimum) revision. Call once, right after
+    /// connecting, from both ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Unexpected`] if the peer's first known message
+    /// is not `Version`, or any send/receive error.
+    pub fn handshake(&mut self) -> Result<u16, NetError> {
+        self.send(&Message::Version { proto: PROTOCOL_VERSION })?;
+        let Message::Version { proto } = self.expect("Version")? else {
+            unreachable!("expect checked the variant")
+        };
+        self.peer_version = Some(proto);
+        Ok(proto.min(PROTOCOL_VERSION))
+    }
+
+    /// The peer's protocol version, once [`FramedStream::handshake`] ran.
+    pub fn peer_version(&self) -> Option<u16> {
+        self.peer_version
+    }
+
+    /// How many unknown-kind frames [`FramedStream::recv`] has skipped.
+    pub fn skipped_unknown(&self) -> u64 {
+        self.skipped_unknown
+    }
 }
 
 #[cfg(test)]
@@ -367,7 +755,7 @@ mod tests {
     }
 
     #[test]
-    fn all_variants_round_trip() {
+    fn training_variants_round_trip() {
         round_trip(Message::Hello { agent_id: 7 });
         round_trip(Message::Profile { agent_id: 1, batches_per_s: 0.25, solo_time_s: 812.5 });
         round_trip(Message::PairRequest { slow_id: 3, offload: 37 });
@@ -384,23 +772,81 @@ mod tests {
     }
 
     #[test]
+    fn farm_variants_round_trip() {
+        round_trip(Message::Version { proto: 1 });
+        round_trip(Message::SubmitSweep { spec_json: "{\"name\":\"x\"}".into() });
+        round_trip(Message::SweepQueued { sweep_id: 3, total_jobs: 250 });
+        round_trip(Message::StatusRequest { sweep_id: 3 });
+        round_trip(Message::StatusReport {
+            sweep_id: 3,
+            total: 250,
+            done: 100,
+            in_flight: 8,
+            queued: 142,
+            requeued: 4,
+            workers: 2,
+            complete: false,
+            elapsed_s: 1.5,
+            eta_s: 2.25,
+        });
+        round_trip(Message::FetchRequest { sweep_id: 3 });
+        round_trip(Message::FetchReport {
+            sweep_id: 3,
+            complete: true,
+            spec_json: "{}".into(),
+            rows_json: "[]".into(),
+        });
+        round_trip(Message::WorkerHello { name: "w0".into(), threads: 8 });
+        round_trip(Message::WorkerWelcome { worker_id: 11 });
+        round_trip(Message::WorkRequest { worker_id: 11 });
+        round_trip(Message::WorkSlice {
+            sweep_id: 3,
+            slice_id: 9,
+            spec_json: "{\"name\":\"x\"}".into(),
+            indices: vec![0, 17, 34],
+        });
+        round_trip(Message::NoWork { retry_ms: 250 });
+        round_trip(Message::JobDone {
+            sweep_id: 3,
+            slice_id: 9,
+            index: 17,
+            row_json: "{\"seed\":1}".into(),
+        });
+        round_trip(Message::SliceDone { sweep_id: 3, slice_id: 9 });
+        round_trip(Message::Heartbeat { worker_id: 11 });
+        round_trip(Message::FarmError { detail: "unknown sweep 5".into() });
+        round_trip(Message::Shutdown);
+    }
+
+    #[test]
     fn truncated_frames_error() {
         let full = Message::Profile { agent_id: 1, batches_per_s: 1.0, solo_time_s: 2.0 }.encode();
-        for cut in 1..full.len() {
+        for cut in 2..full.len() {
             assert!(Message::decode(&full[..cut]).is_err());
         }
     }
 
     #[test]
-    fn unknown_tag_errors() {
-        assert!(matches!(Message::decode(&[99u8, 0, 0, 0]), Err(NetError::BadFrame(_))));
+    fn unknown_kind_is_strict_error_but_lenient_none() {
+        let mut raw = 999u16.to_le_bytes().to_vec();
+        raw.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(Message::decode(&raw), Err(NetError::BadFrame(_))));
+        assert_eq!(Message::decode_body(999, &[0, 0, 0, 0]).unwrap(), None);
     }
 
     #[test]
     fn lying_vector_length_errors() {
-        let mut raw = vec![6u8]; // SuffixParams
+        let mut raw = 6u16.to_le_bytes().to_vec(); // SuffixParams
         raw.extend_from_slice(&1000u32.to_le_bytes()); // claims 1000 floats
         raw.extend_from_slice(&1.0f32.to_le_bytes()); // provides one
+        assert!(Message::decode(&raw).is_err());
+    }
+
+    #[test]
+    fn lying_string_length_errors() {
+        let mut raw = 24u16.to_le_bytes().to_vec(); // FarmError
+        raw.extend_from_slice(&1000u32.to_le_bytes()); // claims 1000 bytes
+        raw.extend_from_slice(b"oops");
         assert!(Message::decode(&raw).is_err());
     }
 

@@ -5,9 +5,16 @@
 //! the *protocol* itself on a real substrate (blocking `std::net` TCP, one
 //! thread per peer):
 //!
-//! * [`Message`] / [`FramedStream`] — a compact length-prefixed binary wire
-//!   format for profile broadcasts, pairing handshakes, activation streaming
-//!   and model exchange.
+//! * [`Message`] / [`FramedStream`] — a compact, **versioned**
+//!   length-prefixed binary wire format ([`frame`]) for profile broadcasts,
+//!   pairing handshakes, activation streaming, model exchange and the sweep
+//!   farm's coordinator/worker/client request–response vocabulary. Peers
+//!   agree on a revision with [`FramedStream::handshake`]
+//!   ([`PROTOCOL_VERSION`]), and frames of unknown kind are skipped with a
+//!   warning instead of erroring, so adjacent builds interoperate.
+//! * [`serve`] / [`ServerHandle`] — a threaded accept loop handing each
+//!   connection to a session handler, with a shared stop flag for polite
+//!   drains (the farm coordinator's substrate).
 //! * [`ring_allreduce_tcp`] — the ring AllReduce executed across real
 //!   connections (reduce-scatter + all-gather, `2(K−1)` steps), matching the
 //!   in-memory implementation in `comdml-collective`. Each step's send runs
@@ -42,10 +49,14 @@
 
 mod allreduce;
 mod codec;
+pub mod frame;
 mod node;
 mod protocol;
+mod server;
 
 pub use allreduce::ring_allreduce_tcp;
-pub use codec::{FramedStream, Message, NetError};
+pub use codec::{FramedStream, Message};
+pub use frame::{NetError, PROTOCOL_VERSION};
 pub use node::{pairing_handshake, spawn_ring, Node, PairOutcome};
 pub use protocol::{FastSideSession, ProtocolError, SlowSideSession};
+pub use server::{serve, ServerHandle};

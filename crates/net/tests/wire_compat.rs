@@ -1,0 +1,141 @@
+//! Wire-protocol compatibility properties:
+//!
+//! * every message kind round-trips over a real TCP connection;
+//! * the version handshake negotiates the minimum revision both ways;
+//! * frames of unknown kind are **skipped with a warning**, not raised as
+//!   errors — a peer from an adjacent (newer) build that interleaves
+//!   future message kinds still interoperates.
+
+use std::net::{TcpListener, TcpStream};
+
+use comdml_net::frame::write_frame;
+use comdml_net::{FramedStream, Message, PROTOCOL_VERSION};
+
+fn raw_tcp_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::thread::spawn(move || TcpStream::connect(addr).unwrap());
+    let (server_sock, _) = listener.accept().unwrap();
+    (server_sock, client.join().unwrap())
+}
+
+fn tcp_pair() -> (FramedStream, FramedStream) {
+    let (s, c) = raw_tcp_pair();
+    (FramedStream::new(s), FramedStream::new(c))
+}
+
+fn farm_vocabulary() -> Vec<Message> {
+    vec![
+        Message::Version { proto: PROTOCOL_VERSION },
+        Message::SubmitSweep { spec_json: "{\"name\":\"smoke\"}".into() },
+        Message::SweepQueued { sweep_id: 1, total_jobs: 6 },
+        Message::StatusRequest { sweep_id: 1 },
+        Message::StatusReport {
+            sweep_id: 1,
+            total: 6,
+            done: 2,
+            in_flight: 2,
+            queued: 2,
+            requeued: 1,
+            workers: 2,
+            complete: false,
+            elapsed_s: 0.5,
+            eta_s: 1.0,
+        },
+        Message::FetchRequest { sweep_id: 1 },
+        Message::FetchReport {
+            sweep_id: 1,
+            complete: false,
+            spec_json: String::new(),
+            rows_json: String::new(),
+        },
+        Message::WorkerHello { name: "worker-a".into(), threads: 4 },
+        Message::WorkerWelcome { worker_id: 7 },
+        Message::WorkRequest { worker_id: 7 },
+        Message::WorkSlice {
+            sweep_id: 1,
+            slice_id: 3,
+            spec_json: "{\"name\":\"smoke\"}".into(),
+            indices: vec![1, 3, 5],
+        },
+        Message::NoWork { retry_ms: 100 },
+        Message::JobDone { sweep_id: 1, slice_id: 3, index: 5, row_json: "{\"seed\":5}".into() },
+        Message::SliceDone { sweep_id: 1, slice_id: 3 },
+        Message::Heartbeat { worker_id: 7 },
+        Message::FarmError { detail: "unknown sweep 9".into() },
+        Message::Shutdown,
+    ]
+}
+
+#[test]
+fn every_kind_round_trips_over_tcp() {
+    let (mut server, mut client) = tcp_pair();
+    let mut messages = farm_vocabulary();
+    messages.push(Message::Hello { agent_id: 1 });
+    messages.push(Message::ModelChunk { step: 0, data: vec![0.5; 8] });
+    let expected = messages.clone();
+    let sender = std::thread::spawn(move || {
+        for m in &messages {
+            client.send(m).unwrap();
+        }
+        client
+    });
+    for want in &expected {
+        assert_eq!(&server.recv().unwrap(), want);
+    }
+    sender.join().unwrap();
+}
+
+#[test]
+fn handshake_negotiates_symmetrically() {
+    let (mut server, mut client) = tcp_pair();
+    let t = std::thread::spawn(move || {
+        let negotiated = client.handshake().unwrap();
+        (negotiated, client.peer_version())
+    });
+    let negotiated = server.handshake().unwrap();
+    assert_eq!(negotiated, PROTOCOL_VERSION);
+    assert_eq!(server.peer_version(), Some(PROTOCOL_VERSION));
+    let (client_negotiated, client_peer) = t.join().unwrap();
+    assert_eq!(client_negotiated, PROTOCOL_VERSION);
+    assert_eq!(client_peer, Some(PROTOCOL_VERSION));
+}
+
+/// A "future build" sends a frame kind this build has never heard of,
+/// then a message it *does* know. `recv` must deliver the known message
+/// and count one skip — not error.
+#[test]
+fn unknown_kinds_are_skipped_not_fatal() {
+    let (server_sock, client_sock) = raw_tcp_pair();
+    let mut server = FramedStream::new(server_sock);
+    let t = std::thread::spawn(move || {
+        // Simulate a newer peer: an unknown kind with an arbitrary body,
+        // written straight to the socket as a well-formed frame...
+        let mut raw = client_sock;
+        write_frame(&mut raw, 0x7fff, &[1, 2, 3, 4, 5]).unwrap();
+        // ...then a perfectly ordinary known message.
+        let mut framed = FramedStream::new(raw);
+        framed.send(&Message::Heartbeat { worker_id: 3 }).unwrap();
+    });
+    assert_eq!(server.recv().unwrap(), Message::Heartbeat { worker_id: 3 });
+    assert_eq!(server.skipped_unknown(), 1);
+    t.join().unwrap();
+}
+
+/// A newer peer may even open with unknown frames *before* the version
+/// handshake; the handshake must still complete.
+#[test]
+fn handshake_survives_leading_unknown_frames() {
+    let (server_sock, client_sock) = raw_tcp_pair();
+    let mut server = FramedStream::new(server_sock);
+    let t = std::thread::spawn(move || {
+        let mut raw = client_sock;
+        write_frame(&mut raw, 2026, &[0xAB; 16]).unwrap();
+        write_frame(&mut raw, 2027, &[]).unwrap();
+        let mut framed = FramedStream::new(raw);
+        framed.handshake().unwrap()
+    });
+    assert_eq!(server.handshake().unwrap(), PROTOCOL_VERSION);
+    assert_eq!(server.skipped_unknown(), 2);
+    assert_eq!(t.join().unwrap(), PROTOCOL_VERSION);
+}
