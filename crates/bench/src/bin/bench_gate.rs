@@ -102,20 +102,24 @@ struct Matched {
     cur_wall_ms: f64,
     sim_drifted: Option<(f64, f64)>,
     events_moved: Option<(u64, u64)>,
+    /// Per-phase wall-clock attribution of the current run (empty when
+    /// the benchmark ran without observability). Context only — the gate
+    /// verdict stays on total wall clock.
+    cur_phases: Vec<(String, f64)>,
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("bench_gate: {e}");
+            comdml_obs::error!("bench_gate", "{e}");
             return ExitCode::FAILURE;
         }
     };
     let entries = match std::fs::read_dir(&args.baseline_dir) {
         Ok(rd) => rd,
         Err(e) => {
-            eprintln!("bench_gate: read_dir {}: {e}", args.baseline_dir.display());
+            comdml_obs::error!("bench_gate", "read_dir {}: {e}", args.baseline_dir.display());
             return ExitCode::FAILURE;
         }
     };
@@ -130,7 +134,11 @@ fn main() -> ExitCode {
         .collect();
     baselines.sort();
     if baselines.is_empty() {
-        eprintln!("bench_gate: no BENCH_*.json baselines in {}", args.baseline_dir.display());
+        comdml_obs::error!(
+            "bench_gate",
+            "no BENCH_*.json baselines in {}",
+            args.baseline_dir.display()
+        );
         return ExitCode::FAILURE;
     }
 
@@ -143,7 +151,7 @@ fn main() -> ExitCode {
         let base = match load(&base_path) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("bench_gate: {e}");
+                comdml_obs::error!("bench_gate", "{e}");
                 failed = true;
                 continue;
             }
@@ -152,14 +160,14 @@ fn main() -> ExitCode {
         let cur = match load(&cur_path) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("bench_gate: {e} (did the benchmark run?)");
+                comdml_obs::error!("bench_gate", "{e} (did the benchmark run?)");
                 failed = true;
                 continue;
             }
         };
         for be in &base.entries {
             let Some(ce) = cur.entries.iter().find(|c| c.mode == be.mode) else {
-                eprintln!("bench_gate: {} lost mode {:?}", cur_path.display(), be.mode);
+                comdml_obs::error!("bench_gate", "{} lost mode {:?}", cur_path.display(), be.mode);
                 failed = true;
                 continue;
             };
@@ -175,6 +183,7 @@ fn main() -> ExitCode {
                 .then_some((be.sim_total_s, ce.sim_total_s)),
                 events_moved: (same_rounds && ce.events_processed != be.events_processed)
                     .then_some((be.events_processed, ce.events_processed)),
+                cur_phases: ce.phases.clone(),
             });
         }
     }
@@ -240,9 +249,23 @@ fn main() -> ExitCode {
         if let Some((b, c)) = m.events_moved {
             println!("  note: {}::{} events {} -> {}", m.bench, m.mode, b, c);
         }
+        // Phase attribution, when the current run carried it: where the
+        // wall clock went, so a regression points at a subsystem instead
+        // of a total.
+        for (name, ms) in &m.cur_phases {
+            println!(
+                "  phase {:<22} {:>10.1} ms ({:>5.1}%)",
+                name,
+                ms,
+                100.0 * ms / m.cur_wall_ms.max(1e-9)
+            );
+        }
     }
     if failed {
-        eprintln!("\nbench_gate: FAILED (wall-clock regression beyond tolerance, or missing data)");
+        comdml_obs::error!(
+            "bench_gate",
+            "FAILED (wall-clock regression beyond tolerance, or missing data)"
+        );
         ExitCode::FAILURE
     } else {
         println!("\nbench_gate: ok");

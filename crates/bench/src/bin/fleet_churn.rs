@@ -54,9 +54,11 @@ fn config(mode: AggregationMode) -> ComDmlConfig {
 /// Runs one mode and returns (report digest bits, entry).
 fn run_mode(name: &str, mode: AggregationMode, agents: usize, rounds: usize) -> (u64, BenchEntry) {
     let mut sim = FleetSim::new(fleet(agents), config(mode));
+    comdml_obs::metrics().reset();
     let start = Instant::now();
     let report = sim.run(rounds);
     let wall = start.elapsed();
+    let phases = comdml_obs::metrics().snapshot().phase_totals();
     // Order-sensitive digest over the quantities that must reproduce.
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     for v in [
@@ -90,11 +92,16 @@ fn run_mode(name: &str, mode: AggregationMode, agents: usize, rounds: usize) -> 
             peak_agents: report.peak_agents,
             sim_total_s: report.total_sim_s,
             rounds,
+            phases,
         },
     )
 }
 
 fn main() {
+    // Phase attribution for the bench record; spans observe the run and
+    // never touch its RNG or event order, so the determinism gate below
+    // still holds bit for bit.
+    comdml_obs::set_metrics_enabled(true);
     println!("fleet_churn: {AGENTS} agents, Poisson churn, coarse granularity\n");
 
     // Determinism gate: two same-seed runs of a shorter prefix must agree
@@ -159,11 +166,12 @@ fn main() {
             peak_agents: driver.peak_active(),
             sim_total_s: sim_total,
             rounds,
+            phases: Vec::new(),
         });
     }
 
     match record.write_default() {
         Ok(path) => println!("\nbench record written to {}", path.display()),
-        Err(e) => eprintln!("\nfailed to write bench record: {e}"),
+        Err(e) => comdml_obs::error!("fleet_churn", "failed to write bench record: {e}"),
     }
 }

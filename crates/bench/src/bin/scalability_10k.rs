@@ -27,6 +27,9 @@ const AGENTS: usize = 10_000;
 const ROUNDS: usize = 100;
 
 fn main() {
+    // Phase attribution for the bench record (pairing vs. event loop vs.
+    // aggregation); spans only observe, so sim totals stay bit-identical.
+    comdml_obs::set_metrics_enabled(true);
     // 500 samples per agent keeps per-round work realistic (5 batches per
     // agent) without the dataset itself dominating setup time.
     let world =
@@ -59,6 +62,7 @@ fn main() {
             ..ComDmlConfig::default()
         });
         let mut w = world.clone();
+        comdml_obs::metrics().reset();
         let start = Instant::now();
         let mut sim_total = 0.0;
         let mut offloads = 0usize;
@@ -70,6 +74,7 @@ fn main() {
             events += engine.last_report().map_or(0, |rep| rep.events_processed);
         }
         let wall = start.elapsed().as_secs_f64();
+        let phases = comdml_obs::metrics().snapshot().phase_totals();
         println!(
             "{name:<14} {ROUNDS} rounds of {AGENTS} agents: sim {sim_total:>12.1}s, \
              {:.0} offloads/round, wall clock {wall:.2}s",
@@ -90,15 +95,16 @@ fn main() {
             peak_agents: AGENTS,
             sim_total_s: sim_total,
             rounds: ROUNDS,
+            phases,
         });
     }
 
     match report.write_default() {
         Ok(path) => println!("\nreport written to {}", path.display()),
-        Err(e) => eprintln!("\nfailed to write report: {e}"),
+        Err(e) => comdml_obs::error!("scalability_10k", "failed to write report: {e}"),
     }
     match record.write_default() {
         Ok(path) => println!("bench record written to {}", path.display()),
-        Err(e) => eprintln!("failed to write bench record: {e}"),
+        Err(e) => comdml_obs::error!("scalability_10k", "failed to write bench record: {e}"),
     }
 }

@@ -64,7 +64,7 @@ fn main() {
         report.row(&csv);
     }
     if let Ok(path) = report.write_default() {
-        eprintln!("(csv written to {})", path.display());
+        comdml_obs::info!("table2_baselines", "csv written to {}", path.display());
     }
 
     // Headline claim: reduction vs FedAvg and BrainTorrent on CIFAR-10 IID.

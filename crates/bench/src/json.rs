@@ -1,19 +1,18 @@
-//! Machine-readable benchmark records (`BENCH_*.json`) and a small generic
-//! JSON value model ([`Value`]).
+//! Machine-readable benchmark records (`BENCH_*.json`).
 //!
 //! The CI perf-regression gate compares a freshly produced record against a
 //! baseline committed under `ci/bench-baselines/`, so the format must be
 //! writable *and* parseable without a JSON dependency (the build runs
 //! offline). The schema is deliberately flat: one record per benchmark
-//! binary, one entry per measured configuration, numbers only.
+//! binary, one entry per measured configuration, numbers only — plus an
+//! optional nested `phases` object per entry attributing the wall time to
+//! the `comdml-obs` phase spans that produced it, so `bench_gate` can say
+//! *which phase* regressed rather than just that the binary did.
 //!
-//! [`Value`] is the structural companion: a recursive-descent parser and
-//! deterministic writer for full JSON documents (objects keep insertion
-//! order), used by the `comdml-exp` scenario-spec files, sweep reports and
-//! sharded *partial* reports. Numbers render in Rust's shortest
-//! round-trip representation, so `parse ∘ render` preserves every `f64`
-//! bit-exactly — the property that lets `sweep_merge` reassemble partial
-//! reports into a document byte-identical to a single-process run.
+//! The generic JSON value model this format parses with — [`Value`] — now
+//! lives in [`comdml_obs::json`] (the bottom of the dependency graph, so
+//! the trace sink can share the same exact-float writer); it is
+//! re-exported here, so `comdml_bench::Value` remains a valid path.
 //!
 //! # Example
 //!
@@ -28,6 +27,7 @@
 //!     peak_agents: 10_100,
 //!     sim_total_s: 9.9,
 //!     rounds: 1_000,
+//!     phases: vec![("fleet.pairing".into(), 321.0), ("fleet.round".into(), 900.5)],
 //! });
 //! let json = rec.to_json();
 //! let back = BenchRecord::parse(&json).unwrap();
@@ -36,6 +36,8 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+
+pub use comdml_obs::Value;
 
 /// One measured configuration (typically an aggregation mode).
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +54,11 @@ pub struct BenchEntry {
     pub sim_total_s: f64,
     /// Rounds simulated in this configuration.
     pub rounds: usize,
+    /// Per-phase wall milliseconds (`MetricsSnapshot::phase_totals`),
+    /// attributing `wall_ms` to named spans. Empty when the producing bin
+    /// ran without observability — the field is then omitted from the
+    /// JSON, so pre-phase baselines parse and render unchanged.
+    pub phases: Vec<(String, f64)>,
 }
 
 /// A benchmark run: identity plus one [`BenchEntry`] per configuration.
@@ -94,46 +101,43 @@ impl BenchRecord {
             out.push_str(&format!("\"peak_agents\": {}, ", e.peak_agents));
             out.push_str(&format!("\"sim_total_s\": {:.3}, ", e.sim_total_s));
             out.push_str(&format!("\"rounds\": {}", e.rounds));
+            if !e.phases.is_empty() {
+                out.push_str(", \"phases\": {");
+                for (j, (name, ms)) in e.phases.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\": {ms:.3}", escape(name)));
+                }
+                out.push('}');
+            }
             out.push_str(if i + 1 < self.entries.len() { "},\n" } else { "}\n" });
         }
         out.push_str("  ]\n}\n");
         out
     }
 
-    /// Parses a record previously produced by [`BenchRecord::to_json`].
-    ///
-    /// The parser is a minimal scanner for this module's own output plus
-    /// whitespace variations — not a general JSON parser.
+    /// Parses a record previously produced by [`BenchRecord::to_json`]
+    /// (any JSON formatting of the same document is accepted — the parser
+    /// is the full [`Value`] model, which is what lets entries nest a
+    /// `phases` object). Entries without `phases` parse as empty, so
+    /// pre-phase baselines stay readable.
     ///
     /// # Errors
     ///
     /// Returns a description of the first missing or malformed field.
     pub fn parse(s: &str) -> Result<Self, String> {
-        let bench = find_string(s, "bench").ok_or("missing \"bench\"")?;
-        let agents = find_number(s, "agents").ok_or("missing \"agents\"")? as usize;
-        // The top-level "rounds" is the first occurrence; per-entry rounds
-        // are parsed inside each braces group below.
-        let rounds = find_number(s, "rounds").ok_or("missing \"rounds\"")? as usize;
-        let list_start = s.find("\"entries\"").ok_or("missing \"entries\"")?;
-        let mut entries = Vec::new();
-        let mut rest = &s[list_start..];
-        while let Some(open) = rest.find('{') {
-            let close = rest[open..].find('}').ok_or("unbalanced entry braces")? + open;
-            let obj = &rest[open..=close];
-            entries.push(BenchEntry {
-                mode: find_string(obj, "mode").ok_or("entry missing \"mode\"")?,
-                wall_ms: find_number(obj, "wall_ms").ok_or("entry missing \"wall_ms\"")?,
-                events_processed: find_number(obj, "events_processed")
-                    .ok_or("entry missing \"events_processed\"")?
-                    as u64,
-                peak_agents: find_number(obj, "peak_agents")
-                    .ok_or("entry missing \"peak_agents\"")? as usize,
-                sim_total_s: find_number(obj, "sim_total_s")
-                    .ok_or("entry missing \"sim_total_s\"")?,
-                rounds: find_number(obj, "rounds").ok_or("entry missing \"rounds\"")? as usize,
-            });
-            rest = &rest[close + 1..];
-        }
+        let v = Value::parse(s).map_err(|e| format!("bench record: {e}"))?;
+        let bench = v.get("bench").and_then(Value::as_str).ok_or("missing \"bench\"")?.to_string();
+        let agents = v.get("agents").and_then(Value::as_usize).ok_or("missing \"agents\"")?;
+        let rounds = v.get("rounds").and_then(Value::as_usize).ok_or("missing \"rounds\"")?;
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or("missing \"entries\"")?
+            .iter()
+            .map(parse_entry)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { bench, agents, rounds, entries })
     }
 
@@ -160,405 +164,35 @@ impl BenchRecord {
     }
 }
 
-/// A JSON document: the dependency-free value model behind the scenario
-/// spec files. Objects preserve insertion order, so `parse` → `render` is
-/// deterministic and round-trips byte for byte (modulo whitespace).
-///
-/// # Example
-///
-/// ```
-/// use comdml_bench::Value;
-///
-/// let v = Value::parse(r#"{"name": "smoke", "seeds": [1, 2, 3]}"#).unwrap();
-/// assert_eq!(v.get("name").and_then(Value::as_str), Some("smoke"));
-/// assert_eq!(v.get("seeds").and_then(Value::as_array).map(|a| a.len()), Some(3));
-/// let again = Value::parse(&v.render()).unwrap();
-/// assert_eq!(again, v);
-/// ```
-#[derive(Debug, Clone, PartialEq)]
-pub enum Value {
-    /// JSON `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (always carried as `f64`).
-    Num(f64),
-    /// A string (unescaped).
-    Str(String),
-    /// An array.
-    Arr(Vec<Value>),
-    /// An object as ordered key/value pairs.
-    Obj(Vec<(String, Value)>),
-}
-
-impl Value {
-    /// Parses a JSON document (objects, arrays, strings with the common
-    /// escapes, numbers, booleans, null). Trailing content after the first
-    /// value is an error.
-    ///
-    /// # Errors
-    ///
-    /// Returns a byte offset and description of the first syntax error.
-    pub fn parse(s: &str) -> Result<Self, String> {
-        let bytes = s.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing content at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    /// Renders the value as pretty-printed JSON (two-space indent, `\n`
-    /// newlines) — deterministic, so spec files and sweep reports are
-    /// byte-comparable across runs.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn render_into(&self, out: &mut String, indent: usize) {
-        let pad = |n: usize| "  ".repeat(n);
-        match self {
-            Value::Null => out.push_str("null"),
-            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Value::Num(n) => out.push_str(&render_number(*n)),
-            Value::Str(s) => {
-                out.push('"');
-                out.push_str(&escape_json(s));
-                out.push('"');
-            }
-            Value::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(&pad(indent + 1));
-                    item.render_into(out, indent + 1);
-                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&pad(indent));
-                out.push(']');
-            }
-            Value::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    out.push_str(&pad(indent + 1));
-                    out.push('"');
-                    out.push_str(&escape_json(k));
-                    out.push_str("\": ");
-                    v.render_into(out, indent + 1);
-                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&pad(indent));
-                out.push('}');
-            }
-        }
-    }
-
-    /// Looks up a key in an object (`None` for other variants).
-    pub fn get(&self, key: &str) -> Option<&Value> {
-        match self {
-            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The number, if this is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Value::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The number as usize, if this is a non-negative integral number.
-    pub fn as_usize(&self) -> Option<usize> {
-        match self {
-            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
-                Some(*n as usize)
-            }
-            _ => None,
-        }
-    }
-
-    /// The number as u64, if this is a non-negative integral number.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
-            _ => None,
-        }
-    }
-
-    /// The string, if this is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The boolean, if this is one.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Value::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The items, if this is an array.
-    pub fn as_array(&self) -> Option<&[Value]> {
-        match self {
-            Value::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// The fields, if this is an object.
-    pub fn as_object(&self) -> Option<&[(String, Value)]> {
-        match self {
-            Value::Obj(fields) => Some(fields),
-            _ => None,
-        }
-    }
-}
-
-/// Renders an `f64` so that integers look like integers and everything
-/// round-trips through Rust's shortest-representation float printing.
-fn render_number(n: f64) -> String {
-    if n.fract() == 0.0 && n.abs() < 9.0e15 {
-        format!("{}", n as i64)
-    } else {
-        format!("{n}")
-    }
-}
-
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
-        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
-        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
-        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
-        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
-        Some(_) => parse_number(b, pos),
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(v)
-    } else {
-        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
-    }
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-    let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-        *pos += 1;
-    }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(Value::Num)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    debug_assert_eq!(b[*pos], b'"');
-    *pos += 1;
-    let mut out = String::new();
-    // Work on char boundaries: collect raw bytes then decode escapes.
-    let s = std::str::from_utf8(&b[*pos..]).map_err(|e| format!("invalid utf-8: {e}"))?;
-    let mut chars = s.char_indices();
-    while let Some((i, c)) = chars.next() {
-        match c {
-            '"' => {
-                *pos += i + 1;
-                return Ok(out);
-            }
-            '\\' => match chars.next() {
-                Some((_, '"')) => out.push('"'),
-                Some((_, '\\')) => out.push('\\'),
-                Some((_, '/')) => out.push('/'),
-                Some((_, 'n')) => out.push('\n'),
-                Some((_, 't')) => out.push('\t'),
-                Some((_, 'r')) => out.push('\r'),
-                Some((_, 'b')) => out.push('\u{8}'),
-                Some((_, 'f')) => out.push('\u{c}'),
-                Some((j, 'u')) => {
-                    let hex = s.get(j + 1..j + 5).ok_or("truncated \\u escape")?;
-                    let code = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
-                    // Consume the four hex digits.
-                    for _ in 0..4 {
-                        chars.next();
-                    }
-                    if (0xd800..=0xdbff).contains(&code) {
-                        // High surrogate: a \uXXXX low surrogate must
-                        // follow; the pair decodes to one supplementary
-                        // character (JSON strings are UTF-16-escaped).
-                        if s.get(j + 5..j + 7) != Some("\\u") {
-                            return Err("unpaired high surrogate in \\u escape".into());
-                        }
-                        let lo_hex = s.get(j + 7..j + 11).ok_or("truncated \\u escape")?;
-                        let lo =
-                            u32::from_str_radix(lo_hex, 16).map_err(|_| "invalid \\u escape")?;
-                        if !(0xdc00..=0xdfff).contains(&lo) {
-                            return Err("unpaired high surrogate in \\u escape".into());
-                        }
-                        let combined = 0x10000 + ((code - 0xd800) << 10) + (lo - 0xdc00);
-                        out.push(char::from_u32(combined).ok_or("invalid surrogate pair")?);
-                        // Consume the `\uXXXX` of the low surrogate.
-                        for _ in 0..6 {
-                            chars.next();
-                        }
-                    } else if (0xdc00..=0xdfff).contains(&code) {
-                        return Err("unpaired low surrogate in \\u escape".into());
-                    } else {
-                        out.push(char::from_u32(code).expect("non-surrogate BMP code point"));
-                    }
-                }
-                other => return Err(format!("unsupported escape {:?}", other.map(|(_, c)| c))),
-            },
-            c => out.push(c),
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-    debug_assert_eq!(b[*pos], b'[');
-    *pos += 1;
-    let mut items = Vec::new();
-    loop {
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        items.push(parse_value(b, pos)?);
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {}
-            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
-        }
-    }
-}
-
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-    debug_assert_eq!(b[*pos], b'{');
-    *pos += 1;
-    let mut fields = Vec::new();
-    loop {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            Some(b'"') => {}
-            _ => return Err(format!("expected key or `}}` at byte {pos}", pos = *pos)),
-        }
-        let key = parse_string(b, pos)?;
-        skip_ws(b, pos);
-        if b.get(*pos) != Some(&b':') {
-            return Err(format!("expected `:` at byte {pos}", pos = *pos));
-        }
-        *pos += 1;
-        fields.push((key, parse_value(b, pos)?));
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {}
-            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
-        }
-    }
+fn parse_entry(e: &Value) -> Result<BenchEntry, String> {
+    let num =
+        |k: &str| e.get(k).and_then(Value::as_f64).ok_or_else(|| format!("entry missing {k:?}"));
+    let phases = match e.get("phases") {
+        None => Vec::new(),
+        Some(p) => p
+            .as_object()
+            .ok_or("entry \"phases\" must be an object")?
+            .iter()
+            .map(|(name, ms)| {
+                ms.as_f64()
+                    .map(|ms| (name.clone(), ms))
+                    .ok_or_else(|| format!("phase {name:?} must be a number"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(BenchEntry {
+        mode: e.get("mode").and_then(Value::as_str).ok_or("entry missing \"mode\"")?.to_string(),
+        wall_ms: num("wall_ms")?,
+        events_processed: num("events_processed")? as u64,
+        peak_agents: num("peak_agents")? as usize,
+        sim_total_s: num("sim_total_s")?,
+        rounds: num("rounds")? as usize,
+        phases,
+    })
 }
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Finds `"key": "value"` and returns the unescaped value, honouring the
-/// backslash escapes [`escape`] emits (`\"` and `\\`).
-fn find_string(s: &str, k: &str) -> Option<String> {
-    let rest = after_key(s, k)?;
-    let rest = rest.strip_prefix('"')?;
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                '"' => out.push('"'),
-                '\\' => out.push('\\'),
-                other => {
-                    out.push('\\');
-                    out.push(other);
-                }
-            },
-            other => out.push(other),
-        }
-    }
-    None // unterminated string
-}
-
-/// Finds `"key": <number>` and parses the number.
-fn find_number(s: &str, k: &str) -> Option<f64> {
-    let rest = after_key(s, k)?;
-    let end = rest
-        .char_indices()
-        .find(|&(_, c)| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .map(|(i, _)| i)
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Returns the slice just past `"key":` and any whitespace.
-fn after_key<'a>(s: &'a str, k: &str) -> Option<&'a str> {
-    let pat = format!("\"{k}\"");
-    let at = s.find(&pat)? + pat.len();
-    let rest = s[at..].trim_start();
-    let rest = rest.strip_prefix(':')?;
-    Some(rest.trim_start())
 }
 
 #[cfg(test)]
@@ -574,6 +208,7 @@ mod tests {
             peak_agents: 105,
             sim_total_s: 345.678,
             rounds: 10,
+            phases: Vec::new(),
         });
         r.push(BenchEntry {
             mode: "asynchronous".into(),
@@ -582,6 +217,7 @@ mod tests {
             peak_agents: 101,
             sim_total_s: 2.0,
             rounds: 10,
+            phases: Vec::new(),
         });
         r
     }
@@ -590,6 +226,26 @@ mod tests {
     fn json_round_trips() {
         let r = sample();
         assert_eq!(BenchRecord::parse(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn phases_round_trip_and_stay_out_of_phaseless_output() {
+        let mut r = BenchRecord::new("phased", 10, 2);
+        r.push(BenchEntry {
+            mode: "semi_sync".into(),
+            wall_ms: 100.0,
+            events_processed: 5,
+            peak_agents: 10,
+            sim_total_s: 1.5,
+            rounds: 2,
+            phases: vec![("fleet.pairing".into(), 12.25), ("fleet.round".into(), 80.5)],
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"phases\": {\"fleet.pairing\": 12.250, \"fleet.round\": 80.500}"));
+        assert_eq!(BenchRecord::parse(&json).unwrap(), r);
+        // Phaseless entries keep the exact pre-phase line format.
+        let plain = sample().to_json();
+        assert!(!plain.contains("phases"));
     }
 
     #[test]
@@ -603,6 +259,7 @@ mod tests {
         assert_eq!(r.entries.len(), 1);
         assert_eq!(r.entries[0].events_processed, 7);
         assert_eq!(r.entries[0].wall_ms, 1.5);
+        assert!(r.entries[0].phases.is_empty());
     }
 
     #[test]
@@ -628,101 +285,6 @@ mod tests {
     }
 
     #[test]
-    fn value_parses_nested_documents() {
-        let v = Value::parse(
-            r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\"y\\z\nw"}"#,
-        )
-        .unwrap();
-        let a = v.get("a").and_then(Value::as_array).unwrap();
-        assert_eq!(a[0].as_f64(), Some(1.0));
-        assert_eq!(a[1].as_f64(), Some(2.5));
-        assert_eq!(a[2].as_f64(), Some(-300.0));
-        assert_eq!(v.get("b").and_then(|b| b.get("c")).and_then(Value::as_bool), Some(true));
-        assert_eq!(v.get("b").and_then(|b| b.get("d")), Some(&Value::Null));
-        assert_eq!(v.get("e").and_then(Value::as_str), Some("x\"y\\z\nw"));
-    }
-
-    #[test]
-    fn value_render_round_trips() {
-        let src = r#"{"name":"sweep","n":[0,1,{"k":[]},{}],"f":0.125,"neg":-7,"u":"é"}"#;
-        let v = Value::parse(src).unwrap();
-        let rendered = v.render();
-        let again = Value::parse(&rendered).unwrap();
-        assert_eq!(again, v);
-        // Deterministic: rendering twice is byte-identical.
-        assert_eq!(v.render(), rendered);
-    }
-
-    #[test]
-    fn value_rejects_malformed_input() {
-        for bad in ["{", "[1,", "\"unterminated", "{\"k\" 1}", "12 34", "{'k': 1}", ""] {
-            assert!(Value::parse(bad).is_err(), "{bad:?} should not parse");
-        }
-    }
-
-    #[test]
-    fn value_decodes_unicode_escapes_and_surrogate_pairs() {
-        // Raw UTF-8 passes through; \u BMP escapes decode; a surrogate
-        // pair (ASCII-only writers escape non-BMP this way) combines into
-        // one character.
-        assert_eq!(Value::parse(r#""café 🚀""#).unwrap().as_str(), Some("café 🚀"));
-        assert_eq!(Value::parse("\"\\u00e9 x\"").unwrap().as_str(), Some("é x"));
-        assert_eq!(Value::parse("\"\\ud83d\\ude80\"").unwrap().as_str(), Some("🚀"));
-        for bad in [r#""\ud83d""#, r#""\ud83d x""#, r#""\ud83dA""#, r#""\ude80""#] {
-            assert!(Value::parse(bad).is_err(), "{bad} must reject unpaired surrogates");
-        }
-    }
-
-    #[test]
-    fn value_integer_rendering_is_exact() {
-        let v = Value::Arr(vec![Value::Num(1e15), Value::Num(0.1), Value::Num(-0.0)]);
-        let s = v.render();
-        assert!(s.contains("1000000000000000"), "{s}");
-        assert!(s.contains("0.1"), "{s}");
-        assert_eq!(Value::parse(&s).unwrap(), v);
-    }
-
-    #[test]
-    fn value_float_round_trip_is_bit_exact() {
-        // The shard-merge byte-identity contract: any finite f64 that a
-        // report can carry must survive render ∘ parse with the same bits.
-        // Shortest round-trip float printing guarantees it; pin a spread
-        // of awkward values (non-terminating binary fractions, extremes of
-        // the integer-rendered range, subnormals, huge magnitudes).
-        let values = [
-            0.1 + 0.2,
-            1.0 / 3.0,
-            2.0f64.powi(-1074), // smallest subnormal
-            f64::MIN_POSITIVE,
-            1e300,
-            -123456.78901234567,
-            8.9e15, // just inside the integer-rendered range
-            9.1e15, // just outside it
-            0.0,
-            -0.0,
-        ];
-        for &v in &values {
-            let rendered = Value::Num(v).render();
-            let back = Value::parse(&rendered).unwrap();
-            let b = back.as_f64().unwrap();
-            assert!(
-                b == v || (b == 0.0 && v == 0.0),
-                "{v:?} rendered as {rendered:?} parsed back as {b:?}"
-            );
-            // And a second render is byte-identical to the first.
-            assert_eq!(back.render(), rendered);
-        }
-    }
-
-    #[test]
-    fn value_as_usize_guards_fractions_and_sign() {
-        assert_eq!(Value::Num(5.0).as_usize(), Some(5));
-        assert_eq!(Value::Num(5.5).as_usize(), None);
-        assert_eq!(Value::Num(-1.0).as_usize(), None);
-        assert_eq!(Value::Str("5".into()).as_usize(), None);
-    }
-
-    #[test]
     fn names_with_quotes_and_backslashes_round_trip() {
         let mut r = BenchRecord::new("we\"ird\\name", 1, 1);
         r.push(BenchEntry {
@@ -732,6 +294,7 @@ mod tests {
             peak_agents: 1,
             sim_total_s: 1.0,
             rounds: 1,
+            phases: Vec::new(),
         });
         assert_eq!(BenchRecord::parse(&r.to_json()).unwrap(), r);
     }

@@ -276,7 +276,10 @@ impl ComDml {
     pub fn run_round_with(&mut self, world: &World, participants: &[AgentId]) -> RoundOutcome {
         let estimator =
             TrainingTimeEstimator::new(&self.config.model, &self.profile, &self.config.calibration);
+        let pairing_timer = comdml_obs::phase("comdml.pairing");
         let pairings = self.scheduler.pair(world, participants, &estimator);
+        drop(pairing_timer);
+        let round_timer = comdml_obs::phase("comdml.round");
         let report = EventRound::new(
             world,
             &pairings,
@@ -288,6 +291,7 @@ impl ComDml {
         .granularity(self.config.granularity)
         .ready_at(std::mem::take(&mut self.ready_at))
         .run();
+        drop(round_timer);
         self.ready_at = report
             .spill_s
             .iter()

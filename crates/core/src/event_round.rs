@@ -556,6 +556,12 @@ impl<'a> EventRound<'a> {
             _ => expected_agents,
         };
 
+        // Wall-clock the event loop only when observability is on: with it
+        // off, no `Instant::now` runs on this hot path (the zero-overhead
+        // contract `scalability_10k` pins).
+        let loop_start =
+            if comdml_obs::metrics_enabled() { Some(std::time::Instant::now()) } else { None };
+
         while let Some((now, event)) = driver.next() {
             match event {
                 SimEvent::BatchProduced { pair, batch } => {
@@ -790,6 +796,18 @@ impl<'a> EventRound<'a> {
                 }
             }
         }
+
+        if let Some(start) = loop_start {
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            comdml_obs::observe_ms("round.events", ms);
+            if ms > 0.0 {
+                comdml_obs::gauge_set(
+                    "simnet.events_per_s",
+                    driver.events_processed() as f64 / (ms / 1e3),
+                );
+            }
+        }
+        driver.publish_metrics();
 
         self.finish(
             driver,

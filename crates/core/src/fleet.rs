@@ -231,7 +231,9 @@ impl FleetSim {
 
         let estimator =
             TrainingTimeEstimator::new(&self.config.model, &self.profile, &self.config.calibration);
+        let pairing_timer = comdml_obs::phase("fleet.pairing");
         let pairings = self.scheduler.pair(self.fleet.world(), &participants, &estimator);
+        drop(pairing_timer);
         let disruptions: Vec<Disruption> = plan
             .events
             .iter()
@@ -253,6 +255,7 @@ impl FleetSim {
         let joins = plan.events.iter().filter(|e| e.kind == MembershipChange::Join).count();
         let leaves = disruptions.len() - joins;
 
+        let round_timer = comdml_obs::phase("fleet.round");
         let report = EventRound::new(
             self.fleet.world(),
             &pairings,
@@ -265,6 +268,7 @@ impl FleetSim {
         .disruptions(disruptions)
         .ready_at(round_carry)
         .run();
+        drop(round_timer);
 
         let mut round_s = report.round_end_s.max(0.0);
         let efficiency = report.efficiency(self.config.staleness_decay);
@@ -303,6 +307,20 @@ impl FleetSim {
         self.total_sim_s += round_s;
         self.effective_rounds += efficiency;
         self.events_processed += report.events_processed;
+        comdml_obs::counter_add("fleet.repairs", report.repairs as u64);
+        if comdml_obs::trace_enabled() {
+            comdml_obs::trace_event(
+                "round",
+                vec![
+                    ("round", comdml_obs::Value::Num(round as f64)),
+                    ("participants", comdml_obs::Value::Num(participants.len() as f64)),
+                    ("round_s", comdml_obs::Value::Num(round_s)),
+                    ("efficiency", comdml_obs::Value::Num(efficiency)),
+                    ("repairs", comdml_obs::Value::Num(report.repairs as f64)),
+                    ("events", comdml_obs::Value::Num(report.events_processed as f64)),
+                ],
+            );
+        }
         FleetRoundSummary {
             round,
             participants: plan.participants.len(),

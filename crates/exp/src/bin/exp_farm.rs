@@ -96,6 +96,12 @@ fn run() -> Result<(), String> {
                 &[cli::ADDR, SLICE, TIMEOUT_S, cli::QUIET],
                 argv,
             )?;
+            // The coordinator's event log is the whole point of running it
+            // in a terminal: default to `info` unless the operator chose a
+            // filter (COMDML_LOG) or asked for quiet.
+            if !args.has("quiet") && std::env::var("COMDML_LOG").is_err() {
+                comdml_obs::set_log_filter("info");
+            }
             let mut cfg = FarmConfig { quiet: args.has("quiet"), ..FarmConfig::default() };
             if let Some(n) = args.parsed::<usize>("slice")? {
                 cfg.slice_size = n.max(1);
@@ -181,6 +187,24 @@ fn run() -> Result<(), String> {
                 s.elapsed_s,
                 if s.complete { " — complete" } else { "" }
             );
+            println!(
+                "slices requeued {} (reaper timeouts {}), unknown frames skipped {}",
+                s.requeued_slices, s.timed_out_slices, s.skipped_unknown
+            );
+            for w in &s.worker_rows {
+                println!(
+                    "  worker {} ({}): {} jobs / {} slices, {:.2} jobs/s, \
+                     slice p50 {:.1}ms p90 {:.1}ms, skipped {}",
+                    w.worker_id,
+                    w.name,
+                    w.jobs_done,
+                    w.slices_done,
+                    w.jobs_per_s,
+                    w.slice_p50_ms,
+                    w.slice_p90_ms,
+                    w.skipped_unknown
+                );
+            }
             Ok(())
         }
         "fetch" => {
@@ -211,7 +235,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("exp_farm: {e}");
+            comdml_obs::error!("exp_farm", "{e}");
             ExitCode::FAILURE
         }
     }

@@ -91,7 +91,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("exp_sweep: {e}");
+            comdml_obs::error!("exp_sweep", "{e}");
             ExitCode::FAILURE
         }
     }

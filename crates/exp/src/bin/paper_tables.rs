@@ -71,7 +71,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("paper_tables: {e}");
+            comdml_obs::error!("paper_tables", "{e}");
             ExitCode::FAILURE
         }
     }

@@ -54,7 +54,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("sweep_merge: {e}");
+            comdml_obs::error!("sweep_merge", "{e}");
             ExitCode::FAILURE
         }
     }

@@ -36,13 +36,14 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use comdml_bench::Value;
-use comdml_net::{serve, FramedStream, Message, ServerHandle};
+use comdml_net::{serve, FramedStream, Message, ServerHandle, WorkerRow, PROTOCOL_VERSION};
+use comdml_obs::Histogram;
 
 use crate::{JobResult, JobSource, JobSpec, SweepReport, SweepRunner, SweepSpec};
 
@@ -100,6 +101,11 @@ struct SweepState {
     in_flight: HashMap<u64, SliceInfo>,
     /// Jobs handed out more than once (requeued after a death/timeout).
     requeued: usize,
+    /// Slices re-queued (each may cover several jobs); the slice-granular
+    /// twin of `requeued`.
+    requeued_slices: u64,
+    /// Slices re-queued specifically by the heartbeat reaper.
+    timed_out_slices: u64,
     submitted: Instant,
     /// Elapsed seconds frozen at the moment the last slot filled.
     finished_in_s: Option<f64>,
@@ -121,9 +127,39 @@ impl SweepState {
         let n = unfinished.len();
         if n > 0 {
             self.requeued += n;
+            self.requeued_slices += 1;
+            comdml_obs::counter_add("farm.slices_requeued", 1);
             self.queue.push_front(unfinished);
         }
         n
+    }
+}
+
+/// The coordinator's live view of one connected worker: identity plus the
+/// latest telemetry snapshot it piggybacked on a heartbeat or slice
+/// completion ([`Message::WorkerMetrics`], protocol ≥ 2 — workers from a
+/// protocol-1 build simply never update the zeros).
+#[derive(Debug)]
+struct WorkerStats {
+    name: String,
+    first_seen: Instant,
+    jobs_done: u64,
+    slices_done: u64,
+    slice_p50_ms: f64,
+    slice_p90_ms: f64,
+    skipped_unknown: u64,
+}
+
+/// Linear completion estimate from realized pace: `0` once complete, `-1`
+/// (unknown) before the first job lands, otherwise
+/// `elapsed / done * remaining`.
+pub fn eta_seconds(done: u64, total: u64, elapsed_s: f64, complete: bool) -> f64 {
+    if complete {
+        0.0
+    } else if done == 0 {
+        -1.0 // unknown yet
+    } else {
+        elapsed_s / done as f64 * total.saturating_sub(done) as f64
     }
 }
 
@@ -134,7 +170,10 @@ impl SweepState {
 struct FarmState {
     cfg: FarmConfig,
     sweeps: BTreeMap<u64, SweepState>,
-    workers: HashMap<u64, String>,
+    workers: HashMap<u64, WorkerStats>,
+    /// Unknown-kind frames skipped across every coordinator session
+    /// (deltas folded in by the session loops).
+    skipped_unknown: u64,
     next_sweep_id: u64,
     next_slice_id: u64,
     next_worker_id: u64,
@@ -146,6 +185,7 @@ impl FarmState {
             cfg,
             sweeps: BTreeMap::new(),
             workers: HashMap::new(),
+            skipped_unknown: 0,
             next_sweep_id: 1,
             next_slice_id: 1,
             next_worker_id: 1,
@@ -154,7 +194,7 @@ impl FarmState {
 
     fn log(&self, msg: std::fmt::Arguments<'_>) {
         if !self.cfg.quiet {
-            eprintln!("farm: {msg}");
+            comdml_obs::info!("comdml_exp::farm", "{msg}");
         }
     }
 
@@ -188,6 +228,8 @@ impl FarmState {
                 queue,
                 in_flight: HashMap::new(),
                 requeued: 0,
+                requeued_slices: 0,
+                timed_out_slices: 0,
                 submitted: Instant::now(),
                 finished_in_s: None,
             },
@@ -198,9 +240,44 @@ impl FarmState {
     fn register_worker(&mut self, name: &str, threads: u32) -> u64 {
         let id = self.next_worker_id;
         self.next_worker_id += 1;
-        self.workers.insert(id, name.to_string());
+        self.workers.insert(
+            id,
+            WorkerStats {
+                name: name.to_string(),
+                first_seen: Instant::now(),
+                jobs_done: 0,
+                slices_done: 0,
+                slice_p50_ms: 0.0,
+                slice_p90_ms: 0.0,
+                skipped_unknown: 0,
+            },
+        );
         self.log(format_args!("worker {id} ({name}) joined with {threads} threads"));
         id
+    }
+
+    /// Folds a worker's piggybacked telemetry snapshot, which also counts
+    /// as a sign of life for every slice it holds.
+    fn worker_metrics(&mut self, msg: &Message) {
+        let Message::WorkerMetrics {
+            worker_id,
+            jobs_done,
+            slices_done,
+            slice_p50_ms,
+            slice_p90_ms,
+            skipped_unknown,
+        } = msg
+        else {
+            return;
+        };
+        if let Some(stats) = self.workers.get_mut(worker_id) {
+            stats.jobs_done = *jobs_done;
+            stats.slices_done = *slices_done;
+            stats.slice_p50_ms = *slice_p50_ms;
+            stats.slice_p90_ms = *slice_p90_ms;
+            stats.skipped_unknown = *skipped_unknown;
+        }
+        self.heartbeat(*worker_id);
     }
 
     /// Grants the next queued slice of the oldest unfinished sweep.
@@ -242,8 +319,12 @@ impl FarmState {
             Ok(row) => row,
             Err(e) => {
                 // Leave the slot empty: the slice-done sweep below (or the
-                // reaper) will requeue it.
-                self.log(format_args!("sweep {sweep_id}: dropping malformed row {index}: {e}"));
+                // reaper) will requeue it. A malformed row is an anomaly
+                // worth surfacing even on quiet coordinators.
+                comdml_obs::warn!(
+                    "comdml_exp::farm",
+                    "sweep {sweep_id}: dropping malformed row {index}: {e}"
+                );
                 return;
             }
         };
@@ -292,7 +373,7 @@ impl FarmState {
     /// Connection-drop path: requeues everything the worker held,
     /// immediately.
     fn worker_gone(&mut self, worker: u64) {
-        let name = self.workers.remove(&worker).unwrap_or_default();
+        let name = self.workers.remove(&worker).map(|w| w.name).unwrap_or_default();
         let mut requeues: Vec<(u64, usize)> = Vec::new();
         for (&sweep_id, sweep) in self.sweeps.iter_mut() {
             let held: Vec<u64> = sweep
@@ -333,6 +414,8 @@ impl FarmState {
                 let worker = info.worker;
                 let n = sweep.requeue(info);
                 if n > 0 {
+                    sweep.timed_out_slices += 1;
+                    comdml_obs::counter_add("farm.slices_timed_out", 1);
                     requeues.push((sweep_id, slice_id, worker, n));
                 }
             }
@@ -358,13 +441,7 @@ impl FarmState {
         let queued: usize = sweep.queue.iter().map(Vec::len).sum();
         let elapsed_s =
             sweep.finished_in_s.unwrap_or_else(|| sweep.submitted.elapsed().as_secs_f64());
-        let eta_s = if complete {
-            0.0
-        } else if done == 0 {
-            -1.0 // unknown yet
-        } else {
-            elapsed_s / done as f64 * (total - done) as f64
-        };
+        let eta_s = eta_seconds(done as u64, total as u64, elapsed_s, complete);
         Ok(Message::StatusReport {
             sweep_id,
             total: total as u64,
@@ -376,7 +453,33 @@ impl FarmState {
             complete,
             elapsed_s,
             eta_s,
+            requeued_slices: sweep.requeued_slices,
+            timed_out_slices: sweep.timed_out_slices,
+            skipped_unknown: self.skipped_unknown,
         })
+    }
+
+    /// Per-worker telemetry rows accompanying a status report (protocol
+    /// ≥ 2). Throughput is computed here, at report time, from the job
+    /// count the worker last snapshotted and its connected lifetime.
+    fn detail_message(&self, sweep_id: u64) -> Message {
+        let mut rows: Vec<WorkerRow> = self
+            .workers
+            .iter()
+            .map(|(&worker_id, stats)| WorkerRow {
+                worker_id,
+                name: stats.name.clone(),
+                jobs_done: stats.jobs_done,
+                slices_done: stats.slices_done,
+                jobs_per_s: stats.jobs_done as f64
+                    / stats.first_seen.elapsed().as_secs_f64().max(1e-9),
+                slice_p50_ms: stats.slice_p50_ms,
+                slice_p90_ms: stats.slice_p90_ms,
+                skipped_unknown: stats.skipped_unknown,
+            })
+            .collect();
+        rows.sort_by_key(|r| r.worker_id);
+        Message::StatusDetail { sweep_id, rows }
     }
 
     fn fetch_message(&self, sweep_id: u64) -> Result<Message, String> {
@@ -474,23 +577,44 @@ impl Drop for Coordinator {
 /// fire-and-forget worker messages (`JobDone`, `SliceDone`, `Heartbeat`)
 /// folded in between. The state lock is never held across a send.
 fn session(state: &Arc<Mutex<FarmState>>, mut stream: FramedStream, stop: &AtomicBool) {
-    if stream.handshake().is_err() {
+    let Ok(proto) = stream.handshake() else {
         return;
-    }
+    };
     let mut worker_id: Option<u64> = None;
+    let mut skipped_folded = 0u64;
     // Loop until the peer vanishes (or speaks garbage) or says Shutdown.
-    while let Ok(msg) = stream.recv() {
-        let reply = match msg {
-            Message::SubmitSweep { spec_json } => Some(match lock(state).submit(&spec_json) {
-                Ok((sweep_id, total_jobs)) => Message::SweepQueued { sweep_id, total_jobs },
-                Err(detail) => Message::FarmError { detail },
-            }),
-            Message::StatusRequest { sweep_id } => Some(
-                lock(state)
-                    .status_message(sweep_id)
-                    .unwrap_or_else(|detail| Message::FarmError { detail }),
-            ),
-            Message::FetchRequest { sweep_id } => Some(
+    'session: while let Ok(msg) = stream.recv() {
+        // Fold this stream's unknown-kind skips into the farm-wide count
+        // (delta since last fold, so the total is exact across sessions).
+        let skipped = stream.skipped_unknown();
+        if skipped > skipped_folded {
+            lock(state).skipped_unknown += skipped - skipped_folded;
+            skipped_folded = skipped;
+        }
+        let mut replies: Vec<Message> = Vec::new();
+        match msg {
+            Message::SubmitSweep { spec_json } => {
+                replies.push(match lock(state).submit(&spec_json) {
+                    Ok((sweep_id, total_jobs)) => Message::SweepQueued { sweep_id, total_jobs },
+                    Err(detail) => Message::FarmError { detail },
+                })
+            }
+            Message::StatusRequest { sweep_id } => {
+                let st = lock(state);
+                match st.status_message(sweep_id) {
+                    Ok(report) => {
+                        replies.push(report);
+                        // Per-worker rows only when the negotiated revision
+                        // carries them — a protocol-1 client isn't waiting
+                        // for a second frame.
+                        if proto >= 2 {
+                            replies.push(st.detail_message(sweep_id));
+                        }
+                    }
+                    Err(detail) => replies.push(Message::FarmError { detail }),
+                }
+            }
+            Message::FetchRequest { sweep_id } => replies.push(
                 lock(state)
                     .fetch_message(sweep_id)
                     .unwrap_or_else(|detail| Message::FarmError { detail }),
@@ -498,37 +622,36 @@ fn session(state: &Arc<Mutex<FarmState>>, mut stream: FramedStream, stop: &Atomi
             Message::WorkerHello { name, threads } => {
                 let id = lock(state).register_worker(&name, threads);
                 worker_id = Some(id);
-                Some(Message::WorkerWelcome { worker_id: id })
+                replies.push(Message::WorkerWelcome { worker_id: id });
             }
             Message::WorkRequest { worker_id } => {
                 if stop.load(Ordering::SeqCst) {
-                    Some(Message::Shutdown)
+                    replies.push(Message::Shutdown);
                 } else {
                     let mut st = lock(state);
                     let retry_ms = st.cfg.retry_ms;
-                    Some(st.grant(worker_id).unwrap_or(Message::NoWork { retry_ms }))
+                    replies.push(st.grant(worker_id).unwrap_or(Message::NoWork { retry_ms }));
                 }
             }
             Message::JobDone { sweep_id, slice_id, index, row_json } => {
                 lock(state).fold(sweep_id, slice_id, index, &row_json);
-                None
             }
             Message::SliceDone { sweep_id, slice_id } => {
                 lock(state).slice_done(sweep_id, slice_id);
-                None
             }
             Message::Heartbeat { worker_id } => {
                 lock(state).heartbeat(worker_id);
-                None
+            }
+            msg @ Message::WorkerMetrics { .. } => {
+                lock(state).worker_metrics(&msg);
             }
             Message::Shutdown => break,
-            other => {
-                Some(Message::FarmError { detail: format!("unexpected {} here", other.name()) })
-            }
-        };
-        if let Some(reply) = reply {
+            other => replies
+                .push(Message::FarmError { detail: format!("unexpected {} here", other.name()) }),
+        }
+        for reply in replies {
             if stream.send(&reply).is_err() {
-                break;
+                break 'session;
             }
         }
     }
@@ -582,6 +705,33 @@ fn wire_err(context: &str, e: impl std::fmt::Display) -> String {
     format!("{context}: {e}")
 }
 
+/// Worker-side telemetry shared between the slice loop and the heartbeat
+/// thread. Always on: it times whole slices (never individual jobs), so
+/// the cost is one `Instant` pair per slice — nothing the byte-identity
+/// contract can see, since rows carry no wall times.
+#[derive(Debug, Default)]
+struct WorkerTelemetry {
+    jobs: AtomicU64,
+    slices: AtomicU64,
+    skipped_unknown: AtomicU64,
+    slice_ms: Mutex<Histogram>,
+}
+
+impl WorkerTelemetry {
+    /// The current snapshot as a wire message.
+    fn snapshot(&self, worker_id: u64) -> Message {
+        let hist = self.slice_ms.lock().expect("telemetry hist lock never poisoned");
+        Message::WorkerMetrics {
+            worker_id,
+            jobs_done: self.jobs.load(Ordering::SeqCst),
+            slices_done: self.slices.load(Ordering::SeqCst),
+            slice_p50_ms: hist.p50(),
+            slice_p90_ms: hist.p90(),
+            skipped_unknown: self.skipped_unknown.load(Ordering::SeqCst),
+        }
+    }
+}
+
 /// Runs a worker against the coordinator at `addr` until the coordinator
 /// says `Shutdown` (or the `max_jobs` budget trips). Pulls one slice at a
 /// time, executes it on the local [`SweepRunner`] pool, and streams every
@@ -593,7 +743,7 @@ fn wire_err(context: &str, e: impl std::fmt::Display) -> String {
 pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, String> {
     let sock = TcpStream::connect(addr).map_err(|e| wire_err(addr, e))?;
     let mut reader = FramedStream::new(sock);
-    reader.handshake().map_err(|e| wire_err("handshake", e))?;
+    let proto = reader.handshake().map_err(|e| wire_err("handshake", e))?;
     // Split the connection: this thread reads grants; pool threads, the
     // heartbeat thread and the request path share the write half.
     let writer = Arc::new(Mutex::new(reader.try_clone().map_err(|e| wire_err("clone stream", e))?));
@@ -616,10 +766,12 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
         other => return Err(format!("expected WorkerWelcome, got {}", other.name())),
     };
 
+    let telemetry = Arc::new(WorkerTelemetry::default());
     let hb_stop = Arc::new(AtomicBool::new(false));
     let hb_thread = {
         let writer = Arc::clone(&writer);
         let stop = Arc::clone(&hb_stop);
+        let telemetry = Arc::clone(&telemetry);
         let interval = opts.heartbeat;
         std::thread::spawn(move || {
             while !stop.load(Ordering::SeqCst) {
@@ -629,6 +781,12 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
                 }
                 let mut w = writer.lock().expect("worker writer lock never poisoned");
                 if w.send(&Message::Heartbeat { worker_id }).is_err() {
+                    break;
+                }
+                // Piggyback the telemetry snapshot on every heartbeat when
+                // the coordinator speaks protocol 2 (it doubles as a sign
+                // of life for slices whose jobs outlast the timeout).
+                if proto >= 2 && w.send(&telemetry.snapshot(worker_id)).is_err() {
                     break;
                 }
             }
@@ -645,7 +803,9 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
         if let Err(e) = send(&Message::WorkRequest { worker_id }) {
             break Err(e);
         }
-        match reader.recv() {
+        let received = reader.recv();
+        telemetry.skipped_unknown.store(reader.skipped_unknown(), Ordering::SeqCst);
+        match received {
             Ok(Message::WorkSlice { sweep_id, slice_id, spec_json, indices }) => {
                 let spec = match specs.get(&sweep_id) {
                     Some(spec) => Arc::clone(spec),
@@ -666,6 +826,7 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
                 let cancel = Arc::new(AtomicBool::new(false));
                 let source = JobSource::new(entries).with_cancel(Arc::clone(&cancel));
                 let send_error: Mutex<Option<String>> = Mutex::new(None);
+                let slice_start = Instant::now();
                 runner.execute_source(&spec, &source, &|global, row| {
                     let msg = Message::JobDone {
                         sweep_id,
@@ -678,6 +839,7 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
                         cancel.store(true, Ordering::SeqCst);
                         return;
                     }
+                    telemetry.jobs.fetch_add(1, Ordering::SeqCst);
                     let n = jobs_run.fetch_add(1, Ordering::SeqCst) + 1;
                     if opts.max_jobs.is_some_and(|budget| n >= budget) {
                         cancel.store(true, Ordering::SeqCst);
@@ -697,8 +859,21 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
                     });
                 }
                 slices_run += 1;
+                telemetry
+                    .slice_ms
+                    .lock()
+                    .expect("telemetry hist lock never poisoned")
+                    .record(slice_start.elapsed().as_secs_f64() * 1e3);
+                telemetry.slices.fetch_add(1, Ordering::SeqCst);
                 if let Err(e) = send(&Message::SliceDone { sweep_id, slice_id }) {
                     break Err(e);
+                }
+                // Fresh numbers right behind the completion, so status
+                // output reflects finished slices without a heartbeat wait.
+                if proto >= 2 {
+                    if let Err(e) = send(&telemetry.snapshot(worker_id)) {
+                        break Err(e);
+                    }
                 }
             }
             Ok(Message::NoWork { retry_ms }) => {
@@ -725,7 +900,7 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
 }
 
 /// Live progress of a submitted sweep, as reported by [`status`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FarmStatus {
     /// Sweep queried.
     pub sweep_id: u64,
@@ -747,6 +922,14 @@ pub struct FarmStatus {
     pub elapsed_s: f64,
     /// Linear completion estimate; negative while unknown, 0 when done.
     pub eta_s: f64,
+    /// Slices re-queued after a worker death or timeout (slice-granular).
+    pub requeued_slices: u64,
+    /// Slices re-queued specifically by the heartbeat reaper.
+    pub timed_out_slices: u64,
+    /// Unknown-kind frames the coordinator skipped across its sessions.
+    pub skipped_unknown: u64,
+    /// Per-worker live telemetry (empty against a protocol-1 coordinator).
+    pub worker_rows: Vec<WorkerRow>,
 }
 
 fn connect(addr: &str) -> Result<FramedStream, String> {
@@ -778,13 +961,19 @@ pub fn submit(addr: &str, spec: &SweepSpec) -> Result<(u64, u64), String> {
     }
 }
 
-/// Queries a sweep's progress.
+/// Queries a sweep's progress. Against a protocol-2 coordinator the
+/// report arrives with per-worker telemetry rows; against protocol 1 the
+/// rows are simply empty.
 ///
 /// # Errors
 ///
 /// Connection failures and unknown sweep ids, described.
 pub fn status(addr: &str, sweep_id: u64) -> Result<FarmStatus, String> {
-    match request(addr, &Message::StatusRequest { sweep_id })? {
+    let mut stream = connect(addr)?;
+    let proto = stream.peer_version().unwrap_or(1).min(PROTOCOL_VERSION);
+    stream.send(&Message::StatusRequest { sweep_id }).map_err(|e| wire_err("send", e))?;
+    match stream.recv().map_err(|e| wire_err("recv", e))? {
+        Message::FarmError { detail } => Err(detail),
         Message::StatusReport {
             sweep_id,
             total,
@@ -796,18 +985,37 @@ pub fn status(addr: &str, sweep_id: u64) -> Result<FarmStatus, String> {
             complete,
             elapsed_s,
             eta_s,
-        } => Ok(FarmStatus {
-            sweep_id,
-            total,
-            done,
-            in_flight,
-            queued,
-            requeued,
-            workers,
-            complete,
-            elapsed_s,
-            eta_s,
-        }),
+            requeued_slices,
+            timed_out_slices,
+            skipped_unknown,
+        } => {
+            let worker_rows = if proto >= 2 {
+                match stream.recv().map_err(|e| wire_err("recv detail", e))? {
+                    Message::StatusDetail { rows, .. } => rows,
+                    other => {
+                        return Err(format!("expected StatusDetail, got {}", other.name()));
+                    }
+                }
+            } else {
+                Vec::new()
+            };
+            Ok(FarmStatus {
+                sweep_id,
+                total,
+                done,
+                in_flight,
+                queued,
+                requeued,
+                workers,
+                complete,
+                elapsed_s,
+                eta_s,
+                requeued_slices,
+                timed_out_slices,
+                skipped_unknown,
+                worker_rows,
+            })
+        }
         other => Err(format!("expected StatusReport, got {}", other.name())),
     }
 }

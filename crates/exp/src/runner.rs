@@ -518,7 +518,21 @@ impl SweepRunner {
                     // The shared queue: an idle worker steals the next
                     // unclaimed entry.
                     while let Some((pos, global, job)) = source.claim() {
+                        let timer = comdml_obs::phase("job.run");
                         let result = run_job(&spec.scenarios[job.scenario], job.method, job.seed);
+                        drop(timer);
+                        comdml_obs::counter_add("sweep.jobs", 1);
+                        comdml_obs::trace_event(
+                            "job",
+                            vec![
+                                ("scenario", Value::Str(result.scenario.clone())),
+                                ("method", Value::Str(job.method.token().to_string())),
+                                ("seed", Value::Num(job.seed as f64)),
+                                ("rounds_run", Value::Num(result.rounds_run as f64)),
+                                ("sim_s", Value::Num(result.sim_s)),
+                                ("reached", Value::Bool(result.reached_target)),
+                            ],
+                        );
                         on_done(global, &result);
                         *results[pos].lock().expect("no poisoned result slot") = Some(result);
                     }

@@ -134,6 +134,21 @@ fn killed_worker_mid_sweep_is_requeued_and_bytes_match() {
     let s = farm::status(&addr, sweep_id).unwrap();
     assert!(s.complete);
     assert!(s.requeued >= 2);
+    // Exactly one slice was forfeited, by the drop path — the reaper
+    // (10s timeout here) never fired.
+    assert_eq!(s.requeued_slices, 1, "one slice forfeited by the death: {s:?}");
+    assert_eq!(s.timed_out_slices, 0, "drop path, not the reaper: {s:?}");
+    // Heartbeat-piggybacked telemetry: the survivor has a live row; the
+    // dead worker's row went with its session.
+    let row = s
+        .worker_rows
+        .iter()
+        .find(|w| w.name == "rescuer")
+        .expect("rescuer telemetry row in StatusDetail");
+    assert!(row.jobs_done >= 1, "rescuer metrics never arrived: {row:?}");
+    assert!(row.slices_done >= 1 && row.jobs_per_s > 0.0 && row.slice_p50_ms > 0.0, "{row:?}");
+    assert!(row.slice_p90_ms >= row.slice_p50_ms, "{row:?}");
+    assert!(s.worker_rows.iter().all(|w| w.name != "flaky"), "dead worker still listed: {s:?}");
     coordinator.stop();
     assert!(rescuer.join().unwrap().unwrap().clean_shutdown);
 }
@@ -171,9 +186,28 @@ fn hung_worker_times_out_and_slice_is_requeued() {
     assert_eq!(report.to_value().render(), local, "post-timeout report diverged");
     let s = farm::status(&addr, sweep_id).unwrap();
     assert!(s.requeued >= 2, "reaper never requeued the wedged slice: {s:?}");
+    // The reaper requeued exactly one slice, so both counters moved
+    // exactly once — a reaped slice is counted when it is pulled back,
+    // never again on the worker's eventual disconnect.
+    assert_eq!(s.timed_out_slices, 1, "one reap, one timeout count: {s:?}");
+    assert_eq!(s.requeued_slices, 1, "one reap, one requeue count: {s:?}");
     drop(wedged);
     coordinator.stop();
     assert!(real.join().unwrap().unwrap().clean_shutdown);
+}
+
+/// The ETA published in `StatusReport` is the linear completion estimate,
+/// with its two sentinel states (unknown before the first job, zero once
+/// complete) and saturation on `done > total`.
+#[test]
+fn eta_seconds_math() {
+    assert_eq!(farm::eta_seconds(0, 10, 5.0, false), -1.0, "no data yet");
+    assert_eq!(farm::eta_seconds(5, 10, 5.0, false), 5.0, "half done, half to go");
+    assert_eq!(farm::eta_seconds(2, 10, 1.0, false), 4.0);
+    assert_eq!(farm::eta_seconds(10, 10, 5.0, true), 0.0, "complete pins to zero");
+    assert_eq!(farm::eta_seconds(0, 10, 5.0, true), 0.0, "complete wins over unknown");
+    assert_eq!(farm::eta_seconds(10, 10, 5.0, false), 0.0, "nothing remaining");
+    assert_eq!(farm::eta_seconds(12, 10, 6.0, false), 0.0, "overshoot saturates");
 }
 
 #[test]

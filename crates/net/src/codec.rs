@@ -61,6 +61,17 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
+    /// Reads a u64 appended to a message after its first release: a body
+    /// from an older peer simply ends before the field, which decodes as
+    /// zero. A *partially* present field still errors (corruption, not
+    /// version skew).
+    fn get_u64_le_or_zero(&mut self, what: &str) -> Result<u64, NetError> {
+        if self.remaining() == 0 {
+            return Ok(0);
+        }
+        self.get_u64_le(what)
+    }
+
     fn get_f64_le(&mut self, what: &str) -> Result<f64, NetError> {
         let b = self.take(8, what)?;
         Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
@@ -129,13 +140,36 @@ fn get_f32s(r: &mut Reader<'_>) -> Result<Vec<f32>, NetError> {
     (0..n).map(|_| r.get_f32_le("vector")).collect()
 }
 
+/// One worker's live telemetry inside a [`Message::StatusDetail`] reply
+/// (protocol ≥ 2): the coordinator's view of a connected worker, built
+/// from the snapshots the worker piggybacks on its heartbeats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerRow {
+    /// The registered worker.
+    pub worker_id: u64,
+    /// Free-form worker name (host/pid by default).
+    pub name: String,
+    /// Jobs the worker has finished since connecting.
+    pub jobs_done: u64,
+    /// Slices the worker has finished since connecting.
+    pub slices_done: u64,
+    /// Realized throughput (jobs finished / seconds connected).
+    pub jobs_per_s: f64,
+    /// Median wall milliseconds per finished slice.
+    pub slice_p50_ms: f64,
+    /// 90th-percentile wall milliseconds per finished slice.
+    pub slice_p90_ms: f64,
+    /// Unknown-kind frames the worker's stream has skipped.
+    pub skipped_unknown: u64,
+}
+
 /// Protocol messages exchanged between ComDML peers.
 ///
 /// Two families share the wire format:
 ///
 /// * the **training protocol** (kinds 0–8) — profile broadcasts, pairing
 ///   handshakes, activation streaming and model exchange;
-/// * the **sweep-farm service** (kinds 9–25) — the version handshake plus
+/// * the **sweep-farm service** (kinds 9–27) — the version handshake plus
 ///   the coordinator/worker/client request–response vocabulary of the
 ///   distributed sweep farm (`comdml-exp`'s `exp_farm`). Farm payloads
 ///   that carry experiment objects (specs, job rows) travel as JSON text:
@@ -253,6 +287,15 @@ pub enum Message {
         /// Estimated seconds to completion at the realized pace
         /// (negative while no job has finished yet; 0 when complete).
         eta_s: f64,
+        /// Slices re-queued after their worker died or hung (cumulative;
+        /// appended in protocol 2, decoded as 0 from older peers).
+        requeued_slices: u64,
+        /// Slices re-queued specifically by the heartbeat reaper
+        /// (cumulative; appended in protocol 2, decoded as 0).
+        timed_out_slices: u64,
+        /// Unknown-kind frames the coordinator has skipped across all its
+        /// sessions (appended in protocol 2, decoded as 0).
+        skipped_unknown: u64,
     },
     /// Client → coordinator: collect sweep `sweep_id`.
     FetchRequest {
@@ -341,6 +384,33 @@ pub enum Message {
     /// Coordinator → worker: drain and exit (sent when the coordinator is
     /// shutting down).
     Shutdown,
+    /// Worker → coordinator: telemetry snapshot piggybacked on heartbeats
+    /// and slice completions (protocol ≥ 2; older coordinators skip it).
+    WorkerMetrics {
+        /// The registered worker.
+        worker_id: u64,
+        /// Jobs finished since connecting.
+        jobs_done: u64,
+        /// Slices finished since connecting.
+        slices_done: u64,
+        /// Median wall milliseconds per finished slice (0 until one
+        /// finishes).
+        slice_p50_ms: f64,
+        /// 90th-percentile wall milliseconds per finished slice.
+        slice_p90_ms: f64,
+        /// Unknown-kind frames this worker's stream has skipped.
+        skipped_unknown: u64,
+    },
+    /// Coordinator → client: per-worker telemetry rows following a
+    /// [`Message::StatusReport`] (protocol ≥ 2; sent only when the
+    /// negotiated revision carries it, so protocol-1 clients never block
+    /// waiting for a frame that isn't coming).
+    StatusDetail {
+        /// The sweep reported on.
+        sweep_id: u64,
+        /// One row per connected worker, ordered by worker id.
+        rows: Vec<WorkerRow>,
+    },
 }
 
 impl Message {
@@ -373,6 +443,8 @@ impl Message {
             Message::Heartbeat { .. } => 23,
             Message::FarmError { .. } => 24,
             Message::Shutdown => 25,
+            Message::WorkerMetrics { .. } => 26,
+            Message::StatusDetail { .. } => 27,
         }
     }
 
@@ -405,6 +477,8 @@ impl Message {
             Message::Heartbeat { .. } => "Heartbeat",
             Message::FarmError { .. } => "FarmError",
             Message::Shutdown => "Shutdown",
+            Message::WorkerMetrics { .. } => "WorkerMetrics",
+            Message::StatusDetail { .. } => "StatusDetail",
         }
     }
 
@@ -459,6 +533,9 @@ impl Message {
                 complete,
                 elapsed_s,
                 eta_s,
+                requeued_slices,
+                timed_out_slices,
+                skipped_unknown,
             } => {
                 put_u64(&mut buf, *sweep_id);
                 put_u64(&mut buf, *total);
@@ -470,6 +547,11 @@ impl Message {
                 buf.push(u8::from(*complete));
                 buf.extend_from_slice(&elapsed_s.to_le_bytes());
                 buf.extend_from_slice(&eta_s.to_le_bytes());
+                // Protocol-2 counters ride at the tail: decode ignores
+                // trailing bytes, so protocol-1 peers read right past them.
+                put_u64(&mut buf, *requeued_slices);
+                put_u64(&mut buf, *timed_out_slices);
+                put_u64(&mut buf, *skipped_unknown);
             }
             Message::FetchReport { sweep_id, complete, spec_json, rows_json } => {
                 put_u64(&mut buf, *sweep_id);
@@ -502,6 +584,35 @@ impl Message {
                 put_u64(&mut buf, *slice_id);
             }
             Message::FarmError { detail } => put_str(&mut buf, detail),
+            Message::WorkerMetrics {
+                worker_id,
+                jobs_done,
+                slices_done,
+                slice_p50_ms,
+                slice_p90_ms,
+                skipped_unknown,
+            } => {
+                put_u64(&mut buf, *worker_id);
+                put_u64(&mut buf, *jobs_done);
+                put_u64(&mut buf, *slices_done);
+                buf.extend_from_slice(&slice_p50_ms.to_le_bytes());
+                buf.extend_from_slice(&slice_p90_ms.to_le_bytes());
+                put_u64(&mut buf, *skipped_unknown);
+            }
+            Message::StatusDetail { sweep_id, rows } => {
+                put_u64(&mut buf, *sweep_id);
+                put_u32(&mut buf, rows.len() as u32);
+                for row in rows {
+                    put_u64(&mut buf, row.worker_id);
+                    put_str(&mut buf, &row.name);
+                    put_u64(&mut buf, row.jobs_done);
+                    put_u64(&mut buf, row.slices_done);
+                    buf.extend_from_slice(&row.jobs_per_s.to_le_bytes());
+                    buf.extend_from_slice(&row.slice_p50_ms.to_le_bytes());
+                    buf.extend_from_slice(&row.slice_p90_ms.to_le_bytes());
+                    put_u64(&mut buf, row.skipped_unknown);
+                }
+            }
         }
         buf
     }
@@ -571,6 +682,9 @@ impl Message {
                 complete: r.get_bool("StatusReport")?,
                 elapsed_s: r.get_f64_le("StatusReport")?,
                 eta_s: r.get_f64_le("StatusReport")?,
+                requeued_slices: r.get_u64_le_or_zero("StatusReport")?,
+                timed_out_slices: r.get_u64_le_or_zero("StatusReport")?,
+                skipped_unknown: r.get_u64_le_or_zero("StatusReport")?,
             },
             14 => Message::FetchRequest { sweep_id: r.get_u64_le("FetchRequest")? },
             15 => Message::FetchReport {
@@ -605,6 +719,39 @@ impl Message {
             23 => Message::Heartbeat { worker_id: r.get_u64_le("Heartbeat")? },
             24 => Message::FarmError { detail: r.get_str("FarmError")? },
             25 => Message::Shutdown,
+            26 => Message::WorkerMetrics {
+                worker_id: r.get_u64_le("WorkerMetrics")?,
+                jobs_done: r.get_u64_le("WorkerMetrics")?,
+                slices_done: r.get_u64_le("WorkerMetrics")?,
+                slice_p50_ms: r.get_f64_le("WorkerMetrics")?,
+                slice_p90_ms: r.get_f64_le("WorkerMetrics")?,
+                skipped_unknown: r.get_u64_le("WorkerMetrics")?,
+            },
+            27 => {
+                let sweep_id = r.get_u64_le("StatusDetail")?;
+                let n = r.get_u32_le("StatusDetail")? as usize;
+                if r.remaining() < n * 8 {
+                    return Err(NetError::BadFrame(format!(
+                        "StatusDetail claims {n} rows but only {} bytes remain",
+                        r.remaining()
+                    )));
+                }
+                let rows = (0..n)
+                    .map(|_| {
+                        Ok(WorkerRow {
+                            worker_id: r.get_u64_le("StatusDetail row")?,
+                            name: r.get_str("StatusDetail row")?,
+                            jobs_done: r.get_u64_le("StatusDetail row")?,
+                            slices_done: r.get_u64_le("StatusDetail row")?,
+                            jobs_per_s: r.get_f64_le("StatusDetail row")?,
+                            slice_p50_ms: r.get_f64_le("StatusDetail row")?,
+                            slice_p90_ms: r.get_f64_le("StatusDetail row")?,
+                            skipped_unknown: r.get_u64_le("StatusDetail row")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, NetError>>()?;
+                Message::StatusDetail { sweep_id, rows }
+            }
             _ => return Ok(None),
         };
         Ok(Some(msg))
@@ -675,9 +822,11 @@ impl FramedStream {
     /// Receives the next message *this build understands*.
     ///
     /// Frames of unknown kind — e.g. sent by a newer peer — are skipped
-    /// with a warning on stderr instead of raised as an error, so adjacent
-    /// builds interoperate as long as the messages they need are mutually
-    /// known. [`FramedStream::skipped_unknown`] counts the skips.
+    /// instead of raised as an error, so adjacent builds interoperate as
+    /// long as the messages they need are mutually known. Each skip bumps
+    /// [`FramedStream::skipped_unknown`] and the `net.skipped_unknown`
+    /// metrics counter, and logs at debug under `COMDML_LOG` (skipping is
+    /// the *designed* forward-compatibility path, not an anomaly).
     ///
     /// # Errors
     ///
@@ -691,9 +840,11 @@ impl FramedStream {
                 Some(msg) => return Ok(msg),
                 None => {
                     self.skipped_unknown += 1;
-                    eprintln!(
-                        "comdml-net: skipping unknown message kind {} ({} bytes) — \
-                         peer speaks a newer protocol",
+                    comdml_obs::counter_add("net.skipped_unknown", 1);
+                    comdml_obs::debug!(
+                        "comdml_net::codec",
+                        "skipping unknown message kind {} ({} bytes) — peer speaks a \
+                         newer protocol",
                         frame.kind,
                         frame.body.len()
                     );
@@ -788,6 +939,9 @@ mod tests {
             complete: false,
             elapsed_s: 1.5,
             eta_s: 2.25,
+            requeued_slices: 1,
+            timed_out_slices: 1,
+            skipped_unknown: 0,
         });
         round_trip(Message::FetchRequest { sweep_id: 3 });
         round_trip(Message::FetchReport {
@@ -816,6 +970,82 @@ mod tests {
         round_trip(Message::Heartbeat { worker_id: 11 });
         round_trip(Message::FarmError { detail: "unknown sweep 5".into() });
         round_trip(Message::Shutdown);
+        round_trip(Message::WorkerMetrics {
+            worker_id: 11,
+            jobs_done: 40,
+            slices_done: 10,
+            slice_p50_ms: 120.5,
+            slice_p90_ms: 340.25,
+            skipped_unknown: 1,
+        });
+        round_trip(Message::StatusDetail {
+            sweep_id: 3,
+            rows: vec![
+                WorkerRow {
+                    worker_id: 11,
+                    name: "host/123".into(),
+                    jobs_done: 40,
+                    slices_done: 10,
+                    jobs_per_s: 3.5,
+                    slice_p50_ms: 120.5,
+                    slice_p90_ms: 340.25,
+                    skipped_unknown: 0,
+                },
+                WorkerRow {
+                    worker_id: 12,
+                    name: "host/456".into(),
+                    jobs_done: 0,
+                    slices_done: 0,
+                    jobs_per_s: 0.0,
+                    slice_p50_ms: 0.0,
+                    slice_p90_ms: 0.0,
+                    skipped_unknown: 2,
+                },
+            ],
+        });
+        round_trip(Message::StatusDetail { sweep_id: 9, rows: vec![] });
+    }
+
+    /// A protocol-1 `StatusReport` body ends right after `eta_s`; the
+    /// protocol-2 decoder must read the appended counters as zero rather
+    /// than erroring, or mixed-build farms break.
+    #[test]
+    fn status_report_without_trailing_counters_decodes_as_zeros() {
+        let full = Message::StatusReport {
+            sweep_id: 3,
+            total: 250,
+            done: 100,
+            in_flight: 8,
+            queued: 142,
+            requeued: 4,
+            workers: 2,
+            complete: false,
+            elapsed_s: 1.5,
+            eta_s: 2.25,
+            requeued_slices: 7,
+            timed_out_slices: 5,
+            skipped_unknown: 3,
+        };
+        let body = full.encode_body();
+        let v1_body = &body[..body.len() - 24]; // strip the three appended u64s
+        let decoded = Message::decode_body(13, v1_body).unwrap().unwrap();
+        match decoded {
+            Message::StatusReport {
+                sweep_id,
+                requeued_slices,
+                timed_out_slices,
+                skipped_unknown,
+                ..
+            } => {
+                assert_eq!(sweep_id, 3);
+                assert_eq!(requeued_slices, 0);
+                assert_eq!(timed_out_slices, 0);
+                assert_eq!(skipped_unknown, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A torn counter (partial trailing u64) is corruption, not skew.
+        assert!(Message::decode_body(13, &body[..body.len() - 4]).is_err());
     }
 
     #[test]

@@ -32,7 +32,10 @@ use std::io::{Read, Write};
 /// * **1** — first versioned format (u16 frame kinds, version handshake,
 ///   skip-unknown forward compatibility; adds the sweep-farm
 ///   request/response kinds).
-pub const PROTOCOL_VERSION: u16 = 1;
+/// * **2** — farm telemetry: `WorkerMetrics` / `StatusDetail` kinds and
+///   the counters appended to `StatusReport` (older peers decode them as
+///   zero — trailing bytes are ignored — and skip the new kinds).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Maximum accepted frame size (a full ResNet-110 model is ~7 MB; leave
 /// generous headroom).

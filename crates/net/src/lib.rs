@@ -55,7 +55,7 @@ mod protocol;
 mod server;
 
 pub use allreduce::ring_allreduce_tcp;
-pub use codec::{FramedStream, Message};
+pub use codec::{FramedStream, Message, WorkerRow};
 pub use frame::{NetError, PROTOCOL_VERSION};
 pub use node::{pairing_handshake, spawn_ring, Node, PairOutcome};
 pub use protocol::{FastSideSession, ProtocolError, SlowSideSession};

@@ -41,6 +41,9 @@ fn farm_vocabulary() -> Vec<Message> {
             complete: false,
             elapsed_s: 0.5,
             eta_s: 1.0,
+            requeued_slices: 1,
+            timed_out_slices: 0,
+            skipped_unknown: 0,
         },
         Message::FetchRequest { sweep_id: 1 },
         Message::FetchReport {
@@ -64,6 +67,27 @@ fn farm_vocabulary() -> Vec<Message> {
         Message::Heartbeat { worker_id: 7 },
         Message::FarmError { detail: "unknown sweep 9".into() },
         Message::Shutdown,
+        Message::WorkerMetrics {
+            worker_id: 7,
+            jobs_done: 12,
+            slices_done: 3,
+            slice_p50_ms: 85.0,
+            slice_p90_ms: 140.0,
+            skipped_unknown: 0,
+        },
+        Message::StatusDetail {
+            sweep_id: 1,
+            rows: vec![comdml_net::WorkerRow {
+                worker_id: 7,
+                name: "worker-a".into(),
+                jobs_done: 12,
+                slices_done: 3,
+                jobs_per_s: 2.0,
+                slice_p50_ms: 85.0,
+                slice_p90_ms: 140.0,
+                skipped_unknown: 0,
+            }],
+        },
     ]
 }
 

@@ -1,0 +1,206 @@
+//! Leveled structured logging behind the `COMDML_LOG` env filter.
+//!
+//! Call sites use the [`error!`](crate::error), [`warn!`](crate::warn),
+//! [`info!`](crate::info) and [`debug!`](crate::debug) macros with a
+//! *target* (conventionally the crate or subsystem name) and a format
+//! string. The filter defaults to `warn`, so quiet CI runs stay quiet;
+//! `COMDML_LOG=debug` opens everything, and per-target overrides compose
+//! as `COMDML_LOG=warn,farm=debug,comdml-net=off` (longest matching
+//! target prefix wins). Lines go to stderr as `[level] target: message`
+//! and, when the trace sink is active, also to the JSONL trace as
+//! `{"t":"log",...}` events.
+
+use std::sync::RwLock;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A fatal or operation-ending failure.
+    Error,
+    /// Something unexpected the run survives (default filter threshold).
+    Warn,
+    /// Progress and lifecycle events.
+    Info,
+    /// Per-message / per-slice detail.
+    Debug,
+}
+
+impl Level {
+    /// The lowercase name used in output and filter specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Numeric severity rank: `off` = 0, `error` = 1 … `debug` = 4.
+    fn rank(self) -> u8 {
+        match self {
+            Level::Error => 1,
+            Level::Warn => 2,
+            Level::Info => 3,
+            Level::Debug => 4,
+        }
+    }
+}
+
+/// `off`/`error`/`warn`/`info`/`debug` → threshold rank.
+fn threshold_of(s: &str) -> Option<u8> {
+    match s.to_ascii_lowercase().as_str() {
+        "off" | "none" => Some(0),
+        "error" => Some(1),
+        "warn" | "warning" => Some(2),
+        "info" => Some(3),
+        "debug" | "trace" => Some(4),
+        _ => None,
+    }
+}
+
+#[derive(Debug)]
+struct Filter {
+    default: u8,
+    /// `(target prefix, threshold)`, checked longest-prefix-first.
+    overrides: Vec<(String, u8)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Self {
+        let mut default = DEFAULT_THRESHOLD;
+        let mut overrides: Vec<(String, u8)> = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            match part.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(t) = threshold_of(level.trim()) {
+                        overrides.push((target.trim().to_string(), t));
+                    }
+                }
+                None => {
+                    if let Some(t) = threshold_of(part) {
+                        default = t;
+                    }
+                }
+            }
+        }
+        // Longest prefix first, so `farm.reaper=debug` beats `farm=warn`.
+        overrides.sort_by_key(|(t, _)| std::cmp::Reverse(t.len()));
+        Self { default, overrides }
+    }
+
+    fn threshold(&self, target: &str) -> u8 {
+        self.overrides
+            .iter()
+            .find(|(prefix, _)| target.starts_with(prefix.as_str()))
+            .map_or(self.default, |&(_, t)| t)
+    }
+}
+
+/// The default threshold when `COMDML_LOG` is unset: `warn`.
+const DEFAULT_THRESHOLD: u8 = 2;
+
+static FILTER: RwLock<Option<Filter>> = RwLock::new(None);
+
+/// Replaces the active log filter with a parsed `COMDML_LOG`-style spec
+/// (e.g. `"info"` or `"warn,farm=debug"`). Programmatic override for bins
+/// and tests; the env var is applied automatically on first use.
+pub fn set_log_filter(spec: &str) {
+    *FILTER.write().expect("log filter lock never poisoned") = Some(Filter::parse(spec));
+}
+
+/// Whether a `(target, level)` pair passes the active filter.
+pub fn enabled(target: &str, level: Level) -> bool {
+    crate::ensure_init();
+    let guard = FILTER.read().expect("log filter lock never poisoned");
+    let threshold = guard.as_ref().map_or(DEFAULT_THRESHOLD, |f| f.threshold(target));
+    level.rank() <= threshold
+}
+
+/// Writes one already-filtered log line (macro support; call the macros,
+/// not this).
+#[doc(hidden)]
+pub fn emit(target: &str, level: Level, msg: &str) {
+    eprintln!("[{}] {target}: {msg}", level.name());
+    crate::trace::log_event(target, level, msg);
+}
+
+/// Logs at error level: `comdml_obs::error!("farm", "bind failed: {e}")`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log_enabled($target, $crate::Level::Error) {
+            $crate::log_emit($target, $crate::Level::Error, &format!($($arg)+));
+        }
+    };
+}
+
+/// Logs at warn level (the default `COMDML_LOG` threshold).
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log_enabled($target, $crate::Level::Warn) {
+            $crate::log_emit($target, $crate::Level::Warn, &format!($($arg)+));
+        }
+    };
+}
+
+/// Logs at info level (hidden unless `COMDML_LOG=info` or lower).
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log_enabled($target, $crate::Level::Info) {
+            $crate::log_emit($target, $crate::Level::Info, &format!($($arg)+));
+        }
+    };
+}
+
+/// Logs at debug level.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log_enabled($target, $crate::Level::Debug) {
+            $crate::log_emit($target, $crate::Level::Debug, &format!($($arg)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_filter_is_warn() {
+        let f = Filter::parse("");
+        assert_eq!(f.threshold("anything"), 2);
+    }
+
+    #[test]
+    fn filter_spec_parses_default_and_overrides() {
+        let f = Filter::parse("info,farm=debug,comdml-net=off");
+        assert_eq!(f.threshold("core"), 3);
+        assert_eq!(f.threshold("farm"), 4);
+        assert_eq!(f.threshold("farm.reaper"), 4, "prefix match");
+        assert_eq!(f.threshold("comdml-net"), 0);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = Filter::parse("warn,farm=error,farm.reaper=debug");
+        assert_eq!(f.threshold("farm"), 1);
+        assert_eq!(f.threshold("farm.reaper"), 4);
+    }
+
+    #[test]
+    fn garbage_levels_are_ignored() {
+        let f = Filter::parse("loud,farm=shouty");
+        assert_eq!(f.threshold("farm"), 2, "falls back to the default");
+    }
+
+    #[test]
+    fn rank_ordering_matches_severity() {
+        assert!(Level::Error.rank() < Level::Warn.rank());
+        assert!(Level::Warn.rank() < Level::Info.rank());
+        assert!(Level::Info.rank() < Level::Debug.rank());
+    }
+}

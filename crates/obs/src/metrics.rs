@@ -1,0 +1,365 @@
+//! The process-wide [`MetricsRegistry`]: counters, gauges and fixed-bucket
+//! latency histograms with p50/p90/p99.
+//!
+//! The registry itself always works (tests and the farm's worker telemetry
+//! use [`Histogram`] directly); the *gated* free functions
+//! ([`counter_add`], [`gauge_set`], [`gauge_max`], [`observe_ms`]) are the
+//! ones instrumented code calls — they compile down to one relaxed atomic
+//! load and return immediately when observability is disabled, so the
+//! simulation hot path pays nothing measurable.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of histogram buckets. Bucket `i` covers values in
+/// `(BASE·2^(i-1), BASE·2^i]` milliseconds, so 64 power-of-two buckets
+/// span 1 µs to ~580 years with 2× resolution.
+pub const HIST_BUCKETS: usize = 64;
+const HIST_BASE_MS: f64 = 1e-3;
+
+/// A fixed-bucket histogram over non-negative `f64` samples
+/// (conventionally milliseconds). Quantiles interpolate to the bucket's
+/// upper bound, clamped to the observed `[min, max]` — exact for
+/// single-sample histograms, within 2× for everything else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        // NaN and anything at or under the base land in bucket 0.
+        if v.is_nan() || v <= HIST_BASE_MS {
+            return 0;
+        }
+        let i = (v / HIST_BASE_MS).log2().ceil() as i64;
+        i.clamp(0, (HIST_BUCKETS - 1) as i64) as usize
+    }
+
+    fn bucket_upper(i: usize) -> f64 {
+        HIST_BASE_MS * 2f64.powi(i as i32)
+    }
+
+    /// Records one sample. Non-finite samples are dropped.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The `q`-quantile estimate (`q` in `[0, 1]`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                if i + 1 == HIST_BUCKETS {
+                    // Overflow bucket: its nominal bound may sit below the
+                    // real samples, so report the observed maximum.
+                    return self.max;
+                }
+                return Self::bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Condenses the histogram into its summary statistics.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+        }
+    }
+}
+
+/// Summary statistics of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th percentile estimate.
+    pub p90: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The process-wide registry behind [`metrics`]. Name-keyed counters,
+/// gauges and histograms behind one mutex — instrumentation sites are
+/// per-round / per-job / per-slice, never per-event, so contention is nil.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("metrics lock never poisoned")
+    }
+
+    /// Adds `delta` to the named counter (created at 0).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Raises the named gauge to `v` if `v` is larger (peak tracking).
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        let mut inner = self.lock();
+        let g = inner.gauges.entry(name.to_string()).or_insert(f64::NEG_INFINITY);
+        if v > *g {
+            *g = v;
+        }
+    }
+
+    /// Records a sample into the named histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.lock().histograms.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// The named counter's value (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// The named histogram's summary.
+    pub fn histogram(&self, name: &str) -> Option<HistSummary> {
+        self.lock().histograms.get(name).map(Histogram::summary)
+    }
+
+    /// A point-in-time copy of everything, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: inner.histograms.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
+        }
+    }
+
+    /// Clears every counter, gauge and histogram (per-mode deltas in the
+    /// bench bins reset between configurations).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+    }
+}
+
+/// A point-in-time copy of the registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` histograms, sorted by name.
+    pub histograms: Vec<(String, HistSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Total milliseconds per phase: every histogram named `phase.<p>`
+    /// (what [`crate::phase`] spans record into), as `(<p>, sum_ms)` —
+    /// the rows `BenchEntry::phases` carries.
+    pub fn phase_totals(&self) -> Vec<(String, f64)> {
+        self.histograms
+            .iter()
+            .filter_map(|(name, h)| name.strip_prefix("phase.").map(|p| (p.to_string(), h.sum)))
+            .collect()
+    }
+}
+
+/// The process-wide registry.
+pub fn metrics() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+/// Adds to a counter — no-op unless observability is enabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if crate::metrics_enabled() {
+        metrics().counter_add(name, delta);
+    }
+}
+
+/// Sets a gauge — no-op unless observability is enabled.
+pub fn gauge_set(name: &str, v: f64) {
+    if crate::metrics_enabled() {
+        metrics().gauge_set(name, v);
+    }
+}
+
+/// Raises a gauge to a new peak — no-op unless observability is enabled.
+pub fn gauge_max(name: &str, v: f64) {
+    if crate::metrics_enabled() {
+        metrics().gauge_max(name, v);
+    }
+}
+
+/// Records a histogram sample — no-op unless observability is enabled.
+pub fn observe_ms(name: &str, ms: f64) {
+    if crate::metrics_enabled() {
+        metrics().observe(name, ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_single_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(42.0);
+        assert_eq!(h.p50(), 42.0);
+        assert_eq!(h.p90(), 42.0);
+        assert_eq!(h.p99(), 42.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 42.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!((1.0..=1000.0).contains(&p50));
+        assert!((1.0..=1000.0).contains(&p99));
+        // 2x bucket resolution: p50 of uniform 1..=1000 is within [500, 1000].
+        assert!(p50 >= 500.0, "{p50}");
+        assert!(p90 >= 900.0, "{p90}");
+    }
+
+    #[test]
+    fn histogram_handles_empty_tiny_and_huge() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.summary().min, 0.0);
+        let mut h = Histogram::new();
+        h.record(0.0); // below the first bucket bound
+        h.record(1e30); // beyond the last
+        h.record(f64::NAN); // dropped
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p99(), 1e30, "clamped to the observed max");
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let r = MetricsRegistry::default();
+        r.counter_add("jobs", 2);
+        r.counter_add("jobs", 3);
+        assert_eq!(r.counter_value("jobs"), 5);
+        assert_eq!(r.counter_value("never"), 0);
+        r.gauge_set("depth", 7.0);
+        r.gauge_max("depth", 3.0); // lower: ignored
+        r.gauge_max("depth", 11.0);
+        assert_eq!(r.gauge_value("depth"), Some(11.0));
+        r.observe("lat", 5.0);
+        r.observe("lat", 15.0);
+        let s = r.histogram("lat").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 20.0);
+        r.reset();
+        assert_eq!(r.counter_value("jobs"), 0);
+        assert!(r.histogram("lat").is_none());
+    }
+
+    #[test]
+    fn snapshot_phase_totals_strip_the_prefix() {
+        let r = MetricsRegistry::default();
+        r.observe("phase.pairing", 2.0);
+        r.observe("phase.pairing", 3.0);
+        r.observe("phase.round", 10.0);
+        r.observe("job.run", 99.0); // not a phase
+        let totals = r.snapshot().phase_totals();
+        assert_eq!(totals, vec![("pairing".to_string(), 5.0), ("round".to_string(), 10.0)]);
+    }
+}

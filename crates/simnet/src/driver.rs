@@ -117,6 +117,7 @@ pub struct SimDriver {
     now: f64,
     timelines: Vec<AgentTimeline>,
     processed: u64,
+    peak_pending: usize,
 }
 
 impl SimDriver {
@@ -127,6 +128,7 @@ impl SimDriver {
             now: 0.0,
             timelines: vec![AgentTimeline::default(); num_agents],
             processed: 0,
+            peak_pending: 0,
         }
     }
 
@@ -147,6 +149,25 @@ impl SimDriver {
         self.queue.len()
     }
 
+    /// High-water mark of the pending-event queue — how bursty the round's
+    /// schedule got. Plain bookkeeping, so it is exact whether or not
+    /// observability is enabled.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Publishes the driver's lifetime counters to the process-wide
+    /// metrics registry (`simnet.events`, `simnet.peak_pending`). No-op
+    /// unless observability is enabled; never touches the clock or queue,
+    /// so calling it cannot perturb a run.
+    pub fn publish_metrics(&self) {
+        if !comdml_obs::metrics_enabled() {
+            return;
+        }
+        comdml_obs::counter_add("simnet.events", self.processed);
+        comdml_obs::gauge_max("simnet.peak_pending", self.peak_pending as f64);
+    }
+
     /// Schedules `event` at absolute simulated time `time`.
     ///
     /// # Panics
@@ -156,6 +177,7 @@ impl SimDriver {
     pub fn schedule_at(&mut self, time: f64, event: SimEvent) {
         assert!(time >= self.now, "cannot schedule into the past: {time} < {}", self.now);
         self.queue.push(time, event);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
     }
 
     /// Schedules `event` `delay` seconds from now.
@@ -166,6 +188,7 @@ impl SimDriver {
     pub fn schedule_in(&mut self, delay: f64, event: SimEvent) {
         assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
         self.queue.push(self.now + delay, event);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
@@ -279,6 +302,22 @@ mod tests {
         assert!(d.timeline(AgentId(0)).done);
         assert!(!d.timeline(AgentId(1)).done);
         assert_eq!(d.done_count(), 1);
+    }
+
+    #[test]
+    fn peak_pending_tracks_queue_high_water_mark() {
+        let mut d = SimDriver::new(1);
+        assert_eq!(d.peak_pending(), 0);
+        d.schedule_at(1.0, SimEvent::AggregateStart);
+        d.schedule_at(2.0, SimEvent::AggregateDone);
+        assert_eq!(d.peak_pending(), 2);
+        d.next().unwrap();
+        d.next().unwrap();
+        // Draining does not lower the high-water mark.
+        assert_eq!(d.pending(), 0);
+        assert_eq!(d.peak_pending(), 2);
+        d.schedule_in(1.0, SimEvent::AggregateStart);
+        assert_eq!(d.peak_pending(), 2);
     }
 
     #[test]

@@ -33,6 +33,9 @@
 //! * [`exp`] — declarative scenario specs (`ScenarioSpec`/`SweepSpec`) and
 //!   the parallel `SweepRunner` regenerating the paper's Table II/III grids
 //!   (`exp_sweep`, `paper_tables`) with byte-deterministic reports.
+//! * [`obs`] — dependency-free observability: `COMDML_LOG` leveled
+//!   logging, the process-wide metrics registry, phase spans and the
+//!   `COMDML_TRACE` JSONL trace sink (zero-overhead when disabled).
 //! * [`privacy`] — differential privacy, patch shuffling, distance correlation.
 //! * [`net`] — threaded `std::net` peer-to-peer transport for the protocol.
 //!
@@ -67,6 +70,7 @@ pub use comdml_data as data;
 pub use comdml_exp as exp;
 pub use comdml_net as net;
 pub use comdml_nn as nn;
+pub use comdml_obs as obs;
 pub use comdml_privacy as privacy;
 pub use comdml_simnet as simnet;
 pub use comdml_tensor as tensor;
