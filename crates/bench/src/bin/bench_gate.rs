@@ -25,6 +25,17 @@
 //! the normalized gate, which is why the absolute mode stays the default
 //! for same-machine comparisons.
 //!
+//! # Throughput gate
+//!
+//! Wall clock alone can hide an event-engine regression: a change that
+//! both halves the event count and doubles the per-event cost leaves wall
+//! clock flat, and in normalized mode a queue that slowed down uniformly
+//! is absorbed into the runner-speed scale. So every entry that records a
+//! non-zero `events_processed` is additionally gated on events/s (derived
+//! as `events_processed / wall_ms`): the gate fails when current
+//! throughput falls below `baseline / (1 + tolerance)`, after the same
+//! runner-speed normalization as the wall-clock gate.
+//!
 //! Simulated seconds must agree closely in either mode (they are
 //! deterministic given the seed, so drift means the simulation changed,
 //! not the machine); event counts and peak agents are reported for context
@@ -100,6 +111,8 @@ struct Matched {
     mode: String,
     base_wall_ms: f64,
     cur_wall_ms: f64,
+    base_events: u64,
+    cur_events: u64,
     sim_drifted: Option<(f64, f64)>,
     events_moved: Option<(u64, u64)>,
     /// Per-phase wall-clock attribution of the current run (empty when
@@ -177,6 +190,8 @@ fn main() -> ExitCode {
                 mode: be.mode.clone(),
                 base_wall_ms: be.wall_ms,
                 cur_wall_ms: ce.wall_ms,
+                base_events: be.events_processed,
+                cur_events: ce.events_processed,
                 sim_drifted: (same_rounds
                     && (ce.sim_total_s - be.sim_total_s).abs()
                         > 1e-6 * be.sim_total_s.abs().max(1.0))
@@ -219,22 +234,37 @@ fn main() -> ExitCode {
         ),
     }
     println!(
-        "{:<14} {:<16} {:>12} {:>12} {:>8}  verdict",
-        "bench", "mode", "base ms", "now ms", "ratio"
+        "{:<14} {:<16} {:>12} {:>12} {:>8} {:>8}  verdict",
+        "bench", "mode", "base ms", "now ms", "ratio", "ev/s"
     );
     for m in &matched {
         let ratio = m.cur_wall_ms / m.base_wall_ms.max(1e-9) / scale;
-        let over = ratio > 1.0 + args.tolerance;
+        let wall_over = ratio > 1.0 + args.tolerance;
+        // Throughput ratio > 1 means faster than baseline. Normalizing by
+        // the runner-speed scale keeps a uniformly slower machine from
+        // tripping it, exactly as for wall clock.
+        let thr_ratio = (m.base_events > 0 && m.cur_events > 0).then(|| {
+            let base = m.base_events as f64 / m.base_wall_ms.max(1e-9);
+            let cur = m.cur_events as f64 / m.cur_wall_ms.max(1e-9);
+            cur / base * scale
+        });
+        let thr_over = thr_ratio.is_some_and(|r| r < 1.0 / (1.0 + args.tolerance));
+        let verdict = match (wall_over, thr_over) {
+            (false, false) => "ok",
+            (true, _) => "REGRESSION",
+            (false, true) => "REGRESSION (events/s)",
+        };
         println!(
-            "{:<14} {:<16} {:>12.1} {:>12.1} {:>7.2}x  {}",
+            "{:<14} {:<16} {:>12.1} {:>12.1} {:>7.2}x {:>7}  {}",
             m.bench,
             m.mode,
             m.base_wall_ms,
             m.cur_wall_ms,
             ratio,
-            if over { "REGRESSION" } else { "ok" }
+            thr_ratio.map_or_else(|| "-".into(), |r| format!("{r:.2}x")),
+            verdict
         );
-        if over {
+        if wall_over || thr_over {
             failed = true;
         }
         // Context-only drift notes: deterministic quantities moving means
@@ -264,7 +294,7 @@ fn main() -> ExitCode {
     if failed {
         comdml_obs::error!(
             "bench_gate",
-            "FAILED (wall-clock regression beyond tolerance, or missing data)"
+            "FAILED (wall-clock or events/s regression beyond tolerance, or missing data)"
         );
         ExitCode::FAILURE
     } else {

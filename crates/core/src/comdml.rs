@@ -61,6 +61,10 @@ pub struct ComDmlConfig {
     /// closed-form coarse events for undisrupted pairings (the fleet-scale
     /// default; see [`EventGranularity`]).
     pub granularity: EventGranularity,
+    /// Threads used to prepare pair pipelines each round
+    /// ([`EventRound::pair_threads`]). Results are bit-for-bit identical
+    /// for any value; 1 (the default) prepares inline.
+    pub threads: usize,
 }
 
 impl Default for ComDmlConfig {
@@ -77,6 +81,7 @@ impl Default for ComDmlConfig {
             aggregation: AggregationMode::Synchronous,
             staleness_decay: 0.5,
             granularity: EventGranularity::Fine,
+            threads: 1,
         }
     }
 }
@@ -289,6 +294,7 @@ impl ComDml {
         )
         .mode(self.config.aggregation)
         .granularity(self.config.granularity)
+        .pair_threads(self.config.threads)
         .ready_at(std::mem::take(&mut self.ready_at))
         .run();
         drop(round_timer);

@@ -128,6 +128,90 @@ impl<'a> TrainingTimeEstimator<'a> {
     }
 }
 
+/// Fowler–Noll–Vo hasher for the memo keys below: the keys are short
+/// tuples of raw bit patterns, where FNV beats SipHash by a wide margin and
+/// the DoS resistance SipHash buys is irrelevant.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`]-keyed maps.
+pub type FnvBuildHasher = std::hash::BuildHasherDefault<FnvHasher>;
+
+type SoloKey = (u64, usize, usize);
+type EstimateKey = (SoloKey, u64, usize, u64, u64);
+
+/// Memoizes [`TrainingTimeEstimator`] evaluations on their *exact* input
+/// bit patterns.
+///
+/// A fleet draws profiles from small grids (5 CPU classes × 5 link classes)
+/// and dataset shares from a handful of sizes, so a million-agent pairing
+/// round asks the estimator the same few thousand questions millions of
+/// times. Keying on the raw bits (`f64::to_bits`) makes a memo hit return
+/// the identical `SplitDecision` the direct call would compute — results
+/// are bit-for-bit unchanged, only cheaper.
+///
+/// The memo is scoped by its owner (the scheduler builds one per pairing
+/// round), so profile churn between rounds can never serve stale entries
+/// with matching keys — a key *is* the full input.
+#[derive(Debug, Default)]
+pub struct EstimateMemo {
+    solo: std::collections::HashMap<SoloKey, f64, FnvBuildHasher>,
+    estimate: std::collections::HashMap<EstimateKey, SplitDecision, FnvBuildHasher>,
+}
+
+impl EstimateMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn solo_key(agent: &AgentState) -> SoloKey {
+        (agent.profile.cpus.to_bits(), agent.batch_size, agent.num_batches())
+    }
+
+    /// Memoized [`TrainingTimeEstimator::solo_time_s`].
+    pub fn solo_time_s(&mut self, est: &TrainingTimeEstimator<'_>, agent: &AgentState) -> f64 {
+        *self.solo.entry(Self::solo_key(agent)).or_insert_with(|| est.solo_time_s(agent))
+    }
+
+    /// Memoized [`TrainingTimeEstimator::estimate`].
+    pub fn estimate(
+        &mut self,
+        est: &TrainingTimeEstimator<'_>,
+        slow: &AgentState,
+        fast: &AgentState,
+        fast_solo_s: f64,
+        link_mbps: f64,
+    ) -> SplitDecision {
+        let key = (
+            Self::solo_key(slow),
+            fast.profile.cpus.to_bits(),
+            fast.batch_size,
+            fast_solo_s.to_bits(),
+            link_mbps.to_bits(),
+        );
+        *self
+            .estimate
+            .entry(key)
+            .or_insert_with(|| est.estimate(slow, fast, fast_solo_s, link_mbps))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +296,31 @@ mod tests {
         let d_idle = est.estimate(&slow, &fast, 0.0, 100.0);
         let d_busy = est.estimate(&slow, &fast, 10_000.0, 100.0);
         assert!(d_idle.est_time_s < d_busy.est_time_s);
+    }
+
+    #[test]
+    fn memo_returns_bit_identical_decisions() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let mut memo = EstimateMemo::new();
+        let agents: Vec<AgentState> = (0..8)
+            .map(|i| agent(i, [0.2, 0.5, 1.0, 4.0][i % 4], 50.0, 4000 + 500 * (i % 3)))
+            .collect();
+        for s in &agents {
+            assert_eq!(memo.solo_time_s(&est, s).to_bits(), est.solo_time_s(s).to_bits());
+            for f in &agents {
+                for link in [10.0, 50.0] {
+                    let solo_f = est.solo_time_s(f);
+                    // Ask twice: the second answer comes from the memo.
+                    let direct = est.estimate(s, f, solo_f, link);
+                    for _ in 0..2 {
+                        let memoed = memo.estimate(&est, s, f, solo_f, link);
+                        assert_eq!(memoed.offload, direct.offload);
+                        assert_eq!(memoed.est_time_s.to_bits(), direct.est_time_s.to_bits());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -273,6 +273,9 @@ pub fn mean_round_s(times: &[(AgentId, f64)]) -> f64 {
     total / times.len() as f64
 }
 
+/// Sentinel for "agent belongs to no pairing" in the dense pair index.
+const NO_PAIR: usize = usize::MAX;
+
 /// Per-pair runtime state of the event pipeline.
 #[derive(Debug, Clone)]
 struct PairState {
@@ -306,6 +309,25 @@ impl PairState {
     }
 }
 
+/// The initial event a prepared pair schedules, computed (possibly on a
+/// worker thread) before any driver state is touched. Applying these in
+/// pairing-index order reproduces the sequential schedule exactly — same
+/// busy accounting, same event sequence numbers — which is why the batch
+/// preparation can fan out across threads without moving a single event.
+#[derive(Debug, Clone, Copy)]
+enum InitialEvent {
+    /// Degenerate offloading pair with no prefix batches: only the suffix
+    /// return is left.
+    Suffix { at: f64 },
+    /// Undisrupted coarse pair: one closed-form `PairDone`, with the guest
+    /// work pre-accounted to the helper.
+    PairDone { at: f64, guest_busy: f64 },
+    /// Fine-grained pair: the first `BatchProduced`.
+    FirstBatch { at: f64 },
+    /// Solo task: `AgentDone` at its local completion.
+    Solo { at: f64 },
+}
+
 /// Builder/driver for one event-driven round. See the module docs for an
 /// example.
 #[derive(Debug)]
@@ -319,6 +341,7 @@ pub struct EventRound<'a> {
     granularity: EventGranularity,
     disruptions: Vec<Disruption>,
     ready_at: HashMap<AgentId, f64>,
+    threads: usize,
 }
 
 impl<'a> EventRound<'a> {
@@ -341,6 +364,7 @@ impl<'a> EventRound<'a> {
             granularity: EventGranularity::Fine,
             disruptions: Vec::new(),
             ready_at: HashMap::new(),
+            threads: 1,
         }
     }
 
@@ -368,77 +392,140 @@ impl<'a> EventRound<'a> {
         self
     }
 
+    /// Number of threads used to *prepare* pair pipelines (closed forms,
+    /// split lookups, busy accounting) before the event loop runs. The
+    /// prepared batches are applied to the driver sequentially in pairing
+    /// order, so every event sequence number — and therefore every report
+    /// and digest — is identical for any thread count. Values ≤ 1 prepare
+    /// inline.
+    pub fn pair_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     fn ready(&self, id: AgentId) -> f64 {
         self.ready_at.get(&id).copied().unwrap_or(0.0)
     }
 
-    /// Builds the per-pair pipeline states mirroring the closed-form
-    /// [`PairRoundSim`] parameters exactly.
-    fn build_pairs(&self) -> Vec<PairState> {
-        self.pairings
-            .iter()
-            .map(|p| {
-                let slow = self.world.agent(p.slow);
-                let (fast, sim) = match p.fast {
-                    Some(fast_id) if p.offload > 0 => {
-                        let fast = self.world.agent(fast_id);
-                        let entry = self
-                            .estimator
-                            .profile()
-                            .entry(p.offload)
-                            .expect("scheduler only emits profiled offloads");
-                        let p_i = self.estimator.batches_per_s(slow);
-                        let p_j = self.estimator.batches_per_s(fast);
-                        let link = self.world.link_mbps(p.slow, fast_id);
-                        let sim = PairRoundSim {
-                            n_slow_batches: slow.num_batches(),
-                            n_fast_batches: fast.num_batches(),
-                            slow_batch_s: entry.t_slow_rel / p_i,
-                            fast_own_batch_s: 1.0 / p_j,
-                            fast_guest_batch_s: entry.t_fast_rel / p_j,
-                            transfer_s: self.cal.transfer_time_s(entry.nu_bytes_per_batch, link),
-                            suffix_return_s: self
-                                .cal
-                                .transfer_time_s(entry.suffix_param_bytes, link),
-                        };
-                        (Some(fast_id), sim)
-                    }
-                    _ => {
-                        // Solo task: a degenerate pipeline with no guest
-                        // batches whose "own task" is the whole local epoch.
-                        let solo = self.estimator.solo_time_s(slow);
-                        let sim = PairRoundSim {
-                            n_slow_batches: 0,
-                            n_fast_batches: 1,
-                            slow_batch_s: 0.0,
-                            fast_own_batch_s: solo,
-                            fast_guest_batch_s: 0.0,
-                            transfer_s: 0.0,
-                            suffix_return_s: 0.0,
-                        };
-                        (None, sim)
-                    }
-                };
-                let slow_start = self.ready(p.slow);
-                let fast_start = fast.map(|f| self.ready(f)).unwrap_or(slow_start);
-                PairState {
-                    slow: p.slow,
-                    fast,
-                    offload: p.offload,
-                    slow_start,
-                    fast_start,
-                    helper_free: fast_start + sim.n_fast_batches as f64 * sim.fast_own_batch_s,
-                    sim,
-                    produced: 0,
-                    next_transfer: 0,
-                    transfer_in_flight: false,
-                    inflight_due: 0.0,
-                    guest_done_times: Vec::new(),
-                    done: false,
-                    slow_gone: false,
+    /// Prepares every pair's pipeline state and initial event. The numeric
+    /// work (split lookups, closed forms) fans out across `threads` in
+    /// contiguous index chunks; chunk results are concatenated back in
+    /// pairing order, so the caller applies exactly the sequence a
+    /// single-threaded pass would produce.
+    fn prepare_pairs(&self, disrupted: &[bool]) -> Vec<(PairState, InitialEvent)> {
+        // Below this many pairs per worker, spawning costs more than the
+        // preparation itself.
+        const MIN_CHUNK: usize = 64;
+        let n = self.pairings.len();
+        if self.threads <= 1 || n < 2 * MIN_CHUNK {
+            return self.pairings.iter().map(|p| self.prepare_pair(p, disrupted)).collect();
+        }
+        let chunk = n.div_ceil(self.threads).max(MIN_CHUNK);
+        let mut out = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .pairings
+                .chunks(chunk)
+                .map(|c| {
+                    s.spawn(move || {
+                        c.iter().map(|p| self.prepare_pair(p, disrupted)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("pair preparation panicked"));
+            }
+        });
+        out
+    }
+
+    /// Builds one pair's pipeline state mirroring the closed-form
+    /// [`PairRoundSim`] parameters exactly, plus the initial event it will
+    /// schedule.
+    fn prepare_pair(&self, p: &Pairing, disrupted: &[bool]) -> (PairState, InitialEvent) {
+        let state = {
+            let slow = self.world.agent(p.slow);
+            let (fast, sim) = match p.fast {
+                Some(fast_id) if p.offload > 0 => {
+                    let fast = self.world.agent(fast_id);
+                    let entry = self
+                        .estimator
+                        .profile()
+                        .entry(p.offload)
+                        .expect("scheduler only emits profiled offloads");
+                    let p_i = self.estimator.batches_per_s(slow);
+                    let p_j = self.estimator.batches_per_s(fast);
+                    let link = self.world.link_mbps(p.slow, fast_id);
+                    let sim = PairRoundSim {
+                        n_slow_batches: slow.num_batches(),
+                        n_fast_batches: fast.num_batches(),
+                        slow_batch_s: entry.t_slow_rel / p_i,
+                        fast_own_batch_s: 1.0 / p_j,
+                        fast_guest_batch_s: entry.t_fast_rel / p_j,
+                        transfer_s: self.cal.transfer_time_s(entry.nu_bytes_per_batch, link),
+                        suffix_return_s: self.cal.transfer_time_s(entry.suffix_param_bytes, link),
+                    };
+                    (Some(fast_id), sim)
                 }
-            })
-            .collect()
+                _ => {
+                    // Solo task: a degenerate pipeline with no guest
+                    // batches whose "own task" is the whole local epoch.
+                    let solo = self.estimator.solo_time_s(slow);
+                    let sim = PairRoundSim {
+                        n_slow_batches: 0,
+                        n_fast_batches: 1,
+                        slow_batch_s: 0.0,
+                        fast_own_batch_s: solo,
+                        fast_guest_batch_s: 0.0,
+                        transfer_s: 0.0,
+                        suffix_return_s: 0.0,
+                    };
+                    (None, sim)
+                }
+            };
+            let slow_start = self.ready(p.slow);
+            let fast_start = fast.map(|f| self.ready(f)).unwrap_or(slow_start);
+            PairState {
+                slow: p.slow,
+                fast,
+                offload: p.offload,
+                slow_start,
+                fast_start,
+                helper_free: fast_start + sim.n_fast_batches as f64 * sim.fast_own_batch_s,
+                sim,
+                produced: 0,
+                next_transfer: 0,
+                transfer_in_flight: false,
+                inflight_due: 0.0,
+                guest_done_times: Vec::new(),
+                done: false,
+                slow_gone: false,
+            }
+        };
+        let init = match state.fast {
+            Some(fast_id) => {
+                let coarse = self.granularity == EventGranularity::Coarse
+                    && !disrupted[state.slow.0]
+                    && !disrupted[fast_id.0];
+                if state.sim.n_slow_batches == 0 {
+                    InitialEvent::Suffix { at: state.helper_free + state.sim.suffix_return_s }
+                } else if coarse {
+                    let done = state.sim.completion_closed_form(
+                        state.sim.transfer_s,
+                        state.slow_start,
+                        state.fast_start,
+                    ) + state.sim.suffix_return_s;
+                    InitialEvent::PairDone {
+                        at: done,
+                        guest_busy: state.sim.n_slow_batches as f64 * state.sim.fast_guest_batch_s,
+                    }
+                } else {
+                    InitialEvent::FirstBatch { at: state.slow_start + state.sim.slow_batch_s }
+                }
+            }
+            None => InitialEvent::Solo { at: state.helper_free },
+        };
+        (state, init)
     }
 
     /// Runs the round to completion and reports.
@@ -447,22 +534,9 @@ impl<'a> EventRound<'a> {
     ///
     /// Panics if a pairing references an agent outside the world.
     pub fn run(self) -> EventRoundReport {
+        let setup_timer = comdml_obs::phase("round.setup");
         let k = self.world.num_agents();
         let mut driver = SimDriver::new(k);
-        let mut pairs = self.build_pairs();
-        let mut pair_of: HashMap<AgentId, usize> = HashMap::new();
-        let mut participant = vec![false; k];
-        for (idx, p) in pairs.iter().enumerate() {
-            pair_of.insert(p.slow, idx);
-            participant[p.slow.0] = true;
-            if let Some(f) = p.fast {
-                pair_of.insert(f, idx);
-                participant[f.0] = true;
-            }
-        }
-        let expected_agents: usize = participant.iter().filter(|&&x| x).count();
-        let mut remaining_tasks = expected_agents;
-        let mut done_participants = 0usize;
 
         // Agents targeted by a failure/leave: their pairings must run
         // fine-grained so the disruption can strike mid-pipeline.
@@ -475,46 +549,70 @@ impl<'a> EventRound<'a> {
             }
         }
 
-        // Schedule the initial events of every pair.
-        for (idx, p) in pairs.iter_mut().enumerate() {
-            match p.fast {
-                Some(fast_id) => {
-                    // Busy accounting mirrors the closed form: the slow side
-                    // computes all prefix batches, the helper computes its
-                    // own task plus each guest batch (accounted per event on
-                    // the fine path, up front on the coarse path).
+        // Prepare every pair's pipeline (the per-pair numeric work, fanned
+        // out across `pair_threads`), then apply the batches sequentially
+        // in pairing order so the event schedule is thread-count invariant.
+        let prepare_timer = comdml_obs::phase("round.parallel_pairs");
+        let prepared = self.prepare_pairs(&disrupted);
+        drop(prepare_timer);
+        let mut pairs: Vec<PairState> = Vec::with_capacity(prepared.len());
+        let mut inits: Vec<InitialEvent> = Vec::with_capacity(prepared.len());
+        for (state, init) in prepared {
+            pairs.push(state);
+            inits.push(init);
+        }
+
+        let mut pair_of: Vec<usize> = vec![NO_PAIR; k];
+        let mut participant = vec![false; k];
+        // The participant id list mirrors the `participant` flags so
+        // cohort assembly stays O(participants), not O(world).
+        let mut participant_ids: Vec<AgentId> = Vec::with_capacity(2 * pairs.len());
+        for (idx, p) in pairs.iter().enumerate() {
+            pair_of[p.slow.0] = idx;
+            if !participant[p.slow.0] {
+                participant_ids.push(p.slow);
+            }
+            participant[p.slow.0] = true;
+            if let Some(f) = p.fast {
+                pair_of[f.0] = idx;
+                if !participant[f.0] {
+                    participant_ids.push(f);
+                }
+                participant[f.0] = true;
+            }
+        }
+        let expected_agents: usize = participant_ids.len();
+        let mut remaining_tasks = expected_agents;
+        let mut done_participants = 0usize;
+
+        // Apply the prepared batches: busy accounting mirrors the closed
+        // form (the slow side computes all prefix batches, the helper its
+        // own task plus guest work — per event on the fine path, up front
+        // on the coarse path), and each pair schedules its initial event.
+        for (idx, (p, init)) in pairs.iter().zip(&inits).enumerate() {
+            match *init {
+                InitialEvent::Solo { at } => {
+                    driver.record_busy(p.slow, p.sim.fast_own_batch_s);
+                    driver.schedule_at(at, SimEvent::AgentDone { agent: p.slow });
+                }
+                offloading => {
+                    let fast_id = p.fast.expect("offloading init implies a helper");
                     driver.record_busy(p.slow, p.sim.n_slow_batches as f64 * p.sim.slow_batch_s);
                     driver
                         .record_busy(fast_id, p.sim.n_fast_batches as f64 * p.sim.fast_own_batch_s);
-                    let coarse = self.granularity == EventGranularity::Coarse
-                        && !disrupted[p.slow.0]
-                        && !disrupted[fast_id.0];
-                    if p.sim.n_slow_batches == 0 {
-                        driver.schedule_at(
-                            p.helper_free + p.sim.suffix_return_s,
-                            SimEvent::SuffixReturn { pair: idx },
-                        );
-                    } else if coarse {
-                        driver.record_busy(
-                            fast_id,
-                            p.sim.n_slow_batches as f64 * p.sim.fast_guest_batch_s,
-                        );
-                        let done = p.sim.completion_closed_form(
-                            p.sim.transfer_s,
-                            p.slow_start,
-                            p.fast_start,
-                        ) + p.sim.suffix_return_s;
-                        driver.schedule_at(done, SimEvent::PairDone { pair: idx });
-                    } else {
-                        driver.schedule_at(
-                            p.slow_start + p.sim.slow_batch_s,
-                            SimEvent::BatchProduced { pair: idx, batch: 0 },
-                        );
+                    match offloading {
+                        InitialEvent::Suffix { at } => {
+                            driver.schedule_at(at, SimEvent::SuffixReturn { pair: idx });
+                        }
+                        InitialEvent::PairDone { at, guest_busy } => {
+                            driver.record_busy(fast_id, guest_busy);
+                            driver.schedule_at(at, SimEvent::PairDone { pair: idx });
+                        }
+                        InitialEvent::FirstBatch { at } => {
+                            driver.schedule_at(at, SimEvent::BatchProduced { pair: idx, batch: 0 });
+                        }
+                        InitialEvent::Solo { .. } => unreachable!("matched above"),
                     }
-                }
-                None => {
-                    driver.record_busy(p.slow, p.sim.fast_own_batch_s);
-                    driver.schedule_at(p.helper_free, SimEvent::AgentDone { agent: p.slow });
                 }
             }
         }
@@ -541,6 +639,10 @@ impl<'a> EventRound<'a> {
 
         let mut gone = vec![false; k];
         let mut joined_pool: Vec<AgentId> = Vec::new();
+        // Participants that reached done, in finish order (re-tasked agents
+        // can appear twice) — the repair path's candidate pool, so helper
+        // replacement never scans the whole world.
+        let mut finished_pool: Vec<AgentId> = Vec::new();
         let mut repairs = 0usize;
         let mut local_fallbacks = 0usize;
         let mut aggregate_scheduled = false;
@@ -559,6 +661,7 @@ impl<'a> EventRound<'a> {
         // Wall-clock the event loop only when observability is on: with it
         // off, no `Instant::now` runs on this hot path (the zero-overhead
         // contract `scalability_10k` pins).
+        drop(setup_timer);
         let loop_start =
             if comdml_obs::metrics_enabled() { Some(std::time::Instant::now()) } else { None };
 
@@ -656,13 +759,15 @@ impl<'a> EventRound<'a> {
                     if gone[agent.0] || driver.timeline(agent).done {
                         continue;
                     }
-                    if let Some(&idx) = pair_of.get(&agent) {
+                    let idx = pair_of[agent.0];
+                    if idx != NO_PAIR {
                         // A solo task is complete the moment its agent is.
                         if pairs[idx].fast.is_none() {
                             pairs[idx].done = true;
                         }
                     }
                     driver.mark_done(agent, now);
+                    finished_pool.push(agent);
                     remaining_tasks = remaining_tasks.saturating_sub(1);
                     done_participants += 1;
                     match self.mode {
@@ -696,15 +801,20 @@ impl<'a> EventRound<'a> {
                     }
                     aggregate_started = true;
                     trigger_time = Some(now);
-                    cohort = (0..k)
-                        .map(AgentId)
-                        .filter(|&id| {
-                            participant[id.0]
-                                && driver.timeline(id).done
+                    // Ascending-id cohort, exactly the old 0..k sweep's
+                    // output: participant ids are unique, so sorting them
+                    // and filtering matches the full-world scan bit for
+                    // bit at O(participants) cost.
+                    cohort = {
+                        let mut ids = participant_ids.clone();
+                        ids.sort_unstable();
+                        ids.retain(|&id| {
+                            driver.timeline(id).done
                                 && !gone[id.0]
                                 && self.world.agent(id).profile.is_connected()
-                        })
-                        .collect();
+                        });
+                        ids
+                    };
                     allreduce_s = if cohort.len() > 1 {
                         let min_link = cohort
                             .iter()
@@ -734,7 +844,10 @@ impl<'a> EventRound<'a> {
                     if crashes.get(&agent).copied().unwrap_or(true) {
                         driver.mark_failed(agent);
                     }
-                    let Some(&idx) = pair_of.get(&agent) else { continue };
+                    let idx = pair_of[agent.0];
+                    if idx == NO_PAIR {
+                        continue;
+                    }
                     if !driver.timeline(agent).done {
                         remaining_tasks = remaining_tasks.saturating_sub(1);
                     }
@@ -750,8 +863,10 @@ impl<'a> EventRound<'a> {
                                 now,
                                 &gone,
                                 &joined_pool,
+                                &finished_pool,
                                 &mut pair_of,
                                 &mut participant,
+                                &mut participant_ids,
                                 &mut remaining_tasks,
                                 &mut done_participants,
                             );
@@ -809,7 +924,8 @@ impl<'a> EventRound<'a> {
         }
         driver.publish_metrics();
 
-        self.finish(
+        let report_timer = comdml_obs::phase("round.report");
+        let report = self.finish(
             driver,
             pairs,
             &participant,
@@ -819,7 +935,9 @@ impl<'a> EventRound<'a> {
             round_end,
             repairs,
             local_fallbacks,
-        )
+        );
+        drop(report_timer);
+        report
     }
 
     /// If the pair's link is idle and a produced batch is waiting, put it on
@@ -850,8 +968,10 @@ impl<'a> EventRound<'a> {
         now: f64,
         gone: &[bool],
         joined_pool: &[AgentId],
-        pair_of: &mut HashMap<AgentId, usize>,
+        finished_pool: &[AgentId],
+        pair_of: &mut [usize],
         participant: &mut [bool],
+        participant_ids: &mut Vec<AgentId>,
         remaining_tasks: &mut usize,
         done_participants: &mut usize,
     ) -> (bool, bool) {
@@ -859,32 +979,36 @@ impl<'a> EventRound<'a> {
         let slow_id = pairs[idx].slow;
         // Idle candidates: agents whose whole pair already finished, plus
         // mid-round joiners — alive and reachable from the slow agent.
-        let mut candidates: Vec<AgentId> = (0..world.num_agents())
-            .map(AgentId)
-            .filter(|&id| {
-                id != slow_id
-                    && !gone[id.0]
-                    && driver.timeline(id).done
-                    && world.link_mbps(slow_id, id) > 0.0
-                    && pair_of.get(&id).map(|&i| pairs[i].done).unwrap_or(true)
-            })
-            .collect();
-        candidates.extend(
-            joined_pool
-                .iter()
-                .copied()
-                .filter(|&id| !gone[id.0] && world.link_mbps(slow_id, id) > 0.0),
-        );
-        candidates.sort();
-        candidates.dedup();
-        // Fastest replacement first; ties break on the lower id (the sort
-        // above) so repairs are deterministic.
-        candidates.sort_by(|&a, &b| {
-            estimator
-                .batches_per_s(world.agent(b))
-                .partial_cmp(&estimator.batches_per_s(world.agent(a)))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // The repair only ever takes the fastest candidate (ties to the
+        // lower id), so a single argmax pass over the finished pool picks
+        // exactly the head of the sorted candidate list this used to
+        // build from a full-world sweep — O(finished), not O(world).
+        let mut best: Option<(f64, AgentId)> = None;
+        let consider = |id: AgentId, best: &mut Option<(f64, AgentId)>| {
+            let speed = estimator.batches_per_s(world.agent(id));
+            let better = match *best {
+                None => true,
+                Some((top, top_id)) => speed > top || (speed == top && id < top_id),
+            };
+            if better {
+                *best = Some((speed, id));
+            }
+        };
+        for &id in finished_pool {
+            if id != slow_id
+                && !gone[id.0]
+                && driver.timeline(id).done
+                && world.link_mbps(slow_id, id) > 0.0
+                && (pair_of[id.0] == NO_PAIR || pairs[pair_of[id.0]].done)
+            {
+                consider(id, &mut best);
+            }
+        }
+        for &id in joined_pool {
+            if !gone[id.0] && world.link_mbps(slow_id, id) > 0.0 {
+                consider(id, &mut best);
+            }
+        }
 
         let p = &mut pairs[idx];
         let remaining = p.sim.n_slow_batches - trained;
@@ -897,7 +1021,7 @@ impl<'a> EventRound<'a> {
         }
         let entry = estimator.profile().entry(p.offload).expect("pair kept its profiled offload");
 
-        if let Some(&replacement) = candidates.first() {
+        if let Some((_, replacement)) = best {
             // Re-pair: the replacement hosts the remaining batches over its
             // own link; transferred-but-untrained batches are re-sent.
             let link = world.link_mbps(slow_id, replacement);
@@ -916,7 +1040,10 @@ impl<'a> EventRound<'a> {
             if participant[replacement.0] && driver.timeline(replacement).done {
                 *done_participants = done_participants.saturating_sub(1);
             }
-            pair_of.insert(replacement, idx);
+            pair_of[replacement.0] = idx;
+            if !participant[replacement.0] {
+                participant_ids.push(replacement);
+            }
             participant[replacement.0] = true;
             // The replacement picks up a fresh task: it must finish again.
             driver.mark_active(replacement);

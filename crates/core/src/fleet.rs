@@ -265,6 +265,7 @@ impl FleetSim {
         )
         .mode(self.config.aggregation)
         .granularity(self.config.granularity)
+        .pair_threads(self.config.threads)
         .disruptions(disruptions)
         .ready_at(round_carry)
         .run();
@@ -498,6 +499,42 @@ mod tests {
                 "sampling_rate = 1.0 must reproduce the pre-sampling digest \
                  (seed {seed}, {mode:?})"
             );
+        }
+    }
+
+    #[test]
+    fn pair_thread_count_never_moves_a_digest() {
+        // The parallel pair batches only fan out the *preparation* of pair
+        // pipelines; the prepared schedule is applied in pairing order, so
+        // every digest — including the pinned pre-sampling constants above
+        // — must be bit-for-bit identical at 1, 2, and 8 threads, on both
+        // granularities and all aggregation modes.
+        // Big enough that the threaded path actually spawns (the engine
+        // prepares inline below ~128 pairs).
+        let fleet = || {
+            FleetConfig::new(400, 7)
+                .arrivals(ArrivalProcess::Poisson { rate_per_s: 0.002 })
+                .lifetime(SessionLifetime::Exponential { mean_s: 5_000.0 })
+                .samples_per_agent(500)
+        };
+        let semi = AggregationMode::SemiSynchronous { quorum: 0.6, staleness_s: f64::MAX };
+        for mode in [AggregationMode::Synchronous, semi, AggregationMode::Asynchronous] {
+            for granularity in [EventGranularity::Coarse, EventGranularity::Fine] {
+                let cfg = |threads| ComDmlConfig {
+                    aggregation: mode,
+                    granularity,
+                    threads,
+                    ..quick_config()
+                };
+                let baseline = digest(fleet(), cfg(1), 8);
+                for threads in [2, 8] {
+                    assert_eq!(
+                        digest(fleet(), cfg(threads), 8),
+                        baseline,
+                        "digest moved at {threads} threads ({mode:?}, {granularity:?})"
+                    );
+                }
+            }
         }
     }
 

@@ -53,7 +53,9 @@ mod theory;
 pub use comdml::{
     time_to_accuracy, ChurnPolicy, ComDml, ComDmlConfig, ComDmlReport, RoundEngine, TimeToAccuracy,
 };
-pub use estimator::{SplitDecision, TrainingTimeEstimator};
+pub use estimator::{
+    EstimateMemo, FnvBuildHasher, FnvHasher, SplitDecision, TrainingTimeEstimator,
+};
 pub use event_round::{
     barrier_round_s, mean_round_s, AggregationMode, Disruption, EventGranularity, EventRound,
     EventRoundReport,

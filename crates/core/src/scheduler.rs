@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use comdml_simnet::{AgentId, World};
 
-use crate::{SplitDecision, TrainingTimeEstimator};
+use crate::{EstimateMemo, FnvBuildHasher, SplitDecision, TrainingTimeEstimator};
 
 /// One scheduling decision: a slow agent, its chosen helper (if any), the
 /// split, and the estimated completion time.
@@ -127,14 +127,32 @@ impl PairingScheduler {
         participants: &[AgentId],
         estimator: &TrainingTimeEstimator<'_>,
     ) -> Vec<Pairing> {
+        let mut memo = EstimateMemo::new();
         // Step 1 (line 2): agents broadcast p and τ̂ — compute solo times.
-        let mut order: Vec<(AgentId, f64)> =
-            participants.iter().map(|&id| (id, estimator.solo_time_s(world.agent(id)))).collect();
-        // Descending order of task completion time (list A).
-        order.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        // Profiles come from small grids and dataset shares from a handful
+        // of sizes, so the solo times take few distinct values: grouping by
+        // exact value and sorting the distinct keys replaces the
+        // O(n log n) comparison sort with O(n + d log d) for d values.
+        let mut groups: HashMap<u64, Vec<AgentId>, FnvBuildHasher> = HashMap::default();
+        for &id in participants {
+            let solo = memo.solo_time_s(estimator, world.agent(id));
+            groups.entry(solo.to_bits()).or_default().push(id);
+        }
+        let mut keys: Vec<u64> = groups.keys().copied().collect();
+        // Descending order of task completion time (list A); solo times are
+        // non-negative, never NaN, and distinct bit patterns are distinct
+        // values, so this reproduces the old comparison sort exactly.
+        keys.sort_unstable_by(|&a, &b| {
+            f64::from_bits(b).partial_cmp(&f64::from_bits(a)).expect("solo times are never NaN")
         });
-        self.pair_ordered(world, &order, estimator)
+        let mut order: Vec<(AgentId, f64)> = Vec::with_capacity(participants.len());
+        for key in keys {
+            let mut ids = groups.remove(&key).expect("key came from the map");
+            ids.sort_unstable(); // equal solo times tie-break on ascending id
+            let solo = f64::from_bits(key);
+            order.extend(ids.into_iter().map(|id| (id, solo)));
+        }
+        self.pair_ordered(world, &order, estimator, &mut memo)
     }
 
     /// Like [`PairingScheduler::pair`] but with a configurable visit order —
@@ -149,13 +167,14 @@ impl PairingScheduler {
         match order_kind {
             PairingOrder::SlowestFirst => self.pair(world, participants, estimator),
             PairingOrder::ByAgentId => {
+                let mut memo = EstimateMemo::new();
                 let mut sorted = participants.to_vec();
                 sorted.sort();
                 let order: Vec<(AgentId, f64)> = sorted
                     .into_iter()
-                    .map(|id| (id, estimator.solo_time_s(world.agent(id))))
+                    .map(|id| (id, memo.solo_time_s(estimator, world.agent(id))))
                     .collect();
-                self.pair_ordered(world, &order, estimator)
+                self.pair_ordered(world, &order, estimator, &mut memo)
             }
         }
     }
@@ -167,6 +186,7 @@ impl PairingScheduler {
         world: &World,
         order: &[(AgentId, f64)],
         estimator: &TrainingTimeEstimator<'_>,
+        memo: &mut EstimateMemo,
     ) -> Vec<Pairing> {
         let k = world.num_agents();
         let mut paired = vec![true; k];
@@ -230,7 +250,7 @@ impl PairingScheduler {
                     if link <= 0.0 {
                         continue;
                     }
-                    let d = estimator.estimate(slow_state, world.agent(j), solo_j, link);
+                    let d = memo.estimate(estimator, slow_state, world.agent(j), solo_j, link);
                     if d.offload == 0 || d.est_time_s >= solo_i {
                         continue;
                     }
@@ -246,8 +266,7 @@ impl PairingScheduler {
                 // τ̂ⱼ crosses the best estimate the rest cannot win.
                 let mut neighbors: Vec<(f64, AgentId)> = world
                     .adjacency()
-                    .neighbors(i.0)
-                    .into_iter()
+                    .neighbors_iter(i.0)
                     .map(AgentId)
                     .filter(|&j| !paired[j.0] && solo_of[j.0].is_finite())
                     .map(|j| (solo_of[j.0], j))
@@ -263,7 +282,7 @@ impl PairingScheduler {
                     if link <= 0.0 {
                         continue;
                     }
-                    let d = estimator.estimate(slow_state, world.agent(j), solo_j, link);
+                    let d = memo.estimate(estimator, slow_state, world.agent(j), solo_j, link);
                     if d.offload == 0 {
                         continue;
                     }

@@ -208,6 +208,7 @@ impl ScenarioSpec {
         ComDmlConfig {
             churn: self.churn,
             sampling_rate: self.sampling_rate,
+            threads: self.threads,
             aggregation: self.aggregation,
             granularity: self.granularity,
             curve: self.learning_curve(),

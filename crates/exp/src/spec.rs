@@ -214,6 +214,10 @@ pub struct ScenarioSpec {
     pub granularity: EventGranularity,
     /// Per-round participation sampling rate (Table III uses 0.2).
     pub sampling_rate: f64,
+    /// Pair-batch threads for the event engine (default 1 = inline).
+    /// Results are bit-for-bit identical for any value; raise it for
+    /// large worlds where per-pair preparation dominates the round.
+    pub threads: usize,
     /// Profile churn policy (`None` = static profiles).
     pub churn: Option<ChurnPolicy>,
     /// Measured rounds per job.
@@ -258,6 +262,7 @@ impl ScenarioSpec {
             aggregation: AggregationMode::Synchronous,
             granularity: EventGranularity::Coarse,
             sampling_rate: 1.0,
+            threads: 1,
             churn: None,
             rounds: 30,
             dataset: "cifar10".to_string(),
@@ -303,6 +308,12 @@ impl ScenarioSpec {
     /// Sets the participation sampling rate.
     pub fn sampling_rate(mut self, r: f64) -> Self {
         self.sampling_rate = r;
+        self
+    }
+
+    /// Sets the event-engine pair-batch thread count.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t;
         self
     }
 
@@ -396,6 +407,9 @@ impl ScenarioSpec {
         }
         if !(self.sampling_rate > 0.0 && self.sampling_rate <= 1.0) {
             return Err(format!("{ctx}: sampling_rate must be in (0, 1]"));
+        }
+        if self.threads == 0 {
+            return Err(format!("{ctx}: threads must be positive"));
         }
         if !(self.target_accuracy > 0.0 && self.target_accuracy < 1.0) {
             return Err(format!("{ctx}: target_accuracy must be in (0, 1)"));
@@ -755,6 +769,9 @@ fn scenario_from_value(v: &Value) -> Result<ScenarioSpec, String> {
     if let Some(r) = v.get("sampling_rate") {
         s.sampling_rate = r.as_f64().ok_or("sampling_rate must be a number")?;
     }
+    if let Some(t) = v.get("threads") {
+        s.threads = t.as_usize().ok_or("threads must be a positive integer")?;
+    }
     if let Some(c) = v.get("churn") {
         s.churn = Some(ChurnPolicy {
             interval: c.get("interval").and_then(Value::as_usize).ok_or("churn.interval")?,
@@ -912,6 +929,9 @@ fn scenario_to_value(s: &ScenarioSpec) -> Value {
         }),
     ));
     fields.push(("sampling_rate".into(), Value::Num(s.sampling_rate)));
+    if s.threads != 1 {
+        fields.push(("threads".into(), Value::Num(s.threads as f64)));
+    }
     if let Some(c) = s.churn {
         fields.push((
             "churn".into(),

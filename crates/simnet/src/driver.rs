@@ -157,7 +157,9 @@ impl SimDriver {
     }
 
     /// Publishes the driver's lifetime counters to the process-wide
-    /// metrics registry (`simnet.events`, `simnet.peak_pending`). No-op
+    /// metrics registry (`simnet.events`, `simnet.peak_pending`), plus the
+    /// calendar-queue layout (`simnet.queue_buckets`,
+    /// `simnet.bucket_occupancy` p50/p99 at the high-water calendar). No-op
     /// unless observability is enabled; never touches the clock or queue,
     /// so calling it cannot perturb a run.
     pub fn publish_metrics(&self) {
@@ -166,6 +168,10 @@ impl SimDriver {
         }
         comdml_obs::counter_add("simnet.events", self.processed);
         comdml_obs::gauge_max("simnet.peak_pending", self.peak_pending as f64);
+        let stats = self.queue.bucket_stats();
+        comdml_obs::gauge_max("simnet.queue_buckets", stats.buckets as f64);
+        comdml_obs::gauge_max("simnet.bucket_occupancy_p50", stats.occupancy_p50);
+        comdml_obs::gauge_max("simnet.bucket_occupancy_p99", stats.occupancy_p99);
     }
 
     /// Schedules `event` at absolute simulated time `time`.

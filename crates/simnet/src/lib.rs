@@ -48,11 +48,11 @@ mod world;
 
 pub use agent::{AgentId, AgentState};
 pub use driver::{AgentTimeline, SimDriver, SimEvent};
-pub use events::EventQueue;
+pub use events::{BucketStats, EventQueue};
 pub use fleet::{
     ArrivalProcess, FleetConfig, FleetDriver, FleetRoundPlan, MembershipChange, MembershipEvent,
     SessionLifetime,
 };
 pub use profile::{AgentProfile, CPU_PROFILES, LINK_PROFILES_MBPS};
-pub use topology::{Adjacency, JoinTopology, Topology};
-pub use world::{World, WorldConfig};
+pub use topology::{Adjacency, JoinTopology, NeighborsIter, Topology};
+pub use world::{AgentsMut, World, WorldConfig};

@@ -173,13 +173,20 @@ impl Adjacency {
 
     /// The neighbours of agent `i`.
     pub fn neighbors(&self, i: usize) -> Vec<usize> {
-        match self {
-            Adjacency::Full { k } => (0..*k).filter(|&j| j != i).collect(),
-            Adjacency::Matrix { matrix } => matrix[i]
-                .iter()
-                .enumerate()
-                .filter_map(|(j, &c)| if c { Some(j) } else { None })
-                .collect(),
+        self.neighbors_iter(i).collect()
+    }
+
+    /// The neighbours of agent `i`, without allocating — the hot-path
+    /// variant of [`Adjacency::neighbors`] for per-event and per-pairing
+    /// scans at fleet scale.
+    pub fn neighbors_iter(&self, i: usize) -> NeighborsIter<'_> {
+        NeighborsIter {
+            inner: match self {
+                Adjacency::Full { k } => NeighborsInner::Full { k: *k, skip: i, next: 0 },
+                Adjacency::Matrix { matrix } => {
+                    NeighborsInner::Matrix { row: matrix[i].iter().enumerate() }
+                }
+            },
         }
     }
 
@@ -316,7 +323,7 @@ impl Adjacency {
         let mut stack = vec![0];
         seen[0] = true;
         while let Some(i) = stack.pop() {
-            for j in self.neighbors(i) {
+            for j in self.neighbors_iter(i) {
                 if !seen[j] {
                     seen[j] = true;
                     stack.push(j);
@@ -324,6 +331,46 @@ impl Adjacency {
             }
         }
         seen.into_iter().all(|s| s)
+    }
+}
+
+/// Allocation-free neighbour cursor (see [`Adjacency::neighbors_iter`]).
+#[derive(Debug, Clone)]
+pub struct NeighborsIter<'a> {
+    inner: NeighborsInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum NeighborsInner<'a> {
+    Full { k: usize, skip: usize, next: usize },
+    Matrix { row: std::iter::Enumerate<std::slice::Iter<'a, bool>> },
+}
+
+impl Iterator for NeighborsIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match &mut self.inner {
+            NeighborsInner::Full { k, skip, next } => {
+                if *next == *skip {
+                    *next += 1;
+                }
+                if *next >= *k {
+                    return None;
+                }
+                let j = *next;
+                *next += 1;
+                Some(j)
+            }
+            NeighborsInner::Matrix { row } => {
+                for (j, &connected) in row.by_ref() {
+                    if connected {
+                        return Some(j);
+                    }
+                }
+                None
+            }
+        }
     }
 }
 

@@ -96,19 +96,23 @@ impl WorldConfig {
             sizes[i % k] += 1;
         }
 
-        let agents = profiles
+        let agents: Vec<AgentState> = profiles
             .into_iter()
             .zip(sizes)
             .enumerate()
             .map(|(i, (p, n))| AgentState::new(AgentId(i), p, n, self.batch_size))
             .collect();
         let adjacency = self.topology.build(k, &mut rng);
-        World {
+        let mut world = World {
             agents,
+            cpus: Vec::new(),
+            link_col: Vec::new(),
             adjacency,
             churn_rng: StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9),
             participation_rng: StdRng::seed_from_u64(self.seed ^ 0x85eb_ca6b),
-        }
+        };
+        world.rebuild_columns();
+        world
     }
 }
 
@@ -117,9 +121,23 @@ impl WorldConfig {
 /// Pairwise link speed is the minimum of the two endpoints' link profiles
 /// (a path is no faster than its slowest hop), and 0 when the topology has
 /// no edge.
+///
+/// # Hot columns
+///
+/// The agent list stays the authoritative record, but the fields the event
+/// engine and scheduler touch per event — CPU speed and link class — are
+/// mirrored into struct-of-arrays columns ([`World::cpus`],
+/// [`World::link_classes_mbps`]) so a scan over a million agents reads
+/// dense `f64` arrays instead of striding through whole `AgentState`s.
+/// Every mutator keeps the columns in sync; [`World::agents_mut`] hands
+/// out a guard that rebuilds them when dropped.
 #[derive(Debug, Clone)]
 pub struct World {
     agents: Vec<AgentState>,
+    /// Column mirror of `agents[i].profile.cpus`.
+    cpus: Vec<f64>,
+    /// Column mirror of `agents[i].profile.link_mbps`.
+    link_col: Vec<f64>,
     adjacency: Adjacency,
     /// Drives profile churn only. Participation sampling has its own stream
     /// ([`World::sample_participants`]) so enabling one feature never
@@ -136,12 +154,24 @@ impl World {
     /// Panics if `agents.len()` differs from the adjacency size.
     pub fn from_parts(agents: Vec<AgentState>, adjacency: Adjacency, seed: u64) -> Self {
         assert_eq!(agents.len(), adjacency.len(), "agents and adjacency must agree");
-        Self {
+        let mut world = Self {
             agents,
+            cpus: Vec::new(),
+            link_col: Vec::new(),
             adjacency,
             churn_rng: StdRng::seed_from_u64(seed),
             participation_rng: StdRng::seed_from_u64(seed ^ 0x85eb_ca6b),
-        }
+        };
+        world.rebuild_columns();
+        world
+    }
+
+    /// Recomputes the hot columns from the agent list.
+    fn rebuild_columns(&mut self) {
+        self.cpus.clear();
+        self.link_col.clear();
+        self.cpus.extend(self.agents.iter().map(|a| a.profile.cpus));
+        self.link_col.extend(self.agents.iter().map(|a| a.profile.link_mbps));
     }
 
     /// Number of agents.
@@ -154,9 +184,24 @@ impl World {
         &self.agents
     }
 
-    /// Mutable agent states (used by failure-injection tests).
-    pub fn agents_mut(&mut self) -> &mut [AgentState] {
-        &mut self.agents
+    /// Mutable agent states (used by failure-injection tests). Returns a
+    /// guard that dereferences to the agent slice and re-syncs the hot
+    /// columns when dropped, so callers can mutate profiles freely without
+    /// the columns going stale.
+    pub fn agents_mut(&mut self) -> AgentsMut<'_> {
+        AgentsMut { world: self }
+    }
+
+    /// The per-agent CPU-speed column (`agents()[i].profile.cpus`),
+    /// contiguous for cache-line-sized hot-path scans.
+    pub fn cpus(&self) -> &[f64] {
+        &self.cpus
+    }
+
+    /// The per-agent link-class column (`agents()[i].profile.link_mbps`),
+    /// contiguous for cache-line-sized hot-path scans.
+    pub fn link_classes_mbps(&self) -> &[f64] {
+        &self.link_col
     }
 
     /// One agent's state.
@@ -187,6 +232,8 @@ impl World {
     ) -> AgentId {
         let id = AgentId(self.agents.len());
         self.agents.push(AgentState::new(id, profile, num_samples, batch_size));
+        self.cpus.push(profile.cpus);
+        self.link_col.push(profile.link_mbps);
         self.adjacency.grow();
         id
     }
@@ -208,6 +255,8 @@ impl World {
     ) -> AgentId {
         let id = AgentId(self.agents.len());
         self.agents.push(AgentState::new(id, profile, num_samples, batch_size));
+        self.cpus.push(profile.cpus);
+        self.link_col.push(profile.link_mbps);
         match join {
             JoinTopology::FullMesh => self.adjacency.grow(),
             JoinTopology::ErdosRenyi { p } => self.adjacency.grow_er(p, rng),
@@ -234,6 +283,8 @@ impl World {
         rng: &mut R,
     ) {
         self.agents[id.0] = AgentState::new(id, profile, num_samples, batch_size);
+        self.cpus[id.0] = profile.cpus;
+        self.link_col[id.0] = profile.link_mbps;
         match join {
             JoinTopology::FullMesh => self.adjacency.rewire_full(id.0),
             JoinTopology::ErdosRenyi { p } => self.adjacency.rewire_er(id.0, p, rng),
@@ -247,17 +298,18 @@ impl World {
         if i == j || !self.adjacency.connected(i.0, j.0) {
             return 0.0;
         }
-        self.agents[i.0].profile.link_mbps.min(self.agents[j.0].profile.link_mbps)
+        self.link_col[i.0].min(self.link_col[j.0])
     }
 
     /// The neighbours of `i` with a usable (non-zero) link.
     pub fn reachable_neighbors(&self, i: AgentId) -> Vec<AgentId> {
-        self.adjacency
-            .neighbors(i.0)
-            .into_iter()
-            .map(AgentId)
-            .filter(|&j| self.link_mbps(i, j) > 0.0)
-            .collect()
+        self.reachable_neighbors_iter(i).collect()
+    }
+
+    /// Iterator form of [`World::reachable_neighbors`] — no allocation, for
+    /// hot paths that only scan or count.
+    pub fn reachable_neighbors_iter(&self, i: AgentId) -> impl Iterator<Item = AgentId> + '_ {
+        self.adjacency.neighbors_iter(i.0).map(AgentId).filter(move |&j| self.link_mbps(i, j) > 0.0)
     }
 
     /// Re-rolls the profiles of a `fraction` of agents, the paper's dynamic
@@ -269,7 +321,10 @@ impl World {
         let mut ids: Vec<usize> = (0..k).collect();
         ids.shuffle(&mut self.churn_rng);
         for &i in ids.iter().take(n) {
-            self.agents[i].profile = AgentProfile::sample(&mut self.churn_rng);
+            let p = AgentProfile::sample(&mut self.churn_rng);
+            self.agents[i].profile = p;
+            self.cpus[i] = p.cpus;
+            self.link_col[i] = p.link_mbps;
         }
     }
 
@@ -314,6 +369,36 @@ impl World {
             }
         }
         worst
+    }
+}
+
+/// Mutable view of the agent list handed out by [`World::agents_mut`].
+///
+/// Dereferences to `[AgentState]`; when dropped it rebuilds the hot
+/// struct-of-arrays columns so profile edits made through the view are
+/// reflected in [`World::cpus`] and [`World::link_classes_mbps`].
+#[derive(Debug)]
+pub struct AgentsMut<'a> {
+    world: &'a mut World,
+}
+
+impl std::ops::Deref for AgentsMut<'_> {
+    type Target = [AgentState];
+
+    fn deref(&self) -> &[AgentState] {
+        &self.world.agents
+    }
+}
+
+impl std::ops::DerefMut for AgentsMut<'_> {
+    fn deref_mut(&mut self) -> &mut [AgentState] {
+        &mut self.world.agents
+    }
+}
+
+impl Drop for AgentsMut<'_> {
+    fn drop(&mut self) {
+        self.world.rebuild_columns();
     }
 }
 
@@ -506,6 +591,45 @@ mod tests {
             assert!(a.num_batches() as f64 / a.profile.cpus <= t + 1e-12);
         }
         assert!(id.0 < 10);
+    }
+
+    #[test]
+    fn hot_columns_track_every_mutator() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let check = |w: &World| {
+            for (i, a) in w.agents().iter().enumerate() {
+                assert_eq!(w.cpus()[i], a.profile.cpus);
+                assert_eq!(w.link_classes_mbps()[i], a.profile.link_mbps);
+            }
+        };
+        let mut w = WorldConfig::heterogeneous(12, 41).build();
+        check(&w);
+        w.churn_profiles(0.5);
+        check(&w);
+        w.push_agent(AgentProfile::new(2.0, 20.0), 100, 10);
+        check(&w);
+        let mut rng = StdRng::seed_from_u64(3);
+        w.push_agent_joined(
+            AgentProfile::new(0.5, 10.0),
+            100,
+            10,
+            JoinTopology::ErdosRenyi { p: 0.5 },
+            &mut rng,
+        );
+        check(&w);
+        w.recycle_agent(
+            AgentId(1),
+            AgentProfile::new(4.0, 100.0),
+            50,
+            5,
+            JoinTopology::FullMesh,
+            &mut rng,
+        );
+        check(&w);
+        // Mutation through the guard re-syncs on drop.
+        w.agents_mut()[0].profile = AgentProfile::new(1.0, 50.0);
+        check(&w);
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn helper_link_death_forces_independent_training() {
     assert!(before.num_offloads > 0, "healthy world should offload");
 
     // Every link dies.
-    for a in world.agents_mut() {
+    for a in world.agents_mut().iter_mut() {
         a.profile = AgentProfile::disconnected(a.profile.cpus);
     }
     let after = comdml.run_round(&mut world, 1);

@@ -84,7 +84,7 @@ fn comdml_reduction_vs_fedavg_is_large() {
 fn homogeneous_world_gains_little_from_balancing() {
     // When every agent is identical there are no stragglers to fix.
     let mut world = WorldConfig::heterogeneous(10, 3).build();
-    for a in world.agents_mut() {
+    for a in world.agents_mut().iter_mut() {
         a.profile = comdml::simnet::AgentProfile::new(1.0, 50.0);
         a.num_samples = 5_000;
     }
