@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use comdml_collective::AllReduceAlgorithm;
 use comdml_cost::{CostCalibration, ModelSpec, SplitProfile};
-use comdml_simnet::{AgentId, World};
+use comdml_simnet::{AgentId, ByzantineConfig, DiurnalCycle, PartitionSchedule, World};
 use serde::{Deserialize, Serialize};
 
 use crate::{
@@ -65,6 +65,17 @@ pub struct ComDmlConfig {
     /// ([`EventRound::pair_threads`]). Results are bit-for-bit identical
     /// for any value; 1 (the default) prepares inline.
     pub threads: usize,
+    /// Diurnal time-varying bandwidth (`None` = stationary links). Applied
+    /// by the clock-owning harness ([`crate::FleetSim`] and the sweep
+    /// runner) as a link scale on the world at each round start.
+    pub diurnal: Option<DiurnalCycle>,
+    /// Rotating correlated regional outages (`None` = never partitioned).
+    /// Applied by the clock-owning harness like [`ComDmlConfig::diurnal`].
+    pub partition: Option<PartitionSchedule>,
+    /// Byzantine agents misreporting speed to the pairing broadcast
+    /// (`None` = everyone honest). The liar set is salted by the scenario
+    /// seed where one is available (the fleet harness), else 0.
+    pub byzantine: Option<ByzantineConfig>,
 }
 
 impl Default for ComDmlConfig {
@@ -82,6 +93,9 @@ impl Default for ComDmlConfig {
             staleness_decay: 0.5,
             granularity: EventGranularity::Fine,
             threads: 1,
+            diurnal: None,
+            partition: None,
+            byzantine: None,
         }
     }
 }
@@ -220,10 +234,14 @@ impl ComDml {
             Some(c) => full.restrict_to(c),
             None => full,
         };
+        let scheduler = match config.byzantine {
+            Some(b) => PairingScheduler::with_misreport(b, 0),
+            None => PairingScheduler::new(),
+        };
         Self {
             config,
             profile,
-            scheduler: PairingScheduler::new(),
+            scheduler,
             last_outcome: None,
             last_report: None,
             ready_at: HashMap::new(),

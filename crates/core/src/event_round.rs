@@ -816,9 +816,11 @@ impl<'a> EventRound<'a> {
                         ids
                     };
                     allreduce_s = if cohort.len() > 1 {
+                        // Collectives ride the *effective* uplink so a
+                        // diurnal bandwidth trough slows the allreduce too.
                         let min_link = cohort
                             .iter()
-                            .map(|&id| self.world.agent(id).profile.link_mbps)
+                            .map(|&id| self.world.uplink_mbps(id))
                             .fold(f64::INFINITY, f64::min);
                         let cost = CollectiveCost::new(
                             self.algorithm,
@@ -1111,7 +1113,7 @@ impl<'a> EventRound<'a> {
                     if participant[i] && t.done && a.profile.is_connected() {
                         let cost = CollectiveCost::new(self.algorithm, 2, bytes);
                         exchange_total += cost.time_s(
-                            self.cal.bytes_per_s(a.profile.link_mbps),
+                            self.cal.bytes_per_s(self.world.uplink_mbps(id)),
                             self.cal.link_latency_s,
                         );
                         async_cohort.push(id);

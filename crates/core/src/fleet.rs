@@ -149,11 +149,17 @@ impl FleetSim {
             Some(c) => full.restrict_to(c),
             None => full,
         };
+        // Byzantine liar sets are salted by the fleet seed so a sweep over
+        // seeds also re-rolls *which* agents lie, not just their profiles.
+        let scheduler = match config.byzantine {
+            Some(b) => PairingScheduler::with_misreport(b, fleet.seed()),
+            None => PairingScheduler::new(),
+        };
         Self {
             fleet: fleet.build(),
             config,
             profile,
-            scheduler: PairingScheduler::new(),
+            scheduler,
             ready_at: HashMap::new(),
             last_round_s: 0.0,
             rounds_run: 0,
@@ -176,6 +182,21 @@ impl FleetSim {
 
     /// Executes one round and returns its summary.
     pub fn step(&mut self) -> FleetRoundSummary {
+        // Hostile-world shaping is a pure function of the fleet clock,
+        // evaluated once at each round start: diurnal bandwidth scaling and
+        // rotating regional partitions hold for the whole round. With both
+        // knobs off the world is never touched, so existing runs (and the
+        // pinned digests below) stay bit-identical.
+        let now = self.fleet.clock_s();
+        if let Some(d) = self.config.diurnal {
+            self.fleet.world_mut().set_link_scale(d.factor_at(now));
+        }
+        if let Some(p) = self.config.partition {
+            match p.cut_at(now) {
+                Some(isolated) => self.fleet.world_mut().set_partition(p.groups, isolated),
+                None => self.fleet.world_mut().clear_partition(),
+            }
+        }
         // The paper's dynamic-environment profile churn applies between
         // rounds, exactly as in `ComDml::run_round`.
         let round = self.fleet.round();
@@ -532,6 +553,67 @@ mod tests {
                         digest(fleet(), cfg(threads), 8),
                         baseline,
                         "digest moved at {threads} threads ({mode:?}, {granularity:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_knobs_have_pinned_digests() {
+        // The hostile-world knobs behind the `@diurnal` / `@partition` /
+        // `@byzantine` presets, run with the exact parameters those presets
+        // use (25 churny rounds, seed 5). Each digest is pinned per
+        // granularity and must be bit-identical at 1, 2, and 8 pair
+        // threads: hostile shaping is a pure function of the fleet clock
+        // and agent identity, so thread count can never move it. The
+        // constants differing from the honest pins above proves each knob
+        // actually bites.
+        use crate::EventGranularity::{Coarse, Fine};
+        use comdml_simnet::{ByzantineConfig, DiurnalCycle, PartitionSchedule};
+        let cases: [(&str, ComDmlConfig, u64, u64); 3] = [
+            (
+                "diurnal",
+                ComDmlConfig {
+                    diurnal: Some(DiurnalCycle { period_s: 7_200.0, min_factor: 0.25 }),
+                    ..quick_config()
+                },
+                0x4336_9b59_2988_5b55,
+                0xf081_e5a1_649a_0629,
+            ),
+            (
+                "partition",
+                ComDmlConfig {
+                    partition: Some(PartitionSchedule {
+                        groups: 4,
+                        period_s: 3_600.0,
+                        outage_s: 900.0,
+                    }),
+                    ..quick_config()
+                },
+                0xcee8_93f5_b3f1_f953,
+                0xdfd4_31bc_1214_56b7,
+            ),
+            (
+                "byzantine",
+                ComDmlConfig {
+                    byzantine: Some(ByzantineConfig { fraction: 0.2, speed_factor: 4.0 }),
+                    ..quick_config()
+                },
+                0x6858_dd9f_809f_6589,
+                0x3f2d_9564_fe34_8a7d,
+            ),
+        ];
+        let honest = 0x6d09_9d62_a159_60ea_u64; // seed-5 sync pin above
+        for (name, cfg, coarse_pin, fine_pin) in cases {
+            for (granularity, expect) in [(Coarse, coarse_pin), (Fine, fine_pin)] {
+                assert_ne!(expect, honest, "{name} must not reproduce the honest digest");
+                for threads in [1usize, 2, 8] {
+                    let cfg = ComDmlConfig { granularity, threads, ..cfg.clone() };
+                    assert_eq!(
+                        digest(churny_fleet(5), cfg, 25),
+                        expect,
+                        "{name} digest moved ({granularity:?}, {threads} threads)"
                     );
                 }
             }

@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use comdml_simnet::{AgentId, World};
+use comdml_simnet::{AgentId, AgentState, ByzantineConfig, World};
 
 use crate::{EstimateMemo, FnvBuildHasher, SplitDecision, TrainingTimeEstimator};
 
@@ -47,6 +47,16 @@ pub enum PairingOrder {
 /// information (speeds, solo times, link speeds) — exactly what each agent
 /// could compute for itself in the decentralized protocol.
 ///
+/// # Byzantine misreports
+///
+/// Because the scheduler trusts the broadcast, it is exactly where lying
+/// pays off: [`PairingScheduler::with_misreport`] substitutes a deterministic
+/// fraction of agents' *advertised* speeds (and hence their broadcast `τ̂`)
+/// with `speed_factor ×` the truth. Every scheduling input — visit order,
+/// helper choice, split selection, estimated times — then sees the lie,
+/// while round *execution* always runs on the true profiles, so misreports
+/// degrade realized round times without touching the physics.
+///
 /// # Scaling
 ///
 /// Paired-membership checks use O(1) indexed flags, and candidate search is
@@ -81,7 +91,48 @@ pub enum PairingOrder {
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PairingScheduler {
-    _private: (),
+    /// Byzantine speed misreporting applied to the broadcast, as
+    /// `(config, salt)`; `None` = everyone is honest.
+    misreport: Option<(ByzantineConfig, u64)>,
+}
+
+/// The pairing broadcast as the scheduler sees it: true agent states with
+/// each liar's advertised state substituted. With no misreport configured
+/// the spoof table is empty and every lookup returns the world's state
+/// directly, so honest rounds are bit-for-bit unchanged.
+struct Broadcast<'w> {
+    world: &'w World,
+    spoofed: HashMap<usize, AgentState, FnvBuildHasher>,
+}
+
+impl<'w> Broadcast<'w> {
+    fn new(
+        world: &'w World,
+        misreport: Option<(ByzantineConfig, u64)>,
+        participants: &[AgentId],
+    ) -> Self {
+        let mut spoofed: HashMap<usize, AgentState, FnvBuildHasher> = HashMap::default();
+        if let Some((b, salt)) = misreport {
+            if b.fraction > 0.0 && b.speed_factor != 1.0 {
+                for &id in participants {
+                    if b.is_liar(id.0, salt) {
+                        let mut a = world.agent(id).clone();
+                        a.profile.cpus *= b.speed_factor;
+                        spoofed.insert(id.0, a);
+                    }
+                }
+            }
+        }
+        Self { world, spoofed }
+    }
+
+    /// The state agent `id` broadcast — advertised for liars, true otherwise.
+    fn agent(&self, id: AgentId) -> &AgentState {
+        if self.spoofed.is_empty() {
+            return self.world.agent(id);
+        }
+        self.spoofed.get(&id.0).unwrap_or_else(|| self.world.agent(id))
+    }
 }
 
 /// Sorted per-class candidate list with a lazily advancing cursor.
@@ -111,9 +162,18 @@ impl ClassList {
 }
 
 impl PairingScheduler {
-    /// Creates a scheduler.
+    /// Creates a scheduler that trusts every broadcast.
     pub fn new() -> Self {
-        Self { _private: () }
+        Self { misreport: None }
+    }
+
+    /// Returns a scheduler whose broadcast is poisoned by Byzantine speed
+    /// misreports: the deterministic liar set (`config.is_liar(id, salt)`)
+    /// advertises `speed_factor ×` its true CPU speed. The salt is
+    /// typically the scenario seed, so the liar set varies across seeds but
+    /// is identical across threads and replays.
+    pub fn with_misreport(config: ByzantineConfig, salt: u64) -> Self {
+        Self { misreport: Some((config, salt)) }
     }
 
     /// Runs one round of pairing over `participants`, slowest first.
@@ -128,14 +188,16 @@ impl PairingScheduler {
         estimator: &TrainingTimeEstimator<'_>,
     ) -> Vec<Pairing> {
         let mut memo = EstimateMemo::new();
-        // Step 1 (line 2): agents broadcast p and τ̂ — compute solo times.
+        let bcast = Broadcast::new(world, self.misreport, participants);
+        // Step 1 (line 2): agents broadcast p and τ̂ — compute solo times
+        // from the *advertised* states (a liar's τ̂ reflects its lie).
         // Profiles come from small grids and dataset shares from a handful
         // of sizes, so the solo times take few distinct values: grouping by
         // exact value and sorting the distinct keys replaces the
         // O(n log n) comparison sort with O(n + d log d) for d values.
         let mut groups: HashMap<u64, Vec<AgentId>, FnvBuildHasher> = HashMap::default();
         for &id in participants {
-            let solo = memo.solo_time_s(estimator, world.agent(id));
+            let solo = memo.solo_time_s(estimator, bcast.agent(id));
             groups.entry(solo.to_bits()).or_default().push(id);
         }
         let mut keys: Vec<u64> = groups.keys().copied().collect();
@@ -152,7 +214,7 @@ impl PairingScheduler {
             let solo = f64::from_bits(key);
             order.extend(ids.into_iter().map(|id| (id, solo)));
         }
-        self.pair_ordered(world, &order, estimator, &mut memo)
+        self.pair_ordered(&bcast, &order, estimator, &mut memo)
     }
 
     /// Like [`PairingScheduler::pair`] but with a configurable visit order —
@@ -168,13 +230,14 @@ impl PairingScheduler {
             PairingOrder::SlowestFirst => self.pair(world, participants, estimator),
             PairingOrder::ByAgentId => {
                 let mut memo = EstimateMemo::new();
+                let bcast = Broadcast::new(world, self.misreport, participants);
                 let mut sorted = participants.to_vec();
                 sorted.sort();
                 let order: Vec<(AgentId, f64)> = sorted
                     .into_iter()
-                    .map(|id| (id, memo.solo_time_s(estimator, world.agent(id))))
+                    .map(|id| (id, memo.solo_time_s(estimator, bcast.agent(id))))
                     .collect();
-                self.pair_ordered(world, &order, estimator, &mut memo)
+                self.pair_ordered(&bcast, &order, estimator, &mut memo)
             }
         }
     }
@@ -183,11 +246,12 @@ impl PairingScheduler {
     /// each unpaired one its best unpaired partner.
     fn pair_ordered(
         &self,
-        world: &World,
+        bcast: &Broadcast<'_>,
         order: &[(AgentId, f64)],
         estimator: &TrainingTimeEstimator<'_>,
         memo: &mut EstimateMemo,
     ) -> Vec<Pairing> {
+        let world = bcast.world;
         let k = world.num_agents();
         let mut paired = vec![true; k];
         for &(id, _) in order {
@@ -202,7 +266,7 @@ impl PairingScheduler {
         if full_mesh {
             let mut index: HashMap<(u64, u64, usize), usize> = HashMap::new();
             for &(id, solo) in order {
-                let agent = world.agent(id);
+                let agent = bcast.agent(id);
                 let prof = agent.profile;
                 // batch_size feeds batches_per_s, so it is part of the class
                 // identity: within a class the helper speed p_j is constant
@@ -231,7 +295,7 @@ impl PairingScheduler {
             if paired[i.0] {
                 continue;
             }
-            let slow_state = world.agent(i);
+            let slow_state = bcast.agent(i);
             let mut best: Option<(AgentId, SplitDecision)> = None;
             let mut best_time = solo_i;
 
@@ -250,7 +314,7 @@ impl PairingScheduler {
                     if link <= 0.0 {
                         continue;
                     }
-                    let d = memo.estimate(estimator, slow_state, world.agent(j), solo_j, link);
+                    let d = memo.estimate(estimator, slow_state, bcast.agent(j), solo_j, link);
                     if d.offload == 0 || d.est_time_s >= solo_i {
                         continue;
                     }
@@ -282,7 +346,7 @@ impl PairingScheduler {
                     if link <= 0.0 {
                         continue;
                     }
-                    let d = memo.estimate(estimator, slow_state, world.agent(j), solo_j, link);
+                    let d = memo.estimate(estimator, slow_state, bcast.agent(j), solo_j, link);
                     if d.offload == 0 {
                         continue;
                     }
@@ -485,6 +549,83 @@ mod tests {
         let ids: Vec<AgentId> = (0..k).map(AgentId).collect();
         let sched = PairingScheduler::new();
         assert_eq!(sched.pair(&implicit, &ids, &est), sched.pair(&explicit, &ids, &est));
+    }
+
+    #[test]
+    fn zero_fraction_misreport_is_bit_identical_to_honest() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let world = WorldConfig::heterogeneous(20, 3).build();
+        let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+        let honest = PairingScheduler::new().pair(&world, &ids, &est);
+        let zero = PairingScheduler::with_misreport(
+            ByzantineConfig { fraction: 0.0, speed_factor: 4.0 },
+            7,
+        )
+        .pair(&world, &ids, &est);
+        let unit = PairingScheduler::with_misreport(
+            ByzantineConfig { fraction: 0.5, speed_factor: 1.0 },
+            7,
+        )
+        .pair(&world, &ids, &est);
+        assert_eq!(honest, zero);
+        assert_eq!(honest, unit, "speed_factor 1.0 is not a lie");
+    }
+
+    #[test]
+    fn liar_advertising_speed_attracts_an_offload() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        // Agent 1 is truly as slow as agent 0 (no pairing wins honestly),
+        // but a lying agent 1 advertising 20× speed looks like a great
+        // helper — the scheduler falls for it.
+        let world = two_agent_world(0.2, 0.2, 100.0);
+        let honest = PairingScheduler::new().pair(&world, &[AgentId(0), AgentId(1)], &est);
+        assert!(honest.iter().all(|p| p.fast.is_none()), "equals never pair honestly");
+        // Find a salt whose liar set is exactly {agent 1}.
+        let b = ByzantineConfig { fraction: 0.5, speed_factor: 20.0 };
+        let salt = (0..200u64)
+            .find(|&s| !b.is_liar(0, s) && b.is_liar(1, s))
+            .expect("some salt selects only agent 1");
+        let fooled =
+            PairingScheduler::with_misreport(b, salt).pair(&world, &[AgentId(0), AgentId(1)], &est);
+        let p = fooled.iter().find(|p| p.fast.is_some()).expect("the lie attracts an offload");
+        assert_eq!(p.slow, AgentId(0));
+        assert_eq!(p.fast, Some(AgentId(1)));
+        assert!(p.offload > 0);
+        assert!(
+            p.est_time_s < honest[0].est_time_s,
+            "the advertised estimate looks better than honest reality"
+        );
+    }
+
+    #[test]
+    fn misreported_pairings_are_deterministic_and_well_formed() {
+        let (spec, profile, cal) = fixtures();
+        let est = TrainingTimeEstimator::new(&spec, &profile, &cal);
+        let world = WorldConfig::heterogeneous(30, 11).build();
+        let ids: Vec<AgentId> = world.agents().iter().map(|a| a.id).collect();
+        let sched = PairingScheduler::with_misreport(
+            ByzantineConfig { fraction: 0.3, speed_factor: 8.0 },
+            11,
+        );
+        let a = sched.pair(&world, &ids, &est);
+        let b = sched.pair(&world, &ids, &est);
+        assert_eq!(a, b);
+        let mut seen = Vec::new();
+        for p in &a {
+            seen.push(p.slow);
+            seen.extend(p.fast);
+        }
+        seen.sort();
+        let mut expect = ids.clone();
+        expect.sort();
+        assert_eq!(seen, expect, "every participant appears exactly once");
+        assert_ne!(
+            a,
+            PairingScheduler::new().pair(&world, &ids, &est),
+            "a 30%-liar fleet must change some pairing decision"
+        );
     }
 
     #[test]

@@ -147,9 +147,13 @@ fn run() -> Result<(), String> {
             let args = cli::parse(
                 "exp_farm submit",
                 "<spec.json | @preset> [flags]",
-                &[cli::ADDR, cli::SEEDS, WAIT, cli::OUT_DIR, cli::QUIET],
+                &[cli::ADDR, cli::SEEDS, WAIT, cli::OUT_DIR, cli::QUIET, cli::LIST_PRESETS],
                 argv,
             )?;
+            if args.has("list-presets") {
+                print!("{}", cli::preset_listing());
+                return Ok(());
+            }
             let spec =
                 cli::resolve_spec(args.one_positional("spec (a file or @preset)")?, args.seeds()?)?;
             let addr = addr_of(&args);

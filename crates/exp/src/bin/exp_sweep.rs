@@ -45,8 +45,12 @@ fn run() -> Result<(), String> {
     let args = cli::parse_env(
         "exp_sweep",
         "<spec.json | @preset> [flags]",
-        &[cli::SEEDS, cli::WORKERS, cli::OUT_DIR, cli::QUIET, PRINT_SPEC, SHARD],
+        &[cli::SEEDS, cli::WORKERS, cli::OUT_DIR, cli::QUIET, cli::LIST_PRESETS, PRINT_SPEC, SHARD],
     )?;
+    if args.has("list-presets") {
+        print!("{}", cli::preset_listing());
+        return Ok(());
+    }
     let spec = cli::resolve_spec(args.one_positional("spec (a file or @preset)")?, args.seeds()?)?;
     if args.has("print-spec") {
         print!("{}", spec.render());

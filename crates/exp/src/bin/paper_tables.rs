@@ -18,8 +18,15 @@ use std::time::Instant;
 use comdml_exp::{cli, presets, SweepRunner};
 
 fn run() -> Result<(), String> {
-    let args =
-        cli::parse_env("paper_tables", "[flags]", &[cli::SEEDS, cli::WORKERS, cli::OUT_DIR])?;
+    let args = cli::parse_env(
+        "paper_tables",
+        "[flags]",
+        &[cli::SEEDS, cli::WORKERS, cli::OUT_DIR, cli::LIST_PRESETS],
+    )?;
+    if args.has("list-presets") {
+        print!("{}", cli::preset_listing());
+        return Ok(());
+    }
     if let Some(extra) = args.positionals().first() {
         return Err(format!("unexpected argument {extra}"));
     }

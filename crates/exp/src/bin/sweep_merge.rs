@@ -20,7 +20,15 @@ use std::process::ExitCode;
 use comdml_exp::{cli, merge, PartialReport};
 
 fn run() -> Result<(), String> {
-    let args = cli::parse_env("sweep_merge", "<BENCH_part_*.json>... [flags]", &[cli::OUT_DIR])?;
+    let args = cli::parse_env(
+        "sweep_merge",
+        "<BENCH_part_*.json>... [flags]",
+        &[cli::OUT_DIR, cli::LIST_PRESETS],
+    )?;
+    if args.has("list-presets") {
+        print!("{}", cli::preset_listing());
+        return Ok(());
+    }
     if args.positionals().is_empty() {
         return Err("missing partial-report files".into());
     }

@@ -65,6 +65,23 @@ pub const ADDR: FlagSpec = FlagSpec {
     help: "coordinator address (default: 127.0.0.1:7700)",
 };
 
+/// `--list-presets`: print the `@preset` catalog and exit.
+pub const LIST_PRESETS: FlagSpec = FlagSpec {
+    name: "list-presets",
+    aliases: &[],
+    takes_value: false,
+    help: "list the @preset names and exit",
+};
+
+/// The `--list-presets` output: one `@name  description` line per preset.
+pub fn preset_listing() -> String {
+    let mut out = String::new();
+    for (name, desc) in presets::CATALOG {
+        out.push_str(&format!("@{name:<13} {desc}\n"));
+    }
+    out
+}
+
 /// Renders the `--help` text: synopsis plus one line per flag.
 pub fn usage(prog: &str, synopsis: &str, flags: &[FlagSpec]) -> String {
     let mut out = format!("usage: {prog} {synopsis}\n");
@@ -301,6 +318,15 @@ mod tests {
         assert!(parse("t", "synopsis", &[WORKERS], argv(&["--help"]))
             .unwrap_err()
             .starts_with("usage: t synopsis"));
+    }
+
+    #[test]
+    fn preset_listing_covers_the_catalog() {
+        let listing = preset_listing();
+        for (name, _) in presets::CATALOG {
+            assert!(listing.contains(&format!("@{name}")), "listing missing @{name}");
+            assert!(resolve_spec(&format!("@{name}"), Some(1)).is_ok());
+        }
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Named sweep presets: the paper's Table II/III grids, the extended
-//! nine-method comparison, the round-driven convergence showcase and the
-//! CI smoke sweep, as programmatic [`SweepSpec`] builders. `exp_sweep` can
-//! also read them by name (`@table2`, `@table3`, `@extended`,
-//! `@convergence`, `@smoke`) instead of a spec file.
+//! nine-method comparison, the round-driven convergence showcase, the
+//! CI smoke sweep, and the hostile-world conditions (`@diurnal`,
+//! `@partition`, `@byzantine`), as programmatic [`SweepSpec`] builders.
+//! `exp_sweep` can also read them by name (`@table2`, `@smoke`, …)
+//! instead of a spec file; `--list-presets` prints this catalog.
 
 use comdml_core::{AggregationMode, ChurnPolicy};
-use comdml_simnet::{ArrivalProcess, SessionLifetime, Topology};
+use comdml_simnet::{
+    ArrivalProcess, ByzantineConfig, DistributionConfig, DiurnalCycle, PartitionSchedule,
+    SessionLifetime, Topology,
+};
 
 use crate::{Method, MethodParams, ScenarioSpec, SweepSpec};
 
@@ -157,6 +161,88 @@ pub fn smoke() -> SweepSpec {
         )
 }
 
+/// The churny 16-agent fleet every hostile preset stresses: the same
+/// shape (and therefore the same honest behavior) as the pinned-digest
+/// fleet in `comdml-core`'s tests, so the hostile knob is the only thing
+/// that moves.
+fn hostile_fleet(name: &str) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(name)
+        .agents(16)
+        .arrivals(ArrivalProcess::Poisson { rate_per_s: 0.002 })
+        .lifetime(SessionLifetime::Exponential { mean_s: 5_000.0 })
+        .rounds(25);
+    s.samples_per_agent = 500;
+    s
+}
+
+/// The comparison methods every hostile preset runs: ComDML plus the two
+/// baselines that bracket it (server-coordinated and fully gossip-based).
+fn hostile_methods(spec: SweepSpec) -> SweepSpec {
+    spec.method(Method::ComDml).method(Method::FedAvg).method(Method::Gossip)
+}
+
+/// Hostile world: diurnal bandwidth. Every link rides a cosine day/night
+/// cycle bottoming out at 25% of nominal bandwidth (2-hour period so 25
+/// rounds sweep several troughs). The twin scenario adds declarative
+/// lognormal CPU/link heterogeneity on top — the distribution tail meets
+/// the bandwidth trough.
+pub fn diurnal(seeds: usize) -> SweepSpec {
+    let cycle = DiurnalCycle { period_s: 7_200.0, min_factor: 0.25 };
+    hostile_methods(SweepSpec::new("diurnal").seeds(1, seeds))
+        .scenario(hostile_fleet("diurnal_trough").diurnal(cycle))
+        .scenario(
+            hostile_fleet("diurnal_lognormal")
+                .diurnal(cycle)
+                .cpu_dist(DistributionConfig::LogNormal { mu: 0.0, sigma: 0.6 })
+                .link_dist(DistributionConfig::LogNormal { mu: 3.2, sigma: 0.8 }),
+        )
+}
+
+/// Hostile world: correlated regional outages. Agents fall into 4 regions
+/// (`id mod 4`); every hour one region is cut off from the rest for 15
+/// minutes, rotating round-robin, then heals. The twin scenario draws
+/// session lifetimes from a heavy-tailed lognormal so departures cluster
+/// with the outages.
+pub fn partition(seeds: usize) -> SweepSpec {
+    let schedule = PartitionSchedule { groups: 4, period_s: 3_600.0, outage_s: 900.0 };
+    hostile_methods(SweepSpec::new("partition").seeds(1, seeds))
+        .scenario(hostile_fleet("partition_rotating").partition(schedule))
+        .scenario(
+            hostile_fleet("partition_heavy_tail")
+                .partition(schedule)
+                .lifetime_dist(DistributionConfig::LogNormal { mu: 8.0, sigma: 1.0 }),
+        )
+}
+
+/// Hostile world: Byzantine speed misreports. A deterministic 20% of
+/// agents advertise 4× their true CPU speed to the pairing broadcast, so
+/// the scheduler keeps offloading work onto liars that then underdeliver.
+/// The twin scenario adds uniform CPU heterogeneity so the lie competes
+/// with genuine spread.
+pub fn byzantine(seeds: usize) -> SweepSpec {
+    let liars = ByzantineConfig { fraction: 0.2, speed_factor: 4.0 };
+    hostile_methods(SweepSpec::new("byzantine").seeds(1, seeds))
+        .scenario(hostile_fleet("byzantine_liars").byzantine(liars))
+        .scenario(
+            hostile_fleet("byzantine_uniform")
+                .byzantine(liars)
+                .cpu_dist(DistributionConfig::Uniform { min: 0.2, max: 4.0 }),
+        )
+}
+
+/// The preset catalog: every name [`by_name`] accepts, with a one-line
+/// description (the `--list-presets` output).
+pub const CATALOG: [(&str, &str); 8] = [
+    ("table2", "paper Table II: time-to-target, 6 dataset cells x 5 methods"),
+    ("table3", "paper Table III stress grid: sampling, churn, sparse topology, dropouts"),
+    ("extended", "ComDML vs all 8 baselines on IID CIFAR-10 to 90%"),
+    ("convergence", "round-driven accuracy-trajectory showcase"),
+    ("smoke", "tiny CI sweep: one churny scenario, 3 methods, 2 seeds"),
+    ("diurnal", "hostile: cosine day/night bandwidth troughs (+ lognormal twin)"),
+    ("partition", "hostile: rotating correlated regional outages (+ heavy-tail twin)"),
+    ("byzantine", "hostile: 20% of agents misreport 4x speed to the pairing broadcast"),
+];
+
 /// Resolves a preset by name.
 ///
 /// # Errors
@@ -169,9 +255,13 @@ pub fn by_name(name: &str, seeds: usize) -> Result<SweepSpec, String> {
         "extended" => Ok(extended(seeds)),
         "convergence" => Ok(convergence(seeds)),
         "smoke" => Ok(smoke()),
-        other => Err(format!(
-            "unknown preset {other:?} (try table2, table3, extended, convergence, smoke)"
-        )),
+        "diurnal" => Ok(diurnal(seeds)),
+        "partition" => Ok(partition(seeds)),
+        "byzantine" => Ok(byzantine(seeds)),
+        other => {
+            let names: Vec<&str> = CATALOG.iter().map(|(n, _)| *n).collect();
+            Err(format!("unknown preset {other:?} (try {})", names.join(", ")))
+        }
     }
 }
 
@@ -181,11 +271,40 @@ mod tests {
 
     #[test]
     fn presets_validate_and_round_trip() {
-        for spec in [table2(5), table3(5), extended(3), convergence(3), smoke()] {
+        for spec in [
+            table2(5),
+            table3(5),
+            extended(3),
+            convergence(3),
+            smoke(),
+            diurnal(2),
+            partition(2),
+            byzantine(2),
+        ] {
             spec.validate().unwrap();
             let back = SweepSpec::parse(&spec.render()).unwrap();
             assert_eq!(back, spec);
         }
+    }
+
+    #[test]
+    fn catalog_matches_by_name() {
+        for (name, _) in CATALOG {
+            assert_eq!(by_name(name, 2).unwrap().name, name);
+        }
+        assert!(by_name("torus", 2).unwrap_err().contains("byzantine"), "error lists the catalog");
+    }
+
+    #[test]
+    fn hostile_presets_carry_their_knobs() {
+        assert!(diurnal(2).scenarios.iter().all(|s| s.diurnal.is_some()));
+        assert!(partition(2).scenarios.iter().all(|s| s.partition.is_some()));
+        assert!(byzantine(2).scenarios.iter().all(|s| s.byzantine.is_some()));
+        // Each hostile preset's twin also exercises a declarative
+        // heterogeneity distribution.
+        assert!(diurnal(2).scenarios.iter().any(|s| s.cpu_dist.is_some() && s.link_dist.is_some()));
+        assert!(partition(2).scenarios.iter().any(|s| s.lifetime_dist.is_some()));
+        assert!(byzantine(2).scenarios.iter().any(|s| s.cpu_dist.is_some()));
     }
 
     #[test]

@@ -200,6 +200,15 @@ impl ScenarioSpec {
         if let Some(m) = self.max_agents {
             cfg = cfg.max_agents(m);
         }
+        if let Some(d) = &self.cpu_dist {
+            cfg = cfg.cpu_dist(d.clone());
+        }
+        if let Some(d) = &self.link_dist {
+            cfg = cfg.link_dist(d.clone());
+        }
+        if let Some(d) = &self.lifetime_dist {
+            cfg = cfg.lifetime_dist(d.clone());
+        }
         cfg
     }
 
@@ -214,6 +223,9 @@ impl ScenarioSpec {
             curve: self.learning_curve(),
             batch_size: self.batch_size,
             staleness_decay: self.method_params.staleness_decay,
+            diurnal: self.diurnal,
+            partition: self.partition,
+            byzantine: self.byzantine,
             ..ComDmlConfig::default()
         }
     }
@@ -308,6 +320,21 @@ fn run_baseline(
     let mut trajectory = Vec::new();
     let mut rounds_run = 0usize;
     for r in 0..scenario.rounds {
+        // Hostile-world shaping at each round start, exactly as `FleetSim`
+        // does it: a pure function of the fleet clock, so baselines face
+        // the same bandwidth troughs and outages ComDML does. (Byzantine
+        // misreports target the pairing broadcast and have no baseline
+        // analogue — the closed-form engines don't pair.)
+        let now = driver.clock_s();
+        if let Some(d) = scenario.diurnal {
+            driver.world_mut().set_link_scale(d.factor_at(now));
+        }
+        if let Some(p) = scenario.partition {
+            match p.cut_at(now) {
+                Some(isolated) => driver.world_mut().set_partition(p.groups, isolated),
+                None => driver.world_mut().clear_partition(),
+            }
+        }
         if let Some(churn) = scenario.churn {
             if churn.interval > 0 && r > 0 && r % churn.interval == 0 {
                 driver.world_mut().churn_profiles(churn.fraction);

@@ -50,7 +50,10 @@
 
 use comdml_bench::Value;
 use comdml_core::{AggregationMode, ChurnPolicy, EventGranularity, LearningCurve};
-use comdml_simnet::{ArrivalProcess, JoinTopology, SessionLifetime, Topology};
+use comdml_simnet::{
+    ArrivalProcess, ByzantineConfig, DistributionConfig, DiurnalCycle, JoinTopology,
+    PartitionSchedule, SessionLifetime, Topology,
+};
 
 /// The methods a sweep can run, by their paper-table identities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -241,6 +244,21 @@ pub struct ScenarioSpec {
     pub churn_dip: f64,
     /// Per-method parameter overrides.
     pub method_params: MethodParams,
+    /// CPU-speed distribution override (`None` = the paper's 5-point grid).
+    /// Applies to the initial world and to every later arrival.
+    pub cpu_dist: Option<DistributionConfig>,
+    /// Link-bandwidth distribution override (`None` = the paper's grid).
+    pub link_dist: Option<DistributionConfig>,
+    /// Session-lifetime distribution override in seconds (`None` = the
+    /// `lifetime` policy). Wins over `lifetime` for every duration draw.
+    pub lifetime_dist: Option<DistributionConfig>,
+    /// Diurnal time-varying bandwidth (`None` = stationary links).
+    pub diurnal: Option<DiurnalCycle>,
+    /// Rotating correlated regional outages (`None` = never partitioned).
+    pub partition: Option<PartitionSchedule>,
+    /// Byzantine agents misreporting speed to the pairing broadcast
+    /// (`None` = everyone honest).
+    pub byzantine: Option<ByzantineConfig>,
 }
 
 impl ScenarioSpec {
@@ -272,6 +290,12 @@ impl ScenarioSpec {
             noniid_mix: None,
             churn_dip: 0.0,
             method_params: MethodParams::default(),
+            cpu_dist: None,
+            link_dist: None,
+            lifetime_dist: None,
+            diurnal: None,
+            partition: None,
+            byzantine: None,
         }
     }
 
@@ -363,6 +387,42 @@ impl ScenarioSpec {
     /// Sets the per-method parameter overrides.
     pub fn method_params(mut self, p: MethodParams) -> Self {
         self.method_params = p;
+        self
+    }
+
+    /// Overrides the CPU-speed distribution.
+    pub fn cpu_dist(mut self, d: DistributionConfig) -> Self {
+        self.cpu_dist = Some(d);
+        self
+    }
+
+    /// Overrides the link-bandwidth distribution.
+    pub fn link_dist(mut self, d: DistributionConfig) -> Self {
+        self.link_dist = Some(d);
+        self
+    }
+
+    /// Overrides the session-lifetime distribution (seconds).
+    pub fn lifetime_dist(mut self, d: DistributionConfig) -> Self {
+        self.lifetime_dist = Some(d);
+        self
+    }
+
+    /// Enables diurnal time-varying bandwidth.
+    pub fn diurnal(mut self, d: DiurnalCycle) -> Self {
+        self.diurnal = Some(d);
+        self
+    }
+
+    /// Enables rotating correlated regional outages.
+    pub fn partition(mut self, p: PartitionSchedule) -> Self {
+        self.partition = Some(p);
+        self
+    }
+
+    /// Enables Byzantine speed misreports.
+    pub fn byzantine(mut self, b: ByzantineConfig) -> Self {
+        self.byzantine = Some(b);
         self
     }
 
@@ -507,6 +567,29 @@ impl ScenarioSpec {
             if !(0.0..=1.0).contains(&churn.fraction) {
                 return Err(format!("{ctx}: churn fraction must be in [0, 1]"));
             }
+        }
+        // Heterogeneity distributions and hostile-world knobs carry their
+        // own parameter validation; surface it under this scenario's name.
+        for (key, d) in [
+            ("cpu_dist", &self.cpu_dist),
+            ("link_dist", &self.link_dist),
+            ("lifetime_dist", &self.lifetime_dist),
+        ] {
+            if let Some(d) = d {
+                d.validate(&format!("{ctx}: {key}"))?;
+            }
+        }
+        if let ArrivalProcess::Gaps(d) = &self.arrivals {
+            d.validate(&format!("{ctx}: arrivals gap"))?;
+        }
+        if let Some(d) = self.diurnal {
+            d.validate(&format!("{ctx}: diurnal"))?;
+        }
+        if let Some(p) = self.partition {
+            p.validate(&format!("{ctx}: partition"))?;
+        }
+        if let Some(b) = self.byzantine {
+            b.validate(&format!("{ctx}: byzantine"))?;
         }
         Ok(())
     }
@@ -683,6 +766,62 @@ fn req_f64(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
     v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("{ctx}: missing number {key:?}"))
 }
 
+fn dist_from_value(v: &Value, ctx: &str) -> Result<DistributionConfig, String> {
+    Ok(match kind_of(v)? {
+        "fixed" => DistributionConfig::Fixed { value: req_f64(v, "value", ctx)? },
+        "uniform" => DistributionConfig::Uniform {
+            min: req_f64(v, "min", ctx)?,
+            max: req_f64(v, "max", ctx)?,
+        },
+        "normal" => DistributionConfig::Normal {
+            mean: req_f64(v, "mean", ctx)?,
+            std_dev: req_f64(v, "std_dev", ctx)?,
+        },
+        "lognormal" => DistributionConfig::LogNormal {
+            mu: req_f64(v, "mu", ctx)?,
+            sigma: req_f64(v, "sigma", ctx)?,
+        },
+        "trace" => DistributionConfig::Trace {
+            values: v
+                .get("values")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("{ctx}: trace needs a \"values\" array"))?
+                .iter()
+                .map(|t| t.as_f64().ok_or_else(|| format!("{ctx}: trace values must be numbers")))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        other => return Err(format!("{ctx}: unknown distribution kind {other:?}")),
+    })
+}
+
+fn dist_to_value(d: &DistributionConfig) -> Value {
+    let kind = |k: &str| ("kind".to_string(), Value::Str(k.into()));
+    match d {
+        DistributionConfig::Fixed { value } => {
+            Value::Obj(vec![kind("fixed"), ("value".into(), Value::Num(*value))])
+        }
+        DistributionConfig::Uniform { min, max } => Value::Obj(vec![
+            kind("uniform"),
+            ("min".into(), Value::Num(*min)),
+            ("max".into(), Value::Num(*max)),
+        ]),
+        DistributionConfig::Normal { mean, std_dev } => Value::Obj(vec![
+            kind("normal"),
+            ("mean".into(), Value::Num(*mean)),
+            ("std_dev".into(), Value::Num(*std_dev)),
+        ]),
+        DistributionConfig::LogNormal { mu, sigma } => Value::Obj(vec![
+            kind("lognormal"),
+            ("mu".into(), Value::Num(*mu)),
+            ("sigma".into(), Value::Num(*sigma)),
+        ]),
+        DistributionConfig::Trace { values } => Value::Obj(vec![
+            kind("trace"),
+            ("values".into(), Value::Arr(values.iter().map(|&t| Value::Num(t)).collect())),
+        ]),
+    }
+}
+
 fn scenario_from_value(v: &Value) -> Result<ScenarioSpec, String> {
     let mut s = ScenarioSpec::new(&req_str(v, "name")?);
     if let Some(n) = v.get("agents") {
@@ -723,6 +862,10 @@ fn scenario_from_value(v: &Value) -> Result<ScenarioSpec, String> {
                     .map(|t| t.as_f64().ok_or("arrival times must be numbers".to_string()))
                     .collect::<Result<Vec<_>, _>>()?,
             ),
+            "gaps" => ArrivalProcess::Gaps(dist_from_value(
+                a.get("gap").ok_or("arrivals.gap must be a distribution object")?,
+                "arrivals.gap",
+            )?),
             other => return Err(format!("unknown arrivals kind {other:?}")),
         };
     }
@@ -804,6 +947,34 @@ fn scenario_from_value(v: &Value) -> Result<ScenarioSpec, String> {
     if let Some(d) = v.get("churn_dip") {
         s.churn_dip = d.as_f64().ok_or("churn_dip must be a number")?;
     }
+    for (key, slot) in [
+        ("cpu_dist", &mut s.cpu_dist as &mut Option<DistributionConfig>),
+        ("link_dist", &mut s.link_dist),
+        ("lifetime_dist", &mut s.lifetime_dist),
+    ] {
+        if let Some(d) = v.get(key) {
+            *slot = Some(dist_from_value(d, key)?);
+        }
+    }
+    if let Some(d) = v.get("diurnal") {
+        s.diurnal = Some(DiurnalCycle {
+            period_s: req_f64(d, "period_s", "diurnal")?,
+            min_factor: req_f64(d, "min_factor", "diurnal")?,
+        });
+    }
+    if let Some(p) = v.get("partition") {
+        s.partition = Some(PartitionSchedule {
+            groups: p.get("groups").and_then(Value::as_usize).ok_or("partition.groups")?,
+            period_s: req_f64(p, "period_s", "partition")?,
+            outage_s: req_f64(p, "outage_s", "partition")?,
+        });
+    }
+    if let Some(b) = v.get("byzantine") {
+        s.byzantine = Some(ByzantineConfig {
+            fraction: req_f64(b, "fraction", "byzantine")?,
+            speed_factor: req_f64(b, "speed_factor", "byzantine")?,
+        });
+    }
     if let Some(p) = v.get("method_params") {
         let mut mp = MethodParams::default();
         if let Some(x) = p.get("fedprox_min_work") {
@@ -872,6 +1043,10 @@ fn scenario_to_value(s: &ScenarioSpec) -> Value {
             ArrivalProcess::Trace(times) => Value::Obj(vec![
                 ("kind".into(), Value::Str("trace".into())),
                 ("times".into(), Value::Arr(times.iter().map(|&t| Value::Num(t)).collect())),
+            ]),
+            ArrivalProcess::Gaps(d) => Value::Obj(vec![
+                ("kind".into(), Value::Str("gaps".into())),
+                ("gap".into(), dist_to_value(d)),
             ]),
         },
     ));
@@ -959,6 +1134,43 @@ fn scenario_to_value(s: &ScenarioSpec) -> Value {
     }
     if s.churn_dip != 0.0 {
         fields.push(("churn_dip".into(), Value::Num(s.churn_dip)));
+    }
+    for (key, d) in [
+        ("cpu_dist", &s.cpu_dist),
+        ("link_dist", &s.link_dist),
+        ("lifetime_dist", &s.lifetime_dist),
+    ] {
+        if let Some(d) = d {
+            fields.push((key.into(), dist_to_value(d)));
+        }
+    }
+    if let Some(d) = s.diurnal {
+        fields.push((
+            "diurnal".into(),
+            Value::Obj(vec![
+                ("period_s".into(), Value::Num(d.period_s)),
+                ("min_factor".into(), Value::Num(d.min_factor)),
+            ]),
+        ));
+    }
+    if let Some(p) = s.partition {
+        fields.push((
+            "partition".into(),
+            Value::Obj(vec![
+                ("groups".into(), Value::Num(p.groups as f64)),
+                ("period_s".into(), Value::Num(p.period_s)),
+                ("outage_s".into(), Value::Num(p.outage_s)),
+            ]),
+        ));
+    }
+    if let Some(b) = s.byzantine {
+        fields.push((
+            "byzantine".into(),
+            Value::Obj(vec![
+                ("fraction".into(), Value::Num(b.fraction)),
+                ("speed_factor".into(), Value::Num(b.speed_factor)),
+            ]),
+        ));
     }
     if s.method_params != MethodParams::default() {
         let p = &s.method_params;

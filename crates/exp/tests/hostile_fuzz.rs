@@ -1,0 +1,171 @@
+//! Fuzz-style negative tests for the heterogeneity-distribution and
+//! hostile-world spec surface: malformed parameters — negative `std_dev`,
+//! `min > max`, empty traces, out-of-range hostile knobs — must fail
+//! [`ScenarioSpec`] validation with a described error naming the field,
+//! and must **never panic**, whether they arrive programmatically or
+//! through a JSON spec file. The proptest at the bottom sprays arbitrary
+//! (including degenerate) parameters through `validate` and, for the
+//! survivors, through `parse ∘ render`, asserting the only two outcomes
+//! are `Ok` and a descriptive `Err`.
+
+use comdml_exp::{Method, ScenarioSpec, SweepSpec};
+use comdml_simnet::{
+    ArrivalProcess, ByzantineConfig, DistributionConfig, DiurnalCycle, PartitionSchedule,
+};
+use proptest::prelude::*;
+
+fn wrap(s: ScenarioSpec) -> SweepSpec {
+    SweepSpec::new("x").method(Method::ComDml).scenario(s)
+}
+
+/// Every malformed distribution must be rejected in every slot that
+/// accepts one, with the slot's name in the error.
+#[test]
+fn malformed_distributions_fail_validation_in_every_slot() {
+    let bad = [
+        DistributionConfig::Fixed { value: 0.0 },
+        DistributionConfig::Fixed { value: -3.0 },
+        DistributionConfig::Fixed { value: f64::NAN },
+        DistributionConfig::Fixed { value: f64::INFINITY },
+        DistributionConfig::Uniform { min: 5.0, max: 1.0 },
+        DistributionConfig::Uniform { min: -1.0, max: 2.0 },
+        DistributionConfig::Uniform { min: 1.0, max: f64::NAN },
+        DistributionConfig::Normal { mean: 2.0, std_dev: -0.5 },
+        DistributionConfig::Normal { mean: -2.0, std_dev: 0.5 },
+        DistributionConfig::Normal { mean: 2.0, std_dev: f64::NAN },
+        DistributionConfig::LogNormal { mu: 0.0, sigma: -1.0 },
+        DistributionConfig::LogNormal { mu: f64::NAN, sigma: 0.5 },
+        DistributionConfig::Trace { values: vec![] },
+        DistributionConfig::Trace { values: vec![1.0, -2.0] },
+        DistributionConfig::Trace { values: vec![1.0, f64::NAN] },
+    ];
+    for d in &bad {
+        for (slot, s) in [
+            ("cpu_dist", ScenarioSpec::new("a").cpu_dist(d.clone())),
+            ("link_dist", ScenarioSpec::new("a").link_dist(d.clone())),
+            ("lifetime_dist", ScenarioSpec::new("a").lifetime_dist(d.clone())),
+            ("arrivals gap", ScenarioSpec::new("a").arrivals(ArrivalProcess::Gaps(d.clone()))),
+        ] {
+            let err = wrap(s).validate().expect_err(&format!("{d:?} in {slot} must fail"));
+            assert!(err.contains(slot), "error {err:?} does not name the slot {slot}");
+        }
+    }
+}
+
+#[test]
+fn malformed_hostile_knobs_fail_validation() {
+    let bad_diurnal = [
+        DiurnalCycle { period_s: 0.0, min_factor: 0.5 },
+        DiurnalCycle { period_s: -10.0, min_factor: 0.5 },
+        DiurnalCycle { period_s: f64::NAN, min_factor: 0.5 },
+        DiurnalCycle { period_s: 100.0, min_factor: 0.0 },
+        DiurnalCycle { period_s: 100.0, min_factor: 1.5 },
+        DiurnalCycle { period_s: 100.0, min_factor: f64::NAN },
+    ];
+    for d in bad_diurnal {
+        let err = wrap(ScenarioSpec::new("a").diurnal(d)).validate().unwrap_err();
+        assert!(err.contains("diurnal"), "error {err:?} does not name diurnal");
+    }
+    let bad_partition = [
+        PartitionSchedule { groups: 0, period_s: 100.0, outage_s: 10.0 },
+        PartitionSchedule { groups: 1, period_s: 100.0, outage_s: 10.0 },
+        PartitionSchedule { groups: 3, period_s: 0.0, outage_s: 10.0 },
+        PartitionSchedule { groups: 3, period_s: 100.0, outage_s: 0.0 },
+        PartitionSchedule { groups: 3, period_s: 100.0, outage_s: 150.0 },
+        PartitionSchedule { groups: 3, period_s: 100.0, outage_s: f64::NAN },
+    ];
+    for p in bad_partition {
+        let err = wrap(ScenarioSpec::new("a").partition(p)).validate().unwrap_err();
+        assert!(err.contains("partition"), "error {err:?} does not name partition");
+    }
+    let bad_byzantine = [
+        ByzantineConfig { fraction: -0.1, speed_factor: 2.0 },
+        ByzantineConfig { fraction: 1.5, speed_factor: 2.0 },
+        ByzantineConfig { fraction: f64::NAN, speed_factor: 2.0 },
+        ByzantineConfig { fraction: 0.2, speed_factor: 0.0 },
+        ByzantineConfig { fraction: 0.2, speed_factor: -1.0 },
+        ByzantineConfig { fraction: 0.2, speed_factor: f64::NAN },
+    ];
+    for b in bad_byzantine {
+        let err = wrap(ScenarioSpec::new("a").byzantine(b)).validate().unwrap_err();
+        assert!(err.contains("byzantine"), "error {err:?} does not name byzantine");
+    }
+}
+
+/// The JSON path rejects the same degenerate inputs (parse runs validate),
+/// plus structural problems the builders cannot express: unknown
+/// distribution kinds and missing parameter fields.
+#[test]
+fn malformed_json_specs_error_and_never_panic() {
+    let spec = |scenario_fields: &str| {
+        format!(
+            r#"{{"name":"t","seeds":{{"base":1,"count":1}},"methods":["comdml"],
+                "scenarios":[{{"name":"s",{scenario_fields}}}]}}"#
+        )
+    };
+    for (fields, expect) in [
+        (r#""cpu_dist":{"kind":"zipf","s":1.1}"#, "zipf"),
+        (r#""cpu_dist":{"kind":"normal","mean":2.0}"#, "std_dev"),
+        (r#""cpu_dist":{"kind":"uniform","min":5.0,"max":1.0}"#, "min 5 exceeds max 1"),
+        (r#""link_dist":{"kind":"normal","mean":40.0,"std_dev":-2.0}"#, "std_dev"),
+        (r#""lifetime_dist":{"kind":"trace","values":[]}"#, "empty"),
+        (r#""arrivals":{"kind":"gaps"}"#, "gap"),
+        (r#""arrivals":{"kind":"gaps","gap":{"kind":"fixed","value":-5.0}}"#, "value"),
+        (r#""diurnal":{"period_s":3600.0}"#, "min_factor"),
+        (r#""diurnal":{"period_s":3600.0,"min_factor":2.0}"#, "min_factor"),
+        (r#""partition":{"groups":1,"period_s":100.0,"outage_s":10.0}"#, "groups"),
+        (r#""partition":{"period_s":100.0,"outage_s":10.0}"#, "groups"),
+        (r#""byzantine":{"fraction":1.5,"speed_factor":2.0}"#, "fraction"),
+        (r#""byzantine":{"fraction":0.2}"#, "speed_factor"),
+    ] {
+        let err = SweepSpec::parse(&spec(fields)).expect_err(fields);
+        assert!(err.contains(expect), "parse of {fields} gave {err:?}, expected {expect:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Arbitrary — including degenerate — parameters only ever produce Ok
+    // or a descriptive Err, and everything that validates survives the
+    // parse ∘ render round trip bit for bit. The value pool deliberately
+    // includes 0, negatives, and huge magnitudes.
+    #[test]
+    fn arbitrary_parameters_validate_or_error_without_panicking(
+        which in 0u8..6,
+        a_sel in 0u8..6,
+        b_sel in 0u8..6,
+        spread in 0.01f64..1.0e6,
+        groups in 0usize..10,
+    ) {
+        // A value pool that deliberately includes 0, negatives and huge
+        // magnitudes alongside an ordinary positive draw.
+        let pick = |sel: u8| match sel {
+            0 => -1.0e9,
+            1 => -1.0,
+            2 => 0.0,
+            3 => 1.0e-9,
+            4 => spread,
+            _ => 1.0e18,
+        };
+        let (a, b) = (pick(a_sel), pick(b_sel));
+        let mut s = ScenarioSpec::new("fuzz");
+        s = match which {
+            0 => s.cpu_dist(DistributionConfig::Uniform { min: a, max: b }),
+            1 => s.link_dist(DistributionConfig::Normal { mean: a, std_dev: b }),
+            2 => s.lifetime_dist(DistributionConfig::LogNormal { mu: a, sigma: b }),
+            3 => s.diurnal(DiurnalCycle { period_s: a, min_factor: b }),
+            4 => s.partition(PartitionSchedule { groups, period_s: a, outage_s: b }),
+            _ => s.byzantine(ByzantineConfig { fraction: a, speed_factor: b }),
+        };
+        let spec = wrap(s);
+        match spec.validate() {
+            Ok(()) => {
+                let text = spec.render();
+                let back = SweepSpec::parse(&text).expect("validated specs re-parse");
+                prop_assert_eq!(&back, &spec);
+            }
+            Err(e) => prop_assert!(!e.is_empty(), "errors must describe the problem"),
+        }
+    }
+}

@@ -9,20 +9,24 @@
 
 use comdml_core::{AggregationMode, ChurnPolicy, LearningCurve};
 use comdml_exp::{presets, run_job, Method, MethodParams, ScenarioSpec, SweepRunner, SweepSpec};
-use comdml_simnet::{ArrivalProcess, SessionLifetime, Topology};
+use comdml_simnet::{
+    ArrivalProcess, ByzantineConfig, DistributionConfig, DiurnalCycle, PartitionSchedule,
+    SessionLifetime, Topology,
+};
 use proptest::prelude::*;
 
 /// Builds a small scenario from drawn knobs
-/// `(topo, agg, churny, sampling, learning)`, the last covering the
-/// round-driven accuracy fields (curve override, non-IID mix, churn dip,
-/// per-method params).
+/// `(topo, agg, churny, sampling, learning, hetero)`, the last two
+/// covering the round-driven accuracy fields (curve override, non-IID mix,
+/// churn dip, per-method params) and the heterogeneity-distribution /
+/// hostile-world fields (dist overrides, diurnal, partition, byzantine).
 fn scenario_from(
     name: &str,
     agents: usize,
     rounds: usize,
-    knobs: (u8, u8, u8, u8, u8),
+    knobs: (u8, u8, u8, u8, u8, u8),
 ) -> ScenarioSpec {
-    let (topo, agg, churny, sampling, learning) = knobs;
+    let (topo, agg, churny, sampling, learning, hetero) = knobs;
     let mut s = ScenarioSpec::new(name).agents(agents).rounds(rounds);
     s = match topo % 3 {
         0 => s.topology(Topology::Full),
@@ -59,6 +63,20 @@ fn scenario_from(
             sl_server_cpus: 6.5,
         }),
     };
+    s = match hetero % 6 {
+        0 => s,
+        1 => s
+            .cpu_dist(DistributionConfig::LogNormal { mu: 0.25, sigma: 0.5 })
+            .link_dist(DistributionConfig::Uniform { min: 5.0, max: 80.0 }),
+        2 => s
+            .link_dist(DistributionConfig::Normal { mean: 40.0, std_dev: 15.0 })
+            .lifetime_dist(DistributionConfig::Fixed { value: 2_500.0 }),
+        3 => s.diurnal(DiurnalCycle { period_s: 1_800.0, min_factor: 0.375 }),
+        4 => s.partition(PartitionSchedule { groups: 3, period_s: 1_200.0, outage_s: 300.0 }),
+        _ => s
+            .byzantine(ByzantineConfig { fraction: 0.25, speed_factor: 3.0 })
+            .cpu_dist(DistributionConfig::Trace { values: vec![0.5, 1.0, 2.0, 4.0] }),
+    };
     s
 }
 
@@ -82,11 +100,11 @@ proptest! {
     fn report_is_byte_identical_across_worker_counts(
         agents in 4usize..9,
         rounds in 2usize..5,
-        knobs in (0u8..3, 0u8..3, 0u8..2, 0u8..3, 0u8..5),
+        knobs in (0u8..3, 0u8..3, 0u8..2, 0u8..3, 0u8..5, 0u8..6),
         mask in 1u8..16,
         base_seed in 1u64..500,
     ) {
-        let (topo, agg, churny, sampling, learning) = knobs;
+        let (topo, agg, churny, sampling, learning, hetero) = knobs;
         let mut spec = SweepSpec::new("prop")
             .seeds(base_seed, 2)
             .scenario(scenario_from("a", agents, rounds, knobs))
@@ -94,7 +112,7 @@ proptest! {
                 "b",
                 agents + 2,
                 rounds,
-                (topo + 1, agg + 1, 1 - churny, sampling + 1, learning + 1),
+                (topo + 1, agg + 1, 1 - churny, sampling + 1, learning + 1, hetero + 1),
             ));
         for m in methods_from(mask) {
             spec = spec.method(m);
@@ -122,9 +140,10 @@ proptest! {
     fn spec_files_round_trip(
         agents in 1usize..200,
         rounds in 1usize..500,
-        knobs in (0u8..3, 0u8..3, 0u8..2, 0u8..3, 0u8..5),
+        knobs in (0u8..3, 0u8..3, 0u8..2, 0u8..3, 0u8..5, 0u8..6),
         seeds in (0u64..10_000, 1usize..50),
         lifetime_sel in 0u8..4,
+        arrivals_sel in 0u8..3,
     ) {
         let mut s = scenario_from("s", agents, rounds, knobs);
         s.lifetime = match lifetime_sel {
@@ -132,6 +151,11 @@ proptest! {
             1 => SessionLifetime::Exponential { mean_s: 123.456 },
             2 => SessionLifetime::Weibull { scale_s: 77.5, shape: 0.625 },
             _ => SessionLifetime::Fixed { duration_s: 3.25 },
+        };
+        s.arrivals = match arrivals_sel {
+            0 => s.arrivals,
+            1 => ArrivalProcess::Gaps(DistributionConfig::Fixed { value: 30.5 }),
+            _ => ArrivalProcess::Gaps(DistributionConfig::LogNormal { mu: 3.0, sigma: 0.5 }),
         };
         let spec = SweepSpec::new("roundtrip")
             .seeds(seeds.0, seeds.1)

@@ -48,7 +48,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{AgentId, AgentProfile, JoinTopology, Topology, World, WorldConfig};
+use crate::{
+    AgentId, AgentProfile, DistSampler, DistributionConfig, JoinTopology, Topology, World,
+    WorldConfig,
+};
 
 /// How new agents arrive into the fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +67,13 @@ pub enum ArrivalProcess {
     /// Trace-driven schedule: explicit absolute arrival times in simulated
     /// seconds, ascending.
     Trace(Vec<f64>),
+    /// Inter-arrival gaps drawn from a declarative distribution — the
+    /// generalization of `Poisson` (whose gaps are exponential): a `fixed`
+    /// gap gives a metronome, a `lognormal` gap gives bursty arrivals, a
+    /// `trace` gap replays measured spacings. Like `Poisson`, the chain
+    /// anchors on the previous arrival so the realized process is
+    /// independent of round discretization.
+    Gaps(DistributionConfig),
 }
 
 /// How long an agent's session lasts once it is active.
@@ -176,6 +186,9 @@ pub struct FleetConfig {
     lifetime: SessionLifetime,
     max_agents: usize,
     recycle_slots: bool,
+    cpu_dist: Option<DistributionConfig>,
+    link_dist: Option<DistributionConfig>,
+    lifetime_dist: Option<DistributionConfig>,
 }
 
 impl FleetConfig {
@@ -194,7 +207,36 @@ impl FleetConfig {
             lifetime: SessionLifetime::Infinite,
             max_agents: 4 * k.max(1),
             recycle_slots: false,
+            cpu_dist: None,
+            link_dist: None,
+            lifetime_dist: None,
         }
+    }
+
+    /// The seed this fleet is deterministic under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws CPU speeds from a declarative distribution instead of the
+    /// paper's grid — for both the initial world and every arrival.
+    pub fn cpu_dist(mut self, dist: DistributionConfig) -> Self {
+        self.cpu_dist = Some(dist);
+        self
+    }
+
+    /// Draws link bandwidth (Mbps) from a declarative distribution instead
+    /// of the grid — initial world and arrivals alike.
+    pub fn link_dist(mut self, dist: DistributionConfig) -> Self {
+        self.link_dist = Some(dist);
+        self
+    }
+
+    /// Draws session lifetimes (seconds) from a declarative distribution,
+    /// overriding [`FleetConfig::lifetime`] entirely when set.
+    pub fn lifetime_dist(mut self, dist: DistributionConfig) -> Self {
+        self.lifetime_dist = Some(dist);
+        self
     }
 
     /// Sets the arrival process.
@@ -266,19 +308,41 @@ impl FleetConfig {
     ///
     /// Panics if the config has zero agents or a zero batch size.
     pub fn build(self) -> FleetDriver {
-        let world = WorldConfig::heterogeneous(self.initial_agents, self.seed)
+        let mut wc = WorldConfig::heterogeneous(self.initial_agents, self.seed)
             .total_samples(self.samples_per_agent * self.initial_agents)
             .batch_size(self.batch_size)
-            .topology(self.topology)
-            .build();
+            .topology(self.topology);
+        if let Some(d) = self.cpu_dist.clone() {
+            wc = wc.cpu_dist(d);
+        }
+        if let Some(d) = self.link_dist.clone() {
+            wc = wc.link_dist(d);
+        }
+        let world = wc.build();
         let mut lifetime_rng = StdRng::seed_from_u64(self.seed ^ 0xc2b2_ae35);
         let arrival_rng = StdRng::seed_from_u64(self.seed ^ 0x27d4_eb2f);
         let profile_rng = StdRng::seed_from_u64(self.seed ^ 0x1656_67b1);
         let topology_rng = StdRng::seed_from_u64(self.seed ^ 0x7f4a_7c15);
+        // Declarative-distribution overrides draw from their own stream —
+        // distinct from the world's override stream so initial-world and
+        // arrival draws are uncorrelated.
+        let dist_rng = StdRng::seed_from_u64(self.seed ^ 0x3c6e_f372);
+        let cpu_sampler = self.cpu_dist.clone().map(DistSampler::new);
+        let link_sampler = self.link_dist.clone().map(DistSampler::new);
+        let mut lifetime_sampler = self.lifetime_dist.clone().map(DistSampler::new);
+        let gap_sampler = match &self.arrivals {
+            ArrivalProcess::Gaps(d) => Some(DistSampler::new(d.clone())),
+            _ => None,
+        };
         let join = self.join_topology.unwrap_or(JoinTopology::matching(&self.topology));
         let k = world.num_agents();
         // Initial agents draw their session lifetimes in id order.
-        let depart_at: Vec<f64> = (0..k).map(|_| self.lifetime.sample(&mut lifetime_rng)).collect();
+        let depart_at: Vec<f64> = (0..k)
+            .map(|_| match lifetime_sampler.as_mut() {
+                Some(s) => s.sample(&mut lifetime_rng),
+                None => self.lifetime.sample(&mut lifetime_rng),
+            })
+            .collect();
         FleetDriver {
             world,
             cfg: self,
@@ -294,6 +358,11 @@ impl FleetConfig {
             lifetime_rng,
             profile_rng,
             topology_rng,
+            dist_rng,
+            cpu_sampler,
+            link_sampler,
+            lifetime_sampler,
+            gap_sampler,
             pending_joins: Vec::new(),
             free_slots: std::collections::VecDeque::new(),
             in_round: false,
@@ -331,6 +400,18 @@ pub struct FleetDriver {
     /// Draws Erdős–Rényi join edges — its own stream so enabling sparse
     /// joins never perturbs profiles, lifetimes or arrivals under a seed.
     topology_rng: StdRng,
+    /// Feeds the declarative-distribution profile overrides below — its own
+    /// stream so a distribution knob never perturbs the grid streams.
+    dist_rng: StdRng,
+    /// Overrides arrival CPU draws when [`FleetConfig::cpu_dist`] is set.
+    cpu_sampler: Option<DistSampler>,
+    /// Overrides arrival link draws when [`FleetConfig::link_dist`] is set.
+    link_sampler: Option<DistSampler>,
+    /// Overrides session-lifetime draws when [`FleetConfig::lifetime_dist`]
+    /// is set.
+    lifetime_sampler: Option<DistSampler>,
+    /// Draws inter-arrival gaps for [`ArrivalProcess::Gaps`].
+    gap_sampler: Option<DistSampler>,
     /// Agents admitted to the world whose arrival time has not yet passed
     /// the fleet clock: `(id, absolute arrival time)`.
     pending_joins: Vec<(AgentId, f64)>,
@@ -453,6 +534,17 @@ impl FleetDriver {
                     self.trace_idx += 1;
                     t
                 }
+                ArrivalProcess::Gaps(_) => {
+                    // Same previous-arrival anchoring as the Poisson chain;
+                    // the sampler floors gaps at a positive epsilon so the
+                    // chain always advances.
+                    let sampler =
+                        self.gap_sampler.as_mut().expect("gap sampler exists for Gaps arrivals");
+                    let gap = sampler.sample(&mut self.arrival_rng);
+                    let t = self.prev_arrival_s + gap;
+                    self.prev_arrival_s = t;
+                    Some(t)
+                }
             };
         }
         self.next_arrival_s
@@ -464,9 +556,20 @@ impl FleetDriver {
     /// lifetime and returns the occupied id.
     fn admit_arrival(&mut self, at: f64) -> Option<AgentId> {
         // Draw profile and lifetime unconditionally so the streams stay
-        // aligned whether or not the arrival is admitted.
-        let profile = AgentProfile::sample(&mut self.profile_rng);
-        let session = self.cfg.lifetime.sample(&mut self.lifetime_rng);
+        // aligned whether or not the arrival is admitted. The grid draw
+        // happens even under a distribution override: the override replaces
+        // values, never the draw count of the grid streams.
+        let mut profile = AgentProfile::sample(&mut self.profile_rng);
+        if let Some(s) = self.cpu_sampler.as_mut() {
+            profile.cpus = s.sample(&mut self.dist_rng);
+        }
+        if let Some(s) = self.link_sampler.as_mut() {
+            profile.link_mbps = s.sample(&mut self.dist_rng);
+        }
+        let session = match self.lifetime_sampler.as_mut() {
+            Some(s) => s.sample(&mut self.lifetime_rng),
+            None => self.cfg.lifetime.sample(&mut self.lifetime_rng),
+        };
         if self.cfg.recycle_slots {
             if let Some(id) = self.free_slots.pop_front() {
                 self.world.recycle_agent(
@@ -897,6 +1000,77 @@ mod tests {
         assert!(f.arrivals_total() > 20, "churn must actually fire");
         let d = f.world().adjacency().density();
         assert!((0.1..0.3).contains(&d), "density {d} must stay near 0.2 under ER joins");
+    }
+
+    #[test]
+    fn fixed_gap_arrivals_are_a_metronome() {
+        let mut f = FleetConfig::new(2, 31)
+            .arrivals(ArrivalProcess::Gaps(DistributionConfig::Fixed { value: 25.0 }))
+            .max_agents(100)
+            .build();
+        let plan = f.begin_round(100.0);
+        let times: Vec<f64> = plan.events.iter().map(|e| e.at_s).collect();
+        assert_eq!(times, vec![25.0, 50.0, 75.0]);
+        // The boundary commit also catches the arrival at exactly 100 s
+        // (horizon windows are half-open, commits are inclusive).
+        f.end_round(100.0);
+        assert_eq!(f.arrivals_total(), 4);
+    }
+
+    #[test]
+    fn gap_arrivals_are_deterministic_and_discretization_independent() {
+        let mk = || {
+            FleetConfig::new(5, 33)
+                .arrivals(ArrivalProcess::Gaps(DistributionConfig::LogNormal {
+                    mu: 3.0,
+                    sigma: 0.8,
+                }))
+                .max_agents(500)
+                .build()
+        };
+        let totals = |mut f: FleetDriver, dur: f64, rounds: usize| {
+            for _ in 0..rounds {
+                let _ = f.begin_round(dur);
+                f.end_round(dur);
+            }
+            (f.arrivals_total() + f.arrivals_dropped(), f.clock_s())
+        };
+        let a = totals(mk(), 100.0, 30);
+        let b = totals(mk(), 300.0, 10);
+        assert_eq!(a, b, "gap arrivals must not depend on round discretization");
+        assert!(a.0 > 50, "mean gap ~28s over 3000s should admit many arrivals");
+    }
+
+    #[test]
+    fn lifetime_dist_overrides_the_builtin_lifetimes() {
+        // A fixed lifetime distribution behaves exactly like Fixed sessions.
+        let mut f = FleetConfig::new(4, 35)
+            .lifetime(SessionLifetime::Infinite)
+            .lifetime_dist(DistributionConfig::Fixed { value: 50.0 })
+            .build();
+        let _ = f.begin_round(10.0);
+        f.end_round(80.0);
+        assert_eq!(f.active_count(), 0, "all fixed 50s sessions ended by 80s");
+        assert_eq!(f.departures_total(), 4);
+    }
+
+    #[test]
+    fn arrival_profiles_follow_the_distribution_overrides() {
+        let mut f = FleetConfig::new(2, 37)
+            .arrivals(ArrivalProcess::Trace(vec![10.0, 20.0, 30.0]))
+            .cpu_dist(DistributionConfig::Fixed { value: 7.0 })
+            .link_dist(DistributionConfig::Uniform { min: 30.0, max: 31.0 })
+            .max_agents(10)
+            .build();
+        for _ in 0..4 {
+            let _ = f.begin_round(10.0);
+            f.end_round(10.0);
+        }
+        assert_eq!(f.arrivals_total(), 3);
+        for a in f.world().agents() {
+            assert_eq!(a.profile.cpus, 7.0, "initial and arriving agents share the dist");
+            assert!((30.0..=31.0).contains(&a.profile.link_mbps));
+        }
     }
 
     #[test]

@@ -39,20 +39,24 @@
 //! README shows how this crate fits the whole.
 
 mod agent;
+mod dist;
 mod driver;
 mod events;
 mod fleet;
+mod hostile;
 mod profile;
 mod topology;
 mod world;
 
 pub use agent::{AgentId, AgentState};
+pub use dist::{DistSampler, DistributionConfig, DIST_SAMPLE_FLOOR};
 pub use driver::{AgentTimeline, SimDriver, SimEvent};
 pub use events::{BucketStats, EventQueue};
 pub use fleet::{
     ArrivalProcess, FleetConfig, FleetDriver, FleetRoundPlan, MembershipChange, MembershipEvent,
     SessionLifetime,
 };
+pub use hostile::{ByzantineConfig, DiurnalCycle, PartitionSchedule};
 pub use profile::{AgentProfile, CPU_PROFILES, LINK_PROFILES_MBPS};
 pub use topology::{Adjacency, JoinTopology, NeighborsIter, Topology};
 pub use world::{AgentsMut, World, WorldConfig};

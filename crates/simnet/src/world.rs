@@ -4,7 +4,10 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::profile::assign_profiles;
-use crate::{Adjacency, AgentId, AgentProfile, AgentState, JoinTopology, Topology};
+use crate::{
+    Adjacency, AgentId, AgentProfile, AgentState, DistSampler, DistributionConfig, JoinTopology,
+    Topology,
+};
 
 /// Builder for a simulated world of heterogeneous agents.
 ///
@@ -30,6 +33,8 @@ pub struct WorldConfig {
     batch_size: usize,
     topology: Topology,
     sample_skew: f64,
+    cpu_dist: Option<DistributionConfig>,
+    link_dist: Option<DistributionConfig>,
 }
 
 impl WorldConfig {
@@ -43,7 +48,25 @@ impl WorldConfig {
             batch_size: 100,
             topology: Topology::Full,
             sample_skew: 0.0,
+            cpu_dist: None,
+            link_dist: None,
         }
+    }
+
+    /// Replaces the paper's 5-point CPU grid with a declarative
+    /// distribution. Samples come from a dedicated rng stream, so a world
+    /// built without a distribution is bit-identical to one built before
+    /// this knob existed.
+    pub fn cpu_dist(mut self, dist: DistributionConfig) -> Self {
+        self.cpu_dist = Some(dist);
+        self
+    }
+
+    /// Replaces the link-bandwidth grid with a declarative distribution
+    /// (Mbps), drawn from the same dedicated stream as [`Self::cpu_dist`].
+    pub fn link_dist(mut self, dist: DistributionConfig) -> Self {
+        self.link_dist = Some(dist);
+        self
     }
 
     /// Sets the total number of training samples shared by all agents
@@ -82,7 +105,23 @@ impl WorldConfig {
         assert!(self.num_agents > 0, "a world needs at least one agent");
         assert!(self.batch_size > 0, "batch size must be positive");
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let profiles = assign_profiles(self.num_agents, &mut rng);
+        let mut profiles = assign_profiles(self.num_agents, &mut rng);
+        // Distribution overrides draw from a dedicated stream *after* the
+        // grid assignment consumed the main stream, so dataset weights and
+        // topology below are unchanged whether or not a knob is set.
+        if self.cpu_dist.is_some() || self.link_dist.is_some() {
+            let mut dist_rng = StdRng::seed_from_u64(self.seed ^ 0x94d0_49bb);
+            let mut cpu_s = self.cpu_dist.map(DistSampler::new);
+            let mut link_s = self.link_dist.map(DistSampler::new);
+            for p in &mut profiles {
+                if let Some(s) = cpu_s.as_mut() {
+                    p.cpus = s.sample(&mut dist_rng);
+                }
+                if let Some(s) = link_s.as_mut() {
+                    p.link_mbps = s.sample(&mut dist_rng);
+                }
+            }
+        }
 
         // Dataset split: even shares, optionally skewed.
         let k = self.num_agents;
@@ -108,6 +147,8 @@ impl WorldConfig {
             cpus: Vec::new(),
             link_col: Vec::new(),
             adjacency,
+            link_scale: 1.0,
+            partition: None,
             churn_rng: StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9),
             participation_rng: StdRng::seed_from_u64(self.seed ^ 0x85eb_ca6b),
         };
@@ -139,6 +180,13 @@ pub struct World {
     /// Column mirror of `agents[i].profile.link_mbps`.
     link_col: Vec<f64>,
     adjacency: Adjacency,
+    /// Multiplicative bandwidth scale (diurnal cycles); 1.0 = no scaling,
+    /// in which case link lookups return the raw column bit-for-bit.
+    link_scale: f64,
+    /// Active regional outage as `(groups, isolated_region)`: links between
+    /// the isolated region (`id % groups == isolated_region`) and the rest
+    /// of the fleet read as 0 Mbps until cleared.
+    partition: Option<(usize, usize)>,
     /// Drives profile churn only. Participation sampling has its own stream
     /// ([`World::sample_participants`]) so enabling one feature never
     /// perturbs the other's outcomes under a fixed seed.
@@ -159,6 +207,8 @@ impl World {
             cpus: Vec::new(),
             link_col: Vec::new(),
             adjacency,
+            link_scale: 1.0,
+            partition: None,
             churn_rng: StdRng::seed_from_u64(seed),
             participation_rng: StdRng::seed_from_u64(seed ^ 0x85eb_ca6b),
         };
@@ -292,13 +342,59 @@ impl World {
     }
 
     /// Effective link speed between two agents in Mbps: the minimum of the
-    /// endpoints' profiles, or 0 if the topology has no edge or either agent
-    /// is disconnected.
+    /// endpoints' profiles, or 0 if the topology has no edge, either agent
+    /// is disconnected, or an active [`World::set_partition`] cut separates
+    /// them. Scaled by [`World::set_link_scale`] (diurnal cycles).
     pub fn link_mbps(&self, i: AgentId, j: AgentId) -> f64 {
         if i == j || !self.adjacency.connected(i.0, j.0) {
             return 0.0;
         }
-        self.link_col[i.0].min(self.link_col[j.0])
+        if let Some((groups, isolated)) = self.partition {
+            if (i.0 % groups == isolated) != (j.0 % groups == isolated) {
+                return 0.0;
+            }
+        }
+        let base = self.link_col[i.0].min(self.link_col[j.0]);
+        if self.link_scale == 1.0 {
+            base
+        } else {
+            base * self.link_scale
+        }
+    }
+
+    /// One agent's own uplink in Mbps under the current diurnal scale —
+    /// what collectives pay per member. Partitions do not zero this: a cut
+    /// separates regions, it does not sever an agent from its own region.
+    pub fn uplink_mbps(&self, i: AgentId) -> f64 {
+        let base = self.link_col[i.0];
+        if self.link_scale == 1.0 {
+            base
+        } else {
+            base * self.link_scale
+        }
+    }
+
+    /// Sets the multiplicative bandwidth scale applied by
+    /// [`World::link_mbps`] and [`World::uplink_mbps`]. A scale of exactly
+    /// `1.0` short-circuits to the raw columns, bit-for-bit.
+    pub fn set_link_scale(&mut self, scale: f64) {
+        self.link_scale = scale;
+    }
+
+    /// Cuts the fleet into `groups` id-striped regions and isolates one of
+    /// them: links crossing the `isolated` region's boundary read 0 Mbps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero or `isolated >= groups`.
+    pub fn set_partition(&mut self, groups: usize, isolated: usize) {
+        assert!(groups > 0 && isolated < groups, "invalid partition {isolated}/{groups}");
+        self.partition = Some((groups, isolated));
+    }
+
+    /// Heals any active partition.
+    pub fn clear_partition(&mut self) {
+        self.partition = None;
     }
 
     /// The neighbours of `i` with a usable (non-zero) link.
@@ -630,6 +726,66 @@ mod tests {
         // Mutation through the guard re-syncs on drop.
         w.agents_mut()[0].profile = AgentProfile::new(1.0, 50.0);
         check(&w);
+    }
+
+    #[test]
+    fn distribution_overrides_only_touch_profiles() {
+        let plain = WorldConfig::heterogeneous(15, 8).sample_skew(1.0).build();
+        let dist = WorldConfig::heterogeneous(15, 8)
+            .sample_skew(1.0)
+            .cpu_dist(DistributionConfig::Fixed { value: 3.0 })
+            .build();
+        // Profiles come from the override…
+        assert!(dist.agents().iter().all(|a| a.profile.cpus == 3.0));
+        // …links stay on the grid (only cpu_dist was set)…
+        assert!(dist
+            .agents()
+            .iter()
+            .all(|a| crate::LINK_PROFILES_MBPS.contains(&a.profile.link_mbps)));
+        // …and dataset split + topology are untouched (dedicated stream).
+        for (a, b) in plain.agents().iter().zip(dist.agents()) {
+            assert_eq!(a.num_samples, b.num_samples);
+        }
+        assert_eq!(plain.adjacency(), dist.adjacency());
+    }
+
+    #[test]
+    fn lognormal_profiles_leave_the_grid_deterministically() {
+        let cfg = || {
+            WorldConfig::heterogeneous(20, 9)
+                .cpu_dist(DistributionConfig::LogNormal { mu: 0.0, sigma: 0.5 })
+                .link_dist(DistributionConfig::Uniform { min: 5.0, max: 200.0 })
+        };
+        let a = cfg().build();
+        let b = cfg().build();
+        assert_eq!(a.agents(), b.agents());
+        let off_grid =
+            a.agents().iter().filter(|ag| !crate::CPU_PROFILES.contains(&ag.profile.cpus)).count();
+        assert!(off_grid > 15, "continuous draws should leave the 5-point grid");
+        assert!(a.agents().iter().all(|ag| ag.profile.cpus > 0.0));
+        assert!(a.agents().iter().all(|ag| (5.0..=200.0).contains(&ag.profile.link_mbps)));
+    }
+
+    #[test]
+    fn link_scale_and_partition_shape_links() {
+        let agents: Vec<AgentState> = (0..4)
+            .map(|i| AgentState::new(AgentId(i), AgentProfile::new(1.0, 40.0), 100, 10))
+            .collect();
+        let mut w = World::from_parts(agents, Adjacency::full(4), 0);
+        assert_eq!(w.link_mbps(AgentId(0), AgentId(1)), 40.0);
+        assert_eq!(w.uplink_mbps(AgentId(0)), 40.0);
+        w.set_link_scale(0.5);
+        assert_eq!(w.link_mbps(AgentId(0), AgentId(1)), 20.0);
+        assert_eq!(w.uplink_mbps(AgentId(0)), 20.0);
+        // Partition into 2 id-striped regions, isolate region 0 ({0, 2}).
+        w.set_link_scale(1.0);
+        w.set_partition(2, 0);
+        assert_eq!(w.link_mbps(AgentId(0), AgentId(1)), 0.0, "cross-region link cut");
+        assert_eq!(w.link_mbps(AgentId(0), AgentId(2)), 40.0, "intra-region link up");
+        assert_eq!(w.link_mbps(AgentId(1), AgentId(3)), 40.0, "other region untouched");
+        assert_eq!(w.uplink_mbps(AgentId(0)), 40.0, "uplink survives partition");
+        w.clear_partition();
+        assert_eq!(w.link_mbps(AgentId(0), AgentId(1)), 40.0, "partition heals");
     }
 
     #[test]
